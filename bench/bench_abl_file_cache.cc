@@ -1,0 +1,108 @@
+// Ablation: application-controlled file caching (paper §2, Cao et al.
+// [10]: "application-level control over file caching can reduce
+// application running time by 45%"). A query loop repeatedly scans a table
+// larger than the block cache. Under the kernel's one-size-fits-all LRU,
+// every access misses; the application that knows its own access pattern
+// switches the *library* file system to an MRU-style policy and keeps a
+// stable subset resident — no kernel change involved.
+#include "bench/bench_util.h"
+#include "src/exos/fs.h"
+#include "src/hw/disk.h"
+
+namespace xok::bench {
+namespace {
+
+constexpr uint32_t kTableBlocks = 10;   // File size: 10 blocks (40 KB).
+constexpr size_t kCacheSlots = 8;       // Cache smaller than the table.
+constexpr int kScans = 10;
+
+struct ScanResult {
+  uint64_t cycles = 0;
+  uint64_t misses = 0;
+  uint64_t hits = 0;
+};
+
+enum class CachePolicy { kLru, kScanAware };
+
+ScanResult RunScan(CachePolicy policy) {
+  ScanResult result;
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 512, .name = "fc"});
+  aegis::Aegis kernel(machine);
+  hw::Disk disk(machine, 256);
+  kernel.AttachDisk(&disk);
+  exos::Process proc(kernel, [&](exos::Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel.SysAllocDiskExtent(64);
+    if (!extent.ok()) {
+      std::abort();
+    }
+    auto fs = exos::LibFs::Format(p, *extent, kCacheSlots);
+    if (!fs.ok()) {
+      std::abort();
+    }
+    Result<exos::FileHandle> table = (*fs)->Create("table");
+    std::vector<uint8_t> block(hw::kPageBytes, 0x11);
+    for (uint32_t b = 0; b < kTableBlocks; ++b) {
+      if ((*fs)->Write(*table, b * hw::kPageBytes, block) != Status::kOk) {
+        std::abort();
+      }
+    }
+    (void)(*fs)->Sync();
+    if (policy == CachePolicy::kScanAware) {
+      // The application knows: pin metadata, evict data MRU-first.
+      (*fs)->cache().set_victim_picker(exos::MakeScanAwarePicker(/*metadata_blocks=*/3));
+    } else {
+      (*fs)->cache().set_policy(exos::BlockCache::Policy::kLru);
+    }
+
+    const uint64_t hits0 = (*fs)->cache().hits();
+    const uint64_t misses0 = (*fs)->cache().misses();
+    const uint64_t t0 = machine.clock().now();
+    std::vector<uint8_t> row(hw::kPageBytes);
+    for (int scan = 0; scan < kScans; ++scan) {
+      for (uint32_t b = 0; b < kTableBlocks; ++b) {
+        if (!(*fs)->Read(*table, b * hw::kPageBytes, row).ok()) {
+          std::abort();
+        }
+      }
+    }
+    result.cycles = machine.clock().now() - t0;
+    result.hits = (*fs)->cache().hits() - hits0;
+    result.misses = (*fs)->cache().misses() - misses0;
+  });
+  kernel.Run();
+  return result;
+}
+
+void PrintPaperTables() {
+  const ScanResult lru = RunScan(CachePolicy::kLru);
+  const ScanResult mru = RunScan(CachePolicy::kScanAware);
+  Table table("Ablation: application-controlled file caching (looping table scan)",
+              {"policy", "time (ms sim)", "misses", "hits"});
+  table.AddRow({"kernel-style LRU", FmtUs(Us(lru.cycles) / 1000.0), std::to_string(lru.misses),
+                std::to_string(lru.hits)});
+  table.AddRow({"app scan-aware", FmtUs(Us(mru.cycles) / 1000.0), std::to_string(mru.misses),
+                std::to_string(mru.hits)});
+  table.Print();
+  std::printf("Runtime reduction from choosing the policy in the *library* file\n"
+              "system: %.0f%% (Cao et al. report up to 45%% for real workloads).\n",
+              100.0 * (1.0 - static_cast<double>(mru.cycles) / lru.cycles));
+}
+
+void BM_ScanLru(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunScan(CachePolicy::kLru).cycles);
+  }
+}
+BENCHMARK(BM_ScanLru)->Unit(benchmark::kMillisecond);
+
+void BM_ScanMru(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunScan(CachePolicy::kScanAware).cycles);
+  }
+}
+BENCHMARK(BM_ScanMru)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xok::bench
+
+XOK_BENCH_MAIN(xok::bench::PrintPaperTables)

@@ -1,0 +1,139 @@
+// Figure (reconstructed): average roundtrip latency as the number of
+// CPU-bound background processes on the *receiver* grows. Without ASHs the
+// echo server must wait its turn in the slice vector, so latency grows
+// linearly with receiver load; the ASH replies at interrupt level and the
+// curve stays flat. This is the paper's "decouple latency-critical
+// operations from process scheduling" claim, measured.
+#include "bench/bench_util.h"
+#include "src/exos/udp.h"
+#include "src/hw/world.h"
+
+namespace xok::bench {
+namespace {
+
+constexpr int kRounds = 64;
+constexpr uint16_t kClientPort = 100;
+constexpr uint16_t kServerPort = 200;
+
+uint64_t Resolve(uint32_t ip) { return ip == 1 ? 0xa : 0xb; }
+
+uint64_t Measure(bool use_ash, int background_procs) {
+  hw::World world;
+  hw::Machine ma(hw::Machine::Config{.phys_pages = 256, .name = "cli"}, &world);
+  hw::Machine mb(hw::Machine::Config{.phys_pages = 256, .name = "srv"}, &world);
+  aegis::Aegis ka(ma);
+  aegis::Aegis kb(mb);
+  hw::Wire wire;
+  hw::Nic na(ma, 0xa);
+  hw::Nic nb(mb, 0xb);
+  wire.Attach(&na);
+  wire.Attach(&nb);
+  ka.AttachNic(&na);
+  kb.AttachNic(&nb);
+
+  bool done = false;
+  uint64_t per_roundtrip = 0;
+  exos::Process client(ka, [&](exos::Process& p) {
+    exos::UdpSocket socket(p, exos::NetIface{0xa, 1, Resolve});
+    if (socket.Bind(kClientPort) != Status::kOk) {
+      std::abort();
+    }
+    p.kernel().SysSleep(hw::kClockHz / 100);
+    std::vector<uint8_t> counter = {0, 0, 0, 0};
+    const uint64_t t0 = ma.clock().now();
+    for (int i = 0; i < kRounds; ++i) {
+      (void)socket.SendTo(2, kServerPort, counter);
+      Result<exos::Datagram> reply = socket.Recv();
+      if (!reply.ok()) {
+        std::abort();
+      }
+    }
+    per_roundtrip = (ma.clock().now() - t0) / kRounds;
+    done = true;
+  });
+
+  // Receiver-side background load: compute-bound environments.
+  std::vector<std::unique_ptr<exos::Process>> background;
+  for (int i = 0; i < background_procs; ++i) {
+    background.push_back(std::make_unique<exos::Process>(kb, [&](exos::Process& p) {
+      while (!done) {
+        p.machine().Charge(hw::Instr(200));
+      }
+    }));
+    if (!background.back()->ok()) {
+      std::abort();
+    }
+  }
+
+  exos::Process server(kb, [&](exos::Process& p) {
+    if (use_ash) {
+      exos::AshEchoConfig config;
+      config.iface = exos::NetIface{0xb, 2, Resolve};
+      config.port = kServerPort;
+      config.peer_ip = 1;
+      config.peer_port = kClientPort;
+      if (!exos::BindEchoAsh(p, config).ok()) {
+        std::abort();
+      }
+      while (!done) {
+        p.kernel().SysSleep(hw::kClockHz / 10);
+      }
+    } else {
+      exos::UdpSocket socket(p, exos::NetIface{0xb, 2, Resolve});
+      if (socket.Bind(kServerPort) != Status::kOk) {
+        std::abort();
+      }
+      for (int i = 0; i < kRounds; ++i) {
+        Result<exos::Datagram> request = socket.Recv();
+        if (!request.ok()) {
+          std::abort();
+        }
+        std::vector<uint8_t> bumped(4);
+        net::PutBe32(bumped, 0, net::GetBe32(request->payload, 0) + 1);
+        (void)socket.SendTo(request->src_ip, request->src_port, bumped);
+      }
+    }
+  });
+  if (!client.ok() || !server.ok()) {
+    std::abort();
+  }
+  world.Run({[&] { ka.Run(); }, [&] { kb.Run(); }});
+  return per_roundtrip;
+}
+
+void PrintPaperTables() {
+  Table table("Figure: roundtrip latency vs active processes on receiver (us, simulated)",
+              {"bg procs", "ExOS+ASH", "ExOS no-ASH", "no-ASH/ASH"});
+  for (int n : {0, 1, 2, 4, 6, 8}) {
+    const uint64_t ash = Measure(/*use_ash=*/true, n);
+    const uint64_t no_ash = Measure(/*use_ash=*/false, n);
+    table.AddRow({std::to_string(n), FmtUs(Us(ash)), FmtUs(Us(no_ash)),
+                  FmtX(static_cast<double>(no_ash) / ash)});
+  }
+  table.Print();
+  std::printf("Paper shape check: the ASH column is flat; the no-ASH column grows\n"
+              "with receiver load (reply waits for the server's time slice).\n");
+}
+
+void BM_AshLatencyLoaded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Measure(true, n));
+  }
+  state.counters["sim_us"] = Us(Measure(true, n));
+}
+BENCHMARK(BM_AshLatencyLoaded)->Arg(0)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_NoAshLatencyLoaded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Measure(false, n));
+  }
+  state.counters["sim_us"] = Us(Measure(false, n));
+}
+BENCHMARK(BM_NoAshLatencyLoaded)->Arg(0)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xok::bench
+
+XOK_BENCH_MAIN(xok::bench::PrintPaperTables)

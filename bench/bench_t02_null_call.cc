@@ -1,0 +1,90 @@
+// Table 2: null procedure call and null system call, Aegis vs Ultrix.
+// The paper's headline: Aegis kernel crossings cost little more than a
+// procedure call; Ultrix pays the full monolithic trap + syscall layer.
+#include "bench/bench_util.h"
+
+namespace xok::bench {
+namespace {
+
+constexpr int kIters = 10'000;
+
+// A "procedure call" on the simulated machine: call + frame + return.
+uint64_t MeasureProcedureCall(hw::Machine& machine) {
+  const uint64_t t0 = machine.clock().now();
+  for (int i = 0; i < kIters; ++i) {
+    machine.Charge(hw::Instr(7));
+  }
+  return (machine.clock().now() - t0) / kIters;
+}
+
+struct Numbers {
+  uint64_t proc_call = 0;
+  uint64_t aegis_syscall = 0;
+  uint64_t ultrix_syscall = 0;
+};
+
+Numbers Collect() {
+  Numbers numbers;
+  RunOnAegis([&](aegis::Aegis& kernel, hw::Machine& machine) {
+    numbers.proc_call = MeasureProcedureCall(machine);
+    const uint64_t t0 = machine.clock().now();
+    for (int i = 0; i < kIters; ++i) {
+      kernel.SysNull();
+    }
+    numbers.aegis_syscall = (machine.clock().now() - t0) / kIters;
+  });
+  RunOnUltrix([&](ultrix::Ultrix& kernel, hw::Machine& machine) {
+    const uint64_t t0 = machine.clock().now();
+    for (int i = 0; i < kIters; ++i) {
+      kernel.SysNull();
+    }
+    numbers.ultrix_syscall = (machine.clock().now() - t0) / kIters;
+  });
+  return numbers;
+}
+
+void PrintPaperTables() {
+  const Numbers numbers = Collect();
+  Table table("Table 2: null procedure and system call (us, simulated)",
+              {"operation", "Aegis", "Ultrix", "Ultrix/Aegis"});
+  table.AddRow({"procedure call", FmtUs(Us(numbers.proc_call)), "-", "-"});
+  table.AddRow({"null syscall", FmtUs(Us(numbers.aegis_syscall)),
+                FmtUs(Us(numbers.ultrix_syscall)),
+                FmtX(static_cast<double>(numbers.ultrix_syscall) / numbers.aegis_syscall)});
+  table.Print();
+}
+
+void BM_AegisNullSyscall(benchmark::State& state) {
+  uint64_t sim = 0;
+  uint64_t n = 0;
+  RunOnAegis([&](aegis::Aegis& kernel, hw::Machine& machine) {
+    const uint64_t t0 = machine.clock().now();
+    for (auto _ : state) {
+      kernel.SysNull();
+      ++n;
+    }
+    sim = machine.clock().now() - t0;
+  });
+  state.counters["sim_us"] = n > 0 ? Us(sim) / static_cast<double>(n) : 0;
+}
+BENCHMARK(BM_AegisNullSyscall);
+
+void BM_UltrixNullSyscall(benchmark::State& state) {
+  uint64_t sim = 0;
+  uint64_t n = 0;
+  RunOnUltrix([&](ultrix::Ultrix& kernel, hw::Machine& machine) {
+    const uint64_t t0 = machine.clock().now();
+    for (auto _ : state) {
+      kernel.SysNull();
+      ++n;
+    }
+    sim = machine.clock().now() - t0;
+  });
+  state.counters["sim_us"] = n > 0 ? Us(sim) / static_cast<double>(n) : 0;
+}
+BENCHMARK(BM_UltrixNullSyscall);
+
+}  // namespace
+}  // namespace xok::bench
+
+XOK_BENCH_MAIN(xok::bench::PrintPaperTables)

@@ -1,0 +1,210 @@
+// Table 8 (reconstructed): ExOS IPC abstractions vs Ultrix — pipe (POSIX-
+// emulating ring), pipe' (native ring), shm (shared-memory word exchange),
+// and lrpc (PCT-based RPC). The workload is the paper's: ping-pong a word
+// between two processes; time is per roundtrip.
+#include "bench/bench_util.h"
+#include "src/exos/ipc.h"
+
+namespace xok::bench {
+namespace {
+
+constexpr int kRounds = 1'000;
+constexpr hw::Vaddr kRingAB = 0x5000000;  // a -> b ring.
+constexpr hw::Vaddr kRingBA = 0x5100000;  // b -> a ring.
+
+// ExOS pipe roundtrip: two rings, one per direction.
+uint64_t MeasureExosPipe(bool posix_emulation) {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 256, .name = "t8"});
+  aegis::Aegis kernel(machine);
+  exos::SharedBufferDesc ab;
+  exos::SharedBufferDesc ba;
+  bool ready = false;
+  uint64_t per_roundtrip = 0;
+  exos::PipePeer peer_a;
+  exos::PipePeer peer_b;
+
+  exos::Process a(kernel, [&](exos::Process& p) {
+    ab = *exos::CreateSharedBuffer(p);
+    ba = *exos::CreateSharedBuffer(p);
+    (void)exos::MapSharedBuffer(p, ab, kRingAB);
+    (void)exos::MapSharedBuffer(p, ba, kRingBA);
+    ready = true;
+    exos::PipeEndpoint out(p, kRingAB, peer_a, posix_emulation);
+    exos::PipeEndpoint in(p, kRingBA, peer_a, posix_emulation);
+    const uint64_t t0 = machine.clock().now();
+    for (int i = 0; i < kRounds; ++i) {
+      (void)out.WriteWord(i);
+      (void)in.ReadWord();
+    }
+    per_roundtrip = (machine.clock().now() - t0) / kRounds;
+  });
+  exos::Process b(kernel, [&](exos::Process& p) {
+    while (!ready) {
+      p.kernel().SysYield();
+    }
+    (void)exos::MapSharedBuffer(p, ab, kRingAB);
+    (void)exos::MapSharedBuffer(p, ba, kRingBA);
+    exos::PipeEndpoint in(p, kRingAB, peer_b, posix_emulation);
+    exos::PipeEndpoint out(p, kRingBA, peer_b, posix_emulation);
+    for (int i = 0; i < kRounds; ++i) {
+      Result<uint32_t> v = in.ReadWord();
+      (void)out.WriteWord(v.value_or(0));
+    }
+  });
+  peer_a = {b.id(), b.env_cap()};
+  peer_b = {a.id(), a.env_cap()};
+  kernel.Run();
+  return per_roundtrip;
+}
+
+// shm: flip a word in shared memory, wait for the peer to flip it back.
+uint64_t MeasureExosShm() {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 256, .name = "t8s"});
+  aegis::Aegis kernel(machine);
+  exos::SharedBufferDesc desc;
+  bool ready = false;
+  uint64_t per_roundtrip = 0;
+  aegis::EnvId id_a = aegis::kNoEnv;
+  aegis::EnvId id_b = aegis::kNoEnv;
+
+  exos::Process a(kernel, [&](exos::Process& p) {
+    desc = *exos::CreateSharedBuffer(p);
+    (void)exos::MapSharedBuffer(p, desc, kRingAB);
+    ready = true;
+    const uint64_t t0 = machine.clock().now();
+    for (int i = 0; i < kRounds; ++i) {
+      (void)machine.StoreWord(kRingAB, 2 * i + 1);
+      while (machine.LoadWord(kRingAB).value_or(0) != static_cast<uint32_t>(2 * i + 2)) {
+        p.kernel().SysYield(id_b);
+      }
+    }
+    per_roundtrip = (machine.clock().now() - t0) / kRounds;
+  });
+  exos::Process b(kernel, [&](exos::Process& p) {
+    while (!ready) {
+      p.kernel().SysYield();
+    }
+    (void)exos::MapSharedBuffer(p, desc, kRingAB);
+    for (int i = 0; i < kRounds; ++i) {
+      while (machine.LoadWord(kRingAB).value_or(0) != static_cast<uint32_t>(2 * i + 1)) {
+        p.kernel().SysYield(id_a);
+      }
+      (void)machine.StoreWord(kRingAB, 2 * i + 2);
+    }
+  });
+  id_a = a.id();
+  id_b = b.id();
+  kernel.Run();
+  return per_roundtrip;
+}
+
+uint64_t MeasureExosLrpc() {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 256, .name = "t8l"});
+  aegis::Aegis kernel(machine);
+  uint64_t per_call = 0;
+  aegis::EnvId server_id = aegis::kNoEnv;
+  cap::Capability server_cap;
+  exos::Process server(kernel, [&](exos::Process& p) {
+    exos::InstallLrpcServer(p, [](const aegis::PctArgs& args) { return args; });
+    p.kernel().SysBlock();
+  });
+  exos::Process client(kernel, [&](exos::Process& p) {
+    p.kernel().SysYield(server_id);
+    const uint64_t t0 = machine.clock().now();
+    for (int i = 0; i < kRounds; ++i) {
+      (void)exos::LrpcCall(p, server_id, aegis::PctArgs{});
+    }
+    per_call = (machine.clock().now() - t0) / kRounds;
+    (void)p.kernel().SysWake(server_id, server_cap);
+  });
+  server_id = server.id();
+  server_cap = server.env_cap();
+  kernel.Run();
+  return per_call;
+}
+
+// Ultrix pipe roundtrip: two kernel pipes, one per direction.
+uint64_t MeasureUltrixPipe() {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 256, .name = "t8u"});
+  ultrix::Ultrix kernel(machine);
+  int ab_r = -1, ab_w = -1, ba_r = -1, ba_w = -1;
+  bool ready = false;
+  uint64_t per_roundtrip = 0;
+  (void)kernel.CreateProcess([&] {
+    auto p1 = kernel.SysPipe();
+    auto p2 = kernel.SysPipe();
+    ab_r = p1->first;
+    ab_w = p1->second;
+    ba_r = p2->first;
+    ba_w = p2->second;
+    ready = true;
+    uint8_t word[4] = {1, 2, 3, 4};
+    uint8_t in[4];
+    const uint64_t t0 = machine.clock().now();
+    for (int i = 0; i < kRounds; ++i) {
+      (void)kernel.SysWrite(ab_w, word);
+      (void)kernel.SysRead(ba_r, in);
+    }
+    per_roundtrip = (machine.clock().now() - t0) / kRounds;
+  });
+  (void)kernel.CreateProcess([&] {
+    while (!ready) {
+      kernel.SysYield();
+    }
+    uint8_t buf[4];
+    for (int i = 0; i < kRounds; ++i) {
+      (void)kernel.SysRead(ab_r, buf);
+      (void)kernel.SysWrite(ba_w, buf);
+    }
+  });
+  kernel.Run();
+  return per_roundtrip;
+}
+
+void PrintPaperTables() {
+  const uint64_t pipe_us = MeasureExosPipe(/*posix_emulation=*/true);
+  const uint64_t fast_pipe_us = MeasureExosPipe(/*posix_emulation=*/false);
+  const uint64_t shm_us = MeasureExosShm();
+  const uint64_t lrpc_us = MeasureExosLrpc();
+  const uint64_t ultrix_pipe_us = MeasureUltrixPipe();
+
+  Table table("Table 8 (reconstructed): IPC roundtrip (us, simulated)",
+              {"abstraction", "ExOS", "Ultrix", "Ultrix/ExOS"});
+  table.AddRow({"pipe", FmtUs(Us(pipe_us)), FmtUs(Us(ultrix_pipe_us)),
+                FmtX(static_cast<double>(ultrix_pipe_us) / pipe_us)});
+  table.AddRow({"pipe' (native ring)", FmtUs(Us(fast_pipe_us)), FmtUs(Us(ultrix_pipe_us)),
+                FmtX(static_cast<double>(ultrix_pipe_us) / fast_pipe_us)});
+  table.AddRow({"shm", FmtUs(Us(shm_us)), "-", "-"});
+  table.AddRow({"lrpc", FmtUs(Us(lrpc_us)), "-", "-"});
+  table.Print();
+  std::printf("Paper shape check: ExOS IPC 5-40x under Ultrix pipes.\n");
+}
+
+void BM_ExosPipeRoundtrip(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureExosPipe(true));
+  }
+  state.counters["sim_us"] = Us(MeasureExosPipe(true));
+}
+BENCHMARK(BM_ExosPipeRoundtrip)->Unit(benchmark::kMillisecond);
+
+void BM_UltrixPipeRoundtrip(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureUltrixPipe());
+  }
+  state.counters["sim_us"] = Us(MeasureUltrixPipe());
+}
+BENCHMARK(BM_UltrixPipeRoundtrip)->Unit(benchmark::kMillisecond);
+
+void BM_ExosLrpc(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureExosLrpc());
+  }
+  state.counters["sim_us"] = Us(MeasureExosLrpc());
+}
+BENCHMARK(BM_ExosLrpc)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xok::bench
+
+XOK_BENCH_MAIN(xok::bench::PrintPaperTables)

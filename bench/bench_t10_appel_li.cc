@@ -1,0 +1,233 @@
+// Table 10: the Appel–Li virtual-memory primitives, ExOS vs Ultrix:
+//   dirty     — query whether a page is dirty
+//   prot1     — read-protect one page
+//   prot100   — read-protect 100 pages
+//   unprot100 — remove protections on 100 pages
+//   trap      — handle a page-protection trap
+//   appel1    — prot1 + trap + unprot, random page (paper's description)
+//   appel2    — protect 100, access each randomly, unprot in handler
+#include <algorithm>
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "src/base/rand.h"
+#include "src/exos/ipc.h"
+
+namespace xok::bench {
+namespace {
+
+constexpr int kPages = 100;
+constexpr hw::Vaddr kBase = 0x1000000;
+constexpr int kIters = 200;
+
+hw::Vaddr PageVa(int i) { return kBase + static_cast<hw::Vaddr>(i) * hw::kPageBytes; }
+
+struct Row {
+  uint64_t dirty = 0;
+  uint64_t prot1 = 0;
+  uint64_t prot100 = 0;
+  uint64_t unprot100 = 0;
+  uint64_t trap = 0;
+  uint64_t appel1 = 0;
+  uint64_t appel2 = 0;
+};
+
+std::vector<int> RandomOrder(uint64_t seed) {
+  std::vector<int> order(kPages);
+  std::iota(order.begin(), order.end(), 0);
+  SplitMix64 rng(seed);
+  for (int i = kPages - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.NextBelow(static_cast<uint64_t>(i) + 1)]);
+  }
+  return order;
+}
+
+Row MeasureExos() {
+  Row row;
+  RunOnExos([&](exos::Process& p) {
+    hw::Machine& machine = p.machine();
+    exos::Vm& vm = p.vm();
+    for (int i = 0; i < kPages; ++i) {
+      (void)machine.StoreWord(PageVa(i), i);  // Fault in, dirty.
+    }
+
+    // dirty.
+    SplitMix64 rng(1);
+    uint64_t t0 = machine.clock().now();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(vm.Dirty(PageVa(static_cast<int>(rng.NextBelow(kPages)))));
+    }
+    row.dirty = (machine.clock().now() - t0) / kIters;
+
+    // prot1 / unprot1 pairs (measure the protect half).
+    t0 = machine.clock().now();
+    for (int i = 0; i < kIters; ++i) {
+      (void)vm.Protect(PageVa(i % kPages), 1, exos::kProtNone);
+      (void)vm.Protect(PageVa(i % kPages), 1, exos::kProtWrite);
+    }
+    row.prot1 = (machine.clock().now() - t0) / (2 * kIters);
+
+    // prot100 / unprot100.
+    t0 = machine.clock().now();
+    (void)vm.Protect(kBase, kPages, exos::kProtNone);
+    row.prot100 = machine.clock().now() - t0;
+    t0 = machine.clock().now();
+    (void)vm.Protect(kBase, kPages, exos::kProtWrite);
+    row.unprot100 = machine.clock().now() - t0;
+
+    // trap: protection fault to a user handler that unprotects.
+    vm.set_trap_handler([&](hw::Vaddr va, bool) {
+      return vm.Protect(va & ~hw::kPageMask, 1, exos::kProtWrite) == Status::kOk;
+    });
+    t0 = machine.clock().now();
+    for (int i = 0; i < kIters; ++i) {
+      (void)vm.Protect(PageVa(i % kPages), 1, exos::kProtNone);
+      (void)machine.LoadWord(PageVa(i % kPages));
+    }
+    row.trap = (machine.clock().now() - t0) / kIters;
+
+    // appel1: access a random protected page; handler protects another and
+    // unprotects the faulting page. Time per access.
+    int next_victim = 0;
+    vm.set_trap_handler([&](hw::Vaddr va, bool) {
+      const int faulting = static_cast<int>((va - kBase) / hw::kPageBytes);
+      next_victim = (faulting + 37) % kPages;
+      (void)vm.Protect(PageVa(next_victim), 1, exos::kProtNone);
+      return vm.Protect(PageVa(faulting), 1, exos::kProtWrite) == Status::kOk;
+    });
+    (void)vm.Protect(PageVa(0), 1, exos::kProtNone);
+    next_victim = 0;
+    t0 = machine.clock().now();
+    for (int i = 0; i < kIters; ++i) {
+      (void)machine.LoadWord(PageVa(next_victim));
+    }
+    row.appel1 = (machine.clock().now() - t0) / kIters;
+    (void)vm.Protect(kBase, kPages, exos::kProtWrite);
+
+    // appel2: protect 100 pages, access each in random order, unprotect in
+    // the handler. Time per access (includes 1/100 of the bulk protect).
+    vm.set_trap_handler([&](hw::Vaddr va, bool) {
+      return vm.Protect(va & ~hw::kPageMask, 1, exos::kProtWrite) == Status::kOk;
+    });
+    const std::vector<int> order = RandomOrder(2);
+    t0 = machine.clock().now();
+    (void)vm.Protect(kBase, kPages, exos::kProtNone);
+    for (int page : order) {
+      (void)machine.LoadWord(PageVa(page));
+    }
+    row.appel2 = (machine.clock().now() - t0) / kPages;
+  });
+  return row;
+}
+
+Row MeasureUltrix() {
+  Row row;
+  RunOnUltrix([&](ultrix::Ultrix& kernel, hw::Machine& machine) {
+    for (int i = 0; i < kPages; ++i) {
+      (void)machine.StoreWord(PageVa(i), i);
+    }
+
+    SplitMix64 rng(1);
+    uint64_t t0 = machine.clock().now();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(
+          kernel.SysMincoreDirty(PageVa(static_cast<int>(rng.NextBelow(kPages)))));
+    }
+    row.dirty = (machine.clock().now() - t0) / kIters;
+
+    t0 = machine.clock().now();
+    for (int i = 0; i < kIters; ++i) {
+      (void)kernel.SysMprotect(PageVa(i % kPages), 1, ultrix::kProtNone);
+      (void)kernel.SysMprotect(PageVa(i % kPages), 1, ultrix::kProtWrite);
+    }
+    row.prot1 = (machine.clock().now() - t0) / (2 * kIters);
+
+    t0 = machine.clock().now();
+    (void)kernel.SysMprotect(kBase, kPages, ultrix::kProtNone);
+    row.prot100 = machine.clock().now() - t0;
+    t0 = machine.clock().now();
+    (void)kernel.SysMprotect(kBase, kPages, ultrix::kProtWrite);
+    row.unprot100 = machine.clock().now() - t0;
+
+    kernel.SysSignal([&](hw::Vaddr va, bool) {
+      return kernel.SysMprotect(va & ~hw::kPageMask, 1, ultrix::kProtWrite) == Status::kOk;
+    });
+    t0 = machine.clock().now();
+    for (int i = 0; i < kIters; ++i) {
+      (void)kernel.SysMprotect(PageVa(i % kPages), 1, ultrix::kProtNone);
+      (void)machine.LoadWord(PageVa(i % kPages));
+    }
+    row.trap = (machine.clock().now() - t0) / kIters;
+
+    int next_victim = 0;
+    kernel.SysSignal([&](hw::Vaddr va, bool) {
+      const int faulting = static_cast<int>((va - kBase) / hw::kPageBytes);
+      next_victim = (faulting + 37) % kPages;
+      (void)kernel.SysMprotect(PageVa(next_victim), 1, ultrix::kProtNone);
+      return kernel.SysMprotect(PageVa(faulting), 1, ultrix::kProtWrite) == Status::kOk;
+    });
+    (void)kernel.SysMprotect(PageVa(0), 1, ultrix::kProtNone);
+    next_victim = 0;
+    t0 = machine.clock().now();
+    for (int i = 0; i < kIters; ++i) {
+      (void)machine.LoadWord(PageVa(next_victim));
+    }
+    row.appel1 = (machine.clock().now() - t0) / kIters;
+    (void)kernel.SysMprotect(kBase, kPages, ultrix::kProtWrite);
+
+    kernel.SysSignal([&](hw::Vaddr va, bool) {
+      return kernel.SysMprotect(va & ~hw::kPageMask, 1, ultrix::kProtWrite) == Status::kOk;
+    });
+    const std::vector<int> order = RandomOrder(2);
+    t0 = machine.clock().now();
+    (void)kernel.SysMprotect(kBase, kPages, ultrix::kProtNone);
+    for (int page : order) {
+      (void)machine.LoadWord(PageVa(page));
+    }
+    row.appel2 = (machine.clock().now() - t0) / kPages;
+  });
+  return row;
+}
+
+void PrintPaperTables() {
+  const Row exos = MeasureExos();
+  const Row ultrix = MeasureUltrix();
+  Table table("Table 10: Appel-Li VM benchmarks (us, simulated)",
+              {"benchmark", "ExOS", "Ultrix", "Ultrix/ExOS"});
+  auto add = [&](const char* name, uint64_t a, uint64_t u) {
+    table.AddRow({name, FmtUs(Us(a)), FmtUs(Us(u)),
+                  a == 0 ? "-" : FmtX(static_cast<double>(u) / a)});
+  };
+  add("dirty", exos.dirty, ultrix.dirty);
+  add("prot1", exos.prot1, ultrix.prot1);
+  add("prot100", exos.prot100, ultrix.prot100);
+  add("unprot100", exos.unprot100, ultrix.unprot100);
+  add("trap", exos.trap, ultrix.trap);
+  add("appel1", exos.appel1, ultrix.appel1);
+  add("appel2", exos.appel2, ultrix.appel2);
+  table.Print();
+  std::printf("Paper shape check: ExOS wins every row, 5-40x on the trap-dominated\n"
+              "rows; appel2 < appel1 (appel1's handler does both a protect and an\n"
+              "unprotect).\n");
+}
+
+void BM_Appel1Exos(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureExos().appel1);
+  }
+  state.counters["sim_us"] = Us(MeasureExos().appel1);
+}
+BENCHMARK(BM_Appel1Exos)->Unit(benchmark::kMillisecond);
+
+void BM_Appel1Ultrix(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureUltrix().appel1);
+  }
+  state.counters["sim_us"] = Us(MeasureUltrix().appel1);
+}
+BENCHMARK(BM_Appel1Ultrix)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xok::bench
+
+XOK_BENCH_MAIN(xok::bench::PrintPaperTables)

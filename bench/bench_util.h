@@ -1,0 +1,125 @@
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Every bench binary does two things:
+//   1. Prints its paper table/figure, computed from *simulated cycles* on
+//      the modelled DECstation 5000/125 (deterministic, comparable to the
+//      paper's microsecond numbers in shape).
+//   2. Runs google-benchmark wall-clock measurements of the same
+//      operations (the real cost of the C++ implementations on the host),
+//      attaching a `sim_us` counter per benchmark.
+#ifndef XOK_BENCH_BENCH_UTIL_H_
+#define XOK_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/aegis.h"
+#include "src/exos/process.h"
+#include "src/hw/machine.h"
+#include "src/ultrix/ultrix.h"
+
+namespace xok::bench {
+
+inline double Us(uint64_t cycles) { return hw::CyclesToMicros(cycles); }
+
+// Runs `body` inside a single Aegis environment on a fresh machine.
+// The body performs its own interval measurements via the machine clock.
+inline void RunOnAegis(const std::function<void(aegis::Aegis&, hw::Machine&)>& body,
+                       uint32_t phys_pages = 2048) {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = phys_pages, .name = "bench"});
+  aegis::Aegis kernel(machine);
+  aegis::EnvSpec spec;
+  spec.entry = [&] { body(kernel, machine); };
+  if (!kernel.CreateEnv(std::move(spec)).ok()) {
+    std::fprintf(stderr, "bench: CreateEnv failed\n");
+    std::abort();
+  }
+  kernel.Run();
+}
+
+// Runs `body` inside a single ExOS process (full library OS handlers).
+inline void RunOnExos(const std::function<void(exos::Process&)>& body,
+                      uint32_t phys_pages = 2048) {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = phys_pages, .name = "bench"});
+  aegis::Aegis kernel(machine);
+  exos::Process proc(kernel, [&](exos::Process& p) { body(p); });
+  if (!proc.ok()) {
+    std::fprintf(stderr, "bench: Process creation failed\n");
+    std::abort();
+  }
+  kernel.Run();
+}
+
+// Runs `body` inside a single Ultrix process on a fresh machine.
+inline void RunOnUltrix(const std::function<void(ultrix::Ultrix&, hw::Machine&)>& body,
+                        uint32_t phys_pages = 2048) {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = phys_pages, .name = "bench"});
+  ultrix::Ultrix kernel(machine);
+  if (!kernel.CreateProcess([&] { body(kernel, machine); }).ok()) {
+    std::fprintf(stderr, "bench: CreateProcess failed\n");
+    std::abort();
+  }
+  kernel.Run();
+}
+
+// Paper-style table printing.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    PrintCells(columns_);
+    std::printf("%s\n", std::string(16 * columns_.size(), '-').c_str());
+    for (const auto& row : rows_) {
+      PrintCells(row);
+    }
+    std::printf("\n");
+  }
+
+ private:
+  static void PrintCells(const std::vector<std::string>& cells) {
+    for (const auto& cell : cells) {
+      std::printf("%-16s", cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string FmtUs(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", us);
+  return buf;
+}
+
+inline std::string FmtX(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", ratio);
+  return buf;
+}
+
+// Standard main: print the paper table, then run google-benchmark.
+#define XOK_BENCH_MAIN(PrintPaperTables)                  \
+  int main(int argc, char** argv) {                       \
+    PrintPaperTables();                                   \
+    ::benchmark::Initialize(&argc, argv);                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }
+
+}  // namespace xok::bench
+
+#endif  // XOK_BENCH_BENCH_UTIL_H_

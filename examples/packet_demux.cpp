@@ -1,0 +1,117 @@
+// Secure network multiplexing (paper §3.2): three services on one machine
+// claim their own UDP traffic with downloaded DPF filters. Two use the
+// ordinary kernel-queue path; the third is an echo service implemented as
+// an ASH, answering from the interrupt handler while its owner sleeps. A
+// client machine sprays packets at all three and reports what came back.
+#include <cstdio>
+#include <vector>
+
+#include "src/core/aegis.h"
+#include "src/exos/process.h"
+#include "src/exos/udp.h"
+#include "src/hw/world.h"
+
+using namespace xok;
+
+namespace {
+
+uint64_t Resolve(uint32_t ip) { return ip == 1 ? 0xa : 0xb; }
+constexpr uint16_t kLogPort = 500;
+constexpr uint16_t kSumPort = 501;
+constexpr uint16_t kEchoPort = 502;
+constexpr int kPacketsPerService = 12;
+
+}  // namespace
+
+int main() {
+  hw::World world;
+  hw::Machine client_machine(hw::Machine::Config{.phys_pages = 256, .name = "client"},
+                             &world);
+  hw::Machine server_machine(hw::Machine::Config{.phys_pages = 256, .name = "server"},
+                             &world);
+  aegis::Aegis client_kernel(client_machine);
+  aegis::Aegis server_kernel(server_machine);
+  hw::Wire wire;
+  hw::Nic client_nic(client_machine, 0xa);
+  hw::Nic server_nic(server_machine, 0xb);
+  wire.Attach(&client_nic);
+  wire.Attach(&server_nic);
+  client_kernel.AttachNic(&client_nic);
+  server_kernel.AttachNic(&server_nic);
+
+  int logged = 0;
+  uint32_t summed = 0;
+  int echoes_received = 0;
+  bool client_done = false;
+
+  // Service 1: a "logger" — counts datagrams on port 500.
+  exos::Process logger(server_kernel, [&](exos::Process& p) {
+    exos::UdpSocket socket(p, exos::NetIface{0xb, 2, Resolve});
+    (void)socket.Bind(kLogPort);
+    for (int i = 0; i < kPacketsPerService; ++i) {
+      if (socket.Recv().ok()) {
+        ++logged;
+      }
+    }
+    std::printf("[logger] saw %d datagrams on port %u\n", logged, kLogPort);
+  });
+
+  // Service 2: an accumulator — sums the first payload byte on port 501.
+  exos::Process summer(server_kernel, [&](exos::Process& p) {
+    exos::UdpSocket socket(p, exos::NetIface{0xb, 2, Resolve});
+    (void)socket.Bind(kSumPort);
+    for (int i = 0; i < kPacketsPerService; ++i) {
+      Result<exos::Datagram> d = socket.Recv();
+      if (d.ok() && !d->payload.empty()) {
+        summed += d->payload[0];
+      }
+    }
+    std::printf("[summer] total on port %u: %u\n", kSumPort, summed);
+  });
+
+  // Service 3: an ASH echo on port 502 — replies at interrupt level.
+  exos::Process echoer(server_kernel, [&](exos::Process& p) {
+    exos::AshEchoConfig config;
+    config.iface = exos::NetIface{0xb, 2, Resolve};
+    config.port = kEchoPort;
+    config.peer_ip = 1;
+    config.peer_port = kEchoPort;
+    if (!exos::BindEchoAsh(p, config).ok()) {
+      std::printf("[echoer] ASH bind failed\n");
+      return;
+    }
+    while (!client_done) {
+      p.kernel().SysSleep(hw::kClockHz / 20);
+    }
+    std::printf("[echoer] slept through the whole run; the ASH answered for me\n");
+  });
+
+  // The client sprays traffic at all three services.
+  exos::Process client(client_kernel, [&](exos::Process& p) {
+    exos::UdpSocket socket(p, exos::NetIface{0xa, 1, Resolve});
+    (void)socket.Bind(kEchoPort);  // Echo replies land here.
+    p.kernel().SysSleep(hw::kClockHz / 100);
+    for (int i = 0; i < kPacketsPerService; ++i) {
+      std::vector<uint8_t> payload = {static_cast<uint8_t>(i), 0, 0, 0};
+      (void)socket.SendTo(2, kLogPort, payload);
+      (void)socket.SendTo(2, kSumPort, payload);
+      (void)socket.SendTo(2, kEchoPort, payload);
+      if (socket.Recv().ok()) {
+        ++echoes_received;  // The ASH's reply.
+      }
+    }
+    client_done = true;
+    std::printf("[client] sent %d packets to each service, got %d echoes\n",
+                3 * kPacketsPerService, echoes_received);
+  });
+
+  if (!logger.ok() || !summer.ok() || !echoer.ok() || !client.ok()) {
+    return 1;
+  }
+  world.Run({[&] { client_kernel.Run(); }, [&] { server_kernel.Run(); }});
+
+  std::printf("demultiplexing: %d logged, sum %u, %d echoed — every packet reached\n"
+              "exactly the service whose filter claimed it.\n",
+              logged, summed, echoes_received);
+  return 0;
+}

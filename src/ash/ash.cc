@@ -1,0 +1,111 @@
+#include "src/ash/ash.h"
+
+namespace xok::ash {
+
+using hw::Instr;
+using vcode::Op;
+
+Result<AshProgram> AshProgram::Make(vcode::Program program, const AshLimits& limits) {
+  const Status verdict = vcode::Verify(program, limits.max_insns, kNumAshHooks);
+  if (verdict != Status::kOk) {
+    return verdict;
+  }
+  return AshProgram(std::move(program));
+}
+
+AshOutcome RunAsh(const AshProgram& handler, std::span<const uint8_t> msg,
+                  std::span<uint8_t> region, AshServices& services) {
+  AshOutcome outcome;
+  std::vector<std::function<void(uint32_t(&)[vcode::kRegisters], uint32_t)>> hooks(kNumAshHooks);
+  hooks[kHookSendReply] = [&](uint32_t(&regs)[vcode::kRegisters], uint32_t) {
+    const uint64_t off = regs[4];
+    const uint64_t len = regs[5];
+    if (off + len <= region.size() && services.send_reply) {
+      services.send_reply(std::span<const uint8_t>(region).subspan(off, len));
+      outcome.sent_reply = true;
+    }
+  };
+  hooks[kHookWakeOwner] = [&](uint32_t(&)[vcode::kRegisters], uint32_t) {
+    if (services.wake_owner) {
+      services.wake_owner();
+      outcome.woke_owner = true;
+    }
+  };
+
+  vcode::ExecEnv env{msg, region, &hooks};
+  const vcode::ExecResult run = vcode::Execute(handler.program(), env);
+  outcome.verdict = run.value;
+  // Compiled-code cost per executed op, plus the copy loops per word.
+  outcome.sim_cycles = Instr(2) * run.ops_executed + hw::kMemWordCopy * ((run.bytes_touched + 3) / 4);
+  return outcome;
+}
+
+Result<AshProgram> BuildVectorAsh(const VectorAshSpec& spec) {
+  vcode::Emitter e;
+  e.Emit(Op::kLoadImm, 0, 0, spec.dst_off);  // r0 = dst.
+  e.Emit(Op::kLoadImm, 1, 0, spec.src_off);  // r1 = src.
+  e.Emit(spec.integrate_cksum ? Op::kCopyCksum : Op::kCopyRegion, 0, 1, spec.len);
+  if (spec.integrate_cksum) {
+    e.Emit(Op::kLoadImm, 2, 0, spec.cksum_off);
+    e.Emit(Op::kStoreRegionWord, 2, 15, 0);  // Accumulated sum lives in r15.
+  }
+  // region[count_off] += 1 (message-arrival counter the owner polls).
+  e.Emit(Op::kLoadImm, 3, 0, 0);
+  e.Emit(Op::kLoadRegionWord, 6, 3, spec.count_off);
+  e.Emit(Op::kAddImm, 6, 0, 1);
+  e.Emit(Op::kLoadImm, 3, 0, spec.count_off);
+  e.Emit(Op::kStoreRegionWord, 3, 6, 0);
+  e.Emit(Op::kHook, kHookWakeOwner, 0, 0);
+  e.Emit(Op::kAccept, 0, 0, 1);
+  return AshProgram::Make(e.Finish());
+}
+
+Result<AshProgram> BuildEchoAsh(const EchoAshSpec& spec) {
+  vcode::Emitter e;
+  // r0 = counter from the message (big-endian), incremented.
+  e.Emit(Op::kLoadImm, 1, 0, 0);
+  e.Emit(Op::kLoadMsgWord, 0, 1, spec.counter_off);
+  e.Emit(Op::kAddImm, 0, 0, 1);
+  // Patch it into the prebuilt reply frame (network byte order).
+  e.Emit(Op::kLoadImm, 2, 0, spec.reply_off + spec.reply_counter_off);
+  e.Emit(Op::kStoreRegionWordBe, 2, 0, 0);
+  // Bump the handled-message counter.
+  e.Emit(Op::kLoadImm, 3, 0, 0);
+  e.Emit(Op::kLoadRegionWord, 6, 3, spec.count_off);
+  e.Emit(Op::kAddImm, 6, 0, 1);
+  e.Emit(Op::kLoadImm, 3, 0, spec.count_off);
+  e.Emit(Op::kStoreRegionWord, 3, 6, 0);
+  // Message initiation: transmit the reply right now, from interrupt level.
+  e.Emit(Op::kLoadImm, 4, 0, spec.reply_off);
+  e.Emit(Op::kLoadImm, 5, 0, spec.reply_len);
+  e.Emit(Op::kHook, kHookSendReply, 0, 0);
+  e.Emit(Op::kAccept, 0, 0, 1);
+  return AshProgram::Make(e.Finish());
+}
+
+Result<AshProgram> BuildLockAsh(const LockAshSpec& spec) {
+  vcode::Emitter e;
+  e.Emit(Op::kLoadImm, 1, 0, 0);                       // r1 = 0 (base register).
+  e.Emit(Op::kLoadRegionWord, 2, 1, spec.lock_off);    // r2 = lock word.
+  auto denied = e.EmitBranch(Op::kBranchNeImm, 2, 0);  // Held -> denied.
+  // Granted: lock = requester id; status = kLockGranted.
+  e.Emit(Op::kLoadMsgWord, 6, 1, spec.requester_off);
+  e.Emit(Op::kLoadImm, 3, 0, spec.lock_off);
+  e.Emit(Op::kStoreRegionWord, 3, 6, 0);
+  e.Emit(Op::kLoadImm, 7, 0, kLockGranted);
+  e.Emit(Op::kLoadImm, 8, 0, 0);
+  auto to_send = e.EmitBranch(Op::kBranchEqImm, 8, 0);  // Unconditional skip.
+  e.Bind(denied);
+  e.Emit(Op::kLoadImm, 7, 0, kLockDenied);
+  e.Bind(to_send);
+  // Patch the status into the reply template and transmit it.
+  e.Emit(Op::kLoadImm, 3, 0, spec.reply_off + spec.reply_status_off);
+  e.Emit(Op::kStoreRegionWordBe, 3, 7, 0);
+  e.Emit(Op::kLoadImm, 4, 0, spec.reply_off);
+  e.Emit(Op::kLoadImm, 5, 0, spec.reply_len);
+  e.Emit(Op::kHook, kHookSendReply, 0, 0);
+  e.Emit(Op::kAccept, 0, 0, 1);
+  return AshProgram::Make(e.Finish());
+}
+
+}  // namespace xok::ash

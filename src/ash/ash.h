@@ -1,0 +1,127 @@
+// Application-specific safe handlers (ASHs), paper §3.2.1 and §6.3.
+//
+// An ASH is untrusted application code downloaded into the kernel, made
+// safe by code inspection (the vcode verifier: bounded length, forward-only
+// branches, hook whitelist) and sandboxing (all memory references are
+// bounds-checked against the message and the owner's pinned region), and
+// executed at message arrival — *without* scheduling the owning
+// application. ASHs provide four abilities:
+//
+//   1. Direct, dynamic message vectoring — the ASH decides where message
+//      bytes land in owner memory, eliminating intermediate copies.
+//   2. Dynamic integrated layer processing (ILP) — checksum during the
+//      copy (vcode kCopyCksum), touching the data once instead of twice.
+//   3. Message initiation — an ASH can transmit a reply immediately from
+//      the interrupt path (kHookSendReply).
+//   4. Control initiation — general computation at reception time (active
+//      messages, remote lock acquisition) over the pinned region.
+//
+// Because a verified ASH's runtime is bounded by its instruction count, the
+// kernel can run it "in situations where performing a full context switch
+// to an unscheduled application is impractical" — this is what flattens the
+// paper's Figure: roundtrip latency stays constant as receiver load grows.
+#ifndef XOK_SRC_ASH_ASH_H_
+#define XOK_SRC_ASH_ASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "src/base/result.h"
+#include "src/hw/cost.h"
+#include "src/vcode/vcode.h"
+
+namespace xok::ash {
+
+// Host services an ASH may invoke, in hook-table order.
+enum AshHook : uint8_t {
+  kHookSendReply = 0,  // Transmit region[r4 .. r4+r5) as an Ethernet frame.
+  kHookWakeOwner = 1,  // Mark the owning environment runnable.
+  kNumAshHooks = 2,
+};
+
+struct AshLimits {
+  size_t max_insns = 256;
+};
+
+// A verified handler. Construction only via Make(), so possession of an
+// AshProgram implies the verifier accepted it.
+class AshProgram {
+ public:
+  static Result<AshProgram> Make(vcode::Program program, const AshLimits& limits = {});
+
+  const vcode::Program& program() const { return program_; }
+
+ private:
+  explicit AshProgram(vcode::Program program) : program_(std::move(program)) {}
+
+  vcode::Program program_;
+};
+
+// Outcome of one handler execution, including the simulated cycles the
+// kernel must charge (compiled-code cost per op + per-word copy cost).
+struct AshOutcome {
+  uint32_t verdict = vcode::kRejected;  // kAccept imm, or kRejected on sandbox fault.
+  uint64_t sim_cycles = 0;
+  bool sent_reply = false;
+  bool woke_owner = false;
+};
+
+struct AshServices {
+  std::function<void(std::span<const uint8_t>)> send_reply;
+  std::function<void()> wake_owner;
+};
+
+// Runs `handler` against `msg` with the owner's pinned `region`.
+AshOutcome RunAsh(const AshProgram& handler, std::span<const uint8_t> msg,
+                  std::span<uint8_t> region, AshServices& services);
+
+// --- Builders for common handlers (used by ExOS, benches, and examples) ---
+
+// Vectoring handler: copies `len` message bytes from msg[src_off] to
+// region[dst_off], bumps the word counter at region[count_off], and wakes
+// the owner. With `integrate_cksum`, checksums during the copy (ILP) and
+// stores the accumulated sum at region[cksum_off].
+struct VectorAshSpec {
+  uint32_t src_off = 0;
+  uint32_t dst_off = 0;
+  uint32_t len = 0;
+  uint32_t count_off = 0;
+  bool integrate_cksum = false;
+  uint32_t cksum_off = 0;
+};
+Result<AshProgram> BuildVectorAsh(const VectorAshSpec& spec);
+
+// Echo/ping handler (the paper's Table 11 workload): reads the big-endian
+// word at msg[counter_off], increments it, patches it into the prebuilt
+// reply frame the application keeps at region[reply_off .. reply_off +
+// reply_len), and transmits the reply immediately from the interrupt path.
+struct EchoAshSpec {
+  uint32_t counter_off = 0;     // Offset of the counter within the message.
+  uint32_t reply_off = 0;       // Region offset of the prebuilt reply frame.
+  uint32_t reply_len = 0;       // Frame length.
+  uint32_t reply_counter_off = 0;  // Offset of the counter within the reply frame.
+  uint32_t count_off = 0;       // Region word counting handled messages.
+};
+Result<AshProgram> BuildEchoAsh(const EchoAshSpec& spec);
+
+// Control initiation (paper: "remote lock acquisition"): region[lock_off]
+// is a lock word. On message arrival — at interrupt level, without
+// scheduling the owner — the handler grants the lock to the requester
+// (writing its id, read from msg[requester_off], into the lock word) if it
+// is free, patches a granted/denied status word into the prebuilt reply
+// frame at region[reply_off], and transmits the reply.
+struct LockAshSpec {
+  uint32_t lock_off = 0;        // Region offset of the lock word.
+  uint32_t requester_off = 0;   // Message offset of the requester id (BE word).
+  uint32_t reply_off = 0;       // Region offset of the prebuilt reply frame.
+  uint32_t reply_len = 0;
+  uint32_t reply_status_off = 0;  // Offset of the status word within the reply.
+};
+inline constexpr uint32_t kLockGranted = 1;
+inline constexpr uint32_t kLockDenied = 0;
+Result<AshProgram> BuildLockAsh(const LockAshSpec& spec);
+
+}  // namespace xok::ash
+
+#endif  // XOK_SRC_ASH_ASH_H_

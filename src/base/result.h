@@ -1,0 +1,53 @@
+// Result<T>: a value-or-Status return type for fallible kernel operations.
+#ifndef XOK_SRC_BASE_RESULT_H_
+#define XOK_SRC_BASE_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "src/base/status.h"
+
+namespace xok {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit conversions keep call sites terse: `return Status::kErrNotFound;`
+  // and `return value;` both work.
+  Result(Status status) : repr_(status) { assert(status != Status::kOk); }
+  Result(T value) : repr_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const { return ok() ? Status::kOk : std::get<Status>(repr_); }
+
+  // Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` on error.
+  T value_or(T fallback) const { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace xok
+
+#endif  // XOK_SRC_BASE_RESULT_H_

@@ -1,0 +1,43 @@
+#include "src/base/status.h"
+
+namespace xok {
+
+std::string_view StatusName(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "OK";
+    case Status::kErrInternal:
+      return "ERR_INTERNAL";
+    case Status::kErrInvalidArgs:
+      return "ERR_INVALID_ARGS";
+    case Status::kErrOutOfRange:
+      return "ERR_OUT_OF_RANGE";
+    case Status::kErrNoResources:
+      return "ERR_NO_RESOURCES";
+    case Status::kErrNotFound:
+      return "ERR_NOT_FOUND";
+    case Status::kErrAlreadyExists:
+      return "ERR_ALREADY_EXISTS";
+    case Status::kErrBadState:
+      return "ERR_BAD_STATE";
+    case Status::kErrUnsupported:
+      return "ERR_UNSUPPORTED";
+    case Status::kErrAccessDenied:
+      return "ERR_ACCESS_DENIED";
+    case Status::kErrBadCapability:
+      return "ERR_BAD_CAPABILITY";
+    case Status::kErrRevoked:
+      return "ERR_REVOKED";
+    case Status::kErrWouldBlock:
+      return "ERR_WOULD_BLOCK";
+    case Status::kErrTimedOut:
+      return "ERR_TIMED_OUT";
+    case Status::kErrUnsafeCode:
+      return "ERR_UNSAFE_CODE";
+    case Status::kErrCodeLimit:
+      return "ERR_CODE_LIMIT";
+  }
+  return "ERR_UNKNOWN";
+}
+
+}  // namespace xok

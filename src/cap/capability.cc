@@ -1,0 +1,53 @@
+#include "src/cap/capability.h"
+
+#include <array>
+
+namespace xok::cap {
+
+uint64_t CapAuthority::MacOf(const Capability& c) const {
+  std::array<uint8_t, 13> buf{};
+  buf[0] = static_cast<uint8_t>(c.resource.kind);
+  for (int i = 0; i < 4; ++i) {
+    buf[1 + i] = static_cast<uint8_t>(c.resource.index >> (8 * i));
+    buf[5 + i] = static_cast<uint8_t>(c.rights >> (8 * i));
+    buf[9 + i] = static_cast<uint8_t>(c.epoch >> (8 * i));
+  }
+  return SipHash24(key_, buf);
+}
+
+Capability CapAuthority::Mint(ResourceId resource, uint32_t rights, uint32_t epoch) const {
+  Capability c;
+  c.resource = resource;
+  c.rights = rights;
+  c.epoch = epoch;
+  c.mac = MacOf(c);
+  return c;
+}
+
+bool CapAuthority::Authentic(const Capability& c) const { return c.mac == MacOf(c); }
+
+bool CapAuthority::Check(const Capability& c, ResourceId resource, uint32_t required,
+                         uint32_t epoch) const {
+  if (!Authentic(c)) {
+    return false;
+  }
+  if (!(c.resource == resource) || c.epoch != epoch) {
+    return false;
+  }
+  return (c.rights & required) == required;
+}
+
+Result<Capability> CapAuthority::Derive(const Capability& c, uint32_t new_rights) const {
+  if (!Authentic(c)) {
+    return Status::kErrBadCapability;
+  }
+  if ((c.rights & kGrant) == 0) {
+    return Status::kErrAccessDenied;
+  }
+  if ((new_rights & ~c.rights) != 0) {
+    return Status::kErrAccessDenied;  // Rights can only shrink.
+  }
+  return Mint(c.resource, new_rights, c.epoch);
+}
+
+}  // namespace xok::cap

@@ -1,0 +1,89 @@
+// Self-authenticating capabilities (paper §3.1).
+//
+// When a library operating system allocates a resource, the exokernel mints
+// a capability naming that resource with a set of rights. The capability
+// carries a MAC computed under a kernel-private key, so the kernel needs no
+// per-capability storage: presentation of a capability is checked by
+// recomputing the MAC ("self-authenticating", following Chaum & Fabry). A
+// holder may ask the kernel to *derive* a capability with a subset of the
+// rights, which is how a libOS grants a weaker view of its pages to another
+// environment (e.g. read-only sharing for IPC buffers).
+#ifndef XOK_SRC_CAP_CAPABILITY_H_
+#define XOK_SRC_CAP_CAPABILITY_H_
+
+#include <cstdint>
+
+#include "src/base/result.h"
+#include "src/cap/siphash.h"
+
+namespace xok::cap {
+
+// Rights bits. kGrant permits deriving sub-capabilities; kRevoke permits
+// deallocating / rebinding the resource.
+enum Rights : uint32_t {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kGrant = 1u << 2,
+  kRevoke = 1u << 3,
+  kAllRights = kRead | kWrite | kGrant | kRevoke,
+};
+
+// What kind of physical resource a capability names.
+enum class ResourceKind : uint8_t {
+  kPhysPage = 1,
+  kEnvironment = 2,
+  kFilterSlot = 3,   // A packet-filter binding slot.
+  kFbTile = 4,       // A framebuffer tile.
+  kDiskExtent = 5,   // A contiguous run of disk blocks.
+  kTimeSlice = 6,    // A position in the CPU slice vector.
+};
+
+struct ResourceId {
+  ResourceKind kind = ResourceKind::kPhysPage;
+  uint32_t index = 0;
+
+  friend bool operator==(const ResourceId&, const ResourceId&) = default;
+};
+
+struct Capability {
+  ResourceId resource;
+  uint32_t rights = 0;
+  uint32_t epoch = 0;  // Bumped on revocation: stale capabilities die.
+  uint64_t mac = 0;
+
+  friend bool operator==(const Capability&, const Capability&) = default;
+};
+
+// The kernel-held minting/checking authority. Exactly one per kernel.
+class CapAuthority {
+ public:
+  explicit CapAuthority(SipKey key) : key_(key) {}
+
+  CapAuthority(const CapAuthority&) = delete;
+  CapAuthority& operator=(const CapAuthority&) = delete;
+
+  // Mints a fresh capability for `resource` with `rights` at `epoch`.
+  Capability Mint(ResourceId resource, uint32_t rights, uint32_t epoch) const;
+
+  // True iff `c` authenticates and carries every right in `required` for
+  // `resource` at `epoch`.
+  bool Check(const Capability& c, ResourceId resource, uint32_t required,
+             uint32_t epoch) const;
+
+  // Derives a capability with `new_rights` ⊆ c.rights for the same
+  // resource. Requires kGrant on `c`. Fails closed on any mismatch.
+  Result<Capability> Derive(const Capability& c, uint32_t new_rights) const;
+
+  // Authenticates `c` without checking resource/epoch (used on syscall
+  // entry before the kernel looks up the resource).
+  bool Authentic(const Capability& c) const;
+
+ private:
+  uint64_t MacOf(const Capability& c) const;
+
+  SipKey key_;
+};
+
+}  // namespace xok::cap
+
+#endif  // XOK_SRC_CAP_CAPABILITY_H_

@@ -1,0 +1,74 @@
+#include "src/cap/siphash.h"
+
+namespace xok::cap {
+namespace {
+
+constexpr uint64_t Rotl(uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
+
+struct SipState {
+  uint64_t v0, v1, v2, v3;
+
+  void Round() {
+    v0 += v1;
+    v1 = Rotl(v1, 13);
+    v1 ^= v0;
+    v0 = Rotl(v0, 32);
+    v2 += v3;
+    v3 = Rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = Rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = Rotl(v1, 17);
+    v1 ^= v2;
+    v2 = Rotl(v2, 32);
+  }
+};
+
+uint64_t ReadLe64(const uint8_t* p) {
+  uint64_t x = 0;
+  for (int i = 7; i >= 0; --i) {
+    x = (x << 8) | p[i];
+  }
+  return x;
+}
+
+}  // namespace
+
+uint64_t SipHash24(const SipKey& key, std::span<const uint8_t> data) {
+  SipState s{
+      key.k0 ^ 0x736f6d6570736575ULL,
+      key.k1 ^ 0x646f72616e646f6dULL,
+      key.k0 ^ 0x6c7967656e657261ULL,
+      key.k1 ^ 0x7465646279746573ULL,
+  };
+
+  const size_t full = data.size() / 8;
+  for (size_t i = 0; i < full; ++i) {
+    const uint64_t m = ReadLe64(&data[i * 8]);
+    s.v3 ^= m;
+    s.Round();
+    s.Round();
+    s.v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length in the top byte.
+  uint64_t last = static_cast<uint64_t>(data.size() & 0xff) << 56;
+  for (size_t i = 0; i < (data.size() & 7); ++i) {
+    last |= static_cast<uint64_t>(data[full * 8 + i]) << (8 * i);
+  }
+  s.v3 ^= last;
+  s.Round();
+  s.Round();
+  s.v0 ^= last;
+
+  s.v2 ^= 0xff;
+  s.Round();
+  s.Round();
+  s.Round();
+  s.Round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+}  // namespace xok::cap

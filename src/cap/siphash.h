@@ -1,0 +1,23 @@
+// SipHash-2-4: a keyed pseudo-random function used to make capabilities
+// self-authenticating (paper §3.1, following Chaum & Fabry [12]: protection
+// via encryption rather than kernel-held tables). Implemented from the
+// reference description; deterministic and dependency-free.
+#ifndef XOK_SRC_CAP_SIPHASH_H_
+#define XOK_SRC_CAP_SIPHASH_H_
+
+#include <cstdint>
+#include <span>
+
+namespace xok::cap {
+
+struct SipKey {
+  uint64_t k0 = 0;
+  uint64_t k1 = 0;
+};
+
+// 64-bit SipHash-2-4 of `data` under `key`.
+uint64_t SipHash24(const SipKey& key, std::span<const uint8_t> data);
+
+}  // namespace xok::cap
+
+#endif  // XOK_SRC_CAP_SIPHASH_H_

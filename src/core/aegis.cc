@@ -1,0 +1,833 @@
+#include "src/core/aegis.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xok::aegis {
+
+using cap::Capability;
+using hw::Instr;
+
+Aegis::Aegis(hw::Machine& machine, const Config& config)
+    : machine_(machine),
+      config_(config),
+      priv_(machine.InstallKernel(this)),
+      authority_(cap::SipKey{config.cap_key0, config.cap_key1}),
+      slice_vector_(config.slice_count, kNoEnv),
+      pages_(machine.mem().page_count()) {}
+
+Aegis::Aegis(hw::Machine& machine) : Aegis(machine, Config{}) {}
+
+Aegis::~Aegis() = default;
+
+Env& Aegis::CurrentEnv() {
+  Env* env = FindEnv(current_);
+  if (env == nullptr) {
+    std::fprintf(stderr, "aegis: syscall outside any environment\n");
+    std::abort();
+  }
+  return *env;
+}
+
+Env* Aegis::FindEnv(EnvId id) {
+  if (id == kNoEnv || id > envs_.size()) {
+    return nullptr;
+  }
+  return envs_[id - 1].get();
+}
+
+// --- Environment lifecycle ---
+
+Result<EnvGrant> Aegis::CreateEnv(EnvSpec spec) {
+  if (envs_.size() >= config_.max_envs) {
+    return Status::kErrNoResources;
+  }
+  if (!spec.entry) {
+    return Status::kErrInvalidArgs;
+  }
+  // Allocate time-slice vector positions (the CPU is a linear vector of
+  // slices; an environment without a slice never runs).
+  uint32_t free_slots = 0;
+  for (EnvId owner : slice_vector_) {
+    free_slots += (owner == kNoEnv) ? 1 : 0;
+  }
+  if (free_slots < spec.slices) {
+    return Status::kErrNoResources;
+  }
+
+  const EnvId id = static_cast<EnvId>(envs_.size() + 1);
+  auto env = std::make_unique<Env>();
+  env->id = id;
+  env->asid = static_cast<hw::Asid>(id);
+  env->handlers = std::move(spec.handlers);
+  env->self_cap = authority_.Mint(EnvResource(id), cap::kAllRights, 0);
+  auto entry = std::move(spec.entry);
+  env->fiber = std::make_unique<hw::Fiber>([this, entry = std::move(entry)]() {
+    entry();
+    SysExit();  // Entries that "return" exit cleanly.
+  });
+
+  uint32_t granted = 0;
+  for (EnvId& owner : slice_vector_) {
+    if (granted == spec.slices) {
+      break;
+    }
+    if (owner == kNoEnv) {
+      owner = id;
+      ++granted;
+    }
+  }
+
+  const EnvGrant grant{id, env->self_cap};
+  envs_.push_back(std::move(env));
+  ++live_envs_;
+  return grant;
+}
+
+void Aegis::SysExit() {
+  Env& env = CurrentEnv();
+  env.state = EnvState::kExited;
+  --live_envs_;
+  for (EnvId& owner : slice_vector_) {
+    if (owner == env.id) {
+      owner = kNoEnv;
+    }
+  }
+  priv_.TlbFlushAsid(env.asid);
+  stlb_.FlushAsid(env.asid);
+  SwitchToKernel();
+  std::fprintf(stderr, "aegis: exited environment resumed\n");
+  std::abort();
+}
+
+// --- Fiber plumbing ---
+
+void Aegis::SwitchToKernel() {
+  Env& env = CurrentEnv();
+  // Interrupt masking follows the context: save this context's trap depth
+  // and run the kernel scheduler unmasked. ResumeEnv restores it.
+  env.saved_trap_depth = priv_.SwapTrapDepth(0);
+  hw::Fiber::Switch(*env.fiber, kernel_fiber_);
+}
+
+void Aegis::ResumeEnv(Env& env) {
+  priv_.SwapTrapDepth(env.saved_trap_depth);
+  hw::Fiber::Switch(kernel_fiber_, *env.fiber);
+  priv_.SwapTrapDepth(0);  // Back on the kernel fiber.
+}
+
+void Aegis::DrainMailbox(Env& env) {
+  while (!env.mailbox.empty() && env.state != EnvState::kExited) {
+    const PctArgs args = env.mailbox.front();
+    env.mailbox.pop_front();
+    machine_.Charge(kPctOneWay);
+    if (env.handlers.pct_async) {
+      env.handlers.pct_async(args);
+    }
+  }
+}
+
+void Aegis::WakeEnvInternal(Env& env) {
+  if (env.state == EnvState::kBlocked) {
+    env.state = EnvState::kRunnable;
+  } else if (env.state == EnvState::kRunnable) {
+    env.wake_pending = true;
+  }
+}
+
+// --- Scheduler (paper §5.1.1) ---
+
+bool Aegis::AnyLive() const { return live_envs_ > 0; }
+
+EnvId Aegis::NextRunnable() {
+  const uint32_t n = static_cast<uint32_t>(slice_vector_.size());
+  for (uint32_t step = 0; step < n; ++step) {
+    const uint32_t pos = (slice_cursor_ + step) % n;
+    const EnvId id = slice_vector_[pos];
+    Env* env = FindEnv(id);
+    if (env == nullptr || env->state != EnvState::kRunnable) {
+      continue;
+    }
+    if (env->excess_penalty > 0) {
+      // Pay for excess time consumed in a past epilogue by forfeiting this
+      // slice.
+      --env->excess_penalty;
+      continue;
+    }
+    slice_cursor_ = pos + 1;
+    return id;
+  }
+  return kNoEnv;
+}
+
+void Aegis::Run() {
+  running_ = true;
+  while (AnyLive()) {
+    EnvId next = kNoEnv;
+    bool donated = false;
+    if (yield_hint_ != kNoEnv) {
+      Env* target = FindEnv(yield_hint_);
+      yield_hint_ = kNoEnv;
+      if (target != nullptr && target->state == EnvState::kRunnable) {
+        next = target->id;
+        donated = true;
+      }
+    }
+    if (next == kNoEnv) {
+      next = NextRunnable();
+    }
+    if (next == kNoEnv) {
+      // Excess-time penalties only bite under contention: if every
+      // runnable environment was skipped for penalties this pass, run one
+      // anyway rather than idling the processor.
+      for (const auto& env : envs_) {
+        if (env->state == EnvState::kRunnable) {
+          next = env->id;
+          break;
+        }
+      }
+    }
+    if (next == kNoEnv) {
+      priv_.SetSliceDeadline(0);
+      machine_.WaitForInterrupt();
+      continue;
+    }
+    Env& env = *FindEnv(next);
+    priv_.SetAsid(env.asid);
+    if (!donated || priv_.slice_deadline() == 0) {
+      priv_.SetSliceDeadline(machine_.clock().now() + config_.slice_cycles);
+    }
+    ++env.slices_run;
+    current_ = next;
+    DrainMailbox(env);
+    if (env.state == EnvState::kRunnable) {
+      ResumeEnv(env);
+    }
+    current_ = kNoEnv;
+  }
+  priv_.SetSliceDeadline(0);
+  running_ = false;
+}
+
+// --- Basic syscalls ---
+
+void Aegis::SysNull() { machine_.Charge(kSyscallEntry + kSyscallExit); }
+
+uint64_t Aegis::SysGetCycles() {
+  machine_.Charge(Instr(3));  // Guaranteed-register pseudo-instruction.
+  return machine_.clock().now();
+}
+
+EnvId Aegis::SysSelf() {
+  machine_.Charge(Instr(2));
+  return current_;
+}
+
+uint32_t Aegis::SysCpuSlices() {
+  machine_.Charge(Instr(2));
+  return static_cast<uint32_t>(slice_vector_.size());
+}
+
+void Aegis::SysYield(EnvId target) {
+  machine_.Charge(kSyscallEntry + kYieldPath);
+  if (target != kAnyEnv && target != kNoEnv) {
+    // Directed yield donates the rest of the current slice to `target`.
+    yield_hint_ = target;
+  } else {
+    priv_.SetSliceDeadline(0);  // Give up the remainder.
+  }
+  SwitchToKernel();
+  machine_.Charge(kSyscallExit);
+}
+
+void Aegis::SysBlock() {
+  machine_.Charge(kSyscallEntry + Instr(6));
+  Env& env = CurrentEnv();
+  if (env.wake_pending) {
+    env.wake_pending = false;  // A wake raced ahead of us: don't sleep.
+    machine_.Charge(kSyscallExit);
+    return;
+  }
+  env.state = EnvState::kBlocked;
+  priv_.SetSliceDeadline(0);
+  SwitchToKernel();
+  machine_.Charge(kSyscallExit);
+}
+
+void Aegis::SysSleep(uint64_t cycles) {
+  machine_.Charge(kSyscallEntry + Instr(6));
+  priv_.ScheduleEvent(cycles, hw::InterruptSource::kAlarm, current_);
+  SysBlock();
+}
+
+Status Aegis::SysWake(EnvId id, const Capability& env_cap) {
+  machine_.Charge(kSyscallEntry + kCapCheck + kSyscallExit);
+  Env* env = FindEnv(id);
+  if (env == nullptr || env->state == EnvState::kExited) {
+    return Status::kErrNotFound;
+  }
+  if (!authority_.Check(env_cap, EnvResource(id), cap::kWrite, 0)) {
+    return Status::kErrAccessDenied;
+  }
+  if (env->state == EnvState::kBlocked) {
+    env->state = EnvState::kRunnable;
+  } else {
+    env->wake_pending = true;  // Latch: a racing SysBlock returns at once.
+  }
+  return Status::kOk;
+}
+
+// --- Physical memory: secure bindings ---
+
+uint32_t Aegis::free_pages() const {
+  uint32_t n = 0;
+  for (const PageInfo& page : pages_) {
+    n += (page.owner == kNoEnv) ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t Aegis::slices_of(EnvId id) const {
+  if (id == kNoEnv || id > envs_.size()) {
+    return 0;
+  }
+  return envs_[id - 1]->slices_run;
+}
+
+Result<PageGrant> Aegis::SysAllocPage(hw::PageId requested) {
+  machine_.Charge(kSyscallEntry + Instr(20) + kSyscallExit);
+  Env& env = CurrentEnv();
+  hw::PageId page = requested;
+  if (requested == kAnyPage) {
+    page = pages_.size();
+    for (hw::PageId p = 0; p < pages_.size(); ++p) {
+      if (pages_[p].owner == kNoEnv) {
+        page = p;
+        break;
+      }
+    }
+  }
+  // Exposing physical names: a specific request succeeds iff that exact
+  // frame is free (the libOS participates in every allocation decision).
+  if (page >= pages_.size()) {
+    return Status::kErrNoResources;
+  }
+  if (pages_[page].owner != kNoEnv) {
+    return Status::kErrAlreadyExists;
+  }
+  pages_[page].owner = env.id;
+  ++env.pages_owned;
+  return PageGrant{page, authority_.Mint(PageResource(page), cap::kAllRights,
+                                         pages_[page].epoch)};
+}
+
+Status Aegis::SysDeallocPage(hw::PageId page, const Capability& cap) {
+  machine_.Charge(kSyscallEntry + kCapCheck + Instr(10) + kSyscallExit);
+  if (page >= pages_.size() || pages_[page].owner == kNoEnv) {
+    return Status::kErrNotFound;
+  }
+  if (!authority_.Check(cap, PageResource(page), cap::kRevoke, pages_[page].epoch)) {
+    return Status::kErrAccessDenied;
+  }
+  Env* owner = FindEnv(pages_[page].owner);
+  if (owner != nullptr && owner->pages_owned > 0) {
+    --owner->pages_owned;
+  }
+  pages_[page].owner = kNoEnv;
+  ++pages_[page].epoch;  // Outstanding capabilities die here.
+  FlushPageBindings(page);
+  return Status::kOk;
+}
+
+Status Aegis::SysTlbWrite(hw::Vaddr va, hw::PageId page, bool writable, const Capability& cap) {
+  machine_.Charge(kSyscallEntry + kCapCheck);
+  if (page >= pages_.size()) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrOutOfRange;
+  }
+  const uint32_t required = cap::kRead | (writable ? cap::kWrite : 0u);
+  if (!authority_.Check(cap, PageResource(page), required, pages_[page].epoch)) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrAccessDenied;
+  }
+  const hw::Asid asid = CurrentEnv().asid;
+  hw::TlbEntry entry;
+  entry.vpn = hw::VpnOf(va);
+  entry.asid = asid;
+  entry.pfn = page;
+  entry.valid = true;
+  entry.writable = writable;
+  priv_.TlbWriteRandom(entry);
+  machine_.Charge(kStlbInsert);
+  stlb_.Insert(entry.vpn, asid, page, writable);
+  machine_.Charge(kSyscallExit);
+  return Status::kOk;
+}
+
+Status Aegis::SysTlbInvalidate(hw::Vaddr va) {
+  machine_.Charge(kSyscallEntry + Instr(4) + kSyscallExit);
+  const hw::Asid asid = CurrentEnv().asid;
+  priv_.TlbInvalidate(hw::VpnOf(va), asid);
+  stlb_.Invalidate(hw::VpnOf(va), asid);
+  return Status::kOk;
+}
+
+Status Aegis::SysTlbInvalidateRange(hw::Vaddr va, uint32_t pages) {
+  machine_.Charge(kSyscallEntry);
+  const hw::Asid asid = CurrentEnv().asid;
+  for (uint32_t i = 0; i < pages; ++i) {
+    const hw::Vpn vpn = hw::VpnOf(va + i * hw::kPageBytes);
+    machine_.Charge(Instr(2));
+    machine_.tlb().Invalidate(vpn, asid);
+    stlb_.Invalidate(vpn, asid);
+  }
+  machine_.Charge(kSyscallExit);
+  return Status::kOk;
+}
+
+Result<Capability> Aegis::SysDeriveCap(const Capability& cap, uint32_t rights) {
+  machine_.Charge(kSyscallEntry + 2 * kCapCheck + kSyscallExit);
+  return authority_.Derive(cap, rights);
+}
+
+void Aegis::FlushPageBindings(hw::PageId page) {
+  machine_.Charge(Instr(20));  // Reverse-map sweep of cached bindings.
+  machine_.tlb().FlushPfn(page);
+  stlb_.FlushPfn(page);
+}
+
+// --- Protected control transfer (paper §5.2) ---
+
+Result<PctArgs> Aegis::SysPctCall(EnvId callee, const PctArgs& args) {
+  machine_.Charge(kPctOneWay);
+  Env* target = FindEnv(callee);
+  if (target == nullptr || target->state == EnvState::kExited) {
+    return Status::kErrNotFound;
+  }
+  if (!target->handlers.pct_sync) {
+    return Status::kErrUnsupported;
+  }
+  const EnvId caller = current_;
+  const bool outer = !in_pct_;
+  in_pct_ = true;
+  priv_.SetAsid(target->asid);
+  current_ = callee;
+
+  // Control is now in the callee's protection domain, at its protected
+  // entry, with the caller's slice donated. The transfer is atomic: it
+  // cannot be diverted between initiation and entry.
+  PctArgs reply = target->handlers.pct_sync(args);
+
+  current_ = caller;
+  priv_.SetAsid(CurrentEnv().asid);
+  machine_.Charge(kPctOneWay);
+  if (outer) {
+    in_pct_ = false;
+    if (slice_expired_during_pct_) {
+      // The slice ended mid-transfer; honour it now that atomicity holds.
+      slice_expired_during_pct_ = false;
+      OnInterrupt(hw::InterruptSource::kTimer, 0);
+    }
+  }
+  return reply;
+}
+
+Status Aegis::SysPctSend(EnvId callee, const PctArgs& args) {
+  machine_.Charge(kPctOneWay);
+  Env* target = FindEnv(callee);
+  if (target == nullptr || target->state == EnvState::kExited) {
+    return Status::kErrNotFound;
+  }
+  if (!target->handlers.pct_async) {
+    return Status::kErrUnsupported;
+  }
+  target->mailbox.push_back(args);
+  WakeEnvInternal(*target);
+  return Status::kOk;
+}
+
+// --- Exceptions (paper §5.3) ---
+
+hw::TrapOutcome Aegis::OnException(hw::TrapFrame& frame) {
+  if (frame.type == hw::ExceptionType::kTlbMissLoad ||
+      frame.type == hw::ExceptionType::kTlbMissStore) {
+    // Kernel TLB refill: the software TLB caches secure bindings; a hit
+    // installs the mapping without involving the application at all.
+    if (stlb_enabled_) {
+      machine_.Charge(kStlbLookup);
+      const hw::Asid asid = priv_.asid();
+      const Stlb::Entry* entry = stlb_.Lookup(hw::VpnOf(frame.bad_vaddr), asid);
+      if (entry != nullptr) {
+        hw::TlbEntry tlb_entry{entry->vpn, asid, entry->pfn, true, entry->writable};
+        priv_.TlbWriteRandom(tlb_entry);
+        ++stlb_hits_;
+        return hw::TrapOutcome::kRetry;
+      }
+      ++stlb_misses_;
+    }
+  }
+  // Dispatch to the application's exception context: save the three
+  // scratch registers to the agreed-upon save area (physical addresses),
+  // load cause/badvaddr, and jump — 18 instructions.
+  machine_.Charge(kExceptionDispatch);
+  Env* env = FindEnv(current_);
+  if (env == nullptr || !env->handlers.exception || env->state == EnvState::kExited) {
+    return hw::TrapOutcome::kSkip;
+  }
+  const ExcAction action = env->handlers.exception(frame);
+  machine_.Charge(kExceptionResume);
+  return action == ExcAction::kRetry ? hw::TrapOutcome::kRetry : hw::TrapOutcome::kSkip;
+}
+
+// --- Interrupts ---
+
+void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
+  (void)payload;
+  switch (source) {
+    case hw::InterruptSource::kTimer: {
+      if (current_ == kNoEnv) {
+        return;  // Stale timer after the slice owner already left.
+      }
+      if (in_pct_) {
+        slice_expired_during_pct_ = true;  // Honoured when the PCT returns.
+        return;
+      }
+      Env& env = CurrentEnv();
+      machine_.Charge(kTimerSlicePath);
+      const uint64_t epilogue_start = machine_.clock().now();
+      if (env.handlers.timer_epilogue) {
+        // The application's interrupt context saves its own state.
+        env.handlers.timer_epilogue();
+      }
+      if (machine_.clock().now() - epilogue_start > kEpilogueBudget) {
+        ++env.excess_penalty;  // Paid back with a forfeited slice.
+        ++env.epilogue_overruns;
+      }
+      SwitchToKernel();
+      break;
+    }
+    case hw::InterruptSource::kNicRx:
+      HandleRxPacket();
+      break;
+    case hw::InterruptSource::kAlarm: {
+      Env* sleeper = FindEnv(static_cast<EnvId>(payload));
+      if (sleeper != nullptr && sleeper->state != EnvState::kExited) {
+        WakeEnvInternal(*sleeper);
+      }
+      break;
+    }
+    case hw::InterruptSource::kDiskDone: {
+      if (disk_ != nullptr) {
+        (void)disk_->Complete(payload);  // Retire the request (DMA lands).
+      }
+      auto it = disk_waiters_.find(payload);
+      if (it != disk_waiters_.end()) {
+        Env* waiter = FindEnv(it->second);
+        disk_waiters_.erase(it);
+        if (waiter != nullptr && waiter->state != EnvState::kExited) {
+          WakeEnvInternal(*waiter);
+        }
+      }
+      break;
+    }
+  }
+}
+
+// --- Disk multiplexing (§2: protect disks without understanding file
+// systems) ---
+
+Result<Aegis::DiskExtentGrant> Aegis::SysAllocDiskExtent(uint32_t blocks) {
+  machine_.Charge(kSyscallEntry + Instr(20) + kSyscallExit);
+  Env& env = CurrentEnv();
+  if (disk_ == nullptr) {
+    return Status::kErrUnsupported;
+  }
+  if (blocks == 0 || disk_alloc_cursor_ + blocks > disk_->block_count()) {
+    return Status::kErrNoResources;
+  }
+  DiskExtent extent;
+  extent.first_block = disk_alloc_cursor_;
+  extent.blocks = blocks;
+  extent.owner = env.id;
+  extent.live = true;
+  disk_alloc_cursor_ += blocks;
+  extents_.push_back(extent);
+  const uint32_t id = static_cast<uint32_t>(extents_.size() - 1);
+  DiskExtentGrant grant;
+  grant.extent = id;
+  grant.first_block = extent.first_block;
+  grant.blocks = blocks;
+  grant.cap = authority_.Mint(cap::ResourceId{cap::ResourceKind::kDiskExtent, id},
+                              cap::kAllRights, extent.epoch);
+  return grant;
+}
+
+Status Aegis::SysFreeDiskExtent(uint32_t extent, const cap::Capability& cap) {
+  machine_.Charge(kSyscallEntry + kCapCheck + kSyscallExit);
+  if (extent >= extents_.size() || !extents_[extent].live) {
+    return Status::kErrNotFound;
+  }
+  if (!authority_.Check(cap, cap::ResourceId{cap::ResourceKind::kDiskExtent, extent},
+                        cap::kRevoke, extents_[extent].epoch)) {
+    return Status::kErrAccessDenied;
+  }
+  extents_[extent].live = false;
+  ++extents_[extent].epoch;  // Outstanding extent capabilities die.
+  return Status::kOk;
+}
+
+Status Aegis::DiskTransfer(uint32_t extent, const cap::Capability& extent_cap,
+                           uint32_t block_in_extent, hw::PageId frame, bool write) {
+  machine_.Charge(kSyscallEntry + 2 * kCapCheck);
+  if (disk_ == nullptr) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrUnsupported;
+  }
+  if (extent >= extents_.size() || !extents_[extent].live ||
+      block_in_extent >= extents_[extent].blocks) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrOutOfRange;
+  }
+  const uint32_t required = write ? cap::kWrite : cap::kRead;
+  if (!authority_.Check(extent_cap, cap::ResourceId{cap::ResourceKind::kDiskExtent, extent},
+                        required, extents_[extent].epoch)) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrAccessDenied;
+  }
+  // The DMA target/source frame must belong to the caller.
+  Env& env = CurrentEnv();
+  if (frame >= pages_.size() || pages_[frame].owner != env.id) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrAccessDenied;
+  }
+  const uint32_t block = extents_[extent].first_block + block_in_extent;
+  Result<uint64_t> request =
+      write ? disk_->SubmitWrite(block, frame) : disk_->SubmitRead(block, frame);
+  if (!request.ok()) {
+    machine_.Charge(kSyscallExit);
+    return request.status();
+  }
+  disk_waiters_[*request] = env.id;
+  SysBlock();  // Woken by the completion interrupt.
+  machine_.Charge(kSyscallExit);
+  return Status::kOk;
+}
+
+Status Aegis::SysDiskRead(uint32_t extent, const cap::Capability& extent_cap,
+                          uint32_t block_in_extent, hw::PageId frame) {
+  return DiskTransfer(extent, extent_cap, block_in_extent, frame, /*write=*/false);
+}
+
+Status Aegis::SysDiskWrite(uint32_t extent, const cap::Capability& extent_cap,
+                           uint32_t block_in_extent, hw::PageId frame) {
+  return DiskTransfer(extent, extent_cap, block_in_extent, frame, /*write=*/true);
+}
+
+// --- Network (paper §3.2) ---
+
+Result<dpf::FilterId> Aegis::SysBindFilter(FilterBindSpec spec, const Capability& region_cap) {
+  machine_.Charge(kSyscallEntry + kCapCheck + Instr(50));  // Filter compile/merge.
+  Env& env = CurrentEnv();
+  if (nic_ == nullptr) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrUnsupported;
+  }
+  if (spec.handler.has_value() && spec.region_pages == 0) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrInvalidArgs;  // An ASH needs a pinned region.
+  }
+  if (spec.region_pages > 0) {
+    // The region must be caller-owned contiguous frames, and the caller
+    // must prove ownership of the first frame with a write capability.
+    for (uint32_t i = 0; i < spec.region_pages; ++i) {
+      const hw::PageId p = spec.region_first_page + i;
+      if (p >= pages_.size() || pages_[p].owner != env.id) {
+        machine_.Charge(kSyscallExit);
+        return Status::kErrAccessDenied;
+      }
+    }
+    if (!authority_.Check(region_cap, PageResource(spec.region_first_page),
+                          cap::kRead | cap::kWrite, pages_[spec.region_first_page].epoch)) {
+      machine_.Charge(kSyscallExit);
+      return Status::kErrAccessDenied;
+    }
+  }
+  Result<dpf::FilterId> id = classifier_.Insert(spec.filter);
+  if (!id.ok()) {
+    machine_.Charge(kSyscallExit);
+    return id.status();
+  }
+  if (*id >= bindings_.size()) {
+    bindings_.resize(*id + 1);
+  }
+  FilterBinding& binding = bindings_[*id];
+  binding.owner = env.id;
+  binding.handler = std::move(spec.handler);
+  binding.region_first_page = spec.region_first_page;
+  binding.region_pages = spec.region_pages;
+  binding.queue.clear();
+  binding.live = true;
+  machine_.Charge(kSyscallExit);
+  return *id;
+}
+
+Status Aegis::SysUnbindFilter(dpf::FilterId id) {
+  machine_.Charge(kSyscallEntry + Instr(10) + kSyscallExit);
+  if (id >= bindings_.size() || !bindings_[id].live) {
+    return Status::kErrNotFound;
+  }
+  if (bindings_[id].owner != current_) {
+    return Status::kErrAccessDenied;
+  }
+  bindings_[id].live = false;
+  return classifier_.Remove(id);
+}
+
+Result<std::vector<uint8_t>> Aegis::SysRecvPacket(dpf::FilterId id) {
+  machine_.Charge(kSyscallEntry + Instr(8));
+  if (id >= bindings_.size() || !bindings_[id].live) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrNotFound;
+  }
+  FilterBinding& binding = bindings_[id];
+  if (binding.owner != current_) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrAccessDenied;
+  }
+  if (binding.queue.empty()) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrWouldBlock;
+  }
+  std::vector<uint8_t> frame = std::move(binding.queue.front());
+  binding.queue.pop_front();
+  // Copy out of the kernel buffer to the application (the cost ASHs avoid).
+  machine_.Charge(hw::kMemWordCopy * ((frame.size() + 3) / 4));
+  machine_.Charge(kSyscallExit);
+  return frame;
+}
+
+Status Aegis::SysNetSend(std::span<const uint8_t> frame) {
+  machine_.Charge(kSyscallEntry + Instr(10));
+  if (nic_ == nullptr) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrUnsupported;
+  }
+  const bool ok = nic_->Transmit(frame);  // Charges the copy + controller.
+  machine_.Charge(kSyscallExit);
+  return ok ? Status::kOk : Status::kErrInvalidArgs;
+}
+
+std::span<uint8_t> Aegis::BindingRegion(FilterBinding& binding) {
+  if (binding.region_pages == 0) {
+    return {};
+  }
+  return machine_.mem().RangeSpan(binding.region_first_page, binding.region_pages);
+}
+
+void Aegis::HandleRxPacket() {
+  while (true) {
+    auto frame = nic_->ReceiveNext();
+    if (!frame.has_value()) {
+      return;
+    }
+    const uint64_t before = classifier_.sim_cycles();
+    std::optional<dpf::FilterId> match = classifier_.Classify(*frame);
+    machine_.Charge(classifier_.sim_cycles() - before);
+    if (!match.has_value() || *match >= bindings_.size() || !bindings_[*match].live) {
+      continue;  // No binding claims this packet: drop it.
+    }
+    FilterBinding& binding = bindings_[*match];
+    Env* owner = FindEnv(binding.owner);
+    if (owner == nullptr || owner->state == EnvState::kExited) {
+      continue;
+    }
+    if (binding.handler.has_value()) {
+      // ASH path: the handler runs *now*, at interrupt level, without
+      // scheduling the owner. Replies leave from here (paper §6.3).
+      ash::AshServices services;
+      services.send_reply = [this](std::span<const uint8_t> reply) { nic_->Transmit(reply); };
+      services.wake_owner = [this, owner]() { WakeEnvInternal(*owner); };
+      const ash::AshOutcome outcome =
+          ash::RunAsh(*binding.handler, *frame, BindingRegion(binding), services);
+      machine_.Charge(outcome.sim_cycles);
+    } else {
+      // Queue in a kernel buffer and wake the owner; it pays the extra
+      // copy and the scheduling delay when it finally runs.
+      machine_.Charge(hw::kMemWordCopy * ((frame->size() + 3) / 4));
+      binding.queue.push_back(std::move(*frame));
+      WakeEnvInternal(*owner);
+    }
+  }
+}
+
+// --- Framebuffer binding ---
+
+Status Aegis::SysBindFbTile(uint32_t tile_x, uint32_t tile_y) {
+  machine_.Charge(kSyscallEntry + Instr(6) + kSyscallExit);
+  if (framebuffer_ == nullptr) {
+    return Status::kErrUnsupported;
+  }
+  Env& env = CurrentEnv();
+  const uint32_t x = tile_x * hw::Framebuffer::kTileDim;
+  const uint32_t y = tile_y * hw::Framebuffer::kTileDim;
+  if (x >= framebuffer_->width() || y >= framebuffer_->height()) {
+    return Status::kErrOutOfRange;
+  }
+  const uint32_t owner = framebuffer_->OwnerAt(x, y);
+  if (owner != hw::Framebuffer::kNoOwner && owner != env.id) {
+    return Status::kErrAccessDenied;
+  }
+  return framebuffer_->SetTileOwner(tile_x, tile_y, env.id);
+}
+
+// --- Revocation and the abort protocol (paper §3.4–3.5) ---
+
+std::vector<hw::PageId> Aegis::SysReadRepossessed() {
+  machine_.Charge(kSyscallEntry + Instr(6) + kSyscallExit);
+  Env& env = CurrentEnv();
+  std::vector<hw::PageId> taken = std::move(env.repossessed);
+  env.repossessed.clear();
+  return taken;
+}
+
+uint32_t Aegis::Repossess(Env& victim, uint32_t pages) {
+  uint32_t taken = 0;
+  for (hw::PageId p = 0; p < pages_.size() && taken < pages; ++p) {
+    if (pages_[p].owner != victim.id) {
+      continue;
+    }
+    pages_[p].owner = kNoEnv;
+    ++pages_[p].epoch;
+    FlushPageBindings(p);
+    victim.repossessed.push_back(p);
+    if (victim.pages_owned > 0) {
+      --victim.pages_owned;
+    }
+    ++taken;
+  }
+  return taken;
+}
+
+Status Aegis::RevokePages(EnvId victim_id, uint32_t pages) {
+  Env* victim = FindEnv(victim_id);
+  if (victim == nullptr || victim->state == EnvState::kExited) {
+    return Status::kErrNotFound;
+  }
+  const uint32_t free_before = free_pages();
+  if (victim->handlers.revoke) {
+    // Visible revocation: the library OS chooses which pages to give up.
+    const EnvId saved = current_;
+    current_ = victim_id;
+    victim->handlers.revoke(pages);
+    current_ = saved;
+  }
+  const uint32_t freed = free_pages() - free_before;
+  if (freed < pages) {
+    // Abort protocol: break the bindings by force and record them in the
+    // repossession vector so the libOS can repair its abstractions.
+    Repossess(*victim, pages - freed);
+  }
+  return Status::kOk;
+}
+
+}  // namespace xok::aegis

@@ -1,0 +1,306 @@
+// Aegis: the exokernel (the paper's primary contribution).
+//
+// Aegis securely multiplexes the simulated machine's resources — CPU time
+// slices, physical pages, the TLB, exceptions, interrupts, the network
+// interface, the frame buffer, and the disk — without implementing any
+// abstraction on top of them. The three exokernel techniques:
+//
+//   * Secure bindings (§3): capabilities guard bind-time operations
+//     (installing a TLB mapping, binding a packet filter); access-time
+//     checks are pushed to hardware (TLB, framebuffer ownership tags) or
+//     to cached bindings (the software TLB); downloaded code (DPF filters,
+//     ASHs) extends binding checks into the kernel safely.
+//   * Visible revocation (§3.4): the kernel asks a library OS to give
+//     pages back, so the libOS picks the victims.
+//   * Abort protocol (§3.5): if the libOS does not comply, the kernel
+//     breaks the bindings by force and records them in the environment's
+//     repossession vector.
+//
+// Threading model: Aegis::Run() executes the scheduler loop on the calling
+// fiber ("kernel fiber"); each environment runs on its own fiber. All
+// syscalls are methods called from environment fibers; they charge their
+// documented path lengths to the simulated clock.
+#ifndef XOK_SRC_CORE_AEGIS_H_
+#define XOK_SRC_CORE_AEGIS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ash/ash.h"
+#include "src/base/result.h"
+#include "src/cap/capability.h"
+#include "src/core/costs.h"
+#include "src/core/env.h"
+#include "src/core/stlb.h"
+#include "src/dpf/dpf.h"
+#include "src/hw/disk.h"
+#include "src/hw/framebuffer.h"
+#include "src/hw/machine.h"
+#include "src/hw/nic.h"
+
+namespace xok::aegis {
+
+inline constexpr hw::PageId kAnyPage = 0xffffffffu;
+
+// Result of allocating a physical page: the *name* of the page (exokernels
+// expose physical names; a libOS can request specific pages for cache
+// colouring) and the capability that guards subsequent bindings.
+struct PageGrant {
+  hw::PageId page = 0;
+  cap::Capability cap;
+};
+
+struct EnvGrant {
+  EnvId env = kNoEnv;
+  cap::Capability cap;
+};
+
+// Everything needed to create an environment. The entry function runs on
+// the environment's fiber when it is first scheduled and must finish by
+// calling SysExit().
+struct EnvSpec {
+  std::function<void()> entry;
+  EnvHandlers handlers;
+  uint32_t slices = 1;  // Time-slice vector positions to allocate at birth.
+};
+
+// Options for binding a packet filter (paper §3.2): the owning
+// environment, and optionally an ASH plus the physical pages (a contiguous
+// run) that form the handler's pinned region.
+struct FilterBindSpec {
+  dpf::FilterSpec filter;
+  std::optional<ash::AshProgram> handler;
+  hw::PageId region_first_page = 0;  // First page of the pinned region.
+  uint32_t region_pages = 0;         // 0: no region (no ASH, kernel queueing only).
+};
+
+class Aegis final : public hw::TrapSink {
+ public:
+  struct Config {
+    uint64_t slice_cycles = kDefaultSliceCycles;
+    uint32_t slice_count = 64;   // Length of the CPU slice vector.
+    uint32_t max_envs = 62;      // Asid space (8 bits) minus kernel reserves.
+    uint64_t cap_key0 = 0xae915ULL;
+    uint64_t cap_key1 = 0x50351995ULL;  // SOSP 1995.
+  };
+
+  explicit Aegis(hw::Machine& machine, const Config& config);
+  explicit Aegis(hw::Machine& machine);
+  ~Aegis() override;
+
+  Aegis(const Aegis&) = delete;
+  Aegis& operator=(const Aegis&) = delete;
+
+  // Attaches the network interface (optional; required for filter binding).
+  void AttachNic(hw::Nic* nic) { nic_ = nic; }
+  void AttachFramebuffer(hw::Framebuffer* fb) { framebuffer_ = fb; }
+  void AttachDisk(hw::Disk* disk) { disk_ = disk; }
+
+  // Creates an environment (host-side before Run(), or from a syscall).
+  Result<EnvGrant> CreateEnv(EnvSpec spec);
+
+  // Scheduler loop; returns when every environment has exited.
+  void Run();
+
+  // --- System calls (called from environment fibers) ---
+
+  // Null system call: enters and leaves the kernel (Table 2 workload).
+  void SysNull();
+  // Guaranteed-not-to-clobber-registers primitive operations (Table 3).
+  uint64_t SysGetCycles();     // Read the cycle counter.
+  EnvId SysSelf();             // Current environment id.
+  uint32_t SysCpuSlices();     // Length of the slice vector.
+  // Yields the rest of the current slice to `target` (directed yield) or
+  // to the next runnable environment (kAnyEnv).
+  void SysYield(EnvId target = kAnyEnv);
+  // Blocks until another environment or a kernel event wakes this one.
+  void SysBlock();
+  // Blocks for at least `cycles` (one-shot alarm + block).
+  void SysSleep(uint64_t cycles);
+  // Wakes `env`; requires its environment capability.
+  Status SysWake(EnvId env, const cap::Capability& env_cap);
+  // Terminates the calling environment.
+  [[noreturn]] void SysExit();
+
+  // Physical memory (secure bindings, §3.1).
+  Result<PageGrant> SysAllocPage(hw::PageId requested = kAnyPage);
+  Status SysDeallocPage(hw::PageId page, const cap::Capability& cap);
+  // Installs a TLB mapping for the *calling* environment's address space.
+  // The capability must carry kRead (and kWrite if `writable`) for `page`.
+  Status SysTlbWrite(hw::Vaddr va, hw::PageId page, bool writable,
+                     const cap::Capability& cap);
+  Status SysTlbInvalidate(hw::Vaddr va);
+  // Batched invalidate: one kernel crossing for `pages` consecutive pages
+  // (library OSes batch protection changes; cf. Appel-Li prot100).
+  Status SysTlbInvalidateRange(hw::Vaddr va, uint32_t pages);
+  // Derives a weaker capability (kernel-mediated, needs kGrant).
+  Result<cap::Capability> SysDeriveCap(const cap::Capability& cap, uint32_t rights);
+
+  // Protected control transfer (§5.2). Synchronous: runs the callee's
+  // protected entry immediately, donating the current slice; returns its
+  // reply. Asynchronous: enqueues for delivery when the callee next runs.
+  Result<PctArgs> SysPctCall(EnvId callee, const PctArgs& args);
+  Status SysPctSend(EnvId callee, const PctArgs& args);
+
+  // Network (§3.2). Binding checks the ASH (already verified at
+  // construction) and the region capability.
+  Result<dpf::FilterId> SysBindFilter(FilterBindSpec spec, const cap::Capability& region_cap);
+  Status SysUnbindFilter(dpf::FilterId id);
+  // Pops the next queued packet for a bound filter (non-ASH delivery path).
+  Result<std::vector<uint8_t>> SysRecvPacket(dpf::FilterId id);
+  // Transmits a raw frame.
+  Status SysNetSend(std::span<const uint8_t> frame);
+
+  // Framebuffer binding: assigns a tile's ownership tag to the caller.
+  Status SysBindFbTile(uint32_t tile_x, uint32_t tile_y);
+
+  // Disk multiplexing: the kernel protects block extents without
+  // understanding file systems (§2: "an exokernel should protect ... disks
+  // without understanding file systems"). An extent is a contiguous run of
+  // blocks named by a capability; transfers move whole blocks between an
+  // extent the caller can access and a frame the caller owns. Transfers
+  // block the calling environment until the completion interrupt.
+  struct DiskExtentGrant {
+    uint32_t extent = 0;      // Extent id (capability resource index).
+    uint32_t first_block = 0; // Physical disk block of extent block 0.
+    uint32_t blocks = 0;
+    cap::Capability cap;
+  };
+  Result<DiskExtentGrant> SysAllocDiskExtent(uint32_t blocks);
+  Status SysFreeDiskExtent(uint32_t extent, const cap::Capability& cap);
+  Status SysDiskRead(uint32_t extent, const cap::Capability& extent_cap,
+                     uint32_t block_in_extent, hw::PageId frame);
+  Status SysDiskWrite(uint32_t extent, const cap::Capability& extent_cap,
+                      uint32_t block_in_extent, hw::PageId frame);
+
+  // Repossession vector (abort protocol, §3.5).
+  std::vector<hw::PageId> SysReadRepossessed();
+
+  // --- Kernel/host-side operations (not syscalls) ---
+
+  // Visible revocation (test/bench driver): ask `victim` to give back
+  // `pages` pages; on non-compliance within the handler call, repossess.
+  Status RevokePages(EnvId victim, uint32_t pages);
+
+  // Introspection for tests, benches, and the libOS bootstrap.
+  hw::Machine& machine() { return machine_; }
+  const cap::CapAuthority& authority() const { return authority_; }
+  uint32_t free_pages() const;
+  EnvId current_env() const { return current_; }
+  uint64_t slices_of(EnvId env) const;
+  uint64_t stlb_hits() const { return stlb_hits_; }
+  uint64_t stlb_misses() const { return stlb_misses_; }
+  uint64_t slice_cycles() const { return config_.slice_cycles; }
+  // Disables the software TLB (ablation bench).
+  void set_stlb_enabled(bool enabled) { stlb_enabled_ = enabled; }
+
+  // --- hw::TrapSink ---
+  hw::TrapOutcome OnException(hw::TrapFrame& frame) override;
+  void OnInterrupt(hw::InterruptSource source, uint64_t payload) override;
+
+ private:
+  struct PageInfo {
+    EnvId owner = kNoEnv;
+    uint32_t epoch = 0;
+  };
+
+  struct FilterBinding {
+    EnvId owner = kNoEnv;
+    std::optional<ash::AshProgram> handler;
+    hw::PageId region_first_page = 0;
+    uint32_t region_pages = 0;
+    std::deque<std::vector<uint8_t>> queue;  // Non-ASH delivery path.
+    bool live = false;
+  };
+
+  Env& CurrentEnv();
+  Env* FindEnv(EnvId id);
+
+  // Suspends the current environment's fiber and returns to the scheduler.
+  void SwitchToKernel();
+  // Resumes `env` on its fiber (kernel side).
+  void ResumeEnv(Env& env);
+  // Delivers queued async PCTs to `env` (runs its handler, charged).
+  void DrainMailbox(Env& env);
+  // Wakes `env` (kernel-internal paths), latching wakes aimed at runnable
+  // environments so racing SysBlocks do not sleep through them.
+  void WakeEnvInternal(Env& env);
+
+  // Scheduler helpers.
+  EnvId NextRunnable();
+  bool AnyLive() const;
+
+  // Secure-binding helpers.
+  cap::ResourceId PageResource(hw::PageId page) const {
+    return cap::ResourceId{cap::ResourceKind::kPhysPage, page};
+  }
+  cap::ResourceId EnvResource(EnvId env) const {
+    return cap::ResourceId{cap::ResourceKind::kEnvironment, env};
+  }
+  // Breaks every cached binding to `page` (TLB + STLB).
+  void FlushPageBindings(hw::PageId page);
+  // Forcibly repossesses up to `pages` pages from `victim`.
+  uint32_t Repossess(Env& victim, uint32_t pages);
+
+  // Network receive path (interrupt level).
+  void HandleRxPacket();
+  std::span<uint8_t> BindingRegion(FilterBinding& binding);
+
+  hw::Machine& machine_;
+  Config config_;
+  hw::PrivPort& priv_;
+  cap::CapAuthority authority_;
+
+  std::vector<std::unique_ptr<Env>> envs_;  // Index = EnvId - 1.
+  EnvId current_ = kNoEnv;
+  hw::Fiber kernel_fiber_;
+  bool running_ = false;
+  bool in_pct_ = false;
+  bool slice_expired_during_pct_ = false;
+
+  // CPU: the linear vector of time slices (paper §5.1.1).
+  std::vector<EnvId> slice_vector_;
+  uint32_t slice_cursor_ = 0;
+  EnvId yield_hint_ = kNoEnv;  // Directed-yield target (slice donation).
+
+  // Physical memory bindings.
+  std::vector<PageInfo> pages_;
+  Stlb stlb_;
+  bool stlb_enabled_ = true;
+  uint64_t stlb_hits_ = 0;
+  uint64_t stlb_misses_ = 0;
+
+  // Network.
+  hw::Nic* nic_ = nullptr;
+  dpf::DpfEngine classifier_;
+  uint64_t classifier_cycles_seen_ = 0;
+  std::vector<FilterBinding> bindings_;
+
+  hw::Framebuffer* framebuffer_ = nullptr;
+
+  // Disk extents and in-flight transfers.
+  struct DiskExtent {
+    uint32_t first_block = 0;
+    uint32_t blocks = 0;
+    EnvId owner = kNoEnv;
+    uint32_t epoch = 0;
+    bool live = false;
+  };
+  Status DiskTransfer(uint32_t extent, const cap::Capability& extent_cap,
+                      uint32_t block_in_extent, hw::PageId frame, bool write);
+  hw::Disk* disk_ = nullptr;
+  std::vector<DiskExtent> extents_;
+  uint32_t disk_alloc_cursor_ = 0;
+  std::unordered_map<uint64_t, EnvId> disk_waiters_;
+
+  uint32_t live_envs_ = 0;
+};
+
+}  // namespace xok::aegis
+
+#endif  // XOK_SRC_CORE_AEGIS_H_

@@ -1,0 +1,55 @@
+// Path-length constants for Aegis kernel operations, in simulated cycles.
+// Where the paper states an instruction count we use it directly (exception
+// dispatch: 18 instructions; protected control transfer: 30 instructions;
+// "roughly ten instructions to distinguish the system call exception").
+#ifndef XOK_SRC_CORE_COSTS_H_
+#define XOK_SRC_CORE_COSTS_H_
+
+#include "src/hw/cost.h"
+
+namespace xok::aegis {
+
+using hw::Instr;
+
+// System call entry: exception demux + vector through the syscall table.
+inline constexpr uint64_t kSyscallEntry = Instr(10);
+// System call exit: set status/epc, rfe.
+inline constexpr uint64_t kSyscallExit = Instr(8);
+
+// Exception dispatch to an application handler (paper §5.3: save three
+// scratch registers into the agreed-upon save area using physical
+// addresses, load cause, vector — 18 instructions total).
+inline constexpr uint64_t kExceptionDispatch = Instr(18);
+// Return from an application exception handler back to the faulting code.
+inline constexpr uint64_t kExceptionResume = Instr(6);
+
+// Protected control transfer: 30 instructions (paper §5.2: ~10 to
+// distinguish the syscall, ~20 for status/co-processor/address-tag).
+inline constexpr uint64_t kPctOneWay = Instr(30);
+
+// Kernel TLB refill from the software TLB (unrolled hash probe).
+inline constexpr uint64_t kStlbLookup = Instr(6);
+inline constexpr uint64_t kStlbInsert = Instr(3);
+
+// Capability authentication (MAC recomputation over 13 bytes).
+inline constexpr uint64_t kCapCheck = Instr(12);
+
+// Directed yield: pick target, switch addressing context, dispatch.
+inline constexpr uint64_t kYieldPath = Instr(22);
+
+// End-of-slice interrupt path in the kernel (before the application's own
+// epilogue runs): bookkeeping + schedule next.
+inline constexpr uint64_t kTimerSlicePath = Instr(12);
+
+// Default scheduling quantum: ~1 ms at 25 MHz — short enough that the
+// stride-scheduler figure resolves, long enough to amortise switches.
+inline constexpr uint64_t kDefaultSliceCycles = 25'000;
+
+// Budget for an application's end-of-slice context-save epilogue. Slices
+// consumed beyond this are "excess time": the environment forfeits a
+// subsequent time slice per excess unit (paper §5.1.1).
+inline constexpr uint64_t kEpilogueBudget = Instr(500);
+
+}  // namespace xok::aegis
+
+#endif  // XOK_SRC_CORE_COSTS_H_

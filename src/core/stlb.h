@@ -1,0 +1,78 @@
+// The software TLB (paper §4, §5.4, refs [7, 28]): Aegis overlays the
+// 64-entry hardware TLB with a large direct-mapped software cache of
+// secure bindings, absorbing capacity misses so that application-level
+// virtual memory stays fast. 4096 entries of 8 bytes, per the paper.
+#ifndef XOK_SRC_CORE_STLB_H_
+#define XOK_SRC_CORE_STLB_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/hw/trap.h"
+
+namespace xok::aegis {
+
+class Stlb {
+ public:
+  static constexpr uint32_t kEntries = 4096;
+
+  struct Entry {
+    hw::Vpn vpn = 0;
+    hw::Asid asid = 0;
+    hw::PageId pfn = 0;
+    bool writable = false;
+    bool valid = false;
+  };
+
+  const Entry* Lookup(hw::Vpn vpn, hw::Asid asid) const {
+    const Entry& entry = slots_[SlotOf(vpn, asid)];
+    if (entry.valid && entry.vpn == vpn && entry.asid == asid) {
+      return &entry;
+    }
+    return nullptr;
+  }
+
+  void Insert(hw::Vpn vpn, hw::Asid asid, hw::PageId pfn, bool writable) {
+    slots_[SlotOf(vpn, asid)] = Entry{vpn, asid, pfn, writable, true};
+  }
+
+  void Invalidate(hw::Vpn vpn, hw::Asid asid) {
+    Entry& entry = slots_[SlotOf(vpn, asid)];
+    if (entry.valid && entry.vpn == vpn && entry.asid == asid) {
+      entry.valid = false;
+    }
+  }
+
+  void FlushAsid(hw::Asid asid) {
+    for (Entry& entry : slots_) {
+      if (entry.asid == asid) {
+        entry.valid = false;
+      }
+    }
+  }
+
+  void FlushPfn(hw::PageId pfn) {
+    for (Entry& entry : slots_) {
+      if (entry.valid && entry.pfn == pfn) {
+        entry.valid = false;
+      }
+    }
+  }
+
+  void FlushAll() {
+    for (Entry& entry : slots_) {
+      entry.valid = false;
+    }
+  }
+
+ private:
+  static uint32_t SlotOf(hw::Vpn vpn, hw::Asid asid) {
+    return (vpn ^ (static_cast<uint32_t>(asid) << 7)) & (kEntries - 1);
+  }
+
+  std::array<Entry, kEntries> slots_{};
+};
+
+}  // namespace xok::aegis
+
+#endif  // XOK_SRC_CORE_STLB_H_

@@ -1,0 +1,21 @@
+#include "src/dpf/filter.h"
+
+namespace xok::dpf {
+
+bool Matches(const FilterSpec& filter, std::span<const uint8_t> msg) {
+  for (const Atom& atom : filter.atoms) {
+    if (static_cast<size_t>(atom.offset) + atom.width > msg.size()) {
+      return false;
+    }
+    uint32_t field = 0;
+    for (uint8_t i = 0; i < atom.width; ++i) {
+      field = (field << 8) | msg[atom.offset + i];
+    }
+    if ((field & atom.mask) != atom.value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xok::dpf

@@ -1,0 +1,85 @@
+// The declarative packet-filter language (paper §3.2, §5.6).
+//
+// A filter is a conjunction of atoms, each testing a masked, fixed-width,
+// big-endian field of the message against a constant. The language is
+// deliberately high-level and declarative so that the kernel can *merge*
+// filters (paper: "our packet-filter language is a high-level declarative
+// language. As a result packet filters can be merged [56] in situations
+// where merging a lower-level, imperative language would be infeasible").
+//
+// Match policy (shared by all three engines so they are comparable): the
+// most specific filter (most atoms) whose atoms all hold wins; ties break
+// toward the lowest filter id (earliest bound).
+#ifndef XOK_SRC_DPF_FILTER_H_
+#define XOK_SRC_DPF_FILTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace xok::dpf {
+
+using FilterId = uint32_t;
+
+struct Atom {
+  uint32_t offset = 0;  // Byte offset into the message.
+  uint8_t width = 1;    // 1, 2, or 4 bytes, read big-endian.
+  uint32_t mask = 0xffffffffu;
+  uint32_t value = 0;
+
+  friend bool operator==(const Atom&, const Atom&) = default;
+};
+
+struct FilterSpec {
+  std::vector<Atom> atoms;  // Sorted by offset at construction time.
+
+  bool Valid() const {
+    if (atoms.empty()) {
+      return false;
+    }
+    for (const Atom& atom : atoms) {
+      if (atom.width != 1 && atom.width != 2 && atom.width != 4) {
+        return false;
+      }
+      if ((atom.value & ~atom.mask) != 0) {
+        return false;  // Value bits outside the mask can never match.
+      }
+    }
+    return true;
+  }
+};
+
+// Reference evaluation of one filter against a message; the ground truth
+// all engines are tested against.
+bool Matches(const FilterSpec& filter, std::span<const uint8_t> msg);
+
+// The interface shared by DPF and the two baseline engines, so benchmarks
+// and equivalence tests drive them identically.
+class ClassifierEngine {
+ public:
+  virtual ~ClassifierEngine() = default;
+
+  // Binds a filter; returns its id. Duplicate atom-for-atom filters are
+  // rejected (the paper's ownership concern: a second process may not bind
+  // a filter that steals another's packets).
+  virtual Result<FilterId> Insert(const FilterSpec& filter) = 0;
+
+  virtual Status Remove(FilterId id) = 0;
+
+  // Classifies a message; nullopt if no filter matches.
+  virtual std::optional<FilterId> Classify(std::span<const uint8_t> msg) = 0;
+
+  // Simulated cycles consumed by all Classify calls so far (the engines
+  // model their per-operation interpretation overheads; see each engine's
+  // header). Callers running inside a simulated machine charge this.
+  virtual uint64_t sim_cycles() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace xok::dpf
+
+#endif  // XOK_SRC_DPF_FILTER_H_

@@ -1,0 +1,122 @@
+#include "src/dpf/mpf.h"
+
+namespace xok::dpf {
+
+using hw::Instr;
+
+namespace {
+
+void PackOp(std::vector<uint8_t>* out, uint8_t op, uint32_t operand) {
+  out->push_back(op);
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(operand >> (8 * i)));
+  }
+}
+
+uint32_t UnpackOperand(const std::vector<uint8_t>& code, size_t pc) {
+  uint32_t operand = 0;
+  for (int i = 3; i >= 0; --i) {
+    operand = (operand << 8) | code[pc + 1 + i];
+  }
+  return operand;
+}
+
+}  // namespace
+
+Result<FilterId> MpfEngine::Insert(const FilterSpec& filter) {
+  if (!filter.Valid()) {
+    return Status::kErrInvalidArgs;
+  }
+  for (const Bound& bound : filters_) {
+    if (bound.live && bound.spec.atoms == filter.atoms) {
+      return Status::kErrAlreadyExists;
+    }
+  }
+  Bound bound;
+  bound.spec = filter;
+  bound.atom_count = static_cast<uint32_t>(filter.atoms.size());
+  for (const Atom& atom : filter.atoms) {
+    const uint8_t load = atom.width == 1   ? static_cast<uint8_t>(ByteOp::kLoadByte)
+                         : atom.width == 2 ? static_cast<uint8_t>(ByteOp::kLoadHalf)
+                                           : static_cast<uint8_t>(ByteOp::kLoadWord);
+    PackOp(&bound.bytecode, load, atom.offset);
+    PackOp(&bound.bytecode, static_cast<uint8_t>(ByteOp::kAndLit), atom.mask);
+    PackOp(&bound.bytecode, static_cast<uint8_t>(ByteOp::kJneFail), atom.value);
+  }
+  PackOp(&bound.bytecode, static_cast<uint8_t>(ByteOp::kRetMatch), 0);
+  bound.live = true;
+  filters_.push_back(std::move(bound));
+  return static_cast<FilterId>(filters_.size() - 1);
+}
+
+Status MpfEngine::Remove(FilterId id) {
+  if (id >= filters_.size() || !filters_[id].live) {
+    return Status::kErrNotFound;
+  }
+  filters_[id].live = false;
+  return Status::kOk;
+}
+
+bool MpfEngine::Interpret(const std::vector<uint8_t>& code, std::span<const uint8_t> msg,
+                          uint64_t* ops) const {
+  uint32_t acc = 0;
+  size_t pc = 0;
+  while (pc < code.size()) {
+    ++*ops;
+    const ByteOp op = static_cast<ByteOp>(code[pc]);
+    const uint32_t operand = UnpackOperand(code, pc);
+    pc += 5;
+    switch (op) {
+      case ByteOp::kLoadByte:
+      case ByteOp::kLoadHalf:
+      case ByteOp::kLoadWord: {
+        const size_t width = op == ByteOp::kLoadByte ? 1 : op == ByteOp::kLoadHalf ? 2 : 4;
+        if (static_cast<size_t>(operand) + width > msg.size()) {
+          return false;
+        }
+        acc = 0;
+        for (size_t i = 0; i < width; ++i) {
+          acc = (acc << 8) | msg[operand + i];
+        }
+        break;
+      }
+      case ByteOp::kAndLit:
+        acc &= operand;
+        break;
+      case ByteOp::kJneFail:
+        if (acc != operand) {
+          return false;
+        }
+        break;
+      case ByteOp::kRetMatch:
+        return true;
+    }
+  }
+  return false;
+}
+
+std::optional<FilterId> MpfEngine::Classify(std::span<const uint8_t> msg) {
+  // Every live filter's program is interpreted in sequence; most-specific
+  // match wins, ties to the lowest id.
+  int32_t best = -1;
+  uint32_t best_depth = 0;
+  uint64_t ops = 0;
+  for (FilterId id = 0; id < filters_.size(); ++id) {
+    const Bound& bound = filters_[id];
+    if (!bound.live) {
+      continue;
+    }
+    ops += 2;  // Per-filter interpreter setup.
+    if (Interpret(bound.bytecode, msg, &ops) && bound.atom_count > best_depth) {
+      best = static_cast<int32_t>(id);
+      best_depth = bound.atom_count;
+    }
+  }
+  sim_cycles_ += Instr(3) * ops + Instr(6);
+  if (best < 0) {
+    return std::nullopt;
+  }
+  return static_cast<FilterId>(best);
+}
+
+}  // namespace xok::dpf

@@ -1,0 +1,188 @@
+#include "src/dpf/pathfinder.h"
+
+namespace xok::dpf {
+
+using hw::Instr;
+
+namespace {
+
+bool ReadField(std::span<const uint8_t> msg, uint32_t offset, uint8_t width, uint32_t* out) {
+  if (static_cast<size_t>(offset) + width > msg.size()) {
+    return false;
+  }
+  uint32_t value = 0;
+  for (uint8_t i = 0; i < width; ++i) {
+    value = (value << 8) | msg[offset + i];
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<FilterId> PathfinderEngine::Insert(const FilterSpec& filter) {
+  if (!filter.Valid()) {
+    return Status::kErrInvalidArgs;
+  }
+  for (const Bound& bound : filters_) {
+    if (bound.live && bound.spec.atoms == filter.atoms) {
+      return Status::kErrAlreadyExists;
+    }
+  }
+  filters_.push_back(Bound{filter, true});
+  Rebuild();
+  return static_cast<FilterId>(filters_.size() - 1);
+}
+
+Status PathfinderEngine::Remove(FilterId id) {
+  if (id >= filters_.size() || !filters_[id].live) {
+    return Status::kErrNotFound;
+  }
+  filters_[id].live = false;
+  Rebuild();
+  return Status::kOk;
+}
+
+void PathfinderEngine::Rebuild() {
+  cells_.clear();
+  // Filters are grouped by "signature" (their sequence of atom keys); each
+  // group forms one pattern trie; group tries hang off a synthetic root via
+  // root-level alternatives. We represent the forest as a vector of root
+  // cell indices encoded in the lines of a dispatch list; simplest correct
+  // form: one trie per signature, all walked at classify time. The roots
+  // are the cells whose index appears in `roots_` (rebuilt below).
+  roots_.clear();
+  for (FilterId id = 0; id < filters_.size(); ++id) {
+    const Bound& bound = filters_[id];
+    if (!bound.live) {
+      continue;
+    }
+    // Find (or start) the trie whose root matches this filter's first key
+    // and whose structure matches all the way down.
+    int32_t cell = -1;
+    for (int32_t root : roots_) {
+      const Cell& c = cells_[root];
+      if (c.offset == bound.spec.atoms[0].offset && c.width == bound.spec.atoms[0].width &&
+          c.mask == bound.spec.atoms[0].mask) {
+        // Check the full signature against this trie's spine.
+        bool compatible = true;
+        int32_t walk = root;
+        for (size_t d = 1; d < bound.spec.atoms.size() && walk >= 0; ++d) {
+          // Find any line with a next cell to inspect the next key.
+          int32_t next = -1;
+          for (const Line& line : cells_[walk].lines) {
+            if (line.next_cell >= 0) {
+              next = line.next_cell;
+              break;
+            }
+          }
+          if (next < 0) {
+            break;  // Spine shorter than the filter so far: extend freely.
+          }
+          const Atom& atom = bound.spec.atoms[d];
+          const Cell& nc = cells_[next];
+          if (nc.offset != atom.offset || nc.width != atom.width || nc.mask != atom.mask) {
+            compatible = false;
+          }
+          walk = next;
+        }
+        if (compatible) {
+          cell = root;
+          break;
+        }
+      }
+    }
+    if (cell < 0) {
+      Cell fresh;
+      fresh.offset = bound.spec.atoms[0].offset;
+      fresh.width = bound.spec.atoms[0].width;
+      fresh.mask = bound.spec.atoms[0].mask;
+      cells_.push_back(fresh);
+      cell = static_cast<int32_t>(cells_.size() - 1);
+      roots_.push_back(cell);
+    }
+    // Thread the filter through the trie, creating lines/cells as needed.
+    for (size_t d = 0; d < bound.spec.atoms.size(); ++d) {
+      const Atom& atom = bound.spec.atoms[d];
+      const bool last = d + 1 == bound.spec.atoms.size();
+      Line* line = nullptr;
+      for (Line& candidate : cells_[cell].lines) {
+        if (candidate.value == atom.value) {
+          line = &candidate;
+          break;
+        }
+      }
+      if (line == nullptr) {
+        cells_[cell].lines.push_back(Line{atom.value, -1, -1});
+        line = &cells_[cell].lines.back();
+      }
+      if (last) {
+        line->accept = static_cast<int32_t>(id);
+      } else {
+        if (line->next_cell < 0) {
+          const Atom& next_atom = bound.spec.atoms[d + 1];
+          Cell fresh;
+          fresh.offset = next_atom.offset;
+          fresh.width = next_atom.width;
+          fresh.mask = next_atom.mask;
+          cells_.push_back(fresh);
+          // cells_ may have reallocated: re-find the line.
+          for (Line& candidate : cells_[cell].lines) {
+            if (candidate.value == atom.value) {
+              candidate.next_cell = static_cast<int32_t>(cells_.size() - 1);
+              line = &candidate;
+              break;
+            }
+          }
+        }
+        cell = line->next_cell;
+      }
+    }
+  }
+}
+
+void PathfinderEngine::Walk(int32_t cell_index, std::span<const uint8_t> msg, uint32_t depth,
+                            int32_t* best, uint32_t* best_depth, uint64_t* cells,
+                            uint64_t* lines) const {
+  const Cell& cell = cells_[cell_index];
+  ++*cells;
+  uint32_t field = 0;
+  if (!ReadField(msg, cell.offset, cell.width, &field)) {
+    return;
+  }
+  field &= cell.mask;
+  for (const Line& line : cell.lines) {
+    ++*lines;
+    if (line.value != field) {
+      continue;
+    }
+    if (line.accept >= 0 && filters_[line.accept].live) {
+      const uint32_t d = depth + 1;
+      if (d > *best_depth || (d == *best_depth && line.accept < *best)) {
+        *best = line.accept;
+        *best_depth = d;
+      }
+    }
+    if (line.next_cell >= 0) {
+      Walk(line.next_cell, msg, depth + 1, best, best_depth, cells, lines);
+    }
+    break;  // Values within a cell are disjoint under the shared mask.
+  }
+}
+
+std::optional<FilterId> PathfinderEngine::Classify(std::span<const uint8_t> msg) {
+  int32_t best = -1;
+  uint32_t best_depth = 0;
+  uint64_t cells = 0;
+  uint64_t lines = 0;
+  for (int32_t root : roots_) {
+    Walk(root, msg, 0, &best, &best_depth, &cells, &lines);
+  }
+  sim_cycles_ += Instr(20) * cells + Instr(6) * lines + Instr(8);
+  if (best < 0) {
+    return std::nullopt;
+  }
+  return static_cast<FilterId>(best);
+}
+
+}  // namespace xok::dpf

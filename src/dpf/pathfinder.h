@@ -1,0 +1,64 @@
+// PATHFINDER-style baseline (paper ref [6]): a pattern-based classifier.
+// Like DPF it merges filters into a prefix structure ("cells" of
+// <offset, length, mask, value> lines), so it avoids MPF's one-run-per-
+// filter cost — but cells are *interpreted*: each visited cell pays generic
+// pattern-dispatch overhead and its alternative lines are scanned linearly,
+// rather than being specialised into compiled code with hash dispatch.
+// This is why the paper places PATHFINDER between MPF and DPF (Table 7).
+//
+// Cost model: Instr(20) per visited cell plus Instr(6) per line scanned.
+#ifndef XOK_SRC_DPF_PATHFINDER_H_
+#define XOK_SRC_DPF_PATHFINDER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/dpf/filter.h"
+#include "src/hw/cost.h"
+
+namespace xok::dpf {
+
+class PathfinderEngine final : public ClassifierEngine {
+ public:
+  PathfinderEngine() = default;
+
+  Result<FilterId> Insert(const FilterSpec& filter) override;
+  Status Remove(FilterId id) override;
+  std::optional<FilterId> Classify(std::span<const uint8_t> msg) override;
+  uint64_t sim_cycles() const override { return sim_cycles_; }
+  const char* name() const override { return "PATHFINDER"; }
+
+ private:
+  struct Line {
+    uint32_t value = 0;
+    int32_t next_cell = -1;  // -1: terminal.
+    int32_t accept = -1;     // Filter accepting when this line terminates a path.
+  };
+
+  struct Cell {
+    uint32_t offset = 0;
+    uint8_t width = 1;
+    uint32_t mask = 0;
+    std::vector<Line> lines;  // Scanned linearly (interpreted structure).
+  };
+
+  struct Bound {
+    FilterSpec spec;
+    bool live = false;
+  };
+
+  void Rebuild();
+  // Recursive descent over (cell, packet); records the deepest accept.
+  void Walk(int32_t cell_index, std::span<const uint8_t> msg, uint32_t depth, int32_t* best,
+            uint32_t* best_depth, uint64_t* cells, uint64_t* lines) const;
+
+  std::vector<Cell> cells_;
+  std::vector<int32_t> roots_;  // One pattern trie per atom-key signature.
+  std::vector<Bound> filters_;
+  uint64_t sim_cycles_ = 0;
+};
+
+}  // namespace xok::dpf
+
+#endif  // XOK_SRC_DPF_PATHFINDER_H_

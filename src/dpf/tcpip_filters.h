@@ -1,0 +1,41 @@
+// Builders for the TCP/UDP-over-IP filters used throughout the paper's
+// demultiplexing experiments (Table 7: "classify packets destined for one
+// of ten TCP/IP filters").
+#ifndef XOK_SRC_DPF_TCPIP_FILTERS_H_
+#define XOK_SRC_DPF_TCPIP_FILTERS_H_
+
+#include "src/dpf/filter.h"
+#include "src/net/wire.h"
+
+namespace xok::dpf {
+
+// A connection-specific TCP/IP filter: ethertype, IP protocol, source and
+// destination address, and both ports — six atoms, the classic shape.
+inline FilterSpec TcpConnectionFilter(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
+                                      uint16_t dst_port) {
+  FilterSpec spec;
+  spec.atoms = {
+      Atom{net::kEthTypeOff, 2, 0xffff, net::kEthTypeIpv4},
+      Atom{net::kIpProtoOff, 1, 0xff, net::kIpProtoTcp},
+      Atom{net::kIpSrcOff, 4, 0xffffffffu, src_ip},
+      Atom{net::kIpDstOff, 4, 0xffffffffu, dst_ip},
+      Atom{net::kTcpSrcPortOff, 2, 0xffff, src_port},
+      Atom{net::kTcpDstPortOff, 2, 0xffff, dst_port},
+  };
+  return spec;
+}
+
+// A UDP port filter: accepts any UDP/IP packet to `dst_port`.
+inline FilterSpec UdpPortFilter(uint16_t dst_port) {
+  FilterSpec spec;
+  spec.atoms = {
+      Atom{net::kEthTypeOff, 2, 0xffff, net::kEthTypeIpv4},
+      Atom{net::kIpProtoOff, 1, 0xff, net::kIpProtoUdp},
+      Atom{net::kUdpDstPortOff, 2, 0xffff, dst_port},
+  };
+  return spec;
+}
+
+}  // namespace xok::dpf
+
+#endif  // XOK_SRC_DPF_TCPIP_FILTERS_H_

@@ -1,0 +1,389 @@
+#include "src/exos/fs.h"
+
+#include <cstring>
+
+namespace xok::exos {
+
+using hw::Instr;
+
+namespace {
+
+uint32_t ReadLe32(std::span<const uint8_t> bytes, size_t off) {
+  uint32_t value = 0;
+  std::memcpy(&value, &bytes[off], 4);
+  return value;
+}
+
+void WriteLe32(std::span<uint8_t> bytes, size_t off, uint32_t value) {
+  std::memcpy(&bytes[off], &value, 4);
+}
+
+constexpr size_t kDirEntryBytes = 32;  // 28-byte name + 4-byte inode.
+constexpr size_t kDirEntries = hw::kPageBytes / kDirEntryBytes;
+constexpr size_t kInodeBytes = 64;
+
+}  // namespace
+
+// --- BlockCache ---
+
+Result<std::unique_ptr<BlockCache>> BlockCache::Create(
+    Process& proc, const aegis::Aegis::DiskExtentGrant& extent, size_t slots) {
+  if (slots == 0) {
+    return Status::kErrInvalidArgs;
+  }
+  auto cache = std::unique_ptr<BlockCache>(new BlockCache(proc, extent));
+  for (size_t i = 0; i < slots; ++i) {
+    Result<aegis::PageGrant> frame = proc.kernel().SysAllocPage();
+    if (!frame.ok()) {
+      return frame.status();
+    }
+    cache->frames_.push_back(frame->page);
+    cache->frame_caps_.push_back(frame->cap);
+    cache->slots_.push_back(Slot{});
+  }
+  return cache;
+}
+
+size_t BlockCache::PickVictim() const {
+  // Prefer an invalid slot.
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].valid) {
+      return i;
+    }
+  }
+  if (policy_ == Policy::kCustom && picker_) {
+    const size_t choice = picker_(slots_);
+    return choice < slots_.size() ? choice : 0;
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < slots_.size(); ++i) {
+    const bool better = policy_ == Policy::kMru ? slots_[i].last_use > slots_[best].last_use
+                                                : slots_[i].last_use < slots_[best].last_use;
+    if (better) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+Status BlockCache::WriteBack(size_t slot) {
+  if (!slots_[slot].valid || !slots_[slot].dirty) {
+    return Status::kOk;
+  }
+  const Status status = proc_.kernel().SysDiskWrite(extent_.extent, extent_.cap,
+                                                    slots_[slot].block, frames_[slot]);
+  if (status == Status::kOk) {
+    slots_[slot].dirty = false;
+  }
+  return status;
+}
+
+Result<std::span<uint8_t>> BlockCache::GetBlock(uint32_t block, bool for_write) {
+  if (block >= extent_.blocks) {
+    return Status::kErrOutOfRange;
+  }
+  proc_.machine().Charge(Instr(10));  // Cache lookup.
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].valid && slots_[i].block == block) {
+      ++hits_;
+      slots_[i].last_use = ++tick_;
+      slots_[i].dirty = slots_[i].dirty || for_write;
+      return proc_.machine().mem().PageSpan(frames_[i]);
+    }
+  }
+  ++misses_;
+  const size_t victim = PickVictim();
+  proc_.machine().Charge(Instr(20));  // Policy + bookkeeping.
+  const Status flush = WriteBack(victim);
+  if (flush != Status::kOk) {
+    return flush;
+  }
+  const Status read =
+      proc_.kernel().SysDiskRead(extent_.extent, extent_.cap, block, frames_[victim]);
+  if (read != Status::kOk) {
+    return read;
+  }
+  slots_[victim] = Slot{block, true, for_write, ++tick_};
+  return proc_.machine().mem().PageSpan(frames_[victim]);
+}
+
+Status BlockCache::Flush() {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Status status = WriteBack(i);
+    if (status != Status::kOk) {
+      return status;
+    }
+  }
+  return Status::kOk;
+}
+
+BlockCache::VictimPicker MakeScanAwarePicker(uint32_t metadata_blocks) {
+  return [metadata_blocks](std::span<const BlockCache::Slot> slots) -> size_t {
+    // MRU among data blocks; metadata stays resident.
+    size_t best = SIZE_MAX;
+    uint64_t best_use = 0;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].valid || slots[i].block < metadata_blocks) {
+        continue;
+      }
+      if (best == SIZE_MAX || slots[i].last_use > best_use) {
+        best = i;
+        best_use = slots[i].last_use;
+      }
+    }
+    if (best != SIZE_MAX) {
+      return best;
+    }
+    // Only metadata resident: fall back to plain LRU.
+    size_t lru = 0;
+    for (size_t i = 1; i < slots.size(); ++i) {
+      if (slots[i].last_use < slots[lru].last_use) {
+        lru = i;
+      }
+    }
+    return lru;
+  };
+}
+
+// --- LibFs ---
+
+Result<std::unique_ptr<LibFs>> LibFs::Format(Process& proc,
+                                             const aegis::Aegis::DiskExtentGrant& extent,
+                                             size_t cache_slots) {
+  if (extent.blocks < kDataStart + 1) {
+    return Status::kErrInvalidArgs;
+  }
+  Result<std::unique_ptr<BlockCache>> cache = BlockCache::Create(proc, extent, cache_slots);
+  if (!cache.ok()) {
+    return cache.status();
+  }
+  auto fs = std::unique_ptr<LibFs>(new LibFs(proc, std::move(*cache)));
+  // Superblock.
+  Result<std::span<uint8_t>> super = fs->cache_->GetBlock(kSuperBlock, /*for_write=*/true);
+  if (!super.ok()) {
+    return super.status();
+  }
+  std::fill(super->begin(), super->end(), uint8_t{0});
+  WriteLe32(*super, 0, kMagic);
+  WriteLe32(*super, 4, kDataStart);  // Next free data block.
+  // Empty directory and inode table.
+  for (uint32_t block : {kDirBlock, kInodeBlock}) {
+    Result<std::span<uint8_t>> bytes = fs->cache_->GetBlock(block, /*for_write=*/true);
+    if (!bytes.ok()) {
+      return bytes.status();
+    }
+    std::fill(bytes->begin(), bytes->end(), uint8_t{0});
+  }
+  const Status sync = fs->Sync();
+  if (sync != Status::kOk) {
+    return sync;
+  }
+  return fs;
+}
+
+Result<std::unique_ptr<LibFs>> LibFs::Mount(Process& proc,
+                                            const aegis::Aegis::DiskExtentGrant& extent,
+                                            size_t cache_slots) {
+  Result<std::unique_ptr<BlockCache>> cache = BlockCache::Create(proc, extent, cache_slots);
+  if (!cache.ok()) {
+    return cache.status();
+  }
+  auto fs = std::unique_ptr<LibFs>(new LibFs(proc, std::move(*cache)));
+  Result<std::span<uint8_t>> super = fs->cache_->GetBlock(kSuperBlock, /*for_write=*/false);
+  if (!super.ok()) {
+    return super.status();
+  }
+  if (ReadLe32(*super, 0) != kMagic) {
+    return Status::kErrBadState;
+  }
+  return fs;
+}
+
+Result<LibFs::Inode> LibFs::LoadInode(FileHandle file) {
+  if (file >= kMaxInodes) {
+    return Status::kErrOutOfRange;
+  }
+  Result<std::span<uint8_t>> block = cache_->GetBlock(kInodeBlock, /*for_write=*/false);
+  if (!block.ok()) {
+    return block.status();
+  }
+  Inode inode;
+  const size_t base = file * kInodeBytes;
+  inode.used = ReadLe32(*block, base);
+  inode.size = ReadLe32(*block, base + 4);
+  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+    inode.direct[i] = ReadLe32(*block, base + 8 + 4 * i);
+  }
+  return inode;
+}
+
+Status LibFs::StoreInode(FileHandle file, const Inode& inode) {
+  Result<std::span<uint8_t>> block = cache_->GetBlock(kInodeBlock, /*for_write=*/true);
+  if (!block.ok()) {
+    return block.status();
+  }
+  const size_t base = file * kInodeBytes;
+  WriteLe32(*block, base, inode.used);
+  WriteLe32(*block, base + 4, inode.size);
+  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+    WriteLe32(*block, base + 8 + 4 * i, inode.direct[i]);
+  }
+  return Status::kOk;
+}
+
+Result<uint32_t> LibFs::AllocDataBlock() {
+  Result<std::span<uint8_t>> super = cache_->GetBlock(kSuperBlock, /*for_write=*/true);
+  if (!super.ok()) {
+    return super.status();
+  }
+  const uint32_t next = ReadLe32(*super, 4);
+  if (next >= cache_->extent_blocks()) {
+    return Status::kErrNoResources;
+  }
+  WriteLe32(*super, 4, next + 1);
+  return next;
+}
+
+Result<FileHandle> LibFs::Create(std::string_view name) {
+  if (name.empty() || name.size() > kMaxNameBytes) {
+    return Status::kErrInvalidArgs;
+  }
+  if (Open(name).ok()) {
+    return Status::kErrAlreadyExists;
+  }
+  // Find a free inode.
+  FileHandle handle = kMaxInodes;
+  for (FileHandle i = 0; i < kMaxInodes; ++i) {
+    Result<Inode> inode = LoadInode(i);
+    if (inode.ok() && inode->used == 0) {
+      handle = i;
+      break;
+    }
+  }
+  if (handle == kMaxInodes) {
+    return Status::kErrNoResources;
+  }
+  // Find a free directory entry.
+  Result<std::span<uint8_t>> dir = cache_->GetBlock(kDirBlock, /*for_write=*/true);
+  if (!dir.ok()) {
+    return dir.status();
+  }
+  for (size_t e = 0; e < kDirEntries; ++e) {
+    uint8_t* entry = &(*dir)[e * kDirEntryBytes];
+    if (entry[0] == 0) {
+      std::memcpy(entry, name.data(), name.size());
+      entry[name.size()] = 0;
+      WriteLe32(*dir, e * kDirEntryBytes + 28, handle);
+      Inode inode;
+      inode.used = 1;
+      return StoreInode(handle, inode) == Status::kOk ? Result<FileHandle>(handle)
+                                                      : Result<FileHandle>(Status::kErrInternal);
+    }
+  }
+  return Status::kErrNoResources;
+}
+
+Result<FileHandle> LibFs::Open(std::string_view name) {
+  Result<std::span<uint8_t>> dir = cache_->GetBlock(kDirBlock, /*for_write=*/false);
+  if (!dir.ok()) {
+    return dir.status();
+  }
+  for (size_t e = 0; e < kDirEntries; ++e) {
+    const uint8_t* entry = &(*dir)[e * kDirEntryBytes];
+    if (entry[0] == 0) {
+      continue;
+    }
+    const size_t len = strnlen(reinterpret_cast<const char*>(entry), 28);
+    if (len == name.size() && std::memcmp(entry, name.data(), len) == 0) {
+      return ReadLe32(*dir, e * kDirEntryBytes + 28);
+    }
+  }
+  return Status::kErrNotFound;
+}
+
+Result<uint32_t> LibFs::FileSize(FileHandle file) {
+  Result<Inode> inode = LoadInode(file);
+  if (!inode.ok()) {
+    return inode.status();
+  }
+  if (inode->used == 0) {
+    return Status::kErrNotFound;
+  }
+  return inode->size;
+}
+
+Result<uint32_t> LibFs::Read(FileHandle file, uint32_t offset, std::span<uint8_t> out) {
+  Result<Inode> inode = LoadInode(file);
+  if (!inode.ok()) {
+    return inode.status();
+  }
+  if (inode->used == 0) {
+    return Status::kErrNotFound;
+  }
+  if (offset >= inode->size) {
+    return 0u;
+  }
+  uint32_t todo = std::min<uint32_t>(static_cast<uint32_t>(out.size()), inode->size - offset);
+  uint32_t done = 0;
+  while (done < todo) {
+    const uint32_t pos = offset + done;
+    const uint32_t index = pos / hw::kPageBytes;
+    const uint32_t in_block = pos % hw::kPageBytes;
+    const uint32_t chunk = std::min(todo - done, hw::kPageBytes - in_block);
+    Result<std::span<uint8_t>> block =
+        cache_->GetBlock(inode->direct[index], /*for_write=*/false);
+    if (!block.ok()) {
+      return block.status();
+    }
+    proc_.machine().Charge(hw::kMemWordCopy * ((chunk + 3) / 4));  // Copy to the caller.
+    std::memcpy(&out[done], &(*block)[in_block], chunk);
+    done += chunk;
+  }
+  return done;
+}
+
+Status LibFs::Write(FileHandle file, uint32_t offset, std::span<const uint8_t> data) {
+  Result<Inode> loaded = LoadInode(file);
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  Inode inode = *loaded;
+  if (inode.used == 0) {
+    return Status::kErrNotFound;
+  }
+  if (offset + data.size() > kMaxFileBytes) {
+    return Status::kErrOutOfRange;
+  }
+  if (offset > inode.size) {
+    return Status::kErrOutOfRange;  // No holes in this little FS.
+  }
+  uint32_t done = 0;
+  while (done < data.size()) {
+    const uint32_t pos = offset + done;
+    const uint32_t index = pos / hw::kPageBytes;
+    const uint32_t in_block = pos % hw::kPageBytes;
+    const uint32_t chunk =
+        std::min<uint32_t>(static_cast<uint32_t>(data.size()) - done, hw::kPageBytes - in_block);
+    if (index >= kDirectBlocks) {
+      return Status::kErrOutOfRange;
+    }
+    if (pos >= inode.size && in_block == 0 && inode.direct[index] == 0) {
+      Result<uint32_t> fresh = AllocDataBlock();
+      if (!fresh.ok()) {
+        return fresh.status();
+      }
+      inode.direct[index] = *fresh;
+    }
+    Result<std::span<uint8_t>> block = cache_->GetBlock(inode.direct[index], /*for_write=*/true);
+    if (!block.ok()) {
+      return block.status();
+    }
+    proc_.machine().Charge(hw::kMemWordCopy * ((chunk + 3) / 4));
+    std::memcpy(&(*block)[in_block], &data[done], chunk);
+    done += chunk;
+  }
+  inode.size = std::max(inode.size, offset + static_cast<uint32_t>(data.size()));
+  return StoreInode(file, inode);
+}
+
+}  // namespace xok::exos

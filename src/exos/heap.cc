@@ -1,0 +1,104 @@
+#include "src/exos/heap.h"
+
+namespace xok::exos {
+
+using hw::Instr;
+
+Heap::Heap(Process& proc, hw::Vaddr base, uint32_t capacity_bytes)
+    : proc_(proc), base_(base), capacity_(capacity_bytes & ~3u) {
+  // One big free block spanning the arena.
+  StoreWord(base_, capacity_);
+  StoreWord(base_ + 4, 0);
+}
+
+uint32_t Heap::LoadWord(hw::Vaddr va) { return proc_.machine().LoadWord(va).value_or(0); }
+
+void Heap::StoreWord(hw::Vaddr va, uint32_t value) {
+  (void)proc_.machine().StoreWord(va, value);
+}
+
+Result<hw::Vaddr> Heap::Alloc(uint32_t bytes) {
+  if (bytes == 0) {
+    bytes = kMinPayload;
+  }
+  const uint32_t need = ((bytes + 3) & ~3u) + kHeaderBytes;
+  hw::Vaddr block = base_;
+  while (block < base_ + capacity_) {
+    proc_.machine().Charge(Instr(4));  // Walk step.
+    const uint32_t size = LoadWord(block);
+    const uint32_t used = LoadWord(block + 4);
+    if (size < kHeaderBytes + kMinPayload || block + size > base_ + capacity_) {
+      return Status::kErrBadState;  // Corrupted header (overrun bug).
+    }
+    if (used == 0 && size >= need) {
+      // Split if the remainder can hold a block; otherwise take it whole.
+      if (size - need >= kHeaderBytes + kMinPayload) {
+        StoreWord(block + need, size - need);
+        StoreWord(block + need + 4, 0);
+        StoreWord(block, need);
+      }
+      StoreWord(block + 4, 1);
+      bytes_in_use_ += LoadWord(block);
+      ++live_allocs_;
+      return block + kHeaderBytes;
+    }
+    block += size;
+  }
+  return Status::kErrNoResources;
+}
+
+Status Heap::Free(hw::Vaddr ptr) {
+  if (ptr < base_ + kHeaderBytes || ptr >= base_ + capacity_ || (ptr & 3u) != 0) {
+    return Status::kErrInvalidArgs;
+  }
+  // Validate that `ptr` is a live payload start by walking the list (the
+  // price of the implicit-list design; also what makes Free safe).
+  hw::Vaddr block = base_;
+  while (block < base_ + capacity_) {
+    proc_.machine().Charge(Instr(4));
+    const uint32_t size = LoadWord(block);
+    if (size < kHeaderBytes + kMinPayload || block + size > base_ + capacity_) {
+      return Status::kErrBadState;
+    }
+    if (block + kHeaderBytes == ptr) {
+      if (LoadWord(block + 4) != 1) {
+        return Status::kErrInvalidArgs;  // Double free.
+      }
+      StoreWord(block + 4, 0);
+      bytes_in_use_ -= size;
+      --live_allocs_;
+      // Coalesce forward while the next block is free.
+      uint32_t merged = size;
+      hw::Vaddr next = block + size;
+      while (next < base_ + capacity_) {
+        const uint32_t next_size = LoadWord(next);
+        if (LoadWord(next + 4) != 0 || next_size < kHeaderBytes + kMinPayload) {
+          break;
+        }
+        merged += next_size;
+        next += next_size;
+      }
+      StoreWord(block, merged);
+      return Status::kOk;
+    }
+    block += size;
+  }
+  return Status::kErrInvalidArgs;
+}
+
+bool Heap::CheckConsistency() {
+  hw::Vaddr block = base_;
+  uint32_t total = 0;
+  while (block < base_ + capacity_) {
+    const uint32_t size = LoadWord(block);
+    const uint32_t used = LoadWord(block + 4);
+    if (size < kHeaderBytes + kMinPayload || used > 1) {
+      return false;
+    }
+    total += size;
+    block += size;
+  }
+  return total == capacity_;
+}
+
+}  // namespace xok::exos

@@ -1,0 +1,59 @@
+// A malloc-style heap for ExOS processes — ordinary library-OS machinery
+// (the paper's point being precisely that machinery like this *is*
+// ordinary application code on an exokernel). The allocator's metadata
+// lives inside the simulated heap itself (headers in demand-paged memory,
+// accessed through translated loads/stores), so allocation cost is real:
+// the first touch of a fresh region takes the ExOS demand-zero fault path.
+//
+// Layout: an implicit list of blocks starting at `base`. Every block is
+//   [size word][status word][payload ...]
+// where `size` includes the 8-byte header and `status` is 1 = in use,
+// 0 = free. Allocation is first-fit with splitting; Free() coalesces with
+// the following block. O(blocks), simple, and easy to verify.
+#ifndef XOK_SRC_EXOS_HEAP_H_
+#define XOK_SRC_EXOS_HEAP_H_
+
+#include <cstdint>
+
+#include "src/exos/process.h"
+
+namespace xok::exos {
+
+class Heap {
+ public:
+  // Manages [base, base + capacity_bytes). The region must be unused
+  // address space; pages fault in lazily as blocks are touched.
+  Heap(Process& proc, hw::Vaddr base, uint32_t capacity_bytes);
+
+  // Allocates `bytes` (rounded up to 4-byte granularity). Returns the
+  // payload address.
+  Result<hw::Vaddr> Alloc(uint32_t bytes);
+
+  // Frees a pointer previously returned by Alloc. Detects (and rejects)
+  // addresses that are not live payload starts.
+  Status Free(hw::Vaddr ptr);
+
+  uint32_t bytes_in_use() const { return bytes_in_use_; }
+  uint32_t live_allocs() const { return live_allocs_; }
+
+  // Walks the block list checking structural invariants (sizes chain to
+  // exactly the capacity, statuses are 0/1). For tests.
+  bool CheckConsistency();
+
+ private:
+  static constexpr uint32_t kHeaderBytes = 8;
+  static constexpr uint32_t kMinPayload = 4;
+
+  uint32_t LoadWord(hw::Vaddr va);
+  void StoreWord(hw::Vaddr va, uint32_t value);
+
+  Process& proc_;
+  hw::Vaddr base_;
+  uint32_t capacity_;
+  uint32_t bytes_in_use_ = 0;
+  uint32_t live_allocs_ = 0;
+};
+
+}  // namespace xok::exos
+
+#endif  // XOK_SRC_EXOS_HEAP_H_

@@ -1,0 +1,113 @@
+// An inverted page table for ExOS (paper §7: "many other abstractions,
+// such as page-table structures ... cannot be modified in micro-kernels";
+// the exokernel's whole point is that ExOS can swap this structure freely
+// — the kernel only ever sees TLB-write requests).
+//
+// Structure: an open-addressed hash table sized by the *physical* memory,
+// as classic inverted tables are — space is O(frames), not O(address
+// space), which wins for the sparse address spaces big programs actually
+// have. Lookup probes linearly from hash(vpn).
+#ifndef XOK_SRC_EXOS_INVERTED_PAGE_TABLE_H_
+#define XOK_SRC_EXOS_INVERTED_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exos/page_table.h"
+
+namespace xok::exos {
+
+class InvertedPageTable {
+ public:
+  // `frames` bounds residency: sized to the machine's physical memory (or
+  // the libOS's share of it). The table holds 2x slots to keep probe
+  // chains short.
+  explicit InvertedPageTable(uint32_t frames)
+      : slots_(NextPow2(frames * 2)), mask_(static_cast<uint32_t>(slots_.size() - 1)) {}
+
+  // Same contract as PageTable::Lookup: nullptr if `vpn` has no slot.
+  Pte* Lookup(hw::Vpn vpn) {
+    uint32_t probe = Hash(vpn) & mask_;
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[probe];
+      if (!slot.occupied) {
+        return nullptr;
+      }
+      if (slot.vpn == vpn) {
+        return &slot.pte;
+      }
+      probe = (probe + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  // Same contract as PageTable::LookupOrCreate. Aborts (returns the last
+  // probed slot's PTE) only if the table is completely full, which the
+  // libOS prevents by sizing it to its frame budget.
+  Pte& LookupOrCreate(hw::Vpn vpn) {
+    uint32_t probe = Hash(vpn) & mask_;
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[probe];
+      if (!slot.occupied) {
+        slot.occupied = true;
+        slot.vpn = vpn;
+        slot.pte = Pte{};
+        ++occupied_;
+        return slot.pte;
+      }
+      if (slot.vpn == vpn) {
+        return slot.pte;
+      }
+      probe = (probe + 1) & mask_;
+    }
+    return slots_[probe].pte;  // Table full: caller exceeded its budget.
+  }
+
+  template <typename Fn>
+  void ForEachPresent(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.occupied && slot.pte.present) {
+        fn(slot.vpn, slot.pte);
+      }
+    }
+  }
+
+  // Resident-set bookkeeping for the space comparison.
+  size_t slot_count() const { return slots_.size(); }
+  size_t occupied() const { return occupied_; }
+  // Bytes of table structure (the inverted table's selling point).
+  size_t footprint_bytes() const { return slots_.size() * sizeof(Slot); }
+
+ private:
+  struct Slot {
+    bool occupied = false;
+    hw::Vpn vpn = 0;
+    Pte pte;
+  };
+
+  static uint32_t NextPow2(uint32_t n) {
+    uint32_t p = 16;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  static uint32_t Hash(hw::Vpn vpn) {
+    uint32_t x = vpn;
+    x ^= x >> 16;
+    x *= 0x7feb352du;
+    x ^= x >> 15;
+    x *= 0x846ca68bu;
+    x ^= x >> 16;
+    return x;
+  }
+
+  std::vector<Slot> slots_;
+  uint32_t mask_;
+  size_t occupied_ = 0;
+};
+
+}  // namespace xok::exos
+
+#endif  // XOK_SRC_EXOS_INVERTED_PAGE_TABLE_H_

@@ -1,0 +1,188 @@
+#include "src/exos/ipc.h"
+
+namespace xok::exos {
+
+using aegis::PctArgs;
+using hw::Instr;
+
+namespace {
+// The compatibility tax of a POSIX-style pipe layer: fd lookup, argument
+// validation, SIGPIPE state, errno plumbing — per operation.
+constexpr uint64_t kPosixPipeLayer = Instr(60);
+// Native ring bookkeeping beyond the raw loads/stores.
+constexpr uint64_t kRingOverhead = Instr(8);
+// lrpc stubs save/restore the 9 MIPS callee-saved registers plus frame
+// setup on both sides; tlrpc trusts the server instead (paper §7.1).
+constexpr uint64_t kLrpcClientStub = Instr(14);
+constexpr uint64_t kLrpcServerStub = Instr(13);
+constexpr uint64_t kTlrpcStub = Instr(2);
+}  // namespace
+
+Result<SharedBufferDesc> CreateSharedBuffer(Process& owner) {
+  Result<aegis::PageGrant> grant = owner.kernel().SysAllocPage();
+  if (!grant.ok()) {
+    return grant.status();
+  }
+  return SharedBufferDesc{grant->page, grant->cap};
+}
+
+Status MapSharedBuffer(Process& self, const SharedBufferDesc& desc, hw::Vaddr va) {
+  return self.vm().MapExternal(va, desc.frame, desc.cap, kProtWrite);
+}
+
+// --- PipeEndpoint ---
+
+PipeEndpoint::PipeEndpoint(Process& self, hw::Vaddr ring_va, PipePeer peer, bool posix_emulation)
+    : self_(self), base_(ring_va), peer_(peer), posix_emulation_(posix_emulation) {}
+
+uint32_t PipeEndpoint::Load(uint32_t off) {
+  Result<uint32_t> value = self_.machine().LoadWord(base_ + off);
+  return value.ok() ? *value : 0;
+}
+
+void PipeEndpoint::Store(uint32_t off, uint32_t value) {
+  (void)self_.machine().StoreWord(base_ + off, value);
+}
+
+void PipeEndpoint::WakePeerIfWaiting(uint32_t wait_flag_off) {
+  if (Load(wait_flag_off) != 0) {
+    Store(wait_flag_off, 0);
+    (void)self_.kernel().SysWake(peer_.env, peer_.env_cap);
+  }
+}
+
+void PipeEndpoint::WaitAsReader() {
+  // First try donating the slice to the producer; if the ring is still
+  // empty after one directed yield, sleep until woken.
+  self_.kernel().SysYield(peer_.env);
+  if (Load(kTailOff) != Load(kHeadOff)) {
+    return;
+  }
+  Store(kReaderWaitOff, 1);
+  if (Load(kTailOff) != Load(kHeadOff)) {  // Re-check before sleeping.
+    Store(kReaderWaitOff, 0);
+    return;
+  }
+  self_.kernel().SysBlock();
+}
+
+void PipeEndpoint::WaitAsWriter() {
+  self_.kernel().SysYield(peer_.env);
+  const uint32_t head = Load(kHeadOff);
+  const uint32_t tail = Load(kTailOff);
+  if ((tail + 1) % kSlots != head) {
+    return;
+  }
+  Store(kWriterWaitOff, 1);
+  if ((Load(kTailOff) + 1) % kSlots != Load(kHeadOff)) {
+    Store(kWriterWaitOff, 0);
+    return;
+  }
+  self_.kernel().SysBlock();
+}
+
+Status PipeEndpoint::WriteWord(uint32_t value) {
+  self_.machine().Charge(posix_emulation_ ? kPosixPipeLayer : kRingOverhead);
+  for (;;) {
+    const uint32_t head = Load(kHeadOff);
+    const uint32_t tail = Load(kTailOff);
+    if ((tail + 1) % kSlots == head) {
+      WaitAsWriter();
+      continue;
+    }
+    Store(kDataOff + tail * 4, value);
+    Store(kTailOff, (tail + 1) % kSlots);
+    WakePeerIfWaiting(kReaderWaitOff);
+    return Status::kOk;
+  }
+}
+
+Result<uint32_t> PipeEndpoint::ReadWord() {
+  self_.machine().Charge(posix_emulation_ ? kPosixPipeLayer : kRingOverhead);
+  for (;;) {
+    const uint32_t head = Load(kHeadOff);
+    const uint32_t tail = Load(kTailOff);
+    if (head == tail) {
+      WaitAsReader();
+      continue;
+    }
+    const uint32_t value = Load(kDataOff + head * 4);
+    Store(kHeadOff, (head + 1) % kSlots);
+    WakePeerIfWaiting(kWriterWaitOff);
+    return value;
+  }
+}
+
+Status PipeEndpoint::WriteMessage(std::span<const uint8_t> bytes) {
+  Status status = WriteWord(static_cast<uint32_t>(bytes.size()));
+  if (status != Status::kOk) {
+    return status;
+  }
+  for (size_t i = 0; i < bytes.size(); i += 4) {
+    uint32_t word = 0;
+    for (size_t j = 0; j < 4 && i + j < bytes.size(); ++j) {
+      word |= static_cast<uint32_t>(bytes[i + j]) << (8 * j);
+    }
+    status = WriteWord(word);
+    if (status != Status::kOk) {
+      return status;
+    }
+  }
+  return Status::kOk;
+}
+
+Result<uint32_t> PipeEndpoint::ReadMessage(std::span<uint8_t> bytes) {
+  Result<uint32_t> len = ReadWord();
+  if (!len.ok()) {
+    return len;
+  }
+  if (*len > bytes.size()) {
+    return Status::kErrOutOfRange;
+  }
+  for (uint32_t i = 0; i < *len; i += 4) {
+    Result<uint32_t> word = ReadWord();
+    if (!word.ok()) {
+      return word;
+    }
+    for (uint32_t j = 0; j < 4 && i + j < *len; ++j) {
+      bytes[i + j] = static_cast<uint8_t>(*word >> (8 * j));
+    }
+  }
+  return *len;
+}
+
+// --- LRPC ---
+
+void InstallLrpcServer(Process& server, std::function<PctArgs(const PctArgs&)> fn) {
+  Process* proc = &server;
+  server.set_pct_server([proc, fn = std::move(fn)](const PctArgs& args) {
+    proc->machine().Charge(kLrpcServerStub);
+    PctArgs reply = fn(args);
+    proc->machine().Charge(kLrpcServerStub);
+    return reply;
+  });
+}
+
+void InstallTlrpcServer(Process& server, std::function<PctArgs(const PctArgs&)> fn) {
+  Process* proc = &server;
+  server.set_pct_server([proc, fn = std::move(fn)](const PctArgs& args) {
+    proc->machine().Charge(kTlrpcStub);
+    return fn(args);
+  });
+}
+
+Result<PctArgs> LrpcCall(Process& client, aegis::EnvId server, const PctArgs& args) {
+  client.machine().Charge(kLrpcClientStub);
+  Result<PctArgs> reply = client.kernel().SysPctCall(server, args);
+  client.machine().Charge(kLrpcClientStub);
+  return reply;
+}
+
+Result<PctArgs> TlrpcCall(Process& client, aegis::EnvId server, const PctArgs& args) {
+  client.machine().Charge(kTlrpcStub);
+  Result<PctArgs> reply = client.kernel().SysPctCall(server, args);
+  client.machine().Charge(kTlrpcStub);
+  return reply;
+}
+
+}  // namespace xok::exos

@@ -1,0 +1,103 @@
+// ExOS IPC abstractions (paper §6.1): pipes, shared memory, and LRPC —
+// all implemented in application space on Aegis primitives. Pipes are a
+// shared-memory circular buffer with directed yields and block/wake;
+// LRPC rides protected control transfer. The paper's point: because these
+// are *library* code, applications can trade compatibility for speed
+// (FastPipe drops the POSIX-emulation layer; tlrpc trusts the server to
+// preserve callee-saved registers — §7.1).
+#ifndef XOK_SRC_EXOS_IPC_H_
+#define XOK_SRC_EXOS_IPC_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/exos/process.h"
+
+namespace xok::exos {
+
+// A frame shared between cooperating processes: the creator allocates it
+// and derives a grantable read-write capability that travels (as plain
+// data) to the peer.
+struct SharedBufferDesc {
+  hw::PageId frame = 0;
+  cap::Capability cap;  // kRead|kWrite|kGrant, for mapping and re-derive.
+};
+
+// Allocates a shared frame. Must run inside `owner`'s environment.
+Result<SharedBufferDesc> CreateSharedBuffer(Process& owner);
+
+// Maps a shared frame at `va` in the calling process. Must run inside
+// `self`'s environment.
+Status MapSharedBuffer(Process& self, const SharedBufferDesc& desc, hw::Vaddr va);
+
+// --- Pipes ---
+//
+// Ring layout (32-bit words within one 4 KB page):
+//   word 0: head (next read slot)       word 1: tail (next write slot)
+//   word 2: reader-waiting flag         word 3: writer-waiting flag
+//   word 4..1023: data slots (1020 words)
+//
+// Endpoints are symmetric objects bound to one process each; cooperating
+// processes exchange the SharedBufferDesc and each other's environment
+// capabilities at setup (ExOS's equivalent of inheriting fds).
+
+struct PipePeer {
+  aegis::EnvId env = aegis::kNoEnv;
+  cap::Capability env_cap;
+};
+
+class PipeEndpoint {
+ public:
+  // `posix_emulation` adds the fd-layer costs of a compatible pipe
+  // implementation (argument validation, fd table, SIGPIPE checks). The
+  // paper's `pipe` row is the emulated version; `pipe'` (FastPipe) is the
+  // native ring. Functionality is identical.
+  PipeEndpoint(Process& self, hw::Vaddr ring_va, PipePeer peer, bool posix_emulation);
+
+  // Writes one word; yields to the peer while the ring is full.
+  Status WriteWord(uint32_t value);
+  // Reads one word; blocks (directed-yields first) while empty.
+  Result<uint32_t> ReadWord();
+
+  // Byte-stream convenience built on the word ring: a length-prefixed
+  // message per call.
+  Status WriteMessage(std::span<const uint8_t> bytes);
+  Result<uint32_t> ReadMessage(std::span<uint8_t> bytes);  // Returns length.
+
+ private:
+  static constexpr uint32_t kHeadOff = 0;
+  static constexpr uint32_t kTailOff = 4;
+  static constexpr uint32_t kReaderWaitOff = 8;
+  static constexpr uint32_t kWriterWaitOff = 12;
+  static constexpr uint32_t kDataOff = 16;
+  static constexpr uint32_t kSlots = (hw::kPageBytes - kDataOff) / 4;
+
+  uint32_t Load(uint32_t off);
+  void Store(uint32_t off, uint32_t value);
+  void WaitAsReader();
+  void WaitAsWriter();
+  void WakePeerIfWaiting(uint32_t wait_flag_off);
+
+  Process& self_;
+  hw::Vaddr base_;
+  PipePeer peer_;
+  bool posix_emulation_;
+};
+
+// --- LRPC over protected control transfer (§6.1, §7.1) ---
+
+// Installs `fn` as the server's protected entry, with the standard lrpc
+// prologue/epilogue (saves and restores all general-purpose callee-saved
+// registers on behalf of callers).
+void InstallLrpcServer(Process& server, std::function<aegis::PctArgs(const aegis::PctArgs&)> fn);
+// Installs `fn` with the *trusted* stub: the client trusts the server to
+// preserve callee-saved registers, so neither side saves them (tlrpc).
+void InstallTlrpcServer(Process& server, std::function<aegis::PctArgs(const aegis::PctArgs&)> fn);
+
+// Client-side call stubs.
+Result<aegis::PctArgs> LrpcCall(Process& client, aegis::EnvId server, const aegis::PctArgs& args);
+Result<aegis::PctArgs> TlrpcCall(Process& client, aegis::EnvId server, const aegis::PctArgs& args);
+
+}  // namespace xok::exos
+
+#endif  // XOK_SRC_EXOS_IPC_H_

@@ -1,0 +1,89 @@
+// ExOS's application-level page table.
+//
+// This is the paper's central demonstration: the page-table structure is
+// *application code*. ExOS keeps a two-level table in its own memory;
+// Aegis only sees TLB-write requests guarded by capabilities. Because the
+// structure is ours, we can put anything in it — here: protection bits,
+// software dirty bits (maintained by write-protecting clean pages and
+// catching the first store), and the capability for each frame.
+#ifndef XOK_SRC_EXOS_PAGE_TABLE_H_
+#define XOK_SRC_EXOS_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "src/cap/capability.h"
+#include "src/hw/trap.h"
+
+namespace xok::exos {
+
+// Application-chosen protection, orthogonal to residency.
+enum Prot : uint8_t {
+  kProtNone = 0,
+  kProtRead = 1,
+  kProtWrite = 2,  // Implies read for our purposes.
+};
+
+struct Pte {
+  bool present = false;   // A frame is bound.
+  uint8_t prot = kProtNone;
+  bool dirty = false;     // Set on first store after a Clean().
+  hw::PageId frame = 0;
+  cap::Capability cap;    // Capability for `frame`.
+};
+
+class PageTable {
+ public:
+  static constexpr uint32_t kL1Bits = 10;
+  static constexpr uint32_t kL2Bits = 10;
+  static constexpr uint32_t kL2Entries = 1u << kL2Bits;
+
+  // Returns the PTE for `vpn`, or nullptr if the second-level table was
+  // never populated. Lookup cost is two indexed loads — this is what the
+  // paper's `dirty` benchmark measures.
+  Pte* Lookup(hw::Vpn vpn) {
+    const std::unique_ptr<Level2>& l2 = l1_[vpn >> kL2Bits];
+    if (l2 == nullptr) {
+      return nullptr;
+    }
+    Pte& pte = l2->entries[vpn & (kL2Entries - 1)];
+    return &pte;
+  }
+
+  // Returns the PTE for `vpn`, creating intermediate structures.
+  Pte& LookupOrCreate(hw::Vpn vpn) {
+    std::unique_ptr<Level2>& l2 = l1_[vpn >> kL2Bits];
+    if (l2 == nullptr) {
+      l2 = std::make_unique<Level2>();
+    }
+    return l2->entries[vpn & (kL2Entries - 1)];
+  }
+
+  // Visits every present mapping (teardown, revocation repair).
+  template <typename Fn>
+  void ForEachPresent(Fn&& fn) {
+    for (uint32_t hi = 0; hi < l1_.size(); ++hi) {
+      if (l1_[hi] == nullptr) {
+        continue;
+      }
+      for (uint32_t lo = 0; lo < kL2Entries; ++lo) {
+        Pte& pte = l1_[hi]->entries[lo];
+        if (pte.present) {
+          fn((hi << kL2Bits) | lo, pte);
+        }
+      }
+    }
+  }
+
+ private:
+  struct Level2 {
+    std::array<Pte, kL2Entries> entries{};
+  };
+
+  std::array<std::unique_ptr<Level2>, 1u << kL1Bits> l1_{};
+};
+
+}  // namespace xok::exos
+
+#endif  // XOK_SRC_EXOS_PAGE_TABLE_H_

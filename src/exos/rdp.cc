@@ -1,0 +1,117 @@
+#include "src/exos/rdp.h"
+
+#include <deque>
+
+namespace xok::exos {
+
+using hw::Instr;
+
+Status RdpEndpoint::Send(std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame(kHeaderBytes + payload.size());
+  frame[0] = kTypeData;
+  frame[1] = send_seq_;
+  std::copy(payload.begin(), payload.end(), frame.begin() + kHeaderBytes);
+
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    proc_.machine().Charge(Instr(20));  // Protocol bookkeeping.
+    const Status sent = socket_.SendTo(config_.peer_ip, config_.peer_port, frame);
+    if (sent != Status::kOk) {
+      return sent;
+    }
+    if (attempt > 0) {
+      ++retransmissions_;
+    }
+    // Await the ACK, polling with a short sleep so a lost ACK cannot
+    // block us forever.
+    uint64_t waited = 0;
+    while (waited < config_.retransmit_cycles) {
+      if (have_peer_ack_ && pending_ack_ == send_seq_) {
+        have_peer_ack_ = false;
+        send_seq_ ^= 1;
+        return Status::kOk;
+      }
+      Result<Datagram> dgram = socket_.Recv(/*blocking=*/false);
+      if (!dgram.ok()) {
+        const uint64_t nap = config_.retransmit_cycles / 8 + 1;
+        proc_.kernel().SysSleep(nap);
+        waited += nap;
+        continue;
+      }
+      if (dgram->payload.size() < kHeaderBytes) {
+        continue;
+      }
+      if (dgram->payload[0] == kTypeAck) {
+        if (dgram->payload[1] == send_seq_) {
+          send_seq_ ^= 1;
+          return Status::kOk;
+        }
+        continue;  // Stale ACK for the previous message.
+      }
+      // DATA arrived while we were sending (full duplex): the peer may be
+      // retransmitting because our earlier ACK was lost. Re-ACK
+      // duplicates; stash fresh data for Recv().
+      if (dgram->payload[1] != recv_seq_) {
+        ++duplicates_dropped_;
+        SendAck(dgram->payload[1]);
+      } else {
+        stashed_.push_back(std::move(*dgram));
+      }
+    }
+  }
+  return Status::kErrTimedOut;
+}
+
+Result<std::vector<uint8_t>> RdpEndpoint::Recv() {
+  for (;;) {
+    Datagram dgram;
+    if (!stashed_.empty()) {
+      dgram = std::move(stashed_.front());
+      stashed_.pop_front();
+    } else {
+      Result<Datagram> received = socket_.Recv(/*blocking=*/true);
+      if (!received.ok()) {
+        return received.status();
+      }
+      dgram = std::move(*received);
+    }
+    proc_.machine().Charge(Instr(15));
+    if (dgram.payload.size() < kHeaderBytes) {
+      continue;
+    }
+    if (dgram.payload[0] == kTypeAck) {
+      have_peer_ack_ = true;  // Surfaced to a concurrent Send.
+      pending_ack_ = dgram.payload[1];
+      continue;
+    }
+    const uint8_t seq = dgram.payload[1];
+    SendAck(seq);
+    if (seq != recv_seq_) {
+      ++duplicates_dropped_;  // Retransmission of already-delivered data.
+      continue;
+    }
+    recv_seq_ ^= 1;
+    return std::vector<uint8_t>(dgram.payload.begin() + kHeaderBytes, dgram.payload.end());
+  }
+}
+
+void RdpEndpoint::PumpAcks() {
+  for (;;) {
+    Result<Datagram> dgram = socket_.Recv(/*blocking=*/false);
+    if (!dgram.ok()) {
+      return;
+    }
+    if (dgram->payload.size() < kHeaderBytes || dgram->payload[0] != kTypeData) {
+      continue;
+    }
+    ++duplicates_dropped_;
+    SendAck(dgram->payload[1]);
+  }
+}
+
+void RdpEndpoint::SendAck(uint8_t seq) {
+  proc_.machine().Charge(Instr(10));
+  std::vector<uint8_t> ack = {kTypeAck, seq, 0, 0};
+  (void)socket_.SendTo(config_.peer_ip, config_.peer_port, ack);
+}
+
+}  // namespace xok::exos

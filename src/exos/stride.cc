@@ -1,0 +1,46 @@
+#include "src/exos/stride.h"
+
+namespace xok::exos {
+
+using hw::Instr;
+
+size_t StrideScheduler::AddClient(aegis::EnvId env, uint32_t tickets) {
+  Client client;
+  client.env = env;
+  client.stride = tickets == 0 ? kStride1 : kStride1 / tickets;
+  // New clients start at the minimum pass currently in the system so they
+  // neither starve nor monopolise.
+  uint64_t min_pass = 0;
+  bool first = true;
+  for (const Client& existing : clients_) {
+    if (first || existing.pass < min_pass) {
+      min_pass = existing.pass;
+      first = false;
+    }
+  }
+  client.pass = min_pass + client.stride;
+  clients_.push_back(client);
+  allocations_.push_back(0);
+  return clients_.size() - 1;
+}
+
+void StrideScheduler::RunSlices(uint32_t slices) {
+  for (uint32_t i = 0; i < slices; ++i) {
+    // Pick the client with the minimum pass value (deterministic
+    // proportional share).
+    self_.machine().Charge(Instr(10 + 4 * clients_.size()));  // Scan.
+    size_t winner = 0;
+    for (size_t c = 1; c < clients_.size(); ++c) {
+      if (clients_[c].pass < clients_[winner].pass) {
+        winner = c;
+      }
+    }
+    clients_[winner].pass += clients_[winner].stride;
+    ++allocations_[winner];
+    history_.push_back(winner);
+    // Donate this slice: directed yield straight to the chosen client.
+    self_.kernel().SysYield(clients_[winner].env);
+  }
+}
+
+}  // namespace xok::exos

@@ -1,0 +1,54 @@
+// Application-level stride scheduling (paper §7.3, refs [53, 54]).
+//
+// Aegis's only CPU abstraction is the slice vector plus directed yield.
+// That is enough for an *application* to implement a deterministic
+// proportional-share scheduler: this scheduler environment owns the time
+// slices; on every slice wakeup it computes which client should run
+// (minimum pass value) and yields to it directly, donating the slice.
+#ifndef XOK_SRC_EXOS_STRIDE_H_
+#define XOK_SRC_EXOS_STRIDE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exos/process.h"
+
+namespace xok::exos {
+
+class StrideScheduler {
+ public:
+  // Precision constant: stride1 in the stride-scheduling papers.
+  static constexpr uint64_t kStride1 = 1u << 20;
+
+  explicit StrideScheduler(Process& self) : self_(self) {}
+
+  // Registers a client with `tickets` (relative share). Returns its index.
+  size_t AddClient(aegis::EnvId env, uint32_t tickets);
+
+  // Runs `slices` scheduling decisions: each picks the minimum-pass client
+  // and donates the current slice via directed yield.
+  void RunSlices(uint32_t slices);
+
+  // Slices granted to each client so far (by AddClient index).
+  const std::vector<uint64_t>& allocations() const { return allocations_; }
+
+  // Chronological record of which client got each slice (for the
+  // cumulative-allocation figure).
+  const std::vector<size_t>& history() const { return history_; }
+
+ private:
+  struct Client {
+    aegis::EnvId env = aegis::kNoEnv;
+    uint64_t stride = 0;
+    uint64_t pass = 0;
+  };
+
+  Process& self_;
+  std::vector<Client> clients_;
+  std::vector<uint64_t> allocations_;
+  std::vector<size_t> history_;
+};
+
+}  // namespace xok::exos
+
+#endif  // XOK_SRC_EXOS_STRIDE_H_

@@ -1,0 +1,114 @@
+#include "src/exos/udp.h"
+
+#include "src/ash/ash.h"
+
+namespace xok::exos {
+
+using hw::Instr;
+
+namespace {
+// Application-level protocol costs.
+constexpr uint64_t kHeaderBuild = Instr(45);   // Ethernet+IP+UDP assembly.
+constexpr uint64_t kHeaderParse = Instr(35);   // Validation + field extraction.
+// Internet checksum: one add per 16-bit word.
+uint64_t CksumCost(size_t bytes) { return Instr((bytes + 1) / 2); }
+}  // namespace
+
+Status UdpSocket::Bind(uint16_t port) {
+  if (binding_.has_value()) {
+    return Status::kErrBadState;
+  }
+  aegis::FilterBindSpec spec;
+  spec.filter = dpf::UdpPortFilter(port);
+  Result<dpf::FilterId> id = proc_.kernel().SysBindFilter(std::move(spec), cap::Capability{});
+  if (!id.ok()) {
+    return id.status();
+  }
+  binding_ = *id;
+  port_ = port;
+  return Status::kOk;
+}
+
+Status UdpSocket::Close() {
+  if (!binding_.has_value()) {
+    return Status::kErrBadState;
+  }
+  const Status status = proc_.kernel().SysUnbindFilter(*binding_);
+  binding_.reset();
+  return status;
+}
+
+Status UdpSocket::SendTo(uint32_t dst_ip, uint16_t dst_port, std::span<const uint8_t> payload) {
+  proc_.machine().Charge(kHeaderBuild + CksumCost(payload.size() + net::kUdpHeaderBytes) +
+                         CksumCost(net::kIpHeaderBytes));
+  const uint64_t dst_mac = iface_.resolve ? iface_.resolve(dst_ip) : hw::kBroadcastMac;
+  std::vector<uint8_t> frame =
+      net::BuildUdpFrame(dst_mac, iface_.mac, iface_.ip, dst_ip, port_, dst_port, payload);
+  return proc_.kernel().SysNetSend(frame);
+}
+
+Result<Datagram> UdpSocket::Recv(bool blocking) {
+  if (!binding_.has_value()) {
+    return Status::kErrBadState;
+  }
+  for (;;) {
+    Result<std::vector<uint8_t>> frame = proc_.kernel().SysRecvPacket(*binding_);
+    if (frame.ok()) {
+      proc_.machine().Charge(kHeaderParse);
+      net::UdpView view;
+      if (!net::ParseUdpFrame(*frame, &view)) {
+        continue;  // Malformed; the library's policy is to drop.
+      }
+      Datagram dgram;
+      dgram.src_ip = view.src_ip;
+      dgram.src_port = view.src_port;
+      dgram.payload.assign(view.payload.begin(), view.payload.end());
+      return dgram;
+    }
+    if (frame.status() != Status::kErrWouldBlock) {
+      return frame.status();
+    }
+    if (!blocking) {
+      return Status::kErrWouldBlock;
+    }
+    proc_.kernel().SysBlock();  // The binding wakes us on arrival.
+  }
+}
+
+Result<dpf::FilterId> BindEchoAsh(Process& proc, const AshEchoConfig& config) {
+  // Pin a one-page region and prebuild the reply frame in it. The payload
+  // is the 4-byte counter; the ASH patches it before each send.
+  Result<aegis::PageGrant> region = proc.kernel().SysAllocPage();
+  if (!region.ok()) {
+    return region.status();
+  }
+  const std::vector<uint8_t> counter(4, 0);
+  const uint64_t peer_mac =
+      config.iface.resolve ? config.iface.resolve(config.peer_ip) : hw::kBroadcastMac;
+  std::vector<uint8_t> reply = net::BuildUdpFrame(peer_mac, config.iface.mac, config.iface.ip,
+                                                  config.peer_ip, config.port, config.peer_port,
+                                                  counter);
+  constexpr uint32_t kReplyOff = 64;  // Region offset of the template.
+  auto region_bytes = proc.machine().mem().PageSpan(region->page);
+  std::copy(reply.begin(), reply.end(), region_bytes.begin() + kReplyOff);
+
+  Result<ash::AshProgram> handler = ash::BuildEchoAsh(ash::EchoAshSpec{
+      .counter_off = net::kUdpPayloadOff,
+      .reply_off = kReplyOff,
+      .reply_len = static_cast<uint32_t>(reply.size()),
+      .reply_counter_off = net::kUdpPayloadOff,
+      .count_off = 0,
+  });
+  if (!handler.ok()) {
+    return handler.status();
+  }
+
+  aegis::FilterBindSpec spec;
+  spec.filter = dpf::UdpPortFilter(config.port);
+  spec.handler = std::move(*handler);
+  spec.region_first_page = region->page;
+  spec.region_pages = 1;
+  return proc.kernel().SysBindFilter(std::move(spec), region->cap);
+}
+
+}  // namespace xok::exos

@@ -1,0 +1,79 @@
+// ExOS remote communication: UDP sockets in application space (paper §6.3).
+//
+// The whole protocol stack is library code: header construction, Internet
+// checksums, and demultiplexing policy (which packets to claim) are chosen
+// by the application; Aegis contributes only the secure filter binding and
+// raw frame transmission. Two receive paths exist:
+//   * the ordinary path — packets queue in a kernel buffer, the process is
+//     woken, and it copies the frame out when scheduled;
+//   * the ASH path (BindEchoAsh below / exos tests) — a downloaded handler
+//     vectors or answers the message at interrupt time.
+#ifndef XOK_SRC_EXOS_UDP_H_
+#define XOK_SRC_EXOS_UDP_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/dpf/tcpip_filters.h"
+#include "src/exos/process.h"
+#include "src/net/wire.h"
+
+namespace xok::exos {
+
+// Static interface configuration (no ARP in 1995's experiments either:
+// the paper ping-pongs between two fixed stations).
+struct NetIface {
+  uint64_t mac = 0;
+  uint32_t ip = 0;
+  // Resolver from destination IP to MAC (static table in practice).
+  std::function<uint64_t(uint32_t ip)> resolve;
+};
+
+struct Datagram {
+  uint32_t src_ip = 0;
+  uint16_t src_port = 0;
+  std::vector<uint8_t> payload;
+};
+
+class UdpSocket {
+ public:
+  UdpSocket(Process& proc, NetIface iface) : proc_(proc), iface_(std::move(iface)) {}
+
+  // Claims UDP packets to `port` via a filter binding (kernel-queue path).
+  Status Bind(uint16_t port);
+  Status Close();
+
+  // Builds the frame (headers + checksums are application code, charged as
+  // such) and hands it to the kernel for transmission.
+  Status SendTo(uint32_t dst_ip, uint16_t dst_port, std::span<const uint8_t> payload);
+
+  // Receives the next datagram. Blocking: sleeps until the filter binding
+  // wakes us. Non-blocking: returns kErrWouldBlock when empty.
+  Result<Datagram> Recv(bool blocking = true);
+
+  uint16_t port() const { return port_; }
+
+ private:
+  Process& proc_;
+  NetIface iface_;
+  uint16_t port_ = 0;
+  std::optional<dpf::FilterId> binding_;
+};
+
+// Binds an echo-reply ASH for UDP `port`: requests arriving at `port` are
+// answered entirely at interrupt level with a counter-incremented copy of
+// the prebuilt reply frame (the paper's Table 11 ASH workload). Returns
+// the filter id; the region is allocated inside `proc`'s environment.
+struct AshEchoConfig {
+  NetIface iface;
+  uint16_t port = 0;
+  uint32_t peer_ip = 0;
+  uint16_t peer_port = 0;
+};
+Result<dpf::FilterId> BindEchoAsh(Process& proc, const AshEchoConfig& config);
+
+}  // namespace xok::exos
+
+#endif  // XOK_SRC_EXOS_UDP_H_

@@ -1,0 +1,102 @@
+#include "src/exos/uthread.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xok::exos {
+
+using hw::Instr;
+
+ThreadGroup::ThreadGroup(Process& proc) : proc_(proc) {
+  // The exokernel exposes the timer interrupt; our epilogue turns it into
+  // a preemption hint for the thread scheduler (on top of the usual
+  // context save the slice end requires). It runs at interrupt level, so
+  // it only sets a flag — the actual thread switch happens at the next
+  // safe point (Yield).
+  proc_.set_timer_epilogue([this] {
+    proc_.machine().Charge(Instr(30));  // Save the interrupted context.
+    preempt_hint_ = true;
+  });
+}
+
+ThreadGroup::ThreadId ThreadGroup::Spawn(std::function<void()> body) {
+  const ThreadId id = static_cast<ThreadId>(threads_.size());
+  auto thread = std::make_unique<Thread>();
+  thread->id = id;
+  Thread* raw = thread.get();
+  thread->fiber = std::make_unique<hw::Fiber>([this, raw, body = std::move(body)]() {
+    body();
+    raw->finished = true;
+    // Wake a joiner, if any.
+    if (raw->joined_by != kNoThread) {
+      Thread& joiner = *threads_[raw->joined_by];
+      if (joiner.blocked) {
+        joiner.blocked = false;
+        run_queue_.push_back(joiner.id);
+      }
+    }
+    SwitchToScheduler();
+    std::fprintf(stderr, "uthread: finished thread resumed\n");
+    std::abort();
+  });
+  threads_.push_back(std::move(thread));
+  run_queue_.push_back(id);
+  proc_.machine().Charge(Instr(20));  // Stack + TCB setup.
+  return id;
+}
+
+void ThreadGroup::Run() {
+  while (!run_queue_.empty()) {
+    const ThreadId next = run_queue_.front();
+    run_queue_.pop_front();
+    Thread& thread = *threads_[next];
+    if (thread.finished || thread.blocked) {
+      continue;
+    }
+    current_ = next;
+    proc_.machine().Charge(Instr(4));  // User-level dispatch: cheap.
+    hw::Fiber::Switch(scheduler_fiber_, *thread.fiber);
+    current_ = kNoThread;
+  }
+  // All threads finished or blocked; blocked threads with no finisher
+  // would be a deadlock — surface it.
+  for (const auto& thread : threads_) {
+    if (!thread->finished && thread->blocked) {
+      std::fprintf(stderr, "uthread: deadlock — thread %u blocked forever\n", thread->id);
+      std::abort();
+    }
+  }
+}
+
+void ThreadGroup::SwitchToScheduler() {
+  Thread& thread = *threads_[current_];
+  hw::Fiber::Switch(*thread.fiber, scheduler_fiber_);
+}
+
+void ThreadGroup::Yield() {
+  proc_.machine().Charge(Instr(6));  // User-level context switch cost.
+  if (current_ == kNoThread) {
+    return;
+  }
+  if (preempt_hint_) {
+    preempt_hint_ = false;
+    ++preemptions_;
+  }
+  run_queue_.push_back(current_);
+  SwitchToScheduler();
+}
+
+void ThreadGroup::Join(ThreadId target) {
+  if (current_ == kNoThread || target >= threads_.size() || target == current_) {
+    return;
+  }
+  Thread& joinee = *threads_[target];
+  if (joinee.finished) {
+    return;
+  }
+  joinee.joined_by = current_;
+  threads_[current_]->blocked = true;
+  SwitchToScheduler();
+}
+
+}  // namespace xok::exos

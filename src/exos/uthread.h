@@ -1,0 +1,91 @@
+// User-level threads on ExOS (paper §2: "implementing lightweight threads
+// on top of heavyweight processes usually requires compromises in
+// correctness and performance, because the operating system hides page
+// faults and timer interrupts").
+//
+// On an exokernel nothing is hidden: ExOS receives the end-of-slice timer
+// interrupt in its own epilogue and every page fault in its own handler,
+// so a thread library can be built correctly in application space:
+//
+//   * threads are fibers multiplexed on one environment,
+//   * the slice-end epilogue sets a preemption hint, honoured at the next
+//     safe point (Charge-granular, like everything in the simulator), so
+//     CPU-bound threads cannot starve their siblings across slices,
+//   * a thread that takes a page fault simply runs the ExOS handler on
+//     its own fiber — other threads are unaffected.
+//
+// The API is deliberately tiny: Spawn, Yield, Join, Run.
+#ifndef XOK_SRC_EXOS_UTHREAD_H_
+#define XOK_SRC_EXOS_UTHREAD_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/exos/process.h"
+#include "src/hw/fiber.h"
+
+namespace xok::exos {
+
+class ThreadGroup {
+ public:
+  using ThreadId = uint32_t;
+
+  // Installs the preemption hint into `proc`'s timer epilogue. One group
+  // per process.
+  explicit ThreadGroup(Process& proc);
+
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+
+  // Creates a thread; it starts running once Run() is called (or at the
+  // next scheduling point if spawned from inside a running thread).
+  ThreadId Spawn(std::function<void()> body);
+
+  // Runs until every thread has finished. Must be called from the
+  // process's main context (not from inside a thread).
+  void Run();
+
+  // --- Called from inside threads ---
+
+  // Cooperative reschedule point. Also the preemption point: if the slice
+  // ended since the last check, the current thread is rotated to the back
+  // of the run queue even if it "just yielded to check".
+  void Yield();
+
+  // Blocks the calling thread until `target` finishes.
+  void Join(ThreadId target);
+
+  ThreadId Self() const { return current_; }
+  // True if the slice-end hint is pending (tests / cooperative loops).
+  bool preempt_pending() const { return preempt_hint_; }
+  uint64_t preemptions() const { return preemptions_; }
+
+ private:
+  static constexpr ThreadId kNoThread = 0xffffffffu;
+
+  struct Thread {
+    ThreadId id = 0;
+    std::unique_ptr<hw::Fiber> fiber;
+    bool finished = false;
+    ThreadId joined_by = kNoThread;  // Thread waiting on us.
+    bool blocked = false;            // Waiting in Join.
+  };
+
+  // Switches from the current thread back to the scheduler context.
+  void SwitchToScheduler();
+
+  Process& proc_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::deque<ThreadId> run_queue_;
+  hw::Fiber scheduler_fiber_;
+  ThreadId current_ = kNoThread;
+  bool preempt_hint_ = false;
+  uint64_t preemptions_ = 0;
+};
+
+}  // namespace xok::exos
+
+#endif  // XOK_SRC_EXOS_UTHREAD_H_

@@ -1,0 +1,42 @@
+// The simulated cycle clock. All simulated time flows through one of these;
+// machines attached to the same hw::World share a single clock so that
+// cross-machine packet timing is well defined.
+#ifndef XOK_SRC_HW_CLOCK_H_
+#define XOK_SRC_HW_CLOCK_H_
+
+#include <cstdint>
+
+#include "src/hw/cost.h"
+
+namespace xok::hw {
+
+class CycleClock {
+ public:
+  CycleClock() = default;
+
+  CycleClock(const CycleClock&) = delete;
+  CycleClock& operator=(const CycleClock&) = delete;
+
+  uint64_t now() const { return now_; }
+
+  // Advances time by `cycles`. This is the only way time moves forward.
+  void Advance(uint64_t cycles) { now_ += cycles; }
+
+  // Moves time forward to `cycle` (used when a machine idles until the next
+  // scheduled event). No-op if `cycle` is in the past: two machines sharing
+  // a clock may both be past an event's nominal timestamp.
+  void AdvanceTo(uint64_t cycle) {
+    if (cycle > now_) {
+      now_ = cycle;
+    }
+  }
+
+  double now_micros() const { return CyclesToMicros(now_); }
+
+ private:
+  uint64_t now_ = 0;
+};
+
+}  // namespace xok::hw
+
+#endif  // XOK_SRC_HW_CLOCK_H_

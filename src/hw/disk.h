@@ -1,0 +1,90 @@
+// A fixed-latency block device. Requests complete asynchronously: the
+// machine receives an InterruptSource::kDiskDone interrupt whose payload is
+// the request id; the kernel then calls Complete() to retire it. Transfers
+// move whole 4 KB blocks to/from physical page frames (DMA), charged per
+// word like any other bulk copy.
+#ifndef XOK_SRC_HW_DISK_H_
+#define XOK_SRC_HW_DISK_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hw/machine.h"
+
+namespace xok::hw {
+
+class Disk {
+ public:
+  struct Completion {
+    uint32_t block = 0;
+    bool write = false;
+  };
+
+  Disk(Machine& machine, uint32_t block_count)
+      : machine_(machine),
+        block_count_(block_count),
+        data_(static_cast<size_t>(block_count) * kPageBytes, 0) {}
+
+  uint32_t block_count() const { return block_count_; }
+
+  // Starts a read of `block` into physical frame `frame`. Returns the
+  // request id whose completion interrupt will carry it as payload.
+  Result<uint64_t> SubmitRead(uint32_t block, PageId frame) {
+    return Submit(block, frame, /*write=*/false);
+  }
+
+  // Starts a write of physical frame `frame` to `block`.
+  Result<uint64_t> SubmitWrite(uint32_t block, PageId frame) {
+    return Submit(block, frame, /*write=*/true);
+  }
+
+  // Retires a completed request (called from the kDiskDone handler).
+  Result<Completion> Complete(uint64_t request_id) {
+    auto it = inflight_.find(request_id);
+    if (it == inflight_.end()) {
+      return Status::kErrNotFound;
+    }
+    Request req = it->second;
+    inflight_.erase(it);
+    // The DMA happens "during" the latency window; apply it at completion.
+    uint8_t* media = &data_[static_cast<size_t>(req.block) * kPageBytes];
+    auto frame_span = machine_.mem().PageSpan(req.frame);
+    if (req.write) {
+      std::copy(frame_span.begin(), frame_span.end(), media);
+    } else {
+      std::copy(media, media + kPageBytes, frame_span.begin());
+    }
+    return Completion{req.block, req.write};
+  }
+
+ private:
+  struct Request {
+    uint32_t block = 0;
+    PageId frame = 0;
+    bool write = false;
+  };
+
+  Result<uint64_t> Submit(uint32_t block, PageId frame, bool write) {
+    if (block >= block_count_ || !machine_.mem().ValidPage(frame)) {
+      return Status::kErrOutOfRange;
+    }
+    machine_.Charge(Instr(50));  // Controller programming.
+    const uint64_t id = next_id_++;
+    inflight_.emplace(id, Request{block, frame, write});
+    machine_.PushEvent(machine_.clock().now() + kDiskAccessCycles, InterruptSource::kDiskDone,
+                       id);
+    return id;
+  }
+
+  Machine& machine_;
+  uint32_t block_count_;
+  std::vector<uint8_t> data_;
+  std::unordered_map<uint64_t, Request> inflight_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace xok::hw
+
+#endif  // XOK_SRC_HW_DISK_H_

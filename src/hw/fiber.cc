@@ -1,0 +1,41 @@
+#include "src/hw/fiber.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xok::hw {
+
+Fiber::Fiber() {
+  // Context is filled in by the first Switch() away from this fiber.
+}
+
+Fiber::Fiber(Entry entry, size_t stack_bytes) : stack_(stack_bytes), entry_(std::move(entry)) {
+  if (getcontext(&context_) != 0) {
+    std::perror("getcontext");
+    std::abort();
+  }
+  context_.uc_stack.ss_sp = stack_.data();
+  context_.uc_stack.ss_size = stack_.size();
+  context_.uc_link = nullptr;  // Entries never return; see header contract.
+  // makecontext only passes ints portably, so smuggle `this` as two halves.
+  auto self = reinterpret_cast<uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 2,
+              static_cast<unsigned>(self >> 32), static_cast<unsigned>(self & 0xffffffffu));
+}
+
+void Fiber::Switch(Fiber& from, Fiber& to) {
+  if (swapcontext(&from.context_, &to.context_) != 0) {
+    std::perror("swapcontext");
+    std::abort();
+  }
+}
+
+void Fiber::Trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>((static_cast<uintptr_t>(hi) << 32) |
+                                        static_cast<uintptr_t>(lo));
+  self->entry_();
+  std::fprintf(stderr, "xok: fiber entry returned without exiting via its kernel\n");
+  std::abort();
+}
+
+}  // namespace xok::hw

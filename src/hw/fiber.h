@@ -1,0 +1,51 @@
+// Cooperative execution contexts ("fibers") built on ucontext. Each
+// simulated processor environment, each Ultrix process, and each machine in
+// a multi-machine world runs on its own fiber; kernels switch between them
+// deterministically. This stands in for real hardware context switching —
+// the *cost* of a switch is charged separately by the kernels, per register
+// actually saved/restored in their model.
+#ifndef XOK_SRC_HW_FIBER_H_
+#define XOK_SRC_HW_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace xok::hw {
+
+class Fiber {
+ public:
+  using Entry = std::function<void()>;
+
+  // Wraps the currently-executing context. Switching away from and back to
+  // this fiber resumes here. Used for kernel scheduler loops.
+  Fiber();
+
+  // Creates a suspended fiber that will run `entry` when first switched to.
+  // `entry` must not return: when its work is done it must arrange a switch
+  // elsewhere (kernels enforce this via their exit syscalls); a returning
+  // entry aborts the process, because there is nowhere to go.
+  explicit Fiber(Entry entry, size_t stack_bytes = kDefaultStackBytes);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Saves the current context into `from` and resumes `to`.
+  static void Switch(Fiber& from, Fiber& to);
+
+  static constexpr size_t kDefaultStackBytes = 256 * 1024;
+
+ private:
+  static void Trampoline(unsigned hi, unsigned lo);
+
+  ucontext_t context_{};
+  std::vector<uint8_t> stack_;  // Empty for the wrapping constructor.
+  Entry entry_;
+};
+
+}  // namespace xok::hw
+
+#endif  // XOK_SRC_HW_FIBER_H_

@@ -1,0 +1,81 @@
+// Ownership-tagged framebuffer (paper §3.1): some Silicon Graphics frame
+// buffers associate an ownership tag with each pixel; the hardware checks
+// the tag on I/O, so applications can be given direct framebuffer access
+// without kernel mediation. We model a tile-granular version: the kernel
+// (via the privileged port it owns) assigns an owner tag per 16x16 tile;
+// every application blit presents its tag and the hardware enforces it.
+#ifndef XOK_SRC_HW_FRAMEBUFFER_H_
+#define XOK_SRC_HW_FRAMEBUFFER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/hw/machine.h"
+
+namespace xok::hw {
+
+class Framebuffer {
+ public:
+  static constexpr uint32_t kTileDim = 16;
+  static constexpr uint32_t kNoOwner = 0;
+
+  Framebuffer(Machine& machine, uint32_t width, uint32_t height)
+      : machine_(machine),
+        width_(width),
+        height_(height),
+        pixels_(static_cast<size_t>(width) * height, 0),
+        tile_cols_((width + kTileDim - 1) / kTileDim),
+        tile_rows_((height + kTileDim - 1) / kTileDim),
+        tile_owner_(static_cast<size_t>(tile_cols_) * tile_rows_, kNoOwner) {}
+
+  uint32_t width() const { return width_; }
+  uint32_t height() const { return height_; }
+
+  // Privileged (kernel-only by convention: the kernel keeps the binding
+  // table; applications never see this object directly, only through the
+  // kernel's secure-binding API which calls it).
+  Status SetTileOwner(uint32_t tile_x, uint32_t tile_y, uint32_t owner_tag) {
+    if (tile_x >= tile_cols_ || tile_y >= tile_rows_) {
+      return Status::kErrOutOfRange;
+    }
+    machine_.Charge(Instr(2));
+    tile_owner_[tile_y * tile_cols_ + tile_x] = owner_tag;
+    return Status::kOk;
+  }
+
+  // Hardware-checked pixel write: the ownership tag is compared on I/O.
+  Status WritePixel(uint32_t owner_tag, uint32_t x, uint32_t y, uint32_t rgba) {
+    if (x >= width_ || y >= height_) {
+      return Status::kErrOutOfRange;
+    }
+    machine_.Charge(kMemWordAccess + Instr(1));  // Write plus tag compare.
+    if (OwnerAt(x, y) != owner_tag) {
+      return Status::kErrAccessDenied;
+    }
+    pixels_[static_cast<size_t>(y) * width_ + x] = rgba;
+    return Status::kOk;
+  }
+
+  uint32_t ReadPixel(uint32_t x, uint32_t y) const {
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+
+  uint32_t OwnerAt(uint32_t x, uint32_t y) const {
+    return tile_owner_[(y / kTileDim) * tile_cols_ + (x / kTileDim)];
+  }
+
+ private:
+  Machine& machine_;
+  uint32_t width_;
+  uint32_t height_;
+  std::vector<uint32_t> pixels_;
+  uint32_t tile_cols_;
+  uint32_t tile_rows_;
+  std::vector<uint32_t> tile_owner_;
+};
+
+}  // namespace xok::hw
+
+#endif  // XOK_SRC_HW_FRAMEBUFFER_H_

@@ -1,0 +1,336 @@
+#include "src/hw/machine.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/hw/world.h"
+
+namespace xok::hw {
+
+// --- PrivPort ---
+
+void PrivPort::TlbWriteRandom(const TlbEntry& entry) {
+  machine_.Charge(kTlbWrite);
+  machine_.tlb_.WriteRandom(entry);
+}
+
+void PrivPort::TlbInvalidate(Vpn vpn, Asid asid) {
+  machine_.Charge(kTlbWrite);
+  machine_.tlb_.Invalidate(vpn, asid);
+}
+
+void PrivPort::TlbFlushAsid(Asid asid) {
+  machine_.Charge(kTlbWrite * 4);  // Indexed sweep.
+  machine_.tlb_.FlushAsid(asid);
+}
+
+void PrivPort::TlbFlushAll() {
+  machine_.Charge(kTlbWrite * 4);
+  machine_.tlb_.FlushAll();
+}
+
+const TlbEntry* PrivPort::TlbProbe(Vpn vpn, Asid asid) {
+  machine_.Charge(kTlbProbe);
+  return machine_.tlb_.Lookup(vpn, asid);
+}
+
+void PrivPort::SetAsid(Asid asid) {
+  machine_.Charge(Instr(1));
+  machine_.asid_ = asid;
+}
+
+Asid PrivPort::asid() const { return machine_.asid_; }
+
+void PrivPort::SetSliceDeadline(uint64_t absolute_cycle) {
+  machine_.Charge(Instr(1));
+  machine_.slice_deadline_ = absolute_cycle;
+}
+
+uint64_t PrivPort::slice_deadline() const { return machine_.slice_deadline_; }
+
+void PrivPort::SetCoprocEnabled(bool enabled) {
+  machine_.Charge(Instr(1));
+  machine_.coproc_enabled_ = enabled;
+}
+
+void PrivPort::SetInterruptsEnabled(bool enabled) {
+  machine_.Charge(Instr(1));
+  machine_.interrupts_enabled_ = enabled;
+}
+
+uint32_t PrivPort::PhysReadWord(Paddr pa) {
+  machine_.Charge(kMemWordAccess);
+  return machine_.mem_.ReadWord(pa);
+}
+
+void PrivPort::PhysWriteWord(Paddr pa, uint32_t value) {
+  machine_.Charge(kMemWordAccess);
+  machine_.mem_.WriteWord(pa, value);
+}
+
+void PrivPort::PhysCopy(Paddr dst, Paddr src, uint32_t bytes) {
+  machine_.Charge(kMemWordCopy * ((bytes + 3) / 4));
+  for (uint32_t i = 0; i < bytes; ++i) {
+    machine_.mem_.WriteByte(dst + i, machine_.mem_.ReadByte(src + i));
+  }
+}
+
+void PrivPort::ScheduleEvent(uint64_t delay, InterruptSource source, uint64_t payload) {
+  machine_.PushEvent(machine_.clock_->now() + delay, source, payload);
+}
+
+int PrivPort::SwapTrapDepth(int depth) {
+  const int old = machine_.trap_depth_;
+  machine_.trap_depth_ = depth;
+  return old;
+}
+
+// --- Machine ---
+
+Machine::Machine(const Config& config, World* world)
+    : config_(config),
+      clock_(world != nullptr ? world->clock() : std::make_shared<CycleClock>()),
+      mem_(config.phys_pages),
+      priv_(*this),
+      world_(world) {
+  if (world_ != nullptr) {
+    world_->Attach(this);
+  }
+}
+
+Machine::~Machine() = default;
+
+PrivPort& Machine::InstallKernel(TrapSink* kernel) {
+  if (kernel_ != nullptr) {
+    std::fprintf(stderr, "xok: machine %s already has a kernel\n", config_.name);
+    std::abort();
+  }
+  kernel_ = kernel;
+  return priv_;
+}
+
+void Machine::Charge(uint64_t cycles) {
+  clock_->Advance(cycles);
+  if (trap_depth_ > 0) {
+    return;  // Interrupts implicitly masked while handling a trap.
+  }
+  if (world_ != nullptr && world_->ParkedEventDue(clock_->now())) {
+    world_->YieldForDueEvent(this);
+  }
+  if (interrupts_enabled_) {
+    DeliverDue();
+  }
+}
+
+Result<Paddr> Machine::Translate(Vaddr va, bool store) {
+  const Vpn vpn = VpnOf(va);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const TlbEntry* entry = tlb_.Lookup(vpn, asid_);
+    if (entry == nullptr) {
+      const ExceptionType type =
+          store ? ExceptionType::kTlbMissStore : ExceptionType::kTlbMissLoad;
+      if (RaiseException(type, va, store) == TrapOutcome::kSkip) {
+        return Status::kErrAccessDenied;
+      }
+      continue;
+    }
+    if (store && !entry->writable) {
+      if (RaiseException(ExceptionType::kTlbModify, va, store) == TrapOutcome::kSkip) {
+        return Status::kErrAccessDenied;
+      }
+      continue;
+    }
+    const Paddr pa = (static_cast<Paddr>(entry->pfn) << kPageShift) | PageOffset(va);
+    if (!mem_.ValidPaddr(pa)) {
+      RaiseException(ExceptionType::kBusError, va, store);
+      return Status::kErrOutOfRange;
+    }
+    return pa;
+  }
+  // The kernel kept claiming it fixed the fault but the TLB still misses:
+  // a refill livelock. Surface it rather than spinning.
+  return Status::kErrBadState;
+}
+
+TrapOutcome Machine::RaiseException(ExceptionType type, Vaddr bad_vaddr, bool store) {
+  if (kernel_ == nullptr) {
+    std::fprintf(stderr, "xok: exception with no kernel installed\n");
+    std::abort();
+  }
+  Charge(kExceptionRaise);
+  TrapFrame frame;
+  frame.type = type;
+  frame.bad_vaddr = bad_vaddr;
+  frame.store = store;
+  ++trap_depth_;
+  const TrapOutcome outcome = kernel_->OnException(frame);
+  --trap_depth_;
+  Charge(kExceptionReturn);
+  return outcome;
+}
+
+Result<uint32_t> Machine::LoadWord(Vaddr va) {
+  if ((va & 3u) != 0) {
+    RaiseException(ExceptionType::kAddressError, va, /*store=*/false);
+    return Status::kErrInvalidArgs;
+  }
+  Result<Paddr> pa = Translate(va, /*store=*/false);
+  if (!pa.ok()) {
+    return pa.status();
+  }
+  Charge(kMemWordAccess);
+  return mem_.ReadWord(*pa);
+}
+
+Status Machine::StoreWord(Vaddr va, uint32_t value) {
+  if ((va & 3u) != 0) {
+    RaiseException(ExceptionType::kAddressError, va, /*store=*/true);
+    return Status::kErrInvalidArgs;
+  }
+  Result<Paddr> pa = Translate(va, /*store=*/true);
+  if (!pa.ok()) {
+    return pa.status();
+  }
+  Charge(kMemWordAccess);
+  mem_.WriteWord(*pa, value);
+  return Status::kOk;
+}
+
+Result<uint8_t> Machine::LoadByte(Vaddr va) {
+  Result<Paddr> pa = Translate(va, /*store=*/false);
+  if (!pa.ok()) {
+    return pa.status();
+  }
+  Charge(kMemWordAccess);
+  return mem_.ReadByte(*pa);
+}
+
+Status Machine::StoreByte(Vaddr va, uint8_t value) {
+  Result<Paddr> pa = Translate(va, /*store=*/true);
+  if (!pa.ok()) {
+    return pa.status();
+  }
+  Charge(kMemWordAccess);
+  mem_.WriteByte(*pa, value);
+  return Status::kOk;
+}
+
+Status Machine::CopyIn(std::span<uint8_t> dst, Vaddr src) {
+  size_t done = 0;
+  while (done < dst.size()) {
+    const Vaddr va = src + static_cast<Vaddr>(done);
+    const uint32_t in_page = kPageBytes - PageOffset(va);
+    const uint32_t chunk = static_cast<uint32_t>(std::min<size_t>(in_page, dst.size() - done));
+    Result<Paddr> pa = Translate(va, /*store=*/false);
+    if (!pa.ok()) {
+      return pa.status();
+    }
+    Charge(kMemWordCopy * ((chunk + 3) / 4));
+    for (uint32_t i = 0; i < chunk; ++i) {
+      dst[done + i] = mem_.ReadByte(*pa + i);
+    }
+    done += chunk;
+  }
+  return Status::kOk;
+}
+
+Status Machine::CopyOut(Vaddr dst, std::span<const uint8_t> src) {
+  size_t done = 0;
+  while (done < src.size()) {
+    const Vaddr va = dst + static_cast<Vaddr>(done);
+    const uint32_t in_page = kPageBytes - PageOffset(va);
+    const uint32_t chunk = static_cast<uint32_t>(std::min<size_t>(in_page, src.size() - done));
+    Result<Paddr> pa = Translate(va, /*store=*/true);
+    if (!pa.ok()) {
+      return pa.status();
+    }
+    Charge(kMemWordCopy * ((chunk + 3) / 4));
+    for (uint32_t i = 0; i < chunk; ++i) {
+      mem_.WriteByte(*pa + i, src[done + i]);
+    }
+    done += chunk;
+  }
+  return Status::kOk;
+}
+
+Result<int32_t> Machine::AddOverflow(int32_t a, int32_t b) {
+  Charge(Instr(1));
+  int32_t sum = 0;
+  if (__builtin_add_overflow(a, b, &sum)) {
+    RaiseException(ExceptionType::kOverflow, 0, /*store=*/false);
+    return Status::kErrOutOfRange;
+  }
+  return sum;
+}
+
+Status Machine::CoprocOp() {
+  Charge(Instr(1));
+  if (coproc_enabled_) {
+    return Status::kOk;
+  }
+  RaiseException(ExceptionType::kCoprocUnusable, 0, /*store=*/false);
+  // Re-check: the handler may have enabled the coprocessor and asked for a
+  // retry; otherwise the operation is abandoned.
+  return coproc_enabled_ ? Status::kOk : Status::kErrBadState;
+}
+
+void Machine::WaitForInterrupt() {
+  for (;;) {
+    if (interrupts_enabled_ && DeliverDue()) {
+      return;
+    }
+    uint64_t next = ~0ULL;
+    if (!events_.empty()) {
+      next = events_.top().due_cycle;
+    }
+    if (slice_deadline_ != 0 && slice_deadline_ < next) {
+      next = slice_deadline_;
+    }
+    if (world_ != nullptr) {
+      world_->Park(this);
+      continue;  // Resumed: re-check for due events.
+    }
+    if (next == ~0ULL) {
+      std::fprintf(stderr, "xok: machine %s idle with no pending events (hang)\n", config_.name);
+      std::abort();
+    }
+    clock_->AdvanceTo(next);
+  }
+}
+
+void Machine::PushEvent(uint64_t due_cycle, InterruptSource source, uint64_t payload) {
+  events_.push(PendingEvent{due_cycle, source, payload, event_seq_++});
+  if (world_ != nullptr) {
+    world_->RecomputeParkedMin();
+  }
+}
+
+bool Machine::DeliverDue() {
+  bool delivered = false;
+  const uint64_t now = clock_->now();
+  if (slice_deadline_ != 0 && now >= slice_deadline_) {
+    slice_deadline_ = 0;
+    DeliverOne(PendingEvent{now, InterruptSource::kTimer, 0, 0});
+    delivered = true;
+  }
+  while (!events_.empty() && events_.top().due_cycle <= clock_->now()) {
+    const PendingEvent event = events_.top();
+    events_.pop();
+    DeliverOne(event);
+    delivered = true;
+  }
+  return delivered;
+}
+
+void Machine::DeliverOne(const PendingEvent& event) {
+  if (kernel_ == nullptr) {
+    return;  // Events before kernel installation are dropped (power-on noise).
+  }
+  Charge(kExceptionRaise);
+  ++trap_depth_;
+  kernel_->OnInterrupt(event.source, event.payload);
+  --trap_depth_;
+  Charge(kExceptionReturn);
+}
+
+}  // namespace xok::hw

@@ -1,0 +1,198 @@
+// The simulated machine: CPU (cycle clock, exception raising, interrupt
+// delivery, privileged-operation port), physical memory, and the hardware
+// TLB. Devices (NIC, framebuffer, disk) attach to a machine.
+//
+// Execution model: application and kernel code are ordinary C++ running on
+// fibers. Simulated time advances only through Charge(); asynchronous
+// interrupts (timer, NIC, disk) are delivered at charge boundaries or when
+// the machine idles in WaitForInterrupt(). Synchronous exceptions (TLB miss,
+// protection, unaligned, overflow, coprocessor) are raised by the memory and
+// ALU access methods and vector immediately to the installed kernel.
+#ifndef XOK_SRC_HW_MACHINE_H_
+#define XOK_SRC_HW_MACHINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hw/clock.h"
+#include "src/hw/cost.h"
+#include "src/hw/event.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/tlb.h"
+#include "src/hw/trap.h"
+
+namespace xok::hw {
+
+class Machine;
+class World;
+
+// Handed to the installed kernel and to nothing else: all operations a real
+// CPU would reserve for supervisor mode.
+class PrivPort {
+ public:
+  explicit PrivPort(Machine& machine) : machine_(machine) {}
+
+  PrivPort(const PrivPort&) = delete;
+  PrivPort& operator=(const PrivPort&) = delete;
+
+  // TLB management. Each call charges its hardware cost.
+  void TlbWriteRandom(const TlbEntry& entry);
+  void TlbInvalidate(Vpn vpn, Asid asid);
+  void TlbFlushAsid(Asid asid);
+  void TlbFlushAll();
+  const TlbEntry* TlbProbe(Vpn vpn, Asid asid);
+
+  // Addressing context.
+  void SetAsid(Asid asid);
+  Asid asid() const;
+
+  // Slice timer: raises InterruptSource::kTimer once the clock passes the
+  // deadline. Zero disables the timer.
+  void SetSliceDeadline(uint64_t absolute_cycle);
+  uint64_t slice_deadline() const;
+
+  // Coprocessor (FPU) enable bit; when clear, CoprocOp() raises
+  // kCoprocUnusable.
+  void SetCoprocEnabled(bool enabled);
+
+  // Interrupt enable. Interrupts queue while disabled. The machine disables
+  // interrupts automatically for the duration of OnException/OnInterrupt.
+  void SetInterruptsEnabled(bool enabled);
+
+  // Physical (untranslated) memory access, as kernel-mode KSEG0 access on
+  // MIPS. Charges per word.
+  uint32_t PhysReadWord(Paddr pa);
+  void PhysWriteWord(Paddr pa, uint32_t value);
+  // Bulk copy between physical ranges; charges kMemWordCopy per word.
+  void PhysCopy(Paddr dst, Paddr src, uint32_t bytes);
+
+  // Schedules a device event `delay` cycles from now.
+  void ScheduleEvent(uint64_t delay, InterruptSource source, uint64_t payload);
+
+  // Swaps the trap-nesting depth, returning the old value. Kernels that
+  // switch execution contexts from inside a trap handler (e.g. ending a
+  // time slice) must save the suspended context's depth and restore it when
+  // resuming that context, so interrupt masking follows the context rather
+  // than the physical call stack.
+  int SwapTrapDepth(int depth);
+
+ private:
+  Machine& machine_;
+};
+
+class Machine {
+ public:
+  struct Config {
+    uint32_t phys_pages = 4096;  // 16 MB, a well-equipped DECstation.
+    const char* name = "m0";
+  };
+
+  explicit Machine(const Config& config, World* world = nullptr);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Installs the kernel and returns the privileged port. Exactly one kernel
+  // per machine.
+  PrivPort& InstallKernel(TrapSink* kernel);
+
+  CycleClock& clock() { return *clock_; }
+  const CycleClock& clock() const { return *clock_; }
+  PhysMem& mem() { return mem_; }
+  Tlb& tlb() { return tlb_; }
+  World* world() { return world_; }
+  const char* name() const { return config_.name; }
+
+  // --- Unprivileged CPU operations ---
+
+  // Advances simulated time and delivers any due interrupts.
+  void Charge(uint64_t cycles);
+
+  // Translated memory access. Word accesses must be 4-byte aligned (raises
+  // kAddressError otherwise). TLB misses and write-protection vector to the
+  // kernel; if the kernel cannot resolve them the access returns an error.
+  Result<uint32_t> LoadWord(Vaddr va);
+  Status StoreWord(Vaddr va, uint32_t value);
+  Result<uint8_t> LoadByte(Vaddr va);
+  Status StoreByte(Vaddr va, uint8_t value);
+
+  // Bulk translated copy into / out of a caller buffer. Translates once per
+  // page, charges kMemWordCopy per word. Used by library OSes for message
+  // buffers; faults behave as for LoadWord/StoreWord.
+  Status CopyIn(std::span<uint8_t> dst, Vaddr src);
+  Status CopyOut(Vaddr dst, std::span<const uint8_t> src);
+
+  // ALU trap sources (paper Table 5 workloads).
+  Result<int32_t> AddOverflow(int32_t a, int32_t b);  // Signed add, traps on overflow.
+  Status CoprocOp();                                  // FP op; traps if coproc disabled.
+
+  // Parks the machine until an interrupt is delivered. In a World, control
+  // passes to other machines; standalone, the clock jumps to the next local
+  // event (aborts if there is none — that would be a hang).
+  void WaitForInterrupt();
+
+  // True while executing the kernel's OnException/OnInterrupt.
+  bool in_trap() const { return trap_depth_ > 0; }
+
+  // Deterministic per-machine id assigned by the world (0 standalone).
+  uint32_t world_index() const { return world_index_; }
+  void set_world_index(uint32_t index) { world_index_ = index; }
+
+  // Earliest cycle at which this machine has something to do (queued event
+  // or armed slice timer); ~0 if none. Used by the world scheduler.
+  uint64_t NextDueCycle() const {
+    uint64_t next = ~0ULL;
+    if (!events_.empty()) {
+      next = events_.top().due_cycle;
+    }
+    if (slice_deadline_ != 0 && slice_deadline_ < next) {
+      next = slice_deadline_;
+    }
+    return next;
+  }
+
+ private:
+  friend class PrivPort;
+  friend class World;
+  friend class Nic;   // Devices post their own completion events.
+  friend class Disk;
+
+  // Translates va for an access; raises exceptions as needed. Returns the
+  // physical address, or an error if the kernel could not resolve the fault.
+  Result<Paddr> Translate(Vaddr va, bool store);
+
+  TrapOutcome RaiseException(ExceptionType type, Vaddr bad_vaddr, bool store);
+
+  void PushEvent(uint64_t due_cycle, InterruptSource source, uint64_t payload);
+  // Delivers all due events; returns true if any was delivered.
+  bool DeliverDue();
+  void DeliverOne(const PendingEvent& event);
+
+  Config config_;
+  std::shared_ptr<CycleClock> clock_;
+  PhysMem mem_;
+  Tlb tlb_;
+  PrivPort priv_;
+  World* world_;
+  uint32_t world_index_ = 0;
+
+  TrapSink* kernel_ = nullptr;
+  Asid asid_ = 0;
+  uint64_t slice_deadline_ = 0;  // 0 = disabled.
+  bool coproc_enabled_ = false;
+  bool interrupts_enabled_ = true;
+  int trap_depth_ = 0;
+
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>, std::greater<>> events_;
+  uint64_t event_seq_ = 0;
+};
+
+}  // namespace xok::hw
+
+#endif  // XOK_SRC_HW_MACHINE_H_

@@ -1,0 +1,64 @@
+#include "src/hw/nic.h"
+
+namespace xok::hw {
+
+Nic::Nic(Machine& machine, MacAddr mac) : machine_(machine), mac_(mac & kBroadcastMac) {}
+
+bool Nic::Transmit(std::span<const uint8_t> frame) {
+  if (frame.size() < kMinFrameBytes || frame.size() > kMaxFrameBytes) {
+    return false;
+  }
+  if (wire_ == nullptr) {
+    return false;  // Cable unplugged.
+  }
+  // Copy into the transmit buffer plus DMA/doorbell setup.
+  machine_.Charge(kMemWordCopy * ((frame.size() + 3) / 4));
+  machine_.Charge(kNicControllerLatency);
+  wire_->Broadcast(this, frame);
+  return true;
+}
+
+std::optional<std::vector<uint8_t>> Nic::ReceiveNext() {
+  machine_.Charge(Instr(4));  // Ring descriptor examination.
+  if (rx_ring_.empty()) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> frame = std::move(rx_ring_.front());
+  rx_ring_.pop_front();
+  return frame;
+}
+
+void Nic::DeliverAt(uint64_t arrival_cycle, std::vector<uint8_t> frame) {
+  if (rx_ring_.size() >= kRxRingSlots) {
+    ++frames_dropped_;
+    return;
+  }
+  ++frames_received_;
+  rx_ring_.push_back(std::move(frame));
+  machine_.PushEvent(arrival_cycle, InterruptSource::kNicRx, 0);
+}
+
+void Wire::Attach(Nic* nic) {
+  nics_.push_back(nic);
+  nic->wire_ = this;
+}
+
+void Wire::Broadcast(Nic* sender, std::span<const uint8_t> frame) {
+  if (loss_per_mille_ > 0 && loss_rng_.NextBelow(1000) < loss_per_mille_) {
+    ++frames_lost_;  // The frame evaporates on the wire.
+    return;
+  }
+  const MacAddr dst = ReadMac(frame, 0);
+  const uint64_t arrival = sender->machine_.clock().now() +
+                           frame.size() * kWireCyclesPerByte + kNicControllerLatency;
+  for (Nic* nic : nics_) {
+    if (nic == sender) {
+      continue;
+    }
+    if (dst == kBroadcastMac || dst == nic->mac()) {
+      nic->DeliverAt(arrival, std::vector<uint8_t>(frame.begin(), frame.end()));
+    }
+  }
+}
+
+}  // namespace xok::hw

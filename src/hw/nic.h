@@ -1,0 +1,108 @@
+// Simulated LANCE-style Ethernet controller and the shared wire.
+//
+// The wire is a broadcast medium: a transmitted frame is delivered to every
+// other attached controller whose station address matches the frame's
+// 6-byte destination (or the broadcast address). Delivery is a timed event:
+// arrival = transmit time + serialisation at 10 Mb/s + fixed controller
+// latency on each side. On arrival the frame lands in the controller's
+// receive ring and an InterruptSource::kNicRx interrupt is posted; if the
+// ring is full the frame is dropped (and counted), as real hardware does.
+#ifndef XOK_SRC_HW_NIC_H_
+#define XOK_SRC_HW_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/base/rand.h"
+#include "src/hw/machine.h"
+
+namespace xok::hw {
+
+using MacAddr = uint64_t;  // Low 48 bits are the station address.
+
+inline constexpr MacAddr kBroadcastMac = 0xffffffffffffULL;
+
+// Reads the 6-byte big-endian destination/source fields of an Ethernet frame.
+constexpr MacAddr ReadMac(std::span<const uint8_t> frame, size_t offset) {
+  MacAddr mac = 0;
+  for (size_t i = 0; i < 6; ++i) {
+    mac = (mac << 8) | frame[offset + i];
+  }
+  return mac;
+}
+
+class Wire;
+
+class Nic {
+ public:
+  static constexpr size_t kRxRingSlots = 64;
+  static constexpr size_t kMaxFrameBytes = 1518;
+  static constexpr size_t kMinFrameBytes = 14;  // Header only; no pad modelled.
+
+  Nic(Machine& machine, MacAddr mac);
+
+  MacAddr mac() const { return mac_; }
+  Machine& machine() { return machine_; }
+
+  // Transmits a frame. Charges the sender for the copy into the transmit
+  // buffer and the controller setup. Returns false for malformed frames.
+  bool Transmit(std::span<const uint8_t> frame);
+
+  // Pops the next received frame, if any. Called by the kernel from the
+  // kNicRx interrupt handler. The kernel is charged for examining the ring.
+  std::optional<std::vector<uint8_t>> ReceiveNext();
+
+  uint64_t frames_dropped() const { return frames_dropped_; }
+  uint64_t frames_received() const { return frames_received_; }
+
+ private:
+  friend class Wire;
+
+  // Called by the wire: frame arrives at `arrival_cycle`.
+  void DeliverAt(uint64_t arrival_cycle, std::vector<uint8_t> frame);
+
+  Machine& machine_;
+  MacAddr mac_;
+  Wire* wire_ = nullptr;
+  std::deque<std::vector<uint8_t>> rx_ring_;
+  uint64_t frames_dropped_ = 0;
+  uint64_t frames_received_ = 0;
+};
+
+class Wire {
+ public:
+  Wire() = default;
+
+  Wire(const Wire&) = delete;
+  Wire& operator=(const Wire&) = delete;
+
+  void Attach(Nic* nic);
+
+  // Fault injection: drop roughly `per_mille`/1000 of delivered frames,
+  // deterministically (seeded). 0 disables (default). Real Ethernet loses
+  // frames under collisions and overruns; reliable protocols built above
+  // (src/net) are tested against this.
+  void SetLossRate(uint32_t per_mille, uint64_t seed = 0x10559) {
+    loss_per_mille_ = per_mille;
+    loss_rng_ = SplitMix64(seed);
+  }
+
+  uint64_t frames_lost() const { return frames_lost_; }
+
+ private:
+  friend class Nic;
+
+  void Broadcast(Nic* sender, std::span<const uint8_t> frame);
+
+  std::vector<Nic*> nics_;
+  uint32_t loss_per_mille_ = 0;
+  SplitMix64 loss_rng_{0x10559};
+  uint64_t frames_lost_ = 0;
+};
+
+}  // namespace xok::hw
+
+#endif  // XOK_SRC_HW_NIC_H_

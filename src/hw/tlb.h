@@ -1,0 +1,105 @@
+// The hardware translation lookaside buffer: 64 fully-associative entries
+// tagged with an address-space identifier, in the style of the MIPS R3000.
+// Replacement is deterministic-pseudo-random (the R3000's "tlbwr" picks a
+// random slot). Refill policy lives entirely in software: on a miss the
+// machine raises a TLB-miss exception and the installed kernel decides what
+// (if anything) to write back — this is the property the exokernel exploits.
+#ifndef XOK_SRC_HW_TLB_H_
+#define XOK_SRC_HW_TLB_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/base/rand.h"
+#include "src/hw/trap.h"
+
+namespace xok::hw {
+
+struct TlbEntry {
+  Vpn vpn = 0;
+  Asid asid = 0;
+  PageId pfn = 0;
+  bool valid = false;
+  bool writable = false;  // MIPS "dirty" bit: acts as a write-enable.
+};
+
+class Tlb {
+ public:
+  static constexpr uint32_t kEntries = 64;
+
+  Tlb() : rng_(0x7ea5u) {}
+
+  // Hardware lookup on every access. Returns the matching entry or nullptr.
+  const TlbEntry* Lookup(Vpn vpn, Asid asid) const {
+    for (const TlbEntry& entry : entries_) {
+      if (entry.valid && entry.vpn == vpn && entry.asid == asid) {
+        return &entry;
+      }
+    }
+    return nullptr;
+  }
+
+  // Privileged: write `entry` into a pseudo-random slot (tlbwr). If a slot
+  // already maps (vpn, asid) it is reused so the TLB never holds duplicates.
+  void WriteRandom(const TlbEntry& entry) {
+    if (TlbEntry* existing = FindSlot(entry.vpn, entry.asid)) {
+      *existing = entry;
+      return;
+    }
+    entries_[rng_.NextBelow(kEntries)] = entry;
+  }
+
+  // Privileged: invalidate the entry for (vpn, asid), if present.
+  void Invalidate(Vpn vpn, Asid asid) {
+    if (TlbEntry* existing = FindSlot(vpn, asid)) {
+      existing->valid = false;
+    }
+  }
+
+  // Privileged: drop every entry translating to physical frame `pfn`
+  // (used when a frame is repossessed: the binding is broken everywhere).
+  void FlushPfn(PageId pfn) {
+    for (TlbEntry& entry : entries_) {
+      if (entry.valid && entry.pfn == pfn) {
+        entry.valid = false;
+      }
+    }
+  }
+
+  // Privileged: drop every entry with the given ASID (context teardown).
+  void FlushAsid(Asid asid) {
+    for (TlbEntry& entry : entries_) {
+      if (entry.asid == asid) {
+        entry.valid = false;
+      }
+    }
+  }
+
+  // Privileged: drop everything.
+  void FlushAll() {
+    for (TlbEntry& entry : entries_) {
+      entry.valid = false;
+    }
+  }
+
+  // Diagnostic view used by tests.
+  const std::array<TlbEntry, kEntries>& entries() const { return entries_; }
+
+ private:
+  TlbEntry* FindSlot(Vpn vpn, Asid asid) {
+    for (TlbEntry& entry : entries_) {
+      if (entry.valid && entry.vpn == vpn && entry.asid == asid) {
+        return &entry;
+      }
+    }
+    return nullptr;
+  }
+
+  std::array<TlbEntry, kEntries> entries_{};
+  SplitMix64 rng_;
+};
+
+}  // namespace xok::hw
+
+#endif  // XOK_SRC_HW_TLB_H_

@@ -1,0 +1,80 @@
+// Exception and interrupt types, the trap frame, and the TrapSink interface
+// through which the installed kernel receives hardware events.
+//
+// Modelled on the MIPS R3000: exceptions vector synchronously on the faulting
+// context; the kernel runs on that context, may fix the cause (e.g. refill
+// the TLB) and return, or may redirect control.
+#ifndef XOK_SRC_HW_TRAP_H_
+#define XOK_SRC_HW_TRAP_H_
+
+#include <cstdint>
+
+namespace xok::hw {
+
+using Vaddr = uint32_t;
+using Paddr = uint32_t;
+
+inline constexpr uint32_t kPageShift = 12;
+inline constexpr uint32_t kPageBytes = 1u << kPageShift;
+inline constexpr uint32_t kPageMask = kPageBytes - 1;
+
+using PageId = uint32_t;  // Physical page frame number.
+using Vpn = uint32_t;     // Virtual page number (vaddr >> kPageShift).
+using Asid = uint16_t;    // Address-space identifier (TLB tag).
+
+constexpr Vpn VpnOf(Vaddr va) { return va >> kPageShift; }
+constexpr uint32_t PageOffset(Vaddr va) { return va & kPageMask; }
+
+enum class ExceptionType : uint8_t {
+  kTlbMissLoad,     // No TLB entry for a load.
+  kTlbMissStore,    // No TLB entry for a store.
+  kTlbModify,       // Store to a TLB entry without the writable bit.
+  kAddressError,    // Unaligned access (MIPS AdEL/AdES).
+  kOverflow,        // Arithmetic overflow (add/sub with trap).
+  kCoprocUnusable,  // Coprocessor used while disabled.
+  kBusError,        // Physical access out of range.
+};
+
+enum class InterruptSource : uint8_t {
+  kTimer,     // End of the current time slice.
+  kNicRx,     // Packet arrived in the receive ring.
+  kDiskDone,  // Disk request completed.
+  kAlarm,     // Programmable one-shot alarm (payload: kernel cookie).
+};
+
+// What the kernel tells the machine to do after handling an exception.
+enum class TrapOutcome : uint8_t {
+  kRetry,  // Cause fixed (e.g. TLB refilled); re-execute the access.
+  kSkip,   // Access abandoned; the faulting operation returns an error.
+};
+
+// Register-file image at exception time. The simulator does not interpret an
+// instruction stream, so only the architecturally relevant fields are live;
+// the general-purpose register array exists so that kernels can model (and
+// be charged for) full context saves, and so that protected control transfer
+// can pass arguments "in registers" as the paper describes.
+struct TrapFrame {
+  ExceptionType type = ExceptionType::kBusError;
+  Vaddr bad_vaddr = 0;  // Faulting virtual address (TLB/address errors).
+  Vaddr epc = 0;        // Program counter to resume at (symbolic).
+  bool store = false;   // Faulting access was a write.
+  uint32_t regs[32] = {};
+};
+
+// Implemented by the installed kernel (Aegis or the Ultrix baseline).
+class TrapSink {
+ public:
+  virtual ~TrapSink() = default;
+
+  // Synchronous exception on the current execution context.
+  virtual TrapOutcome OnException(TrapFrame& frame) = 0;
+
+  // Asynchronous interrupt, delivered at a cycle-charge boundary or when the
+  // machine is idle in WaitForInterrupt. `payload` identifies the request
+  // (disk request id) and is unused for the timer.
+  virtual void OnInterrupt(InterruptSource source, uint64_t payload) = 0;
+};
+
+}  // namespace xok::hw
+
+#endif  // XOK_SRC_HW_TRAP_H_

@@ -1,0 +1,110 @@
+#include "src/hw/world.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/hw/machine.h"
+
+namespace xok::hw {
+
+World::World() : clock_(std::make_shared<CycleClock>()) {}
+
+World::~World() = default;
+
+void World::Attach(Machine* machine) {
+  machine->set_world_index(static_cast<uint32_t>(slots_.size()));
+  slots_.push_back(Slot{machine, nullptr, MachineState::kReady});
+}
+
+void World::Run(std::vector<std::function<void()>> bodies) {
+  if (bodies.size() != slots_.size()) {
+    std::fprintf(stderr, "xok: World::Run needs one body per attached machine\n");
+    std::abort();
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    slot.state = MachineState::kReady;
+    auto body = std::move(bodies[i]);
+    slot.fiber = std::make_unique<Fiber>([this, i, body = std::move(body)]() {
+      body();
+      slots_[i].state = MachineState::kDone;
+      for (;;) {
+        Fiber::Switch(*slots_[i].fiber, world_fiber_);
+      }
+    });
+  }
+  Schedule();
+}
+
+void World::Schedule() {
+  for (;;) {
+    size_t due_index = SIZE_MAX;
+    const uint64_t due_cycle = ParkedMinDue(&due_index);
+
+    size_t ready_index = SIZE_MAX;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].state == MachineState::kReady) {
+        ready_index = i;
+        break;
+      }
+    }
+
+    if (due_index != SIZE_MAX &&
+        (ready_index == SIZE_MAX || due_cycle <= clock_->now())) {
+      clock_->AdvanceTo(due_cycle);
+      ResumeMachine(due_index);
+      continue;
+    }
+    if (ready_index != SIZE_MAX) {
+      ResumeMachine(ready_index);
+      continue;
+    }
+    return;  // All machines done, or parked with nothing pending (quiescent).
+  }
+}
+
+void World::ResumeMachine(size_t index) {
+  Slot& slot = slots_[index];
+  slot.state = MachineState::kRunning;
+  running_ = index;
+  RecomputeParkedMin();
+  Fiber::Switch(world_fiber_, *slot.fiber);
+  running_ = SIZE_MAX;
+}
+
+void World::Park(Machine* machine) {
+  Slot& slot = slots_[machine->world_index()];
+  slot.state = MachineState::kParked;
+  RecomputeParkedMin();
+  Fiber::Switch(*slot.fiber, world_fiber_);
+}
+
+void World::YieldForDueEvent(Machine* machine) {
+  Slot& slot = slots_[machine->world_index()];
+  slot.state = MachineState::kReady;
+  RecomputeParkedMin();
+  Fiber::Switch(*slot.fiber, world_fiber_);
+}
+
+uint64_t World::ParkedMinDue(size_t* index_out) const {
+  uint64_t best = kNever;
+  size_t best_index = SIZE_MAX;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].state != MachineState::kParked) {
+      continue;
+    }
+    const uint64_t due = slots_[i].machine->NextDueCycle();
+    if (due < best) {
+      best = due;
+      best_index = i;
+    }
+  }
+  if (index_out != nullptr) {
+    *index_out = best_index;
+  }
+  return best;
+}
+
+void World::RecomputeParkedMin() { parked_min_due_ = ParkedMinDue(nullptr); }
+
+}  // namespace xok::hw

@@ -1,0 +1,84 @@
+// A World co-simulates several machines on one shared cycle clock. At most
+// one machine executes at a time (they run on fibers); the world hands
+// control to whichever machine has the earliest due hardware event, and a
+// running machine yields when some parked machine's event becomes due, so
+// event delivery order is globally consistent with simulated time (with
+// skew bounded by the distance between cycle-charge points).
+#ifndef XOK_SRC_HW_WORLD_H_
+#define XOK_SRC_HW_WORLD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/hw/clock.h"
+#include "src/hw/fiber.h"
+
+namespace xok::hw {
+
+class Machine;
+
+class World {
+ public:
+  World();
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  std::shared_ptr<CycleClock> clock() { return clock_; }
+
+  // Runs `body` for each previously-attached machine (in attach order) on
+  // its own fiber, interleaving by event time, until every body returns or
+  // the world quiesces (all machines parked with no pending events).
+  // `bodies[i]` is the kernel main loop for machine i.
+  void Run(std::vector<std::function<void()>> bodies);
+
+  // --- Used by Machine (not by kernels or applications) ---
+
+  void Attach(Machine* machine);
+
+  // Called from Machine::WaitForInterrupt: parks the caller until one of its
+  // events is due. Control returns once the world decides it should run.
+  void Park(Machine* machine);
+
+  // Called from Machine::Charge when a parked machine's event is due: lets
+  // that machine run; the caller resumes afterwards.
+  void YieldForDueEvent(Machine* machine);
+
+  // True if some *parked* machine has an event due at or before `now`.
+  bool ParkedEventDue(uint64_t now) const {
+    return parked_min_due_ <= now;
+  }
+
+  // Recomputes the cached earliest-due-event cycle over parked machines.
+  void RecomputeParkedMin();
+
+ private:
+  enum class MachineState : uint8_t { kReady, kRunning, kParked, kDone };
+
+  struct Slot {
+    Machine* machine = nullptr;
+    std::unique_ptr<Fiber> fiber;
+    MachineState state = MachineState::kReady;
+  };
+
+  // Core scheduler loop; runs on the world fiber.
+  void Schedule();
+  void ResumeMachine(size_t index);
+
+  // Earliest due cycle among parked machines' queues, or kNever.
+  static constexpr uint64_t kNever = ~0ULL;
+  uint64_t ParkedMinDue(size_t* index_out) const;
+
+  std::shared_ptr<CycleClock> clock_;
+  std::vector<Slot> slots_;
+  Fiber world_fiber_;
+  size_t running_ = SIZE_MAX;
+  uint64_t parked_min_due_ = kNever;
+};
+
+}  // namespace xok::hw
+
+#endif  // XOK_SRC_HW_WORLD_H_

@@ -1,0 +1,66 @@
+#include "src/net/wire.h"
+
+namespace xok::net {
+
+std::vector<uint8_t> BuildUdpFrame(uint64_t dst_mac, uint64_t src_mac, uint32_t src_ip,
+                                   uint32_t dst_ip, uint16_t src_port, uint16_t dst_port,
+                                   std::span<const uint8_t> payload) {
+  const size_t total = kUdpPayloadOff + payload.size();
+  std::vector<uint8_t> frame(std::max<size_t>(total, 60), 0);  // Ethernet minimum: 60 bytes.
+  PutMac(frame, kEthDstOff, dst_mac);
+  PutMac(frame, kEthSrcOff, src_mac);
+  PutBe16(frame, kEthTypeOff, kEthTypeIpv4);
+
+  frame[kIpVersionIhlOff] = 0x45;  // IPv4, 20-byte header.
+  PutBe16(frame, kIpTotalLenOff,
+          static_cast<uint16_t>(kIpHeaderBytes + kUdpHeaderBytes + payload.size()));
+  frame[kIpTtlOff] = 64;
+  frame[kIpProtoOff] = kIpProtoUdp;
+  PutBe32(frame, kIpSrcOff, src_ip);
+  PutBe32(frame, kIpDstOff, dst_ip);
+  const uint16_t ip_cksum =
+      InternetChecksum(std::span<const uint8_t>(frame).subspan(kIpOff, kIpHeaderBytes));
+  PutBe16(frame, kIpCksumOff, ip_cksum);
+
+  PutBe16(frame, kUdpSrcPortOff, src_port);
+  PutBe16(frame, kUdpDstPortOff, dst_port);
+  PutBe16(frame, kUdpLenOff, static_cast<uint16_t>(kUdpHeaderBytes + payload.size()));
+  std::copy(payload.begin(), payload.end(), frame.begin() + kUdpPayloadOff);
+  const uint16_t udp_cksum = InternetChecksum(
+      std::span<const uint8_t>(frame).subspan(kUdpOff, kUdpHeaderBytes + payload.size()));
+  PutBe16(frame, kUdpCksumOff, udp_cksum);
+  return frame;
+}
+
+bool ParseUdpFrame(std::span<const uint8_t> frame, UdpView* view) {
+  if (frame.size() < kUdpPayloadOff) {
+    return false;
+  }
+  if (GetBe16(frame, kEthTypeOff) != kEthTypeIpv4 || frame[kIpVersionIhlOff] != 0x45 ||
+      frame[kIpProtoOff] != kIpProtoUdp) {
+    return false;
+  }
+  // The IP header checksum must verify (sums to zero including the field).
+  uint32_t sum = 0;
+  for (uint32_t i = 0; i < kIpHeaderBytes; i += 2) {
+    sum += static_cast<uint32_t>(frame[kIpOff + i]) << 8 | frame[kIpOff + i + 1];
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  if (sum != 0xffff) {
+    return false;
+  }
+  const uint16_t udp_len = GetBe16(frame, kUdpLenOff);
+  if (udp_len < kUdpHeaderBytes || kUdpOff + udp_len > frame.size()) {
+    return false;
+  }
+  view->src_ip = GetBe32(frame, kIpSrcOff);
+  view->dst_ip = GetBe32(frame, kIpDstOff);
+  view->src_port = GetBe16(frame, kUdpSrcPortOff);
+  view->dst_port = GetBe16(frame, kUdpDstPortOff);
+  view->payload = frame.subspan(kUdpPayloadOff, udp_len - kUdpHeaderBytes);
+  return true;
+}
+
+}  // namespace xok::net

@@ -1,0 +1,110 @@
+// Wire formats: Ethernet II, IPv4, UDP — the formats the paper's networking
+// experiments use (60-byte UDP/IP packets over 10 Mb/s Ethernet). Header-
+// only so low-level modules (packet filters) can share the offsets without
+// linking the full network stack.
+#ifndef XOK_SRC_NET_WIRE_H_
+#define XOK_SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace xok::net {
+
+// Byte offsets within an Ethernet frame.
+inline constexpr uint32_t kEthDstOff = 0;
+inline constexpr uint32_t kEthSrcOff = 6;
+inline constexpr uint32_t kEthTypeOff = 12;
+inline constexpr uint32_t kEthHeaderBytes = 14;
+inline constexpr uint16_t kEthTypeIpv4 = 0x0800;
+
+// IPv4 header (no options), offsets relative to frame start.
+inline constexpr uint32_t kIpOff = kEthHeaderBytes;
+inline constexpr uint32_t kIpVersionIhlOff = kIpOff + 0;
+inline constexpr uint32_t kIpTotalLenOff = kIpOff + 2;
+inline constexpr uint32_t kIpTtlOff = kIpOff + 8;
+inline constexpr uint32_t kIpProtoOff = kIpOff + 9;
+inline constexpr uint32_t kIpCksumOff = kIpOff + 10;
+inline constexpr uint32_t kIpSrcOff = kIpOff + 12;
+inline constexpr uint32_t kIpDstOff = kIpOff + 16;
+inline constexpr uint32_t kIpHeaderBytes = 20;
+inline constexpr uint8_t kIpProtoTcp = 6;
+inline constexpr uint8_t kIpProtoUdp = 17;
+
+// UDP header, offsets relative to frame start.
+inline constexpr uint32_t kUdpOff = kIpOff + kIpHeaderBytes;
+inline constexpr uint32_t kUdpSrcPortOff = kUdpOff + 0;
+inline constexpr uint32_t kUdpDstPortOff = kUdpOff + 2;
+inline constexpr uint32_t kUdpLenOff = kUdpOff + 4;
+inline constexpr uint32_t kUdpCksumOff = kUdpOff + 6;
+inline constexpr uint32_t kUdpHeaderBytes = 8;
+inline constexpr uint32_t kUdpPayloadOff = kUdpOff + kUdpHeaderBytes;
+
+// TCP uses the same port offsets as UDP for filtering purposes.
+inline constexpr uint32_t kTcpSrcPortOff = kUdpOff + 0;
+inline constexpr uint32_t kTcpDstPortOff = kUdpOff + 2;
+
+inline void PutBe16(std::span<uint8_t> buf, uint32_t off, uint16_t v) {
+  buf[off] = static_cast<uint8_t>(v >> 8);
+  buf[off + 1] = static_cast<uint8_t>(v);
+}
+
+inline void PutBe32(std::span<uint8_t> buf, uint32_t off, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf[off + i] = static_cast<uint8_t>(v >> (8 * (3 - i)));
+  }
+}
+
+inline uint16_t GetBe16(std::span<const uint8_t> buf, uint32_t off) {
+  return static_cast<uint16_t>((buf[off] << 8) | buf[off + 1]);
+}
+
+inline uint32_t GetBe32(std::span<const uint8_t> buf, uint32_t off) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | buf[off + i];
+  }
+  return v;
+}
+
+inline void PutMac(std::span<uint8_t> buf, uint32_t off, uint64_t mac) {
+  for (int i = 0; i < 6; ++i) {
+    buf[off + i] = static_cast<uint8_t>(mac >> (8 * (5 - i)));
+  }
+}
+
+// Internet (ones-complement) checksum over `data`, folded to 16 bits.
+inline uint16_t InternetChecksum(std::span<const uint8_t> data, uint32_t initial = 0) {
+  uint32_t sum = initial;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+// Builds a UDP/IPv4/Ethernet frame around `payload`.
+std::vector<uint8_t> BuildUdpFrame(uint64_t dst_mac, uint64_t src_mac, uint32_t src_ip,
+                                   uint32_t dst_ip, uint16_t src_port, uint16_t dst_port,
+                                   std::span<const uint8_t> payload);
+
+// Validates lengths, ethertype, protocol, and the IP header checksum.
+// Returns the payload span on success.
+struct UdpView {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  std::span<const uint8_t> payload;
+};
+bool ParseUdpFrame(std::span<const uint8_t> frame, UdpView* view);
+
+}  // namespace xok::net
+
+#endif  // XOK_SRC_NET_WIRE_H_

@@ -1,0 +1,70 @@
+// Path-length constants for the Ultrix-like monolithic baseline, in
+// simulated cycles. These model the structure the paper attributes
+// Ultrix's costs to: every kernel entry saves/restores the full register
+// file, faults run the kernel's general-purpose vm_fault path, exceptions
+// reach applications only through full signal delivery (sigframe copyout,
+// trampoline, sigreturn), and every blocking operation pays the in-kernel
+// sleep/wakeup and context-switch machinery. We do not have Ultrix source;
+// the aggregates are calibrated so the baseline lands in the bands the
+// paper reports (null syscall ~a dozen microseconds; exception-to-handler
+// hundreds of microseconds; pipe roundtrip hundreds of microseconds) —
+// see DESIGN.md "Known deviations".
+#ifndef XOK_SRC_ULTRIX_COSTS_H_
+#define XOK_SRC_ULTRIX_COSTS_H_
+
+#include "src/hw/cost.h"
+
+namespace xok::ultrix {
+
+using hw::Instr;
+
+// Trap entry: save 32 GPRs + hi/lo/status/epc, switch to the kernel stack,
+// canonicalise the frame.
+inline constexpr uint64_t kTrapEntry = Instr(60);
+// Trap exit: restore everything, check pending signals, rfe.
+inline constexpr uint64_t kTrapExit = Instr(55);
+// System call layer on top of the trap: dispatch table, argument copyin
+// and validation, errno plumbing.
+inline constexpr uint64_t kSyscallLayer = Instr(55);
+
+// The general-purpose vm_fault path: map lookup through vm_map entries,
+// object chain, page lookup.
+inline constexpr uint64_t kVmFaultPath = Instr(220);
+
+// Signal delivery to an application handler: psignal/issignal, sigframe
+// construction and copyout to the user stack, trampoline entry; then
+// sigreturn's syscall + sigcontext validation + full restore. The paper's
+// Ultrix rows for exception benchmarks sit near 300 us on the 5000/125.
+inline constexpr uint64_t kSignalDeliver = Instr(2600);
+inline constexpr uint64_t kSigreturn = Instr(900);
+
+// In-kernel context switch: runqueue manipulation, u-area switch, register
+// file save/restore, address-space switch with TLB context change.
+inline constexpr uint64_t kContextSwitch = Instr(320);
+
+// sleep()/wakeup() machinery around blocking I/O.
+inline constexpr uint64_t kSleepPath = Instr(120);
+inline constexpr uint64_t kWakeupPath = Instr(100);
+
+// Per-page PTE maintenance inside mprotect and friends.
+inline constexpr uint64_t kPtePage = Instr(50);
+
+// Kernel page-table walk for a single query (e.g. dirty inspection).
+inline constexpr uint64_t kPtWalk = Instr(70);
+
+// File-descriptor layer: fd lookup, locking, uio setup per read/write.
+inline constexpr uint64_t kFdLayer = Instr(90);
+
+// In-kernel network processing per packet (ip_input/udp_input or output
+// equivalents), excluding checksums and copies which are charged by size.
+inline constexpr uint64_t kIpPath = Instr(300);
+
+// Socket layer wrapping (sockaddr copyin/out, sbappend bookkeeping).
+inline constexpr uint64_t kSocketLayer = Instr(120);
+
+// Scheduling quantum (same as Aegis for comparability).
+inline constexpr uint64_t kQuantumCycles = 25'000;
+
+}  // namespace xok::ultrix
+
+#endif  // XOK_SRC_ULTRIX_COSTS_H_

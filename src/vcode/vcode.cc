@@ -1,0 +1,223 @@
+#include "src/vcode/vcode.h"
+
+namespace xok::vcode {
+namespace {
+
+bool IsBranch(Op op) {
+  return op == Op::kBranchEqImm || op == Op::kBranchNeImm || op == Op::kBranchLtImm;
+}
+
+bool IsTerminator(Op op) { return op == Op::kAccept || op == Op::kReject; }
+
+uint32_t ReadBe(std::span<const uint8_t> data, size_t offset, size_t width) {
+  uint32_t value = 0;
+  for (size_t i = 0; i < width; ++i) {
+    value = (value << 8) | data[offset + i];
+  }
+  return value;
+}
+
+// Ones-complement (Internet checksum style) accumulation over a byte range,
+// matching src/net's reference implementation fold behaviour.
+uint32_t OnesSum(std::span<const uint8_t> data) {
+  uint32_t sum = 0;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Status Verify(const Program& program, size_t max_len, size_t allowed_hooks) {
+  const auto code = program.code();
+  if (code.empty() || code.size() > max_len) {
+    return Status::kErrUnsafeCode;
+  }
+  for (size_t pc = 0; pc < code.size(); ++pc) {
+    const Insn& insn = code[pc];
+    if (insn.a >= kRegisters || insn.b >= kRegisters) {
+      // kHook uses `a` as a hook index; bound it separately below.
+      if (insn.op != Op::kHook || insn.b >= kRegisters) {
+        return Status::kErrUnsafeCode;
+      }
+    }
+    if (IsBranch(insn.op)) {
+      // Forward-only, in-range: this is what bounds the runtime.
+      if (insn.target <= pc || insn.target > code.size()) {
+        return Status::kErrUnsafeCode;
+      }
+    }
+    if (insn.op == Op::kHook && insn.a >= allowed_hooks) {
+      return Status::kErrUnsafeCode;
+    }
+  }
+  // The program must not fall off the end: the last reachable instruction
+  // along the straight line must terminate. (Branches only jump forward, so
+  // the final instruction is always the last one executed on some path.)
+  if (!IsTerminator(code.back().op)) {
+    return Status::kErrUnsafeCode;
+  }
+  return Status::kOk;
+}
+
+ExecResult Execute(const Program& program, ExecEnv& env) {
+  ExecResult result;
+  uint32_t regs[kRegisters] = {};
+  const auto code = program.code();
+  size_t pc = 0;
+
+  auto msg_in_bounds = [&](uint64_t offset, uint64_t width) {
+    return offset + width <= env.msg.size();
+  };
+  auto region_in_bounds = [&](uint64_t offset, uint64_t width) {
+    return offset + width <= env.region.size();
+  };
+
+  while (pc < code.size()) {
+    const Insn& insn = code[pc];
+    ++result.ops_executed;
+    switch (insn.op) {
+      case Op::kLoadImm:
+        regs[insn.a] = insn.imm;
+        break;
+      case Op::kMov:
+        regs[insn.a] = regs[insn.b];
+        break;
+      case Op::kAdd:
+        regs[insn.a] += regs[insn.b];
+        break;
+      case Op::kAddImm:
+        regs[insn.a] += insn.imm;
+        break;
+      case Op::kSub:
+        regs[insn.a] -= regs[insn.b];
+        break;
+      case Op::kAnd:
+        regs[insn.a] &= regs[insn.b];
+        break;
+      case Op::kAndImm:
+        regs[insn.a] &= insn.imm;
+        break;
+      case Op::kOr:
+        regs[insn.a] |= regs[insn.b];
+        break;
+      case Op::kXor:
+        regs[insn.a] ^= regs[insn.b];
+        break;
+      case Op::kShl:
+        regs[insn.a] <<= (insn.imm & 31);
+        break;
+      case Op::kShr:
+        regs[insn.a] >>= (insn.imm & 31);
+        break;
+      case Op::kLoadMsgByte:
+      case Op::kLoadMsgHalf:
+      case Op::kLoadMsgWord: {
+        const size_t width = insn.op == Op::kLoadMsgByte ? 1 : insn.op == Op::kLoadMsgHalf ? 2 : 4;
+        const uint64_t offset = static_cast<uint64_t>(regs[insn.b]) + insn.imm;
+        if (!msg_in_bounds(offset, width)) {
+          result.value = kRejected;  // Sandbox: out-of-bounds rejects.
+          return result;
+        }
+        regs[insn.a] = ReadBe(env.msg, offset, width);
+        break;
+      }
+      case Op::kLoadMsgLen:
+        regs[insn.a] = static_cast<uint32_t>(env.msg.size());
+        break;
+      case Op::kLoadRegionWord: {
+        const uint64_t offset = static_cast<uint64_t>(regs[insn.b]) + insn.imm;
+        if (!region_in_bounds(offset, 4)) {
+          result.value = kRejected;
+          return result;
+        }
+        uint32_t value = 0;
+        for (int i = 3; i >= 0; --i) {
+          value = (value << 8) | env.region[offset + i];
+        }
+        regs[insn.a] = value;
+        break;
+      }
+      case Op::kStoreRegionWord:
+      case Op::kStoreRegionWordBe: {
+        const uint64_t offset = static_cast<uint64_t>(regs[insn.a]) + insn.imm;
+        if (!region_in_bounds(offset, 4)) {
+          result.value = kRejected;
+          return result;
+        }
+        for (int i = 0; i < 4; ++i) {
+          const int shift = insn.op == Op::kStoreRegionWord ? 8 * i : 8 * (3 - i);
+          env.region[offset + i] = static_cast<uint8_t>(regs[insn.b] >> shift);
+        }
+        break;
+      }
+      case Op::kCopyRegion:
+      case Op::kCopyCksum: {
+        const uint64_t dst = regs[insn.a];
+        const uint64_t src = regs[insn.b];
+        const uint64_t len = insn.imm;
+        if (!msg_in_bounds(src, len) || !region_in_bounds(dst, len)) {
+          result.value = kRejected;
+          return result;
+        }
+        auto bytes = env.msg.subspan(src, len);
+        std::copy(bytes.begin(), bytes.end(), env.region.begin() + static_cast<size_t>(dst));
+        if (insn.op == Op::kCopyCksum) {
+          regs[15] += OnesSum(bytes);  // Integrated layer processing: one pass.
+        }
+        result.bytes_touched += len;
+        break;
+      }
+      case Op::kCksum: {
+        const uint64_t src = regs[insn.b];
+        const uint64_t len = insn.imm;
+        if (!msg_in_bounds(src, len)) {
+          result.value = kRejected;
+          return result;
+        }
+        regs[15] += OnesSum(env.msg.subspan(src, len));
+        result.bytes_touched += len;  // A separate pass touches the data again.
+        break;
+      }
+      case Op::kBranchEqImm:
+        if (regs[insn.a] == insn.imm) {
+          pc = insn.target;
+          continue;
+        }
+        break;
+      case Op::kBranchNeImm:
+        if (regs[insn.a] != insn.imm) {
+          pc = insn.target;
+          continue;
+        }
+        break;
+      case Op::kBranchLtImm:
+        if (regs[insn.a] < insn.imm) {
+          pc = insn.target;
+          continue;
+        }
+        break;
+      case Op::kHook:
+        if (env.hooks != nullptr && insn.a < env.hooks->size()) {
+          (*env.hooks)[insn.a](regs, insn.imm);
+        }
+        break;
+      case Op::kAccept:
+        result.value = insn.imm;
+        return result;
+      case Op::kReject:
+        result.value = kRejected;
+        return result;
+    }
+    ++pc;
+  }
+  result.value = kRejected;  // Fell off the end (verifier prevents this).
+  return result;
+}
+
+}  // namespace xok::vcode

@@ -1,0 +1,144 @@
+// VCODE-style dynamic code generation substrate (paper ref [20]).
+//
+// The real VCODE emits native machine code at ~10 instructions per generated
+// instruction. Generating x86 at runtime is outside this reproduction's
+// scope, so vcode emits *flat threaded code*: a dense array of fully-decoded
+// instructions executed by a tight loop with no operand decoding, no stack
+// traffic, and pre-resolved offsets. That preserves the property DPF and
+// ASHs rely on — per-operation cost close to compiled code — while the
+// interpreted baselines (MPF-style, PATHFINDER-style in src/dpf) pay
+// per-operation decode/dispatch overhead.
+//
+// The instruction set is a small load/ALU/branch register machine over:
+//   * 16 general registers r0..r15,
+//   * a read-only "message" region (the packet being processed),
+//   * a read-write "region" (application-pinned memory a handler may write),
+//   * host hooks (used by ASHs for message initiation etc.).
+// Branches may only jump *forward*, so every program's runtime is trivially
+// bounded by its length — the property Aegis's downloaded-code verifier
+// depends on (paper §3.2.1: "the execution time of downloaded code can be
+// readily bounded").
+#ifndef XOK_SRC_VCODE_VCODE_H_
+#define XOK_SRC_VCODE_VCODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace xok::vcode {
+
+enum class Op : uint8_t {
+  kLoadImm,    // r[a] = imm
+  kMov,        // r[a] = r[b]
+  kAdd,        // r[a] = r[a] + r[b]
+  kAddImm,     // r[a] = r[a] + imm
+  kSub,        // r[a] = r[a] - r[b]
+  kAnd,        // r[a] = r[a] & r[b]
+  kAndImm,     // r[a] = r[a] & imm
+  kOr,         // r[a] = r[a] | r[b]
+  kXor,        // r[a] = r[a] ^ r[b]
+  kShl,        // r[a] = r[a] << (imm & 31)
+  kShr,        // r[a] = r[a] >> (imm & 31)
+  kLoadMsgByte,   // r[a] = msg[r[b] + imm]        (bounds-checked)
+  kLoadMsgHalf,   // r[a] = be16(msg[r[b] + imm])
+  kLoadMsgWord,   // r[a] = be32(msg[r[b] + imm])
+  kLoadMsgLen,    // r[a] = msg.size()
+  kLoadRegionWord,     // r[a] = le32(region[r[b] + imm])
+  kStoreRegionWord,    // le32(region[r[a] + imm]) = r[b]
+  kStoreRegionWordBe,  // be32(region[r[a] + imm]) = r[b]  (network byte order)
+  kCopyRegion,    // region[r[a]..] = msg[r[b]..r[b]+imm)   (bulk copy)
+  kCopyCksum,     // as kCopyRegion, and r[15] += ones-complement sum (ILP)
+  kCksum,         // r[15] += ones-complement sum of msg[r[b]..r[b]+imm)
+  kBranchEqImm,   // if (r[a] == imm) jump forward to `target`
+  kBranchNeImm,   // if (r[a] != imm) jump forward to `target`
+  kBranchLtImm,   // if (r[a] <  imm) jump forward to `target` (unsigned)
+  kHook,          // host_hooks[a](regs, imm)  — ASH services (send, wake)
+  kAccept,        // terminate: return imm (filter id / handler verdict)
+  kReject,        // terminate: return kRejected
+};
+
+struct Insn {
+  Op op = Op::kReject;
+  uint8_t a = 0;
+  uint8_t b = 0;
+  uint32_t imm = 0;
+  uint32_t target = 0;  // Branches only: absolute instruction index (> pc).
+};
+
+inline constexpr uint32_t kRejected = 0xffffffffu;
+inline constexpr int kRegisters = 16;
+
+// Execution context. msg is read-only input; region is writable memory the
+// owner pinned for this program; hooks are host services (checked by the
+// verifier against what the binding allows).
+struct ExecEnv {
+  std::span<const uint8_t> msg;
+  std::span<uint8_t> region;
+  std::vector<std::function<void(uint32_t (&regs)[kRegisters], uint32_t imm)>>* hooks = nullptr;
+};
+
+struct ExecResult {
+  uint32_t value = kRejected;       // kAccept's imm, or kRejected.
+  uint64_t ops_executed = 0;        // For cycle charging by the caller.
+  uint64_t bytes_touched = 0;       // Bulk-copy volume, charged per word.
+};
+
+// A program plus the static facts the verifier established about it.
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Insn> code) : code_(std::move(code)) {}
+
+  std::span<const Insn> code() const { return code_; }
+  bool empty() const { return code_.empty(); }
+  size_t size() const { return code_.size(); }
+
+ private:
+  std::vector<Insn> code_;
+};
+
+// Emitter with forward-label support, used by filter compilers and by
+// applications authoring ASHs.
+class Emitter {
+ public:
+  using Label = size_t;
+
+  void Emit(Op op, uint8_t a = 0, uint8_t b = 0, uint32_t imm = 0) {
+    code_.push_back(Insn{op, a, b, imm});
+  }
+
+  // Emits a forward branch whose target is patched later by Bind().
+  Label EmitBranch(Op op, uint8_t reg, uint32_t imm) {
+    code_.push_back(Insn{op, reg, 0, imm, 0});
+    return code_.size() - 1;
+  }
+
+  // Binds a previously-emitted branch to the current position.
+  void Bind(Label label) { code_[label].target = static_cast<uint32_t>(code_.size()); }
+
+  size_t position() const { return code_.size(); }
+
+  Program Finish() { return Program(std::move(code_)); }
+
+ private:
+  std::vector<Insn> code_;
+};
+
+// Static safety verification (paper §3.2.1: code inspection + sandboxing).
+// Rejects: backward or out-of-range branches, register indices out of
+// range, hook ids >= allowed_hooks, fall-off-the-end programs, programs
+// longer than max_len, and any memory-touching op whose *static* offset
+// cannot possibly be in bounds given max region size (dynamic accesses are
+// additionally bounds-checked at run time — that is the sandbox).
+Status Verify(const Program& program, size_t max_len, size_t allowed_hooks);
+
+// Runs a verified program. Dynamic bounds violations reject the execution
+// (sandbox semantics: a bad handler can only hurt itself).
+ExecResult Execute(const Program& program, ExecEnv& env);
+
+}  // namespace xok::vcode
+
+#endif  // XOK_SRC_VCODE_VCODE_H_

@@ -1,0 +1,226 @@
+// Cross-environment protection: the exokernel's security story asserted
+// end-to-end. Different library operating systems share one Aegis; none
+// can reach another's resources without a capability, even though every
+// abstraction above the kernel is untrusted application code.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/aegis.h"
+#include "src/exos/process.h"
+
+namespace xok::aegis {
+namespace {
+
+class IsolationTest : public ::testing::Test {
+ protected:
+  IsolationTest()
+      : machine_(hw::Machine::Config{.phys_pages = 256, .name = "iso"}), kernel_(machine_) {}
+
+  hw::Machine machine_;
+  Aegis kernel_;
+};
+
+TEST_F(IsolationTest, SameVaddrDifferentEnvsDifferentMemory) {
+  // Two ExOS processes write different values at the SAME virtual address;
+  // each reads back its own (ASIDs + distinct frames).
+  constexpr hw::Vaddr kVa = 0x1000000;
+  uint32_t a_read = 0;
+  uint32_t b_read = 0;
+  bool a_wrote = false;
+  exos::Process a(kernel_, [&](exos::Process& p) {
+    ASSERT_EQ(machine_.StoreWord(kVa, 0xaaaa), Status::kOk);
+    a_wrote = true;
+    p.kernel().SysYield();  // Let B write its own.
+    a_read = machine_.LoadWord(kVa).value_or(0);
+  });
+  exos::Process b(kernel_, [&](exos::Process& p) {
+    while (!a_wrote) {
+      p.kernel().SysYield();
+    }
+    ASSERT_EQ(machine_.StoreWord(kVa, 0xbbbb), Status::kOk);
+    b_read = machine_.LoadWord(kVa).value_or(0);
+  });
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  kernel_.Run();
+  EXPECT_EQ(a_read, 0xaaaau);
+  EXPECT_EQ(b_read, 0xbbbbu);
+}
+
+TEST_F(IsolationTest, StolenPageNumberIsUselessWithoutCapability) {
+  // B learns A's physical page *number* (names are public in an exokernel!)
+  // but without the capability it cannot create a binding to it.
+  hw::PageId a_page = 0;
+  bool ready = false;
+  exos::Process a(kernel_, [&](exos::Process& p) {
+    Result<PageGrant> grant = p.kernel().SysAllocPage();
+    ASSERT_TRUE(grant.ok());
+    a_page = grant->page;
+    ASSERT_EQ(p.kernel().SysTlbWrite(0x2000000, grant->page, true, grant->cap), Status::kOk);
+    ASSERT_EQ(machine_.StoreWord(0x2000000, 0x5ec2e7), Status::kOk);
+    ready = true;
+  });
+  exos::Process b(kernel_, [&](exos::Process& p) {
+    while (!ready) {
+      p.kernel().SysYield();
+    }
+    // Forge attempts: no capability, a self-minted one, and one for a
+    // different resource.
+    cap::Capability junk;
+    EXPECT_EQ(p.kernel().SysTlbWrite(0x3000000, a_page, false, junk),
+              Status::kErrAccessDenied);
+    junk.resource = cap::ResourceId{cap::ResourceKind::kPhysPage, a_page};
+    junk.rights = cap::kAllRights;
+    junk.mac = 0x1234567890abcdefULL;
+    EXPECT_EQ(p.kernel().SysTlbWrite(0x3000000, a_page, false, junk),
+              Status::kErrAccessDenied);
+    // B's own page capability does not transfer to A's page.
+    Result<PageGrant> own = p.kernel().SysAllocPage();
+    ASSERT_TRUE(own.ok());
+    EXPECT_EQ(p.kernel().SysTlbWrite(0x3000000, a_page, false, own->cap),
+              Status::kErrAccessDenied);
+    // And the address B tried to map still faults to B's own demand-zero
+    // path, not to A's data.
+    EXPECT_EQ(machine_.LoadWord(0x3000000).value_or(0), 0u);
+  });
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  kernel_.Run();
+}
+
+TEST_F(IsolationTest, TlbPressureNeverLeaksAcrossAddressSpaces) {
+  // Both environments thrash the 64-entry TLB with the same virtual
+  // addresses; random evictions and refills must never let one see the
+  // other's values. (The STLB caches bindings per-ASID too.)
+  constexpr int kPages = 48;
+  constexpr hw::Vaddr kBase = 0x4000000;
+  bool failed = false;
+  auto body = [&](uint32_t tag) {
+    return [&, tag](exos::Process& p) {
+      for (int i = 0; i < kPages; ++i) {
+        if (machine_.StoreWord(kBase + i * hw::kPageBytes, tag + i) != Status::kOk) {
+          failed = true;
+        }
+      }
+      for (int round = 0; round < 6; ++round) {
+        for (int i = 0; i < kPages; ++i) {
+          const uint32_t value = machine_.LoadWord(kBase + i * hw::kPageBytes).value_or(0);
+          if (value != tag + i) {
+            failed = true;
+          }
+        }
+        p.kernel().SysYield();  // Interleave with the other env.
+      }
+    };
+  };
+  exos::Process a(kernel_, body(0x10000));
+  exos::Process b(kernel_, body(0x20000));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  kernel_.Run();
+  EXPECT_FALSE(failed);
+}
+
+TEST_F(IsolationTest, ExitedEnvironmentsPagesStayProtected) {
+  // A maps and writes, then exits. Its ASID is flushed; a new environment
+  // reusing the same virtual address gets fresh zeroed memory via its own
+  // libOS, not A's leftovers.
+  constexpr hw::Vaddr kVa = 0x5000000;
+  exos::Process a(kernel_, [&](exos::Process& p) {
+    ASSERT_EQ(machine_.StoreWord(kVa, 0xdead), Status::kOk);
+    (void)p;
+  });
+  ASSERT_TRUE(a.ok());
+  kernel_.Run();  // A runs and exits.
+
+  uint32_t seen = 0xffffffff;
+  exos::Process b(kernel_, [&](exos::Process& p) {
+    seen = machine_.LoadWord(kVa).value_or(0xffffffff);
+    (void)p;
+  });
+  ASSERT_TRUE(b.ok());
+  kernel_.Run();
+  EXPECT_EQ(seen, 0u);  // Demand-zero, never 0xdead.
+}
+
+TEST_F(IsolationTest, DerivedCapabilityIsTheOnlySharingPath) {
+  // Positive control for the negative tests above: with a properly
+  // derived read-only capability, sharing works — and write stays denied.
+  hw::PageId shared = 0;
+  cap::Capability ro;
+  bool ready = false;
+  uint32_t leaked = 0;
+  exos::Process a(kernel_, [&](exos::Process& p) {
+    Result<PageGrant> grant = p.kernel().SysAllocPage();
+    ASSERT_TRUE(grant.ok());
+    shared = grant->page;
+    ASSERT_EQ(p.kernel().SysTlbWrite(0x6000000, grant->page, true, grant->cap), Status::kOk);
+    ASSERT_EQ(machine_.StoreWord(0x6000000, 0x900d), Status::kOk);
+    Result<cap::Capability> derived = p.kernel().SysDeriveCap(grant->cap, cap::kRead);
+    ASSERT_TRUE(derived.ok());
+    ro = *derived;
+    ready = true;
+  });
+  exos::Process b(kernel_, [&](exos::Process& p) {
+    while (!ready) {
+      p.kernel().SysYield();
+    }
+    ASSERT_EQ(p.kernel().SysTlbWrite(0x7000000, shared, false, ro), Status::kOk);
+    leaked = machine_.LoadWord(0x7000000).value_or(0);
+    EXPECT_EQ(p.kernel().SysTlbWrite(0x7000000, shared, true, ro), Status::kErrAccessDenied);
+  });
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  kernel_.Run();
+  EXPECT_EQ(leaked, 0x900du);  // Authorised flow works...
+}
+
+TEST_F(IsolationTest, RawEnvAndExosProcessCoexist) {
+  // A raw Aegis environment with its own 20-line "libOS" (identity pager
+  // over pages it owns) runs beside a full ExOS process.
+  std::vector<PageGrant> arena;
+  EnvSpec raw;
+  raw.handlers.exception = [&](const hw::TrapFrame& frame) {
+    const hw::Vpn vpn = hw::VpnOf(frame.bad_vaddr);
+    const hw::Vpn first = hw::VpnOf(0x8000000);
+    if (vpn < first || vpn >= first + arena.size()) {
+      return ExcAction::kSkip;
+    }
+    const PageGrant& grant = arena[vpn - first];
+    return kernel_.SysTlbWrite(frame.bad_vaddr, grant.page, true, grant.cap) == Status::kOk
+               ? ExcAction::kRetry
+               : ExcAction::kSkip;
+  };
+  bool raw_ok = false;
+  raw.entry = [&] {
+    for (int i = 0; i < 8; ++i) {
+      Result<PageGrant> grant = kernel_.SysAllocPage();
+      ASSERT_TRUE(grant.ok());
+      arena.push_back(*grant);
+    }
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(machine_.StoreWord(0x8000000 + i * hw::kPageBytes, 0xc0de + i), Status::kOk);
+    }
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(machine_.LoadWord(0x8000000 + i * hw::kPageBytes).value_or(0),
+                0xc0deu + i);
+    }
+    raw_ok = true;
+  };
+  ASSERT_TRUE(kernel_.CreateEnv(std::move(raw)).ok());
+
+  bool exos_ok = false;
+  exos::Process proc(kernel_, [&](exos::Process& p) {
+    ASSERT_EQ(machine_.StoreWord(0x9000000, 42), Status::kOk);
+    exos_ok = machine_.LoadWord(0x9000000).value_or(0) == 42;
+    (void)p;
+  });
+  ASSERT_TRUE(proc.ok());
+  kernel_.Run();
+  EXPECT_TRUE(raw_ok);
+  EXPECT_TRUE(exos_ok);
+}
+
+}  // namespace
+}  // namespace xok::aegis

@@ -1,0 +1,131 @@
+#include "src/cap/capability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rand.h"
+#include "src/cap/siphash.h"
+
+namespace xok::cap {
+namespace {
+
+// SipHash-2-4 reference vector from the SipHash paper (Aumasson & Bernstein):
+// key = 00 01 .. 0f, input = 00 01 .. 0e, output = 0xa129ca6149be45e5.
+TEST(SipHash, MatchesReferenceVector) {
+  SipKey key;
+  key.k0 = 0x0706050403020100ULL;
+  key.k1 = 0x0f0e0d0c0b0a0908ULL;
+  uint8_t input[15];
+  for (int i = 0; i < 15; ++i) {
+    input[i] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(SipHash24(key, input), 0xa129ca6149be45e5ULL);
+}
+
+TEST(SipHash, EmptyInputMatchesReference) {
+  SipKey key;
+  key.k0 = 0x0706050403020100ULL;
+  key.k1 = 0x0f0e0d0c0b0a0908ULL;
+  EXPECT_EQ(SipHash24(key, {}), 0x726fdb47dd0e0e31ULL);
+}
+
+TEST(SipHash, KeyChangesOutput) {
+  uint8_t input[4] = {1, 2, 3, 4};
+  EXPECT_NE(SipHash24(SipKey{1, 2}, input), SipHash24(SipKey{1, 3}, input));
+}
+
+class CapabilityTest : public ::testing::Test {
+ protected:
+  CapabilityTest() : authority_(SipKey{0x1234, 0x5678}) {}
+
+  static ResourceId Page(uint32_t n) { return ResourceId{ResourceKind::kPhysPage, n}; }
+
+  CapAuthority authority_;
+};
+
+TEST_F(CapabilityTest, MintedCapabilityChecks) {
+  Capability c = authority_.Mint(Page(7), kRead | kWrite, 0);
+  EXPECT_TRUE(authority_.Check(c, Page(7), kRead, 0));
+  EXPECT_TRUE(authority_.Check(c, Page(7), kRead | kWrite, 0));
+}
+
+TEST_F(CapabilityTest, MissingRightFailsCheck) {
+  Capability c = authority_.Mint(Page(7), kRead, 0);
+  EXPECT_FALSE(authority_.Check(c, Page(7), kWrite, 0));
+}
+
+TEST_F(CapabilityTest, WrongResourceFailsCheck) {
+  Capability c = authority_.Mint(Page(7), kAllRights, 0);
+  EXPECT_FALSE(authority_.Check(c, Page(8), kRead, 0));
+}
+
+TEST_F(CapabilityTest, ForgedMacRejected) {
+  Capability c = authority_.Mint(Page(7), kRead, 0);
+  c.mac ^= 1;
+  EXPECT_FALSE(authority_.Check(c, Page(7), kRead, 0));
+  EXPECT_FALSE(authority_.Authentic(c));
+}
+
+TEST_F(CapabilityTest, RightsEscalationForgeryRejected) {
+  // Take a read-only capability and just flip the rights bits: the MAC no
+  // longer matches, so the kernel refuses it.
+  Capability c = authority_.Mint(Page(7), kRead, 0);
+  c.rights = kAllRights;
+  EXPECT_FALSE(authority_.Check(c, Page(7), kWrite, 0));
+}
+
+TEST_F(CapabilityTest, EpochBumpInvalidatesOldCapabilities) {
+  Capability c = authority_.Mint(Page(7), kAllRights, 0);
+  EXPECT_TRUE(authority_.Check(c, Page(7), kRead, 0));
+  EXPECT_FALSE(authority_.Check(c, Page(7), kRead, 1));  // Revoked: epoch moved on.
+}
+
+TEST_F(CapabilityTest, DifferentAuthoritiesDoNotHonourEachOther) {
+  CapAuthority other(SipKey{0x9999, 0xaaaa});
+  Capability c = authority_.Mint(Page(7), kRead, 0);
+  EXPECT_FALSE(other.Check(c, Page(7), kRead, 0));
+}
+
+TEST_F(CapabilityTest, DeriveSubsetSucceeds) {
+  Capability c = authority_.Mint(Page(7), kRead | kWrite | kGrant, 0);
+  Result<Capability> derived = authority_.Derive(c, kRead);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_TRUE(authority_.Check(*derived, Page(7), kRead, 0));
+  EXPECT_FALSE(authority_.Check(*derived, Page(7), kWrite, 0));
+}
+
+TEST_F(CapabilityTest, DeriveWithoutGrantFails) {
+  Capability c = authority_.Mint(Page(7), kRead | kWrite, 0);
+  EXPECT_EQ(authority_.Derive(c, kRead).status(), Status::kErrAccessDenied);
+}
+
+TEST_F(CapabilityTest, DeriveCannotEscalate) {
+  Capability c = authority_.Mint(Page(7), kRead | kGrant, 0);
+  EXPECT_EQ(authority_.Derive(c, kRead | kWrite).status(), Status::kErrAccessDenied);
+}
+
+TEST_F(CapabilityTest, DeriveForgedCapabilityFails) {
+  Capability c = authority_.Mint(Page(7), kAllRights, 0);
+  c.resource.index = 8;
+  EXPECT_EQ(authority_.Derive(c, kRead).status(), Status::kErrBadCapability);
+}
+
+// Property sweep: random rights combinations always obey subset semantics.
+TEST_F(CapabilityTest, PropertyDeriveIsMonotone) {
+  xok::SplitMix64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const uint32_t rights = static_cast<uint32_t>(rng.NextBelow(16)) | kGrant;
+    const uint32_t want = static_cast<uint32_t>(rng.NextBelow(16));
+    Capability c = authority_.Mint(Page(static_cast<uint32_t>(i)), rights, 0);
+    Result<Capability> derived = authority_.Derive(c, want);
+    if ((want & ~rights) != 0) {
+      EXPECT_FALSE(derived.ok());
+    } else {
+      ASSERT_TRUE(derived.ok());
+      EXPECT_EQ(derived->rights, want);
+      EXPECT_TRUE(authority_.Authentic(*derived));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xok::cap

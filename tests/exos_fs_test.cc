@@ -1,0 +1,436 @@
+#include "src/exos/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/rand.h"
+#include "src/hw/disk.h"
+
+namespace xok::exos {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  FsTest()
+      : machine_(hw::Machine::Config{.phys_pages = 512, .name = "fs"}),
+        kernel_(machine_),
+        disk_(machine_, 512) {
+    kernel_.AttachDisk(&disk_);
+  }
+
+  void RunInProcess(std::function<void(Process&)> body) {
+    Process proc(kernel_, std::move(body));
+    ASSERT_TRUE(proc.ok());
+    kernel_.Run();
+  }
+
+  hw::Machine machine_;
+  aegis::Aegis kernel_;
+  hw::Disk disk_;
+};
+
+// --- Aegis disk extent bindings ---
+
+TEST_F(FsTest, ExtentAllocationAndTransferRoundTrip) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(8);
+    ASSERT_TRUE(extent.ok());
+    Result<aegis::PageGrant> frame = kernel_.SysAllocPage();
+    ASSERT_TRUE(frame.ok());
+    auto bytes = machine_.mem().PageSpan(frame->page);
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      bytes[i] = static_cast<uint8_t>(i * 13);
+    }
+    ASSERT_EQ(kernel_.SysDiskWrite(extent->extent, extent->cap, 3, frame->page), Status::kOk);
+    std::fill(bytes.begin(), bytes.end(), uint8_t{0});
+    ASSERT_EQ(kernel_.SysDiskRead(extent->extent, extent->cap, 3, frame->page), Status::kOk);
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      ASSERT_EQ(bytes[i], static_cast<uint8_t>(i * 13));
+    }
+    (void)p;
+  });
+}
+
+TEST_F(FsTest, TransferOutsideExtentRejected) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(4);
+    ASSERT_TRUE(extent.ok());
+    Result<aegis::PageGrant> frame = kernel_.SysAllocPage();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(kernel_.SysDiskRead(extent->extent, extent->cap, 4, frame->page),
+              Status::kErrOutOfRange);
+    (void)p;
+  });
+}
+
+TEST_F(FsTest, ForgedExtentCapabilityRejected) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(4);
+    ASSERT_TRUE(extent.ok());
+    Result<aegis::PageGrant> frame = kernel_.SysAllocPage();
+    ASSERT_TRUE(frame.ok());
+    cap::Capability forged = extent->cap;
+    forged.mac ^= 7;
+    EXPECT_EQ(kernel_.SysDiskRead(extent->extent, forged, 0, frame->page),
+              Status::kErrAccessDenied);
+    // Read-only derived capability cannot write.
+    Result<cap::Capability> ro = kernel_.SysDeriveCap(extent->cap, cap::kRead);
+    ASSERT_TRUE(ro.ok());
+    EXPECT_EQ(kernel_.SysDiskWrite(extent->extent, *ro, 0, frame->page),
+              Status::kErrAccessDenied);
+    EXPECT_EQ(kernel_.SysDiskRead(extent->extent, *ro, 0, frame->page), Status::kOk);
+    (void)p;
+  });
+}
+
+TEST_F(FsTest, TransferIntoForeignFrameRejected) {
+  // Env A allocates a frame; env B may not DMA into it.
+  hw::PageId foreign = 0;
+  bool ready = false;
+  Process a(kernel_, [&](Process& p) {
+    Result<aegis::PageGrant> frame = kernel_.SysAllocPage();
+    ASSERT_TRUE(frame.ok());
+    foreign = frame->page;
+    ready = true;
+    (void)p;
+  });
+  Process b(kernel_, [&](Process& p) {
+    while (!ready) {
+      p.kernel().SysYield();
+    }
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(4);
+    ASSERT_TRUE(extent.ok());
+    EXPECT_EQ(kernel_.SysDiskRead(extent->extent, extent->cap, 0, foreign),
+              Status::kErrAccessDenied);
+  });
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  kernel_.Run();
+}
+
+TEST_F(FsTest, FreedExtentCapabilityDies) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(4);
+    ASSERT_TRUE(extent.ok());
+    Result<aegis::PageGrant> frame = kernel_.SysAllocPage();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_EQ(kernel_.SysFreeDiskExtent(extent->extent, extent->cap), Status::kOk);
+    EXPECT_EQ(kernel_.SysDiskRead(extent->extent, extent->cap, 0, frame->page),
+              Status::kErrOutOfRange);
+    (void)p;
+  });
+}
+
+// --- BlockCache ---
+
+TEST_F(FsTest, CacheHitsAvoidDiskTraffic) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(16);
+    ASSERT_TRUE(extent.ok());
+    auto cache = BlockCache::Create(p, *extent, 4);
+    ASSERT_TRUE(cache.ok());
+    ASSERT_TRUE((*cache)->GetBlock(0, false).ok());
+    ASSERT_TRUE((*cache)->GetBlock(0, false).ok());
+    ASSERT_TRUE((*cache)->GetBlock(0, false).ok());
+    EXPECT_EQ((*cache)->misses(), 1u);
+    EXPECT_EQ((*cache)->hits(), 2u);
+  });
+}
+
+TEST_F(FsTest, CacheWriteBackPersistsAcrossEviction) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(16);
+    ASSERT_TRUE(extent.ok());
+    auto cache = BlockCache::Create(p, *extent, 2);
+    ASSERT_TRUE(cache.ok());
+    {
+      Result<std::span<uint8_t>> block = (*cache)->GetBlock(5, true);
+      ASSERT_TRUE(block.ok());
+      (*block)[0] = 0xbe;
+      (*block)[1] = 0xef;
+    }
+    // Thrash the 2-slot cache so block 5 is evicted (and written back).
+    for (uint32_t b = 8; b < 12; ++b) {
+      ASSERT_TRUE((*cache)->GetBlock(b, false).ok());
+    }
+    Result<std::span<uint8_t>> block = (*cache)->GetBlock(5, false);
+    ASSERT_TRUE(block.ok());
+    EXPECT_EQ((*block)[0], 0xbe);
+    EXPECT_EQ((*block)[1], 0xef);
+  });
+}
+
+TEST_F(FsTest, MruPolicyBeatsLruOnLoopingScan) {
+  // The §2 claim: a looping scan over B blocks with C < B cache slots has
+  // a 100% miss rate under LRU but keeps C-1 stable blocks under MRU.
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(16);
+    ASSERT_TRUE(extent.ok());
+    constexpr int kBlocks = 12;
+    constexpr int kLoops = 6;
+
+    auto scan = [&](BlockCache& cache) {
+      for (int loop = 0; loop < kLoops; ++loop) {
+        for (uint32_t b = 0; b < kBlocks; ++b) {
+          EXPECT_TRUE(cache.GetBlock(b, false).ok());
+        }
+      }
+    };
+    auto lru = BlockCache::Create(p, *extent, 8);
+    ASSERT_TRUE(lru.ok());
+    (*lru)->set_policy(BlockCache::Policy::kLru);
+    scan(**lru);
+
+    auto mru = BlockCache::Create(p, *extent, 8);
+    ASSERT_TRUE(mru.ok());
+    (*mru)->set_policy(BlockCache::Policy::kMru);
+    scan(**mru);
+
+    EXPECT_GT((*lru)->misses(), (*mru)->misses() * 2);
+  });
+}
+
+TEST_F(FsTest, CustomPolicyIsConsulted) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(16);
+    ASSERT_TRUE(extent.ok());
+    auto cache = BlockCache::Create(p, *extent, 2);
+    ASSERT_TRUE(cache.ok());
+    int calls = 0;
+    (*cache)->set_victim_picker([&](std::span<const BlockCache::Slot>) {
+      ++calls;
+      return 0u;  // Always evict slot 0.
+    });
+    ASSERT_TRUE((*cache)->GetBlock(0, false).ok());
+    ASSERT_TRUE((*cache)->GetBlock(1, false).ok());
+    ASSERT_TRUE((*cache)->GetBlock(2, false).ok());  // Evicts (picker consulted).
+    EXPECT_EQ(calls, 1);
+    // Slot 1 (block 1) must still be cached.
+    const uint64_t misses = (*cache)->misses();
+    ASSERT_TRUE((*cache)->GetBlock(1, false).ok());
+    EXPECT_EQ((*cache)->misses(), misses);
+  });
+}
+
+TEST_F(FsTest, ScanAwarePickerPinsMetadataAndBeatsLru) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    constexpr uint32_t kMeta = 2;     // Blocks 0-1 are "metadata".
+    constexpr uint32_t kData = 12;    // Data blocks 2..13.
+    constexpr int kLoops = 6;
+
+    auto scan = [&](BlockCache& cache) {
+      for (int loop = 0; loop < kLoops; ++loop) {
+        for (uint32_t b = 0; b < kData; ++b) {
+          ASSERT_TRUE(cache.GetBlock(0, false).ok());  // Hot metadata touch.
+          ASSERT_TRUE(cache.GetBlock(kMeta + b, false).ok());
+        }
+      }
+    };
+    auto lru = BlockCache::Create(p, *extent, 8);
+    ASSERT_TRUE(lru.ok());
+    scan(**lru);
+    auto aware = BlockCache::Create(p, *extent, 8);
+    ASSERT_TRUE(aware.ok());
+    (*aware)->set_victim_picker(MakeScanAwarePicker(kMeta));
+    scan(**aware);
+    EXPECT_LT((*aware)->misses(), (*lru)->misses());
+  });
+}
+
+// --- LibFs ---
+
+TEST_F(FsTest, CreateWriteReadRoundTrip) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    auto fs = LibFs::Format(p, *extent, 8);
+    ASSERT_TRUE(fs.ok());
+    Result<FileHandle> file = (*fs)->Create("hello.txt");
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> data = {'h', 'i', ' ', 'f', 's'};
+    ASSERT_EQ((*fs)->Write(*file, 0, data), Status::kOk);
+    std::vector<uint8_t> out(5);
+    Result<uint32_t> n = (*fs)->Read(*file, 0, out);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 5u);
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(*(*fs)->FileSize(*file), 5u);
+  });
+}
+
+TEST_F(FsTest, OpenFindsExistingAndMissesAbsent) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    auto fs = LibFs::Format(p, *extent, 8);
+    ASSERT_TRUE(fs.ok());
+    Result<FileHandle> a = (*fs)->Create("a");
+    Result<FileHandle> b = (*fs)->Create("b");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NE(*a, *b);
+    EXPECT_EQ(*(*fs)->Open("a"), *a);
+    EXPECT_EQ(*(*fs)->Open("b"), *b);
+    EXPECT_EQ((*fs)->Open("c").status(), Status::kErrNotFound);
+    EXPECT_EQ((*fs)->Create("a").status(), Status::kErrAlreadyExists);
+  });
+}
+
+TEST_F(FsTest, MultiBlockFileAndUnalignedIo) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    auto fs = LibFs::Format(p, *extent, 4);
+    ASSERT_TRUE(fs.ok());
+    Result<FileHandle> file = (*fs)->Create("big");
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> data(hw::kPageBytes * 3 + 100);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(i * 7 + 1);
+    }
+    ASSERT_EQ((*fs)->Write(*file, 0, data), Status::kOk);
+    // Unaligned read across a block boundary.
+    std::vector<uint8_t> out(200);
+    Result<uint32_t> n = (*fs)->Read(*file, hw::kPageBytes - 100, out);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 200u);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], data[hw::kPageBytes - 100 + i]) << i;
+    }
+    // Short read at EOF.
+    std::vector<uint8_t> tail(300);
+    n = (*fs)->Read(*file, static_cast<uint32_t>(data.size()) - 50, tail);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 50u);
+  });
+}
+
+TEST_F(FsTest, DataPersistsThroughSyncAndRemount) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    {
+      auto fs = LibFs::Format(p, *extent, 4);
+      ASSERT_TRUE(fs.ok());
+      Result<FileHandle> file = (*fs)->Create("persist");
+      ASSERT_TRUE(file.ok());
+      std::vector<uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8};
+      ASSERT_EQ((*fs)->Write(*file, 0, data), Status::kOk);
+      ASSERT_EQ((*fs)->Sync(), Status::kOk);
+    }
+    // Remount with a fresh cache: everything must come back from disk.
+    auto fs = LibFs::Mount(p, *extent, 4);
+    ASSERT_TRUE(fs.ok());
+    Result<FileHandle> file = (*fs)->Open("persist");
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> out(8);
+    Result<uint32_t> n = (*fs)->Read(*file, 0, out);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, (std::vector<uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+  });
+}
+
+TEST_F(FsTest, MountRejectsUnformattedExtent) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(16);
+    ASSERT_TRUE(extent.ok());
+    EXPECT_EQ(LibFs::Mount(p, *extent, 4).status(), Status::kErrBadState);
+  });
+}
+
+TEST_F(FsTest, FileSizeLimitEnforced) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    auto fs = LibFs::Format(p, *extent, 4);
+    ASSERT_TRUE(fs.ok());
+    Result<FileHandle> file = (*fs)->Create("cap");
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> byte = {1};
+    EXPECT_EQ((*fs)->Write(*file, LibFs::kMaxFileBytes, byte), Status::kErrOutOfRange);
+    EXPECT_EQ((*fs)->Write(*file, 10, byte), Status::kErrOutOfRange);  // Hole.
+  });
+}
+
+// Property: LibFs against an in-memory reference over random file ops.
+TEST_F(FsTest, PropertyMatchesReferenceModel) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(256);
+    ASSERT_TRUE(extent.ok());
+    auto fs_result = LibFs::Format(p, *extent, 6);
+    ASSERT_TRUE(fs_result.ok());
+    LibFs& fs = **fs_result;
+
+    std::map<std::string, std::vector<uint8_t>> model;
+    std::map<std::string, FileHandle> handles;
+    SplitMix64 rng(31);
+    const std::string names[4] = {"alpha", "beta", "gamma", "delta"};
+
+    for (int step = 0; step < 400; ++step) {
+      const std::string& name = names[rng.NextBelow(4)];
+      switch (rng.NextBelow(3)) {
+        case 0: {  // Create.
+          Result<FileHandle> handle = fs.Create(name);
+          if (model.count(name)) {
+            ASSERT_EQ(handle.status(), Status::kErrAlreadyExists);
+          } else {
+            ASSERT_TRUE(handle.ok());
+            model[name] = {};
+            handles[name] = *handle;
+          }
+          break;
+        }
+        case 1: {  // Append/overwrite a chunk.
+          if (!model.count(name)) {
+            break;
+          }
+          std::vector<uint8_t>& ref = model[name];
+          const uint32_t offset = static_cast<uint32_t>(
+              rng.NextBelow(ref.size() + 1));  // No holes.
+          std::vector<uint8_t> chunk(rng.NextBelow(600) + 1);
+          for (auto& b : chunk) {
+            b = static_cast<uint8_t>(rng.Next());
+          }
+          if (offset + chunk.size() > LibFs::kMaxFileBytes) {
+            break;
+          }
+          ASSERT_EQ(fs.Write(handles[name], offset, chunk), Status::kOk);
+          if (ref.size() < offset + chunk.size()) {
+            ref.resize(offset + chunk.size());
+          }
+          std::copy(chunk.begin(), chunk.end(), ref.begin() + offset);
+          break;
+        }
+        default: {  // Read and compare.
+          if (!model.count(name)) {
+            ASSERT_EQ(fs.Open(name).status(), Status::kErrNotFound);
+            break;
+          }
+          const std::vector<uint8_t>& ref = model[name];
+          std::vector<uint8_t> out(rng.NextBelow(800) + 1);
+          const uint32_t offset = static_cast<uint32_t>(rng.NextBelow(ref.size() + 32));
+          Result<uint32_t> n = fs.Read(handles[name], offset, out);
+          ASSERT_TRUE(n.ok());
+          const uint32_t expect =
+              offset >= ref.size()
+                  ? 0
+                  : std::min<uint32_t>(static_cast<uint32_t>(out.size()),
+                                       static_cast<uint32_t>(ref.size()) - offset);
+          ASSERT_EQ(*n, expect);
+          for (uint32_t i = 0; i < expect; ++i) {
+            ASSERT_EQ(out[i], ref[offset + i]) << "file " << name << " off " << offset + i;
+          }
+          break;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace xok::exos

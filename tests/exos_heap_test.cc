@@ -1,0 +1,154 @@
+#include "src/exos/heap.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/base/rand.h"
+
+namespace xok::exos {
+namespace {
+
+constexpr hw::Vaddr kArena = 0x4000000;
+
+class HeapTest : public ::testing::Test {
+ protected:
+  HeapTest()
+      : machine_(hw::Machine::Config{.phys_pages = 512, .name = "heap"}), kernel_(machine_) {}
+
+  void RunInProcess(std::function<void(Process&)> body) {
+    Process proc(kernel_, std::move(body));
+    ASSERT_TRUE(proc.ok());
+    kernel_.Run();
+  }
+
+  hw::Machine machine_;
+  aegis::Aegis kernel_;
+};
+
+TEST_F(HeapTest, AllocReturnsWritableMemory) {
+  RunInProcess([&](Process& p) {
+    Heap heap(p, kArena, 64 * 1024);
+    Result<hw::Vaddr> ptr = heap.Alloc(100);
+    ASSERT_TRUE(ptr.ok());
+    ASSERT_EQ(machine_.StoreWord(*ptr, 0xfeed), Status::kOk);
+    EXPECT_EQ(*machine_.LoadWord(*ptr), 0xfeedu);
+    EXPECT_TRUE(heap.CheckConsistency());
+  });
+}
+
+TEST_F(HeapTest, AllocationsDoNotOverlap) {
+  RunInProcess([&](Process& p) {
+    Heap heap(p, kArena, 64 * 1024);
+    std::vector<hw::Vaddr> ptrs;
+    for (int i = 0; i < 16; ++i) {
+      Result<hw::Vaddr> ptr = heap.Alloc(32);
+      ASSERT_TRUE(ptr.ok());
+      ASSERT_EQ(machine_.StoreWord(*ptr, 0x100 + i), Status::kOk);
+      ptrs.push_back(*ptr);
+    }
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(*machine_.LoadWord(ptrs[i]), 0x100u + i);
+    }
+    EXPECT_EQ(heap.live_allocs(), 16u);
+  });
+}
+
+TEST_F(HeapTest, FreeThenReuse) {
+  RunInProcess([&](Process& p) {
+    Heap heap(p, kArena, 4096);
+    Result<hw::Vaddr> a = heap.Alloc(1000);
+    Result<hw::Vaddr> b = heap.Alloc(1000);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(heap.Free(*a), Status::kOk);
+    Result<hw::Vaddr> c = heap.Alloc(900);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*c, *a);  // First fit reuses the hole.
+    EXPECT_TRUE(heap.CheckConsistency());
+  });
+}
+
+TEST_F(HeapTest, CoalescingMakesLargeBlockAvailable) {
+  RunInProcess([&](Process& p) {
+    Heap heap(p, kArena, 4096);
+    Result<hw::Vaddr> a = heap.Alloc(1000);
+    Result<hw::Vaddr> b = heap.Alloc(1000);
+    Result<hw::Vaddr> c = heap.Alloc(1000);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(c.ok());
+    // Without coalescing, a 2000-byte alloc would fail after freeing two
+    // adjacent 1000-byte blocks.
+    ASSERT_EQ(heap.Free(*b), Status::kOk);
+    ASSERT_EQ(heap.Free(*a), Status::kOk);  // Coalesces forward into b.
+    Result<hw::Vaddr> big = heap.Alloc(1900);
+    ASSERT_TRUE(big.ok());
+    EXPECT_TRUE(heap.CheckConsistency());
+  });
+}
+
+TEST_F(HeapTest, ExhaustionReportsNoResources) {
+  RunInProcess([&](Process& p) {
+    Heap heap(p, kArena, 4096);
+    EXPECT_FALSE(heap.Alloc(8000).ok());
+    Result<hw::Vaddr> most = heap.Alloc(4000);
+    ASSERT_TRUE(most.ok());
+    EXPECT_EQ(heap.Alloc(500).status(), Status::kErrNoResources);
+    ASSERT_EQ(heap.Free(*most), Status::kOk);
+    EXPECT_TRUE(heap.Alloc(500).ok());
+  });
+}
+
+TEST_F(HeapTest, DoubleFreeAndWildFreeRejected) {
+  RunInProcess([&](Process& p) {
+    Heap heap(p, kArena, 4096);
+    Result<hw::Vaddr> a = heap.Alloc(64);
+    ASSERT_TRUE(a.ok());
+    ASSERT_EQ(heap.Free(*a), Status::kOk);
+    EXPECT_EQ(heap.Free(*a), Status::kErrInvalidArgs);       // Double free.
+    EXPECT_EQ(heap.Free(*a + 4), Status::kErrInvalidArgs);   // Interior.
+    EXPECT_EQ(heap.Free(0x123), Status::kErrInvalidArgs);    // Wild.
+    EXPECT_TRUE(heap.CheckConsistency());
+  });
+}
+
+TEST_F(HeapTest, PropertyRandomAllocFreeKeepsDataAndStructureIntact) {
+  RunInProcess([&](Process& p) {
+    Heap heap(p, kArena, 128 * 1024);
+    std::map<hw::Vaddr, std::pair<uint32_t, uint32_t>> live;  // ptr -> {size, stamp}.
+    SplitMix64 rng(77);
+    for (int step = 0; step < 600; ++step) {
+      if (live.empty() || rng.NextBelow(5) < 3) {
+        const uint32_t size = 8 + static_cast<uint32_t>(rng.NextBelow(700));  // >= 8: stamps must not overlap.
+        Result<hw::Vaddr> ptr = heap.Alloc(size);
+        if (!ptr.ok()) {
+          continue;  // Full: acceptable.
+        }
+        const uint32_t stamp = static_cast<uint32_t>(rng.Next());
+        // Stamp the first and last word of the payload.
+        ASSERT_EQ(machine_.StoreWord(*ptr, stamp), Status::kOk);
+        ASSERT_EQ(machine_.StoreWord(*ptr + ((size - 1) & ~3u), stamp ^ 1), Status::kOk);
+        live[*ptr] = {size, stamp};
+      } else {
+        auto it = live.begin();
+        std::advance(it, rng.NextBelow(live.size()));
+        // Stamps must have survived every other operation.
+        ASSERT_EQ(*machine_.LoadWord(it->first), it->second.second);
+        ASSERT_EQ(*machine_.LoadWord(it->first + ((it->second.first - 1) & ~3u)),
+                  it->second.second ^ 1);
+        ASSERT_EQ(heap.Free(it->first), Status::kOk);
+        live.erase(it);
+      }
+      if (step % 50 == 0) {
+        ASSERT_TRUE(heap.CheckConsistency()) << "step " << step;
+      }
+    }
+    EXPECT_TRUE(heap.CheckConsistency());
+    EXPECT_EQ(heap.live_allocs(), live.size());
+  });
+}
+
+}  // namespace
+}  // namespace xok::exos

@@ -1,0 +1,162 @@
+// The extensible page-table structure (paper §7): the same process
+// abstraction, the same Appel–Li-style behaviour, over an *inverted*
+// page table the application chose instead of the default two-level one.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/rand.h"
+#include "src/exos/inverted_page_table.h"
+#include "src/exos/process.h"
+
+namespace xok::exos {
+namespace {
+
+// --- The structure itself ---
+
+TEST(InvertedPageTable, LookupMissesThenHits) {
+  InvertedPageTable table(64);
+  EXPECT_EQ(table.Lookup(0x123), nullptr);
+  Pte& pte = table.LookupOrCreate(0x123);
+  pte.present = true;
+  pte.frame = 9;
+  ASSERT_NE(table.Lookup(0x123), nullptr);
+  EXPECT_EQ(table.Lookup(0x123)->frame, 9u);
+}
+
+TEST(InvertedPageTable, CollidingVpnsCoexist) {
+  InvertedPageTable table(16);  // 32 slots: collisions are likely.
+  for (hw::Vpn vpn = 0; vpn < 24; ++vpn) {
+    table.LookupOrCreate(vpn).frame = vpn * 10;
+  }
+  for (hw::Vpn vpn = 0; vpn < 24; ++vpn) {
+    ASSERT_NE(table.Lookup(vpn), nullptr) << vpn;
+    EXPECT_EQ(table.Lookup(vpn)->frame, vpn * 10) << vpn;
+  }
+}
+
+TEST(InvertedPageTable, FootprintScalesWithFramesNotAddressSpace) {
+  // A sparse address space: 32 mappings scattered over 4 GB. The inverted
+  // table's footprint is fixed by physical memory; the two-level table
+  // pays a 4 KB L2 block per distinct 4 MB region touched.
+  InvertedPageTable inverted(256);
+  PageTable two_level;
+  SplitMix64 rng(3);
+  for (int i = 0; i < 32; ++i) {
+    const hw::Vpn vpn = static_cast<hw::Vpn>(rng.Next() & 0xfffff);  // Anywhere in 32-bit.
+    inverted.LookupOrCreate(vpn).present = true;
+    two_level.LookupOrCreate(vpn).present = true;
+  }
+  // 512 slots * sizeof(Slot): tens of KB regardless of spread.
+  EXPECT_LT(inverted.footprint_bytes(), 64u * 1024u);
+}
+
+TEST(InvertedPageTable, PropertyMatchesMapModel) {
+  InvertedPageTable table(512);
+  std::map<hw::Vpn, uint32_t> model;
+  SplitMix64 rng(11);
+  for (int step = 0; step < 5000; ++step) {
+    const hw::Vpn vpn = static_cast<hw::Vpn>(rng.NextBelow(1 << 16));
+    if (rng.NextBelow(2) == 0 && model.size() < 400) {
+      const uint32_t frame = static_cast<uint32_t>(rng.Next());
+      table.LookupOrCreate(vpn).frame = frame;
+      model[vpn] = frame;
+    } else {
+      Pte* pte = table.Lookup(vpn);
+      auto it = model.find(vpn);
+      if (it == model.end()) {
+        EXPECT_EQ(pte, nullptr);
+      } else {
+        ASSERT_NE(pte, nullptr);
+        EXPECT_EQ(pte->frame, it->second);
+      }
+    }
+  }
+}
+
+// --- The full VM stack over the inverted structure ---
+
+class InvertedVmTest : public ::testing::Test {
+ protected:
+  InvertedVmTest()
+      : machine_(hw::Machine::Config{.phys_pages = 512, .name = "ipt"}), kernel_(machine_) {}
+
+  void RunInverted(std::function<void(Process&)> body) {
+    Process proc(kernel_, std::move(body),
+                 Process::Options{.slices = 1,
+                                  .demand_zero = true,
+                                  .page_table = PageTableKind::kInverted});
+    ASSERT_TRUE(proc.ok());
+    kernel_.Run();
+  }
+
+  hw::Machine machine_;
+  aegis::Aegis kernel_;
+};
+
+TEST_F(InvertedVmTest, DemandPagingWorks) {
+  RunInverted([&](Process& p) {
+    EXPECT_EQ(p.vm().page_table_kind(), PageTableKind::kInverted);
+    ASSERT_EQ(machine_.StoreWord(0x100000, 7), Status::kOk);
+    EXPECT_EQ(*machine_.LoadWord(0x100000), 7u);
+  });
+}
+
+TEST_F(InvertedVmTest, ProtectionTrapsAndDirtyBitsWork) {
+  RunInverted([&](Process& p) {
+    int traps = 0;
+    ASSERT_EQ(p.vm().Map(0x200000, kProtWrite), Status::kOk);
+    ASSERT_EQ(machine_.StoreWord(0x200000, 5), Status::kOk);
+    EXPECT_TRUE(*p.vm().Dirty(0x200000));
+    p.vm().set_trap_handler([&](hw::Vaddr va, bool) {
+      ++traps;
+      return p.vm().Protect(va & ~hw::kPageMask, 1, kProtWrite) == Status::kOk;
+    });
+    ASSERT_EQ(p.vm().Protect(0x200000, 1, kProtNone), Status::kOk);
+    EXPECT_EQ(*machine_.LoadWord(0x200000), 5u);
+    EXPECT_EQ(traps, 1);
+  });
+}
+
+TEST_F(InvertedVmTest, SparseAddressSpaceUsesLessTableMemoryThanTwoLevel) {
+  size_t inverted_bytes = 0;
+  RunInverted([&](Process& p) {
+    SplitMix64 rng(9);
+    for (int i = 0; i < 64; ++i) {
+      // Scatter across the whole 32-bit space: one page per 4 MB region.
+      const hw::Vaddr va = static_cast<hw::Vaddr>(rng.Next() & 0xffc00000u);
+      (void)machine_.StoreWord(va, i);
+    }
+    inverted_bytes = p.vm().table_footprint_bytes();
+  });
+
+  hw::Machine machine2(hw::Machine::Config{.phys_pages = 512, .name = "tl"});
+  aegis::Aegis kernel2(machine2);
+  size_t two_level_bytes = 0;
+  Process proc(kernel2, [&](Process& p) {
+    SplitMix64 rng(9);
+    for (int i = 0; i < 64; ++i) {
+      const hw::Vaddr va = static_cast<hw::Vaddr>(rng.Next() & 0xffc00000u);
+      (void)machine2.StoreWord(va, i);
+    }
+    two_level_bytes = p.vm().table_footprint_bytes();
+  });
+  ASSERT_TRUE(proc.ok());
+  kernel2.Run();
+
+  EXPECT_LT(inverted_bytes, two_level_bytes);
+}
+
+TEST_F(InvertedVmTest, RevocationPathWorksOverInvertedTable) {
+  RunInverted([&](Process& p) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(p.vm().Map(0x300000 + i * hw::kPageBytes, kProtWrite), Status::kOk);
+    }
+    const uint32_t before = kernel_.free_pages();
+    ASSERT_EQ(kernel_.RevokePages(p.id(), 3), Status::kOk);
+    EXPECT_EQ(kernel_.free_pages(), before + 3);
+  });
+}
+
+}  // namespace
+}  // namespace xok::exos

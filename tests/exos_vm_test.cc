@@ -1,0 +1,308 @@
+#include "src/exos/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rand.h"
+#include "src/exos/process.h"
+
+namespace xok::exos {
+namespace {
+
+class ExosVmTest : public ::testing::Test {
+ protected:
+  ExosVmTest()
+      : machine_(hw::Machine::Config{.phys_pages = 512, .name = "exos"}), kernel_(machine_) {}
+
+  void RunInProcess(std::function<void(Process&)> body) {
+    Process proc(kernel_, std::move(body));
+    ASSERT_TRUE(proc.ok());
+    kernel_.Run();
+  }
+
+  hw::Machine machine_;
+  aegis::Aegis kernel_;
+};
+
+TEST_F(ExosVmTest, DemandZeroHeapJustWorks) {
+  RunInProcess([&](Process& p) {
+    // No explicit Map: touching memory demand-allocates through the
+    // application-level fault handler.
+    ASSERT_EQ(machine_.StoreWord(0x100000, 7), Status::kOk);
+    Result<uint32_t> v = machine_.LoadWord(0x100000);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, 7u);
+    (void)p;
+  });
+}
+
+TEST_F(ExosVmTest, ExplicitMapAndUnmap) {
+  RunInProcess([&](Process& p) {
+    ASSERT_EQ(p.vm().Map(0x200000, kProtWrite), Status::kOk);
+    EXPECT_EQ(p.vm().Map(0x200000, kProtWrite), Status::kErrAlreadyExists);
+    ASSERT_EQ(machine_.StoreWord(0x200000, 1), Status::kOk);
+    ASSERT_EQ(p.vm().Unmap(0x200000), Status::kOk);
+    EXPECT_EQ(p.vm().Unmap(0x200000), Status::kErrNotFound);
+  });
+}
+
+TEST_F(ExosVmTest, DirtyBitSetOnFirstStoreOnly) {
+  RunInProcess([&](Process& p) {
+    ASSERT_EQ(p.vm().Map(0x300000, kProtWrite), Status::kOk);
+    Result<bool> dirty = p.vm().Dirty(0x300000);
+    ASSERT_TRUE(dirty.ok());
+    EXPECT_FALSE(*dirty);
+    // A read does not dirty the page.
+    ASSERT_TRUE(machine_.LoadWord(0x300000).ok());
+    EXPECT_FALSE(*p.vm().Dirty(0x300000));
+    // The first store does.
+    ASSERT_EQ(machine_.StoreWord(0x300000, 5), Status::kOk);
+    EXPECT_TRUE(*p.vm().Dirty(0x300000));
+    // Clean re-arms the trap; the page reads fine but is clean again.
+    ASSERT_EQ(p.vm().Clean(0x300000), Status::kOk);
+    EXPECT_FALSE(*p.vm().Dirty(0x300000));
+    EXPECT_EQ(*machine_.LoadWord(0x300000), 5u);
+    EXPECT_FALSE(*p.vm().Dirty(0x300000));
+    ASSERT_EQ(machine_.StoreWord(0x300000, 6), Status::kOk);
+    EXPECT_TRUE(*p.vm().Dirty(0x300000));
+  });
+}
+
+TEST_F(ExosVmTest, DirtyQueryOnUnmappedFails) {
+  RunInProcess([&](Process& p) {
+    EXPECT_FALSE(p.vm().Dirty(0x999000).ok());
+  });
+}
+
+TEST_F(ExosVmTest, ReadProtectTrapsToUserHandler) {
+  RunInProcess([&](Process& p) {
+    std::vector<hw::Vaddr> faults;
+    ASSERT_EQ(p.vm().Map(0x400000, kProtWrite), Status::kOk);
+    ASSERT_EQ(machine_.StoreWord(0x400000, 9), Status::kOk);
+    p.vm().set_trap_handler([&](hw::Vaddr va, bool) {
+      faults.push_back(va);
+      return p.vm().Protect(va & ~hw::kPageMask, 1, kProtWrite) == Status::kOk;
+    });
+    ASSERT_EQ(p.vm().Protect(0x400000, 1, kProtNone), Status::kOk);
+    Result<uint32_t> v = machine_.LoadWord(0x400000);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, 9u);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0], 0x400000u);
+    EXPECT_EQ(p.vm().user_traps(), 1u);
+  });
+}
+
+TEST_F(ExosVmTest, WriteProtectAllowsReadsTrapsWrites) {
+  RunInProcess([&](Process& p) {
+    int write_faults = 0;
+    ASSERT_EQ(p.vm().Map(0x500000, kProtWrite), Status::kOk);
+    ASSERT_EQ(machine_.StoreWord(0x500000, 1), Status::kOk);
+    p.vm().set_trap_handler([&](hw::Vaddr va, bool is_write) {
+      EXPECT_TRUE(is_write);
+      ++write_faults;
+      return p.vm().Protect(va & ~hw::kPageMask, 1, kProtWrite) == Status::kOk;
+    });
+    ASSERT_EQ(p.vm().Protect(0x500000, 1, kProtRead), Status::kOk);
+    EXPECT_TRUE(machine_.LoadWord(0x500000).ok());  // Reads pass.
+    EXPECT_EQ(write_faults, 0);
+    ASSERT_EQ(machine_.StoreWord(0x500000, 2), Status::kOk);  // Write traps once.
+    EXPECT_EQ(write_faults, 1);
+    EXPECT_EQ(*machine_.LoadWord(0x500000), 2u);
+  });
+}
+
+TEST_F(ExosVmTest, UnhandledProtFaultFailsAccess) {
+  RunInProcess([&](Process& p) {
+    ASSERT_EQ(p.vm().Map(0x600000, kProtWrite), Status::kOk);
+    ASSERT_EQ(machine_.StoreWord(0x600000, 1), Status::kOk);
+    ASSERT_EQ(p.vm().Protect(0x600000, 1, kProtNone), Status::kOk);
+    // No trap handler installed: the access errors out.
+    EXPECT_FALSE(machine_.LoadWord(0x600000).ok());
+  });
+}
+
+TEST_F(ExosVmTest, Appel1Semantics) {
+  // appel1: access a random protected page; in the handler protect some
+  // other page and unprotect the faulting page.
+  RunInProcess([&](Process& p) {
+    constexpr int kPages = 16;
+    constexpr hw::Vaddr kBase = 0x700000;
+    for (int i = 0; i < kPages; ++i) {
+      ASSERT_EQ(p.vm().Map(kBase + i * hw::kPageBytes, kProtWrite), Status::kOk);
+      ASSERT_EQ(machine_.StoreWord(kBase + i * hw::kPageBytes, i), Status::kOk);
+    }
+    int protected_page = 0;
+    ASSERT_EQ(p.vm().Protect(kBase, 1, kProtNone), Status::kOk);
+    int traps = 0;
+    p.vm().set_trap_handler([&](hw::Vaddr va, bool) {
+      ++traps;
+      const int faulting = static_cast<int>((va - kBase) / hw::kPageBytes);
+      const int other = (faulting + 1) % kPages;
+      EXPECT_EQ(p.vm().Protect(kBase + other * hw::kPageBytes, 1, kProtNone), Status::kOk);
+      EXPECT_EQ(p.vm().Protect(kBase + faulting * hw::kPageBytes, 1, kProtWrite), Status::kOk);
+      protected_page = other;
+      return true;
+    });
+    for (int round = 0; round < 32; ++round) {
+      const hw::Vaddr va = kBase + protected_page * hw::kPageBytes;
+      Result<uint32_t> v = machine_.LoadWord(va);
+      ASSERT_TRUE(v.ok());
+    }
+    EXPECT_EQ(traps, 32);
+  });
+}
+
+TEST_F(ExosVmTest, ReleasePagesPrefersCleanVictims) {
+  RunInProcess([&](Process& p) {
+    ASSERT_EQ(p.vm().Map(0x800000, kProtWrite), Status::kOk);  // Stays clean.
+    ASSERT_EQ(p.vm().Map(0x801000, kProtWrite), Status::kOk);
+    ASSERT_EQ(machine_.StoreWord(0x801000, 1), Status::kOk);  // Dirty.
+    EXPECT_EQ(p.vm().ReleasePages(1), 1u);
+    // The clean page went; the dirty page survives.
+    EXPECT_FALSE(p.vm().Dirty(0x800000).ok());
+    ASSERT_TRUE(p.vm().Dirty(0x801000).ok());
+    EXPECT_TRUE(*p.vm().Dirty(0x801000));
+  });
+}
+
+TEST_F(ExosVmTest, RevocationWithDefaultPolicyCompliesInvisiblyToKernel) {
+  RunInProcess([&](Process& p) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(p.vm().Map(0x900000 + i * hw::kPageBytes, kProtWrite), Status::kOk);
+    }
+    const uint32_t free_before = kernel_.free_pages();
+    ASSERT_EQ(kernel_.RevokePages(p.id(), 3), Status::kOk);
+    EXPECT_EQ(kernel_.free_pages(), free_before + 3);
+    EXPECT_TRUE(kernel_.SysReadRepossessed().empty());  // Complied: no abort.
+  });
+}
+
+TEST_F(ExosVmTest, RepossessionRepairAllowsRefault) {
+  RunInProcess([&](Process& p) {
+    p.set_revoke_handler([](uint32_t) {});  // Refuse to comply.
+    ASSERT_EQ(p.vm().Map(0xa00000, kProtWrite), Status::kOk);
+    ASSERT_EQ(machine_.StoreWord(0xa00000, 0x77), Status::kOk);
+    ASSERT_EQ(kernel_.RevokePages(p.id(), 1), Status::kOk);
+    std::vector<hw::PageId> taken = kernel_.SysReadRepossessed();
+    ASSERT_EQ(taken.size(), 1u);
+    p.vm().RepairAfterRepossession(taken);
+    // The old data is gone (the frame was repossessed), but the address
+    // works again via demand-zero refault.
+    Result<uint32_t> v = machine_.LoadWord(0xa00000);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, 0u);
+  });
+}
+
+TEST_F(ExosVmTest, LargeWorkingSetExceedsHardwareTlb) {
+  // 128 pages >> 64 TLB entries: the STLB absorbs the capacity misses and
+  // everything stays correct.
+  RunInProcess([&](Process& p) {
+    constexpr int kPages = 128;
+    constexpr hw::Vaddr kBase = 0x1000000;
+    for (int i = 0; i < kPages; ++i) {
+      ASSERT_EQ(machine_.StoreWord(kBase + i * hw::kPageBytes, 1000 + i), Status::kOk);
+    }
+    for (int i = 0; i < kPages; ++i) {
+      Result<uint32_t> v = machine_.LoadWord(kBase + i * hw::kPageBytes);
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(*v, 1000u + i);
+    }
+    EXPECT_GT(kernel_.stlb_hits(), 0u);
+    (void)p;
+  });
+}
+
+// Property test: VM behaviour against a reference model over random
+// map/store/load/protect/clean sequences.
+TEST_F(ExosVmTest, PropertyMatchesReferenceModel) {
+  RunInProcess([&](Process& p) {
+    constexpr hw::Vaddr kBase = 0x2000000;
+    constexpr int kPages = 24;
+    struct ModelPage {
+      bool mapped = false;
+      Prot prot = kProtNone;
+      bool dirty = false;
+      uint32_t value = 0;
+    };
+    ModelPage model[kPages];
+    p.vm().set_trap_handler([&](hw::Vaddr, bool) { return false; });  // Deny faults.
+    p.vm().set_demand_zero(false);
+
+    SplitMix64 rng(99);
+    for (int step = 0; step < 3000; ++step) {
+      const int page = static_cast<int>(rng.NextBelow(kPages));
+      const hw::Vaddr va = kBase + page * hw::kPageBytes;
+      switch (rng.NextBelow(6)) {
+        case 0: {  // Map.
+          const Status status = p.vm().Map(va, kProtWrite);
+          if (model[page].mapped) {
+            ASSERT_EQ(status, Status::kErrAlreadyExists);
+          } else {
+            ASSERT_EQ(status, Status::kOk);
+            model[page] = ModelPage{true, kProtWrite, false, 0};
+          }
+          break;
+        }
+        case 1: {  // Store.
+          const uint32_t value = static_cast<uint32_t>(rng.Next());
+          const Status status = machine_.StoreWord(va, value);
+          if (model[page].mapped && model[page].prot == kProtWrite) {
+            ASSERT_EQ(status, Status::kOk);
+            model[page].value = value;
+            model[page].dirty = true;
+          } else {
+            ASSERT_NE(status, Status::kOk);
+          }
+          break;
+        }
+        case 2: {  // Load.
+          Result<uint32_t> v = machine_.LoadWord(va);
+          if (model[page].mapped && model[page].prot != kProtNone) {
+            ASSERT_TRUE(v.ok());
+            ASSERT_EQ(*v, model[page].value);
+          } else {
+            ASSERT_FALSE(v.ok());
+          }
+          break;
+        }
+        case 3: {  // Protect.
+          const Prot prot = static_cast<Prot>(rng.NextBelow(3));
+          const Status status = p.vm().Protect(va, 1, prot);
+          if (model[page].mapped) {
+            ASSERT_EQ(status, Status::kOk);
+            model[page].prot = prot;
+          } else {
+            ASSERT_EQ(status, Status::kErrNotFound);
+          }
+          break;
+        }
+        case 4: {  // Dirty query.
+          Result<bool> dirty = p.vm().Dirty(va);
+          if (model[page].mapped) {
+            ASSERT_TRUE(dirty.ok());
+            ASSERT_EQ(*dirty, model[page].dirty);
+          } else {
+            ASSERT_FALSE(dirty.ok());
+          }
+          break;
+        }
+        default: {  // Clean.
+          const Status status = p.vm().Clean(va);
+          if (model[page].mapped) {
+            ASSERT_EQ(status, Status::kOk);
+            model[page].dirty = false;
+          } else {
+            ASSERT_EQ(status, Status::kErrNotFound);
+          }
+          break;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace xok::exos

@@ -1,0 +1,50 @@
+#include "src/hw/clock.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/cost.h"
+
+namespace xok::hw {
+namespace {
+
+TEST(CycleClock, StartsAtZero) {
+  CycleClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(CycleClock, AdvanceAccumulates) {
+  CycleClock clock;
+  clock.Advance(10);
+  clock.Advance(32);
+  EXPECT_EQ(clock.now(), 42u);
+}
+
+TEST(CycleClock, AdvanceToMovesForwardOnly) {
+  CycleClock clock;
+  clock.Advance(100);
+  clock.AdvanceTo(50);  // In the past: no-op.
+  EXPECT_EQ(clock.now(), 100u);
+  clock.AdvanceTo(250);
+  EXPECT_EQ(clock.now(), 250u);
+}
+
+TEST(CycleClock, MicrosConversionMatchesClockRate) {
+  CycleClock clock;
+  clock.Advance(kClockHz);  // One simulated second.
+  EXPECT_DOUBLE_EQ(clock.now_micros(), 1e6);
+}
+
+TEST(Cost, InstructionCalibration) {
+  // The paper's 18-instruction Aegis dispatch should land near 1.5 us.
+  const double micros = CyclesToMicros(Instr(18));
+  EXPECT_GT(micros, 1.0);
+  EXPECT_LT(micros, 2.0);
+}
+
+TEST(Cost, WireByteTime) {
+  // 10 Mb/s Ethernet: 0.8 us per byte.
+  EXPECT_DOUBLE_EQ(CyclesToMicros(kWireCyclesPerByte), 0.8);
+}
+
+}  // namespace
+}  // namespace xok::hw

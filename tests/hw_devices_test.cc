@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hw/disk.h"
+#include "src/hw/framebuffer.h"
+#include "src/hw/machine.h"
+
+namespace xok::hw {
+namespace {
+
+class RecordingKernel : public TrapSink {
+ public:
+  explicit RecordingKernel(Machine& machine) : priv_(machine.InstallKernel(this)) {}
+
+  TrapOutcome OnException(TrapFrame&) override { return TrapOutcome::kSkip; }
+  void OnInterrupt(InterruptSource source, uint64_t payload) override {
+    events.push_back({source, payload});
+  }
+
+  PrivPort& priv_;
+  std::vector<std::pair<InterruptSource, uint64_t>> events;
+};
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest()
+      : machine_(Machine::Config{.phys_pages = 16, .name = "dev"}),
+        kernel_(machine_),
+        fb_(machine_, 64, 48),
+        disk_(machine_, 128) {}
+
+  Machine machine_;
+  RecordingKernel kernel_;
+  Framebuffer fb_;
+  Disk disk_;
+};
+
+TEST_F(DeviceTest, FramebufferRejectsWriteWithoutOwnership) {
+  EXPECT_EQ(fb_.WritePixel(/*owner_tag=*/7, 3, 3, 0xff0000ff), Status::kErrAccessDenied);
+  EXPECT_EQ(fb_.ReadPixel(3, 3), 0u);
+}
+
+TEST_F(DeviceTest, FramebufferAllowsOwnerWrites) {
+  ASSERT_EQ(fb_.SetTileOwner(0, 0, 7), Status::kOk);
+  EXPECT_EQ(fb_.WritePixel(7, 3, 3, 0xff0000ff), Status::kOk);
+  EXPECT_EQ(fb_.ReadPixel(3, 3), 0xff0000ffu);
+  // A different tag on the same tile is rejected (hardware tag check).
+  EXPECT_EQ(fb_.WritePixel(8, 4, 4, 1), Status::kErrAccessDenied);
+}
+
+TEST_F(DeviceTest, FramebufferTileGranularity) {
+  ASSERT_EQ(fb_.SetTileOwner(1, 0, 9), Status::kOk);  // Pixels x in [16,32), y in [0,16).
+  EXPECT_EQ(fb_.WritePixel(9, 16, 0, 5), Status::kOk);
+  EXPECT_EQ(fb_.WritePixel(9, 15, 0, 5), Status::kErrAccessDenied);  // Tile (0,0).
+}
+
+TEST_F(DeviceTest, FramebufferBoundsChecked) {
+  EXPECT_EQ(fb_.WritePixel(7, 64, 0, 1), Status::kErrOutOfRange);
+  EXPECT_EQ(fb_.SetTileOwner(99, 0, 1), Status::kErrOutOfRange);
+}
+
+TEST_F(DeviceTest, DiskWriteThenReadRoundTrips) {
+  // Fill frame 2 with a pattern, write it to block 5, clear, read back.
+  auto frame = machine_.mem().PageSpan(2);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = static_cast<uint8_t>(i * 3);
+  }
+  Result<uint64_t> write_id = disk_.SubmitWrite(5, 2);
+  ASSERT_TRUE(write_id.ok());
+  machine_.WaitForInterrupt();
+  ASSERT_EQ(kernel_.events.size(), 1u);
+  EXPECT_EQ(kernel_.events[0].second, *write_id);
+  ASSERT_TRUE(disk_.Complete(*write_id).ok());
+
+  std::fill(frame.begin(), frame.end(), uint8_t{0});
+  Result<uint64_t> read_id = disk_.SubmitRead(5, 2);
+  ASSERT_TRUE(read_id.ok());
+  machine_.WaitForInterrupt();
+  ASSERT_TRUE(disk_.Complete(*read_id).ok());
+  for (size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_EQ(frame[i], static_cast<uint8_t>(i * 3)) << "byte " << i;
+  }
+}
+
+TEST_F(DeviceTest, DiskCompletionTakesAccessLatency) {
+  const uint64_t before = machine_.clock().now();
+  ASSERT_TRUE(disk_.SubmitRead(0, 0).ok());
+  machine_.WaitForInterrupt();
+  EXPECT_GE(machine_.clock().now() - before, kDiskAccessCycles);
+}
+
+TEST_F(DeviceTest, DiskRejectsOutOfRange) {
+  EXPECT_FALSE(disk_.SubmitRead(128, 0).ok());   // Block out of range.
+  EXPECT_FALSE(disk_.SubmitWrite(0, 999).ok());  // Frame out of range.
+}
+
+TEST_F(DeviceTest, DiskCompleteUnknownIdFails) {
+  EXPECT_FALSE(disk_.Complete(12345).ok());
+}
+
+}  // namespace
+}  // namespace xok::hw

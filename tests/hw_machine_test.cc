@@ -1,0 +1,228 @@
+#include "src/hw/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hw/trap.h"
+
+namespace xok::hw {
+namespace {
+
+// A minimal "identity-mapping" kernel used to exercise the machine: TLB
+// misses are refilled with vpn == pfn; everything else is recorded.
+class FakeKernel : public TrapSink {
+ public:
+  explicit FakeKernel(Machine& machine) : machine_(machine), priv_(machine.InstallKernel(this)) {}
+
+  TrapOutcome OnException(TrapFrame& frame) override {
+    exceptions.push_back(frame.type);
+    switch (frame.type) {
+      case ExceptionType::kTlbMissLoad:
+      case ExceptionType::kTlbMissStore: {
+        if (!refill) {
+          return TrapOutcome::kSkip;
+        }
+        TlbEntry entry;
+        entry.vpn = VpnOf(frame.bad_vaddr);
+        entry.asid = priv_.asid();
+        entry.pfn = entry.vpn;
+        entry.valid = true;
+        entry.writable = writable_pages;
+        priv_.TlbWriteRandom(entry);
+        return TrapOutcome::kRetry;
+      }
+      case ExceptionType::kTlbModify: {
+        if (!fix_modify) {
+          return TrapOutcome::kSkip;
+        }
+        TlbEntry entry;
+        entry.vpn = VpnOf(frame.bad_vaddr);
+        entry.asid = priv_.asid();
+        entry.pfn = entry.vpn;
+        entry.valid = true;
+        entry.writable = true;
+        priv_.TlbWriteRandom(entry);
+        return TrapOutcome::kRetry;
+      }
+      default:
+        return TrapOutcome::kSkip;
+    }
+  }
+
+  void OnInterrupt(InterruptSource source, uint64_t payload) override {
+    interrupts.push_back({source, payload});
+  }
+
+  Machine& machine_;
+  PrivPort& priv_;
+  std::vector<ExceptionType> exceptions;
+  std::vector<std::pair<InterruptSource, uint64_t>> interrupts;
+  bool refill = true;
+  bool fix_modify = true;
+  bool writable_pages = true;
+};
+
+class MachineTest : public ::testing::Test {
+ protected:
+  MachineTest() : machine_(Machine::Config{.phys_pages = 64, .name = "t0"}), kernel_(machine_) {}
+
+  Machine machine_;
+  FakeKernel kernel_;
+};
+
+TEST_F(MachineTest, ChargeAdvancesClock) {
+  const uint64_t before = machine_.clock().now();
+  machine_.Charge(100);
+  EXPECT_EQ(machine_.clock().now(), before + 100);
+}
+
+TEST_F(MachineTest, LoadFaultsOnceThenHits) {
+  ASSERT_TRUE(machine_.StoreWord(0x2000, 0xdeadbeef) == Status::kOk);
+  Result<uint32_t> value = machine_.LoadWord(0x2000);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0xdeadbeefu);
+  // One miss for the store; the load hits the now-present entry.
+  EXPECT_EQ(kernel_.exceptions.size(), 1u);
+  EXPECT_EQ(kernel_.exceptions[0], ExceptionType::kTlbMissStore);
+}
+
+TEST_F(MachineTest, StoreToReadOnlyPageRaisesTlbModify) {
+  kernel_.writable_pages = false;
+  ASSERT_TRUE(machine_.LoadWord(0x3000).ok());  // Establish a read-only mapping.
+  kernel_.exceptions.clear();
+  ASSERT_TRUE(machine_.StoreWord(0x3000, 1) == Status::kOk);
+  ASSERT_GE(kernel_.exceptions.size(), 1u);
+  EXPECT_EQ(kernel_.exceptions[0], ExceptionType::kTlbModify);
+}
+
+TEST_F(MachineTest, UnresolvedMissFailsTheAccess) {
+  kernel_.refill = false;
+  Result<uint32_t> value = machine_.LoadWord(0x4000);
+  EXPECT_FALSE(value.ok());
+  EXPECT_EQ(value.status(), Status::kErrAccessDenied);
+}
+
+TEST_F(MachineTest, UnalignedAccessRaisesAddressError) {
+  Result<uint32_t> value = machine_.LoadWord(0x2001);
+  EXPECT_FALSE(value.ok());
+  ASSERT_EQ(kernel_.exceptions.size(), 1u);
+  EXPECT_EQ(kernel_.exceptions[0], ExceptionType::kAddressError);
+}
+
+TEST_F(MachineTest, OutOfRangePhysicalIsBusError) {
+  // 64 pages of RAM; vpn 63 maps fine, vpn 64 maps beyond the end.
+  Result<uint32_t> ok = machine_.LoadWord(63u << kPageShift);
+  EXPECT_TRUE(ok.ok());
+  Result<uint32_t> bad = machine_.LoadWord(64u << kPageShift);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(kernel_.exceptions.back(), ExceptionType::kBusError);
+}
+
+TEST_F(MachineTest, AddOverflowTrapsOnlyOnOverflow) {
+  Result<int32_t> fine = machine_.AddOverflow(1, 2);
+  ASSERT_TRUE(fine.ok());
+  EXPECT_EQ(*fine, 3);
+  EXPECT_TRUE(kernel_.exceptions.empty());
+
+  Result<int32_t> overflow = machine_.AddOverflow(0x7fffffff, 1);
+  EXPECT_FALSE(overflow.ok());
+  ASSERT_EQ(kernel_.exceptions.size(), 1u);
+  EXPECT_EQ(kernel_.exceptions[0], ExceptionType::kOverflow);
+}
+
+TEST_F(MachineTest, CoprocTrapsWhenDisabled) {
+  EXPECT_TRUE(machine_.CoprocOp() != Status::kOk);
+  ASSERT_EQ(kernel_.exceptions.size(), 1u);
+  EXPECT_EQ(kernel_.exceptions[0], ExceptionType::kCoprocUnusable);
+
+  kernel_.priv_.SetCoprocEnabled(true);
+  kernel_.exceptions.clear();
+  EXPECT_TRUE(machine_.CoprocOp() == Status::kOk);
+  EXPECT_TRUE(kernel_.exceptions.empty());
+}
+
+TEST_F(MachineTest, SliceTimerFiresAtChargeBoundary) {
+  kernel_.priv_.SetSliceDeadline(machine_.clock().now() + 1000);
+  machine_.Charge(500);
+  EXPECT_TRUE(kernel_.interrupts.empty());
+  machine_.Charge(600);
+  ASSERT_EQ(kernel_.interrupts.size(), 1u);
+  EXPECT_EQ(kernel_.interrupts[0].first, InterruptSource::kTimer);
+  // One-shot: no refire without re-arming.
+  machine_.Charge(5000);
+  EXPECT_EQ(kernel_.interrupts.size(), 1u);
+}
+
+TEST_F(MachineTest, ScheduledEventDeliversWithPayload) {
+  kernel_.priv_.ScheduleEvent(2000, InterruptSource::kDiskDone, 77);
+  machine_.Charge(1999);
+  EXPECT_TRUE(kernel_.interrupts.empty());
+  machine_.Charge(1);
+  ASSERT_EQ(kernel_.interrupts.size(), 1u);
+  EXPECT_EQ(kernel_.interrupts[0].second, 77u);
+}
+
+TEST_F(MachineTest, InterruptsMaskedWhileDisabled) {
+  kernel_.priv_.ScheduleEvent(10, InterruptSource::kDiskDone, 1);
+  kernel_.priv_.SetInterruptsEnabled(false);
+  machine_.Charge(1000);
+  EXPECT_TRUE(kernel_.interrupts.empty());
+  kernel_.priv_.SetInterruptsEnabled(true);
+  machine_.Charge(1);
+  EXPECT_EQ(kernel_.interrupts.size(), 1u);
+}
+
+TEST_F(MachineTest, WaitForInterruptAdvancesToNextEvent) {
+  kernel_.priv_.ScheduleEvent(12345, InterruptSource::kDiskDone, 5);
+  const uint64_t before = machine_.clock().now();
+  machine_.WaitForInterrupt();
+  EXPECT_GE(machine_.clock().now(), before + 12345);
+  ASSERT_EQ(kernel_.interrupts.size(), 1u);
+}
+
+TEST_F(MachineTest, CopyOutCopyInRoundTripsAcrossPages) {
+  std::vector<uint8_t> src(kPageBytes + 123);
+  for (size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(machine_.CopyOut(0x5ff0, src) == Status::kOk);  // Crosses a page boundary.
+  std::vector<uint8_t> dst(src.size());
+  ASSERT_TRUE(machine_.CopyIn(dst, 0x5ff0) == Status::kOk);
+  EXPECT_EQ(src, dst);
+}
+
+TEST_F(MachineTest, AccessChargesCycles) {
+  (void)machine_.StoreWord(0x2000, 1);  // Prime the mapping.
+  const uint64_t before = machine_.clock().now();
+  (void)machine_.LoadWord(0x2000);
+  const uint64_t hit_cost = machine_.clock().now() - before;
+  EXPECT_GT(hit_cost, 0u);
+  EXPECT_LT(hit_cost, Instr(10));  // A hit is cheap.
+}
+
+TEST_F(MachineTest, TlbMissCostsMoreThanHit) {
+  (void)machine_.LoadWord(0x2000);
+  const uint64_t t0 = machine_.clock().now();
+  (void)machine_.LoadWord(0x2000);  // Hit.
+  const uint64_t hit = machine_.clock().now() - t0;
+  const uint64_t t1 = machine_.clock().now();
+  (void)machine_.LoadWord(0x9000);  // Miss + refill.
+  const uint64_t miss = machine_.clock().now() - t1;
+  EXPECT_GT(miss, hit);
+}
+
+TEST(MachineAsid, SeparateAsidsDoNotShareMappings) {
+  Machine machine(Machine::Config{.phys_pages = 64, .name = "t1"});
+  FakeKernel kernel(machine);
+  ASSERT_TRUE(machine.StoreWord(0x2000, 0x11) == Status::kOk);
+  kernel.priv_.SetAsid(5);
+  kernel.exceptions.clear();
+  ASSERT_TRUE(machine.LoadWord(0x2000).ok());
+  // The new address space had to take its own miss.
+  ASSERT_FALSE(kernel.exceptions.empty());
+  EXPECT_EQ(kernel.exceptions[0], ExceptionType::kTlbMissLoad);
+}
+
+}  // namespace
+}  // namespace xok::hw

@@ -1,0 +1,152 @@
+#include "src/hw/nic.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/hw/world.h"
+
+namespace xok::hw {
+namespace {
+
+class RecordingKernel : public TrapSink {
+ public:
+  explicit RecordingKernel(Machine& machine) : priv_(machine.InstallKernel(this)) {}
+
+  TrapOutcome OnException(TrapFrame&) override { return TrapOutcome::kSkip; }
+  void OnInterrupt(InterruptSource source, uint64_t) override { sources.push_back(source); }
+
+  PrivPort& priv_;
+  std::vector<InterruptSource> sources;
+};
+
+std::vector<uint8_t> Frame(MacAddr dst, MacAddr src, size_t payload = 46) {
+  std::vector<uint8_t> f(14 + payload, 0);
+  for (int i = 0; i < 6; ++i) {
+    f[i] = static_cast<uint8_t>(dst >> (8 * (5 - i)));
+    f[6 + i] = static_cast<uint8_t>(src >> (8 * (5 - i)));
+  }
+  f[12] = 0x08;  // IPv4 ethertype.
+  return f;
+}
+
+TEST(ReadMacTest, RoundTripsBigEndianBytes) {
+  auto f = Frame(0x0000aabbccdd, 0x000011223344);
+  EXPECT_EQ(ReadMac(f, 0), 0x0000aabbccddULL);
+  EXPECT_EQ(ReadMac(f, 6), 0x000011223344ULL);
+}
+
+class NicTest : public ::testing::Test {
+ protected:
+  NicTest()
+      : machine_a_(Machine::Config{.phys_pages = 16, .name = "a"}, &world_),
+        machine_b_(Machine::Config{.phys_pages = 16, .name = "b"}, &world_),
+        kernel_a_(machine_a_),
+        kernel_b_(machine_b_),
+        nic_a_(machine_a_, 0xaa),
+        nic_b_(machine_b_, 0xbb) {
+    wire_.Attach(&nic_a_);
+    wire_.Attach(&nic_b_);
+  }
+
+  World world_;
+  Machine machine_a_;
+  Machine machine_b_;
+  RecordingKernel kernel_a_;
+  RecordingKernel kernel_b_;
+  Wire wire_;
+  Nic nic_a_;
+  Nic nic_b_;
+};
+
+TEST_F(NicTest, AddressedFrameReachesOnlyItsDestination) {
+  bool b_got_interrupt = false;
+  world_.Run({
+      [&] {
+        ASSERT_TRUE(nic_a_.Transmit(Frame(0xbb, 0xaa)));
+        // Nothing addressed to A: its ring must stay empty.
+        EXPECT_EQ(nic_a_.ReceiveNext(), std::nullopt);
+      },
+      [&] {
+        machine_b_.WaitForInterrupt();
+        b_got_interrupt = true;
+        auto frame = nic_b_.ReceiveNext();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(ReadMac(*frame, 0), 0xbbULL);
+        EXPECT_EQ(ReadMac(*frame, 6), 0xaaULL);
+      },
+  });
+  EXPECT_TRUE(b_got_interrupt);
+  ASSERT_EQ(kernel_b_.sources.size(), 1u);
+  EXPECT_EQ(kernel_b_.sources[0], InterruptSource::kNicRx);
+}
+
+TEST_F(NicTest, BroadcastReachesAllOtherStations) {
+  world_.Run({
+      [&] { ASSERT_TRUE(nic_a_.Transmit(Frame(kBroadcastMac, 0xaa))); },
+      [&] {
+        machine_b_.WaitForInterrupt();
+        EXPECT_TRUE(nic_b_.ReceiveNext().has_value());
+      },
+  });
+}
+
+TEST_F(NicTest, WrongDestinationIsFiltered) {
+  world_.Run({
+      [&] {
+        ASSERT_TRUE(nic_a_.Transmit(Frame(0xcc, 0xaa)));  // Nobody has MAC 0xcc.
+        machine_a_.Charge(1'000'000);
+      },
+      [&] { machine_b_.Charge(1'000'000); },
+  });
+  EXPECT_TRUE(kernel_b_.sources.empty());
+  EXPECT_EQ(nic_b_.frames_received(), 0u);
+}
+
+TEST_F(NicTest, DeliveryTakesWireTime) {
+  uint64_t sent_at = 0;
+  uint64_t received_at = 0;
+  const auto frame = Frame(0xbb, 0xaa, 46);  // 60-byte frame.
+  world_.Run({
+      [&] {
+        sent_at = machine_a_.clock().now();
+        ASSERT_TRUE(nic_a_.Transmit(frame));
+      },
+      [&] {
+        machine_b_.WaitForInterrupt();
+        received_at = machine_b_.clock().now();
+      },
+  });
+  // At least the serialisation delay: 60 bytes at 20 cycles/byte.
+  EXPECT_GE(received_at - sent_at, 60u * kWireCyclesPerByte);
+}
+
+TEST_F(NicTest, RxRingOverflowDropsFrames) {
+  world_.Run({
+      [&] {
+        for (size_t i = 0; i < Nic::kRxRingSlots + 10; ++i) {
+          ASSERT_TRUE(nic_a_.Transmit(Frame(0xbb, 0xaa)));
+        }
+      },
+      [&] {
+        // B never drains its ring; just let time pass.
+        machine_b_.Charge(100'000'000);
+      },
+  });
+  EXPECT_EQ(nic_b_.frames_dropped(), 10u);
+  EXPECT_EQ(nic_b_.frames_received(), Nic::kRxRingSlots);
+}
+
+TEST_F(NicTest, RuntFrameRejected) {
+  std::vector<uint8_t> runt(10, 0);
+  EXPECT_FALSE(nic_a_.Transmit(runt));
+}
+
+TEST_F(NicTest, OversizeFrameRejected) {
+  std::vector<uint8_t> giant(Nic::kMaxFrameBytes + 1, 0);
+  EXPECT_FALSE(nic_a_.Transmit(giant));
+}
+
+}  // namespace
+}  // namespace xok::hw

@@ -1,0 +1,140 @@
+#include "src/hw/tlb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "src/base/rand.h"
+
+namespace xok::hw {
+namespace {
+
+TlbEntry Entry(Vpn vpn, Asid asid, PageId pfn, bool writable = true) {
+  return TlbEntry{vpn, asid, pfn, /*valid=*/true, writable};
+}
+
+TEST(Tlb, MissesWhenEmpty) {
+  Tlb tlb;
+  EXPECT_EQ(tlb.Lookup(0x10, 1), nullptr);
+}
+
+TEST(Tlb, HitAfterWrite) {
+  Tlb tlb;
+  tlb.WriteRandom(Entry(0x10, 1, 77));
+  const TlbEntry* entry = tlb.Lookup(0x10, 1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->pfn, 77u);
+  EXPECT_TRUE(entry->writable);
+}
+
+TEST(Tlb, AsidIsolatesAddressSpaces) {
+  Tlb tlb;
+  tlb.WriteRandom(Entry(0x10, 1, 77));
+  EXPECT_EQ(tlb.Lookup(0x10, 2), nullptr);
+  tlb.WriteRandom(Entry(0x10, 2, 88));
+  EXPECT_EQ(tlb.Lookup(0x10, 1)->pfn, 77u);
+  EXPECT_EQ(tlb.Lookup(0x10, 2)->pfn, 88u);
+}
+
+TEST(Tlb, RewriteReplacesExistingMappingWithoutDuplicates) {
+  Tlb tlb;
+  tlb.WriteRandom(Entry(0x10, 1, 77));
+  tlb.WriteRandom(Entry(0x10, 1, 99, /*writable=*/false));
+  int live = 0;
+  for (const TlbEntry& entry : tlb.entries()) {
+    if (entry.valid && entry.vpn == 0x10 && entry.asid == 1) {
+      ++live;
+      EXPECT_EQ(entry.pfn, 99u);
+      EXPECT_FALSE(entry.writable);
+    }
+  }
+  EXPECT_EQ(live, 1);
+}
+
+TEST(Tlb, InvalidateRemovesEntry) {
+  Tlb tlb;
+  tlb.WriteRandom(Entry(0x10, 1, 77));
+  tlb.Invalidate(0x10, 1);
+  EXPECT_EQ(tlb.Lookup(0x10, 1), nullptr);
+}
+
+TEST(Tlb, InvalidateMissingEntryIsHarmless) {
+  Tlb tlb;
+  tlb.Invalidate(0x99, 7);
+  EXPECT_EQ(tlb.Lookup(0x99, 7), nullptr);
+}
+
+TEST(Tlb, FlushAsidRemovesOnlyThatAsid) {
+  Tlb tlb;
+  tlb.WriteRandom(Entry(0x10, 1, 1));
+  tlb.WriteRandom(Entry(0x11, 1, 2));
+  tlb.WriteRandom(Entry(0x10, 2, 3));
+  tlb.FlushAsid(1);
+  EXPECT_EQ(tlb.Lookup(0x10, 1), nullptr);
+  EXPECT_EQ(tlb.Lookup(0x11, 1), nullptr);
+  ASSERT_NE(tlb.Lookup(0x10, 2), nullptr);
+}
+
+TEST(Tlb, FlushAllEmptiesEverything) {
+  Tlb tlb;
+  for (Vpn v = 0; v < 32; ++v) {
+    tlb.WriteRandom(Entry(v, 3, v));
+  }
+  tlb.FlushAll();
+  for (Vpn v = 0; v < 32; ++v) {
+    EXPECT_EQ(tlb.Lookup(v, 3), nullptr);
+  }
+}
+
+TEST(Tlb, CapacityEvictionKeepsAtMost64Live) {
+  Tlb tlb;
+  for (Vpn v = 0; v < 1000; ++v) {
+    tlb.WriteRandom(Entry(v, 1, v));
+  }
+  int live = 0;
+  for (const TlbEntry& entry : tlb.entries()) {
+    live += entry.valid ? 1 : 0;
+  }
+  EXPECT_LE(live, 64);
+  EXPECT_GT(live, 0);
+}
+
+// Property: against a reference model, any entry the TLB reports must be one
+// the model wrote most recently for that (vpn, asid); the TLB may forget
+// (capacity), but must never invent or return stale overwritten data.
+TEST(Tlb, PropertyAgreesWithReferenceModel) {
+  Tlb tlb;
+  std::map<std::pair<Vpn, Asid>, TlbEntry> model;
+  SplitMix64 rng(42);
+  for (int step = 0; step < 5000; ++step) {
+    const Vpn vpn = static_cast<Vpn>(rng.NextBelow(128));
+    const Asid asid = static_cast<Asid>(rng.NextBelow(4));
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        TlbEntry e = Entry(vpn, asid, static_cast<PageId>(rng.NextBelow(1 << 20)),
+                           rng.NextBelow(2) == 0);
+        tlb.WriteRandom(e);
+        model[{vpn, asid}] = e;
+        break;
+      }
+      case 1:
+        tlb.Invalidate(vpn, asid);
+        model.erase({vpn, asid});
+        break;
+      default: {
+        const TlbEntry* got = tlb.Lookup(vpn, asid);
+        if (got != nullptr) {
+          auto it = model.find({vpn, asid});
+          ASSERT_NE(it, model.end()) << "TLB invented an entry";
+          EXPECT_EQ(got->pfn, it->second.pfn);
+          EXPECT_EQ(got->writable, it->second.writable);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xok::hw

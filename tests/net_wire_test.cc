@@ -1,0 +1,109 @@
+#include "src/net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xok::net {
+namespace {
+
+TEST(InternetChecksumTest, KnownVector) {
+  // RFC 1071 worked example: 00 01 f2 03 f4 f5 f6 f7 sums to ddf2,
+  // checksum = ~ddf2 = 220d.
+  std::vector<uint8_t> data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(InternetChecksum(data), 0x220d);
+}
+
+TEST(InternetChecksumTest, OddLengthPadsWithZero) {
+  std::vector<uint8_t> data = {0x01, 0x02, 0x03};
+  // Words: 0102, 0300 -> sum 0402 -> cksum ~0402 = fbfd.
+  EXPECT_EQ(InternetChecksum(data), 0xfbfd);
+}
+
+TEST(InternetChecksumTest, ChecksummedDataVerifiesToZero) {
+  std::vector<uint8_t> data = {0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11};
+  const uint16_t cksum = InternetChecksum(data);
+  data.push_back(static_cast<uint8_t>(cksum >> 8));
+  data.push_back(static_cast<uint8_t>(cksum & 0xff));
+  // Sum over data including its checksum folds to 0xffff; the complement
+  // is zero.
+  EXPECT_EQ(InternetChecksum(data), 0);
+}
+
+TEST(BeAccessors, RoundTrip) {
+  std::vector<uint8_t> buf(8, 0);
+  PutBe16(buf, 0, 0xbeef);
+  PutBe32(buf, 2, 0x01020304);
+  EXPECT_EQ(GetBe16(buf, 0), 0xbeef);
+  EXPECT_EQ(GetBe32(buf, 2), 0x01020304u);
+}
+
+TEST(UdpFrame, BuildParseRoundTrip) {
+  std::vector<uint8_t> payload = {'h', 'e', 'l', 'l', 'o'};
+  auto frame = BuildUdpFrame(0xaabbccddeeffULL, 0x112233445566ULL, 0x0a000001, 0x0a000002,
+                             1234, 5678, payload);
+  UdpView view;
+  ASSERT_TRUE(ParseUdpFrame(frame, &view));
+  EXPECT_EQ(view.src_ip, 0x0a000001u);
+  EXPECT_EQ(view.dst_ip, 0x0a000002u);
+  EXPECT_EQ(view.src_port, 1234);
+  EXPECT_EQ(view.dst_port, 5678);
+  EXPECT_EQ(std::vector<uint8_t>(view.payload.begin(), view.payload.end()), payload);
+}
+
+TEST(UdpFrame, SixtyByteMinimumEnforced) {
+  std::vector<uint8_t> tiny_payload = {1};
+  auto frame = BuildUdpFrame(1, 2, 3, 4, 5, 6, tiny_payload);
+  EXPECT_EQ(frame.size(), 60u);
+}
+
+TEST(UdpFrame, PaperPacketIs60Bytes) {
+  // The paper ping-pongs "a counter in a 60-byte UDP/IP packet": the
+  // 4-byte counter plus headers lands exactly at the Ethernet minimum.
+  std::vector<uint8_t> counter = {0, 0, 0, 1};
+  auto frame = BuildUdpFrame(1, 2, 3, 4, 5, 6, counter);
+  EXPECT_EQ(frame.size(), 60u);
+}
+
+TEST(UdpFrame, CorruptedIpHeaderRejected) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4};
+  auto frame = BuildUdpFrame(1, 2, 3, 4, 5, 6, payload);
+  frame[kIpTtlOff] ^= 1;  // Break the header without fixing the checksum.
+  UdpView view;
+  EXPECT_FALSE(ParseUdpFrame(frame, &view));
+}
+
+TEST(UdpFrame, NonIpRejected) {
+  std::vector<uint8_t> payload = {1};
+  auto frame = BuildUdpFrame(1, 2, 3, 4, 5, 6, payload);
+  PutBe16(frame, kEthTypeOff, 0x0806);  // ARP.
+  UdpView view;
+  EXPECT_FALSE(ParseUdpFrame(frame, &view));
+}
+
+TEST(UdpFrame, TcpProtocolRejectedByUdpParser) {
+  std::vector<uint8_t> payload = {1};
+  auto frame = BuildUdpFrame(1, 2, 3, 4, 5, 6, payload);
+  frame[kIpProtoOff] = kIpProtoTcp;
+  UdpView view;
+  EXPECT_FALSE(ParseUdpFrame(frame, &view));
+}
+
+TEST(UdpFrame, TruncatedFrameRejected) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4};
+  auto frame = BuildUdpFrame(1, 2, 3, 4, 5, 6, payload);
+  frame.resize(20);
+  UdpView view;
+  EXPECT_FALSE(ParseUdpFrame(frame, &view));
+}
+
+TEST(UdpFrame, BogusUdpLengthRejected) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4};
+  auto frame = BuildUdpFrame(1, 2, 3, 4, 5, 6, payload);
+  PutBe16(frame, kUdpLenOff, 4000);  // Longer than the frame.
+  UdpView view;
+  EXPECT_FALSE(ParseUdpFrame(frame, &view));
+}
+
+}  // namespace
+}  // namespace xok::net

@@ -1,0 +1,121 @@
+#include "src/core/stlb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/rand.h"
+
+namespace xok::aegis {
+namespace {
+
+TEST(Stlb, MissesWhenEmpty) {
+  Stlb stlb;
+  EXPECT_EQ(stlb.Lookup(5, 1), nullptr);
+}
+
+TEST(Stlb, HitAfterInsert) {
+  Stlb stlb;
+  stlb.Insert(5, 1, 77, true);
+  const Stlb::Entry* entry = stlb.Lookup(5, 1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->pfn, 77u);
+  EXPECT_TRUE(entry->writable);
+}
+
+TEST(Stlb, AsidSeparation) {
+  Stlb stlb;
+  stlb.Insert(5, 1, 77, true);
+  EXPECT_EQ(stlb.Lookup(5, 2), nullptr);
+}
+
+TEST(Stlb, InvalidateRemoves) {
+  Stlb stlb;
+  stlb.Insert(5, 1, 77, true);
+  stlb.Invalidate(5, 1);
+  EXPECT_EQ(stlb.Lookup(5, 1), nullptr);
+}
+
+TEST(Stlb, InvalidateWrongAsidIsNoop) {
+  Stlb stlb;
+  stlb.Insert(5, 1, 77, true);
+  stlb.Invalidate(5, 2);
+  EXPECT_NE(stlb.Lookup(5, 1), nullptr);
+}
+
+TEST(Stlb, FlushAsidRemovesAllForAsid) {
+  Stlb stlb;
+  for (hw::Vpn v = 0; v < 100; ++v) {
+    stlb.Insert(v, 3, v, false);
+    stlb.Insert(v, 4, v, false);
+  }
+  stlb.FlushAsid(3);
+  int live3 = 0;
+  int live4 = 0;
+  for (hw::Vpn v = 0; v < 100; ++v) {
+    live3 += stlb.Lookup(v, 3) != nullptr ? 1 : 0;
+    live4 += stlb.Lookup(v, 4) != nullptr ? 1 : 0;
+  }
+  EXPECT_EQ(live3, 0);
+  EXPECT_GT(live4, 0);
+}
+
+TEST(Stlb, FlushPfnRemovesAllMappingsOfFrame) {
+  Stlb stlb;
+  stlb.Insert(5, 1, 77, true);
+  stlb.Insert(9, 2, 77, true);
+  stlb.Insert(6, 1, 78, true);
+  stlb.FlushPfn(77);
+  EXPECT_EQ(stlb.Lookup(5, 1), nullptr);
+  EXPECT_EQ(stlb.Lookup(9, 2), nullptr);
+  EXPECT_NE(stlb.Lookup(6, 1), nullptr);
+}
+
+TEST(Stlb, DirectMappedConflictEvicts) {
+  Stlb stlb;
+  // Two VPNs hashing to the same slot: vpn and vpn ^ (asid<<7) structure
+  // means vpn + kEntries collides for the same asid.
+  stlb.Insert(5, 1, 10, true);
+  stlb.Insert(5 + Stlb::kEntries, 1, 11, true);
+  EXPECT_EQ(stlb.Lookup(5, 1), nullptr);  // Evicted by the conflict.
+  ASSERT_NE(stlb.Lookup(5 + Stlb::kEntries, 1), nullptr);
+  EXPECT_EQ(stlb.Lookup(5 + Stlb::kEntries, 1)->pfn, 11u);
+}
+
+// Property: the STLB never *invents* a translation — every hit matches the
+// most recent insert for that (vpn, asid).
+TEST(Stlb, PropertyNeverInventsMappings) {
+  Stlb stlb;
+  std::map<std::pair<hw::Vpn, hw::Asid>, std::pair<hw::PageId, bool>> model;
+  SplitMix64 rng(17);
+  for (int step = 0; step < 20000; ++step) {
+    const hw::Vpn vpn = static_cast<hw::Vpn>(rng.NextBelow(1 << 14));
+    const hw::Asid asid = static_cast<hw::Asid>(rng.NextBelow(8));
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        const hw::PageId pfn = static_cast<hw::PageId>(rng.NextBelow(1 << 16));
+        const bool writable = rng.NextBelow(2) == 0;
+        stlb.Insert(vpn, asid, pfn, writable);
+        model[{vpn, asid}] = {pfn, writable};
+        break;
+      }
+      case 1:
+        stlb.Invalidate(vpn, asid);
+        model.erase({vpn, asid});
+        break;
+      default: {
+        const Stlb::Entry* entry = stlb.Lookup(vpn, asid);
+        if (entry != nullptr) {
+          auto it = model.find({vpn, asid});
+          ASSERT_NE(it, model.end());
+          EXPECT_EQ(entry->pfn, it->second.first);
+          EXPECT_EQ(entry->writable, it->second.second);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xok::aegis

@@ -1,0 +1,117 @@
+// Differential fuzzing of the downloaded-code safety story: random
+// instruction streams are thrown at the verifier; everything the verifier
+// accepts must execute within the static bound and stay inside the
+// sandbox. This is the load-bearing guarantee behind ASHs ("the execution
+// time of downloaded code can be readily bounded", §3.2.1) — a verifier
+// bug would let an application wedge or corrupt the kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rand.h"
+#include "src/vcode/vcode.h"
+
+namespace xok::vcode {
+namespace {
+
+Insn RandomInsn(SplitMix64& rng, size_t program_len) {
+  Insn insn;
+  insn.op = static_cast<Op>(rng.NextBelow(static_cast<uint64_t>(Op::kReject) + 1));
+  insn.a = static_cast<uint8_t>(rng.NextBelow(18));       // Sometimes out of range.
+  insn.b = static_cast<uint8_t>(rng.NextBelow(18));
+  insn.imm = static_cast<uint32_t>(rng.Next());
+  if (rng.NextBelow(4) == 0) {
+    insn.imm &= 0xfff;  // Small immediates hit in-bounds paths more often.
+  }
+  insn.target = static_cast<uint32_t>(rng.NextBelow(program_len + 4));
+  return insn;
+}
+
+TEST(VcodeFuzz, AcceptedProgramsTerminateWithinBoundAndStayInSandbox) {
+  SplitMix64 rng(0x5eed);
+  constexpr int kPrograms = 3000;
+  int accepted = 0;
+
+  // Canary-padded region: executing any accepted program must never touch
+  // the canaries (the executor bounds-checks against region.size()).
+  std::vector<uint8_t> arena(256 + 64, 0xcd);
+  const std::span<uint8_t> region(&arena[32], 256);
+
+  std::vector<uint8_t> msg(128);
+  for (size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<uint8_t>(i);
+  }
+
+  std::vector<std::function<void(uint32_t(&)[kRegisters], uint32_t)>> hooks(2);
+  int hook_calls = 0;
+  hooks[0] = [&](uint32_t(&)[kRegisters], uint32_t) { ++hook_calls; };
+  hooks[1] = hooks[0];
+
+  for (int p = 0; p < kPrograms; ++p) {
+    const size_t len = 1 + rng.NextBelow(40);
+    std::vector<Insn> code;
+    for (size_t i = 0; i < len; ++i) {
+      code.push_back(RandomInsn(rng, len));
+    }
+    // Half the time, help the program end properly so more get accepted.
+    if (rng.NextBelow(2) == 0) {
+      code.back() = Insn{rng.NextBelow(2) == 0 ? Op::kAccept : Op::kReject, 0, 0, 0, 0};
+    }
+    Program program(code);
+    if (Verify(program, 64, hooks.size()) != Status::kOk) {
+      continue;
+    }
+    ++accepted;
+    std::fill(region.begin(), region.end(), uint8_t{0});
+    ExecEnv env{msg, region, &hooks};
+    const ExecResult result = Execute(program, env);
+    // Bounded runtime: forward-only branches mean at most `len` ops.
+    EXPECT_LE(result.ops_executed, len) << "program " << p;
+    // Sandbox: the canaries around the region are intact.
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_EQ(arena[i], 0xcd) << "low canary, program " << p;
+      ASSERT_EQ(arena[arena.size() - 1 - i], 0xcd) << "high canary, program " << p;
+    }
+  }
+  // The fuzz must actually exercise the executor.
+  EXPECT_GT(accepted, 60) << "verifier rejected almost everything; fuzz ineffective";
+}
+
+TEST(VcodeFuzz, RejectedProgramsIncludeEveryUnsafeClass) {
+  // Sanity: the fuzz distribution actually produces each rejection class.
+  SplitMix64 rng(0xfeed);
+  int backward = 0;
+  int fallthrough = 0;
+  int bad_reg = 0;
+  for (int p = 0; p < 4000; ++p) {
+    const size_t len = 1 + rng.NextBelow(16);
+    std::vector<Insn> code;
+    for (size_t i = 0; i < len; ++i) {
+      code.push_back(RandomInsn(rng, len));
+    }
+    Program program(code);
+    if (Verify(program, 64, 2) == Status::kOk) {
+      continue;
+    }
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+      const Insn& insn = code[pc];
+      const bool is_branch = insn.op == Op::kBranchEqImm || insn.op == Op::kBranchNeImm ||
+                             insn.op == Op::kBranchLtImm;
+      if (is_branch && insn.target <= pc) {
+        ++backward;
+      }
+      if (insn.a >= kRegisters && insn.op != Op::kHook) {
+        ++bad_reg;
+      }
+    }
+    if (code.back().op != Op::kAccept && code.back().op != Op::kReject) {
+      ++fallthrough;
+    }
+  }
+  EXPECT_GT(backward, 0);
+  EXPECT_GT(fallthrough, 0);
+  EXPECT_GT(bad_reg, 0);
+}
+
+}  // namespace
+}  // namespace xok::vcode

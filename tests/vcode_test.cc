@@ -1,0 +1,273 @@
+#include "src/vcode/vcode.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xok::vcode {
+namespace {
+
+ExecResult RunProgram(const Program& program, std::span<const uint8_t> msg = {},
+               std::span<uint8_t> region = {}) {
+  ExecEnv env{msg, region, nullptr};
+  return Execute(program, env);
+}
+
+TEST(VcodeExec, AcceptReturnsImmediate) {
+  Emitter e;
+  e.Emit(Op::kAccept, 0, 0, 42);
+  EXPECT_EQ(RunProgram(e.Finish()).value, 42u);
+}
+
+TEST(VcodeExec, RejectReturnsSentinel) {
+  Emitter e;
+  e.Emit(Op::kReject);
+  EXPECT_EQ(RunProgram(e.Finish()).value, kRejected);
+}
+
+TEST(VcodeExec, AluOperations) {
+  Emitter e;
+  e.Emit(Op::kLoadImm, 0, 0, 10);
+  e.Emit(Op::kLoadImm, 1, 0, 3);
+  e.Emit(Op::kAdd, 0, 1);       // r0 = 13
+  e.Emit(Op::kShl, 0, 0, 2);    // r0 = 52
+  e.Emit(Op::kAddImm, 0, 0, 4); // r0 = 56
+  e.Emit(Op::kSub, 0, 1);       // r0 = 53
+  e.Emit(Op::kAndImm, 0, 0, 0xfe);  // r0 = 52
+  e.Emit(Op::kShr, 0, 0, 1);    // r0 = 26
+  Emitter::Label fail = e.EmitBranch(Op::kBranchNeImm, 0, 26);
+  e.Emit(Op::kAccept, 0, 0, 1);
+  e.Bind(fail);
+  e.Emit(Op::kReject);
+  EXPECT_EQ(RunProgram(e.Finish()).value, 1u);
+}
+
+TEST(VcodeExec, MsgLoadsAreBigEndian) {
+  std::vector<uint8_t> msg = {0x12, 0x34, 0x56, 0x78};
+  Emitter e;
+  e.Emit(Op::kLoadMsgWord, 0, 1, 0);  // r1 = 0.
+  Emitter::Label fail = e.EmitBranch(Op::kBranchNeImm, 0, 0x12345678);
+  e.Emit(Op::kLoadMsgHalf, 0, 1, 1);
+  Emitter::Label fail2 = e.EmitBranch(Op::kBranchNeImm, 0, 0x3456);
+  e.Emit(Op::kLoadMsgByte, 0, 1, 3);
+  Emitter::Label fail3 = e.EmitBranch(Op::kBranchNeImm, 0, 0x78);
+  e.Emit(Op::kAccept, 0, 0, 7);
+  e.Bind(fail);
+  e.Bind(fail2);
+  e.Bind(fail3);
+  e.Emit(Op::kReject);
+  EXPECT_EQ(RunProgram(e.Finish(), msg).value, 7u);
+}
+
+TEST(VcodeExec, OutOfBoundsMsgLoadRejects) {
+  std::vector<uint8_t> msg = {1, 2};
+  Emitter e;
+  e.Emit(Op::kLoadMsgWord, 0, 1, 0);  // 4 bytes from a 2-byte message.
+  e.Emit(Op::kAccept, 0, 0, 1);
+  EXPECT_EQ(RunProgram(e.Finish(), msg).value, kRejected);
+}
+
+TEST(VcodeExec, RegionStoreAndLoadRoundTrip) {
+  std::vector<uint8_t> region(16, 0);
+  Emitter e;
+  e.Emit(Op::kLoadImm, 0, 0, 4);           // r0 = dst offset.
+  e.Emit(Op::kLoadImm, 1, 0, 0xabcd1234);  // r1 = value.
+  e.Emit(Op::kStoreRegionWord, 0, 1, 0);
+  e.Emit(Op::kLoadRegionWord, 2, 0, 0);  // r2 = region[r0].
+  e.Emit(Op::kMov, 3, 2);
+  Emitter::Label fail = e.EmitBranch(Op::kBranchNeImm, 3, 0xabcd1234);
+  e.Emit(Op::kAccept, 0, 0, 9);
+  e.Bind(fail);
+  e.Emit(Op::kReject);
+  EXPECT_EQ(RunProgram(e.Finish(), {}, region).value, 9u);
+}
+
+TEST(VcodeExec, RegionStoreOutOfBoundsRejects) {
+  std::vector<uint8_t> region(4, 0);
+  Emitter e;
+  e.Emit(Op::kLoadImm, 0, 0, 2);  // Offset 2: word would span past the end.
+  e.Emit(Op::kLoadImm, 1, 0, 1);
+  e.Emit(Op::kStoreRegionWord, 0, 1, 0);
+  e.Emit(Op::kAccept, 0, 0, 1);
+  EXPECT_EQ(RunProgram(e.Finish(), {}, region).value, kRejected);
+}
+
+TEST(VcodeExec, CopyRegionMovesBytesAndCountsThem) {
+  std::vector<uint8_t> msg = {9, 8, 7, 6, 5};
+  std::vector<uint8_t> region(8, 0);
+  Emitter e;
+  e.Emit(Op::kLoadImm, 0, 0, 1);  // dst = 1.
+  e.Emit(Op::kLoadImm, 1, 0, 2);  // src = 2.
+  e.Emit(Op::kCopyRegion, 0, 1, 3);
+  e.Emit(Op::kAccept, 0, 0, 1);
+  ExecResult r = RunProgram(e.Finish(), msg, region);
+  EXPECT_EQ(r.value, 1u);
+  EXPECT_EQ(r.bytes_touched, 3u);
+  EXPECT_EQ(region[1], 7);
+  EXPECT_EQ(region[2], 6);
+  EXPECT_EQ(region[3], 5);
+}
+
+TEST(VcodeExec, CopyCksumMatchesSeparateCksum) {
+  std::vector<uint8_t> msg = {0x45, 0x00, 0x01, 0x23, 0x99};
+  std::vector<uint8_t> region(8, 0);
+
+  // Integrated: copy+checksum in one op; result in r15.
+  Emitter ilp;
+  ilp.Emit(Op::kLoadImm, 0, 0, 0);
+  ilp.Emit(Op::kLoadImm, 1, 0, 0);
+  ilp.Emit(Op::kCopyCksum, 0, 1, 5);
+  ilp.Emit(Op::kMov, 2, 15);
+  ilp.Emit(Op::kAccept, 0, 0, 0);  // Value checked via separate run below.
+
+  Emitter sep;
+  sep.Emit(Op::kLoadImm, 1, 0, 0);
+  sep.Emit(Op::kCksum, 0, 1, 5);
+  sep.Emit(Op::kAccept, 0, 0, 0);
+
+  // Compare r15 via accept imm is awkward; instead assert the copies agree
+  // and the checksums agree by storing r15 to the region.
+  Emitter ilp2;
+  ilp2.Emit(Op::kLoadImm, 0, 0, 0);
+  ilp2.Emit(Op::kLoadImm, 1, 0, 0);
+  ilp2.Emit(Op::kCopyCksum, 0, 1, 5);
+  ilp2.Emit(Op::kLoadImm, 3, 0, 0);  // Hack-free: write r15 to region[0..4).
+  ilp2.Emit(Op::kStoreRegionWord, 3, 15, 0);
+  ilp2.Emit(Op::kAccept, 0, 0, 1);
+  std::vector<uint8_t> region_a(8, 0);
+  ASSERT_EQ(RunProgram(ilp2.Finish(), msg, region_a).value, 1u);
+
+  Emitter sep2;
+  sep2.Emit(Op::kLoadImm, 1, 0, 0);
+  sep2.Emit(Op::kCksum, 0, 1, 5);
+  sep2.Emit(Op::kLoadImm, 3, 0, 4);
+  sep2.Emit(Op::kStoreRegionWord, 3, 15, 0);
+  sep2.Emit(Op::kAccept, 0, 0, 1);
+  std::vector<uint8_t> region_b(8, 0);
+  ASSERT_EQ(RunProgram(sep2.Finish(), msg, region_b).value, 1u);
+
+  // The 4 bytes at region_a[0..4) (ILP checksum) match region_b[4..8).
+  EXPECT_TRUE(std::equal(region_a.begin(), region_a.begin() + 4, region_b.begin() + 4));
+}
+
+TEST(VcodeExec, HooksAreInvokedWithRegisters) {
+  Emitter e;
+  e.Emit(Op::kLoadImm, 2, 0, 55);
+  e.Emit(Op::kHook, 0, 0, 99);
+  e.Emit(Op::kAccept, 0, 0, 1);
+  Program p = e.Finish();
+
+  uint32_t seen_reg = 0;
+  uint32_t seen_imm = 0;
+  std::vector<std::function<void(uint32_t(&)[kRegisters], uint32_t)>> hooks;
+  hooks.push_back([&](uint32_t(&regs)[kRegisters], uint32_t imm) {
+    seen_reg = regs[2];
+    seen_imm = imm;
+    regs[3] = 77;  // Hooks may write registers back.
+  });
+  ExecEnv env{{}, {}, &hooks};
+  EXPECT_EQ(Execute(p, env).value, 1u);
+  EXPECT_EQ(seen_reg, 55u);
+  EXPECT_EQ(seen_imm, 99u);
+}
+
+TEST(VcodeExec, OpsExecutedCountsTakenPath) {
+  Emitter e;
+  e.Emit(Op::kLoadImm, 0, 0, 1);
+  Emitter::Label skip = e.EmitBranch(Op::kBranchEqImm, 0, 1);
+  e.Emit(Op::kLoadImm, 0, 0, 2);  // Skipped.
+  e.Bind(skip);
+  e.Emit(Op::kAccept, 0, 0, 1);
+  ExecResult r = RunProgram(e.Finish());
+  EXPECT_EQ(r.ops_executed, 3u);  // load, branch, accept.
+}
+
+// --- Verifier ---
+
+TEST(VcodeVerify, AcceptsStraightLineProgram) {
+  Emitter e;
+  e.Emit(Op::kLoadImm, 0, 0, 1);
+  e.Emit(Op::kAccept, 0, 0, 1);
+  EXPECT_EQ(Verify(e.Finish(), 64, 0), Status::kOk);
+}
+
+TEST(VcodeVerify, RejectsEmptyProgram) {
+  EXPECT_EQ(Verify(Program{}, 64, 0), Status::kErrUnsafeCode);
+}
+
+TEST(VcodeVerify, RejectsOverlongProgram) {
+  Emitter e;
+  for (int i = 0; i < 100; ++i) {
+    e.Emit(Op::kLoadImm, 0, 0, 1);
+  }
+  e.Emit(Op::kAccept);
+  EXPECT_EQ(Verify(e.Finish(), 64, 0), Status::kErrUnsafeCode);
+}
+
+TEST(VcodeVerify, RejectsBackwardBranch) {
+  std::vector<Insn> code;
+  code.push_back(Insn{Op::kLoadImm, 0, 0, 0, 0});
+  code.push_back(Insn{Op::kBranchEqImm, 0, 0, 0, 0});  // Target 0: backward.
+  code.push_back(Insn{Op::kAccept, 0, 0, 0, 0});
+  EXPECT_EQ(Verify(Program(code), 64, 0), Status::kErrUnsafeCode);
+}
+
+TEST(VcodeVerify, RejectsSelfBranch) {
+  std::vector<Insn> code;
+  code.push_back(Insn{Op::kBranchEqImm, 0, 0, 0, 0});  // Target == pc.
+  code.push_back(Insn{Op::kAccept, 0, 0, 0, 0});
+  EXPECT_EQ(Verify(Program(code), 64, 0), Status::kErrUnsafeCode);
+}
+
+TEST(VcodeVerify, RejectsBranchPastEnd) {
+  std::vector<Insn> code;
+  code.push_back(Insn{Op::kBranchEqImm, 0, 0, 0, 5});
+  code.push_back(Insn{Op::kAccept, 0, 0, 0, 0});
+  EXPECT_EQ(Verify(Program(code), 64, 0), Status::kErrUnsafeCode);
+}
+
+TEST(VcodeVerify, RejectsFallOffEnd) {
+  std::vector<Insn> code;
+  code.push_back(Insn{Op::kLoadImm, 0, 0, 1, 0});
+  EXPECT_EQ(Verify(Program(code), 64, 0), Status::kErrUnsafeCode);
+}
+
+TEST(VcodeVerify, RejectsBadRegister) {
+  std::vector<Insn> code;
+  code.push_back(Insn{Op::kLoadImm, 20, 0, 1, 0});
+  code.push_back(Insn{Op::kAccept, 0, 0, 0, 0});
+  EXPECT_EQ(Verify(Program(code), 64, 0), Status::kErrUnsafeCode);
+}
+
+TEST(VcodeVerify, RejectsDisallowedHook) {
+  std::vector<Insn> code;
+  code.push_back(Insn{Op::kHook, 2, 0, 0, 0});
+  code.push_back(Insn{Op::kAccept, 0, 0, 0, 0});
+  EXPECT_EQ(Verify(Program(code), 64, 2), Status::kErrUnsafeCode);
+  code[0].a = 1;
+  EXPECT_EQ(Verify(Program(code), 64, 2), Status::kOk);
+}
+
+// Property: any verified program terminates within code-length steps of
+// forward progress — because branches only go forward, ops_executed can
+// never exceed the program length.
+TEST(VcodeVerify, PropertyVerifiedProgramsAreBounded) {
+  Emitter e;
+  for (int i = 0; i < 30; ++i) {
+    e.Emit(Op::kAddImm, 0, 0, 1);
+    if (i % 5 == 0) {
+      Emitter::Label l = e.EmitBranch(Op::kBranchLtImm, 0, 1000);
+      e.Emit(Op::kReject);
+      e.Bind(l);
+    }
+  }
+  e.Emit(Op::kAccept, 0, 0, 1);
+  Program p = e.Finish();
+  ASSERT_EQ(Verify(p, 128, 0), Status::kOk);
+  ExecEnv env{{}, {}, nullptr};
+  ExecResult r = Execute(p, env);
+  EXPECT_LE(r.ops_executed, p.size());
+}
+
+}  // namespace
+}  // namespace xok::vcode
