@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ash_ilp.dir/bench_abl_ash_ilp.cc.o"
+  "CMakeFiles/bench_abl_ash_ilp.dir/bench_abl_ash_ilp.cc.o.d"
+  "bench_abl_ash_ilp"
+  "bench_abl_ash_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ash_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dpf.dir/bench_abl_dpf.cc.o"
+  "CMakeFiles/bench_abl_dpf.dir/bench_abl_dpf.cc.o.d"
+  "bench_abl_dpf"
+  "bench_abl_dpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

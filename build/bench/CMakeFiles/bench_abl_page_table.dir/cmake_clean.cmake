@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_page_table.dir/bench_abl_page_table.cc.o"
+  "CMakeFiles/bench_abl_page_table.dir/bench_abl_page_table.cc.o.d"
+  "bench_abl_page_table"
+  "bench_abl_page_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_page_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

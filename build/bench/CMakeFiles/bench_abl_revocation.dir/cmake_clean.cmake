@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_revocation.dir/bench_abl_revocation.cc.o"
+  "CMakeFiles/bench_abl_revocation.dir/bench_abl_revocation.cc.o.d"
+  "bench_abl_revocation"
+  "bench_abl_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

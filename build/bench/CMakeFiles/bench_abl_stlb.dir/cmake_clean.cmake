@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_stlb.dir/bench_abl_stlb.cc.o"
+  "CMakeFiles/bench_abl_stlb.dir/bench_abl_stlb.cc.o.d"
+  "bench_abl_stlb"
+  "bench_abl_stlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_stlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_yield.dir/bench_abl_yield.cc.o"
+  "CMakeFiles/bench_abl_yield.dir/bench_abl_yield.cc.o.d"
+  "bench_abl_yield"
+  "bench_abl_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f03_stride.dir/bench_f03_stride.cc.o"
+  "CMakeFiles/bench_f03_stride.dir/bench_f03_stride.cc.o.d"
+  "bench_f03_stride"
+  "bench_f03_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f03_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t01_machine.dir/bench_t01_machine.cc.o"
+  "CMakeFiles/bench_t01_machine.dir/bench_t01_machine.cc.o.d"
+  "bench_t01_machine"
+  "bench_t01_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t01_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

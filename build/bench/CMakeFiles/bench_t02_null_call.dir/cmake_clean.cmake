@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t02_null_call.dir/bench_t02_null_call.cc.o"
+  "CMakeFiles/bench_t02_null_call.dir/bench_t02_null_call.cc.o.d"
+  "bench_t02_null_call"
+  "bench_t02_null_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t02_null_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_t03_primops.cc" "bench/CMakeFiles/bench_t03_primops.dir/bench_t03_primops.cc.o" "gcc" "bench/CMakeFiles/bench_t03_primops.dir/bench_t03_primops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xok_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exos/CMakeFiles/xok_exos.dir/DependInfo.cmake"
+  "/root/repo/build/src/ultrix/CMakeFiles/xok_ultrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xok_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpf/CMakeFiles/xok_dpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ash/CMakeFiles/xok_ash.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/xok_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcode/CMakeFiles/xok_vcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xok_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xok_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t03_primops.dir/bench_t03_primops.cc.o"
+  "CMakeFiles/bench_t03_primops.dir/bench_t03_primops.cc.o.d"
+  "bench_t03_primops"
+  "bench_t03_primops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t03_primops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

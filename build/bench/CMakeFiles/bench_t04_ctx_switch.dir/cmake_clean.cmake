@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t04_ctx_switch.dir/bench_t04_ctx_switch.cc.o"
+  "CMakeFiles/bench_t04_ctx_switch.dir/bench_t04_ctx_switch.cc.o.d"
+  "bench_t04_ctx_switch"
+  "bench_t04_ctx_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t04_ctx_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

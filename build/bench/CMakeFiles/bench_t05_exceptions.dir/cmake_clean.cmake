@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t05_exceptions.dir/bench_t05_exceptions.cc.o"
+  "CMakeFiles/bench_t05_exceptions.dir/bench_t05_exceptions.cc.o.d"
+  "bench_t05_exceptions"
+  "bench_t05_exceptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t05_exceptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t05_exceptions.
+# This may be replaced when dependencies are built.

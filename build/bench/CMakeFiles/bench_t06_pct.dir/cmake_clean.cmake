@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t06_pct.dir/bench_t06_pct.cc.o"
+  "CMakeFiles/bench_t06_pct.dir/bench_t06_pct.cc.o.d"
+  "bench_t06_pct"
+  "bench_t06_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t06_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

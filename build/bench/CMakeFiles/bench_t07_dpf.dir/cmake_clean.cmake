@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t07_dpf.dir/bench_t07_dpf.cc.o"
+  "CMakeFiles/bench_t07_dpf.dir/bench_t07_dpf.cc.o.d"
+  "bench_t07_dpf"
+  "bench_t07_dpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t07_dpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t08_ipc.dir/bench_t08_ipc.cc.o"
+  "CMakeFiles/bench_t08_ipc.dir/bench_t08_ipc.cc.o.d"
+  "bench_t08_ipc"
+  "bench_t08_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t08_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

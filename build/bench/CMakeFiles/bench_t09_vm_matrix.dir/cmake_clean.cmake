@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t09_vm_matrix.dir/bench_t09_vm_matrix.cc.o"
+  "CMakeFiles/bench_t09_vm_matrix.dir/bench_t09_vm_matrix.cc.o.d"
+  "bench_t09_vm_matrix"
+  "bench_t09_vm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t09_vm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_t09_vm_matrix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t10_appel_li.dir/bench_t10_appel_li.cc.o"
+  "CMakeFiles/bench_t10_appel_li.dir/bench_t10_appel_li.cc.o.d"
+  "bench_t10_appel_li"
+  "bench_t10_appel_li.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t10_appel_li.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t11_ash_net.dir/bench_t11_ash_net.cc.o"
+  "CMakeFiles/bench_t11_ash_net.dir/bench_t11_ash_net.cc.o.d"
+  "bench_t11_ash_net"
+  "bench_t11_ash_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t11_ash_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

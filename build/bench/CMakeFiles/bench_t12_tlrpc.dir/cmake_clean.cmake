@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t12_tlrpc.dir/bench_t12_tlrpc.cc.o"
+  "CMakeFiles/bench_t12_tlrpc.dir/bench_t12_tlrpc.cc.o.d"
+  "bench_t12_tlrpc"
+  "bench_t12_tlrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t12_tlrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

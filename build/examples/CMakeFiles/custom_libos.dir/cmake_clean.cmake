@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_libos.dir/custom_libos.cpp.o"
+  "CMakeFiles/custom_libos.dir/custom_libos.cpp.o.d"
+  "custom_libos"
+  "custom_libos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_libos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_scan.dir/db_scan.cpp.o"
+  "CMakeFiles/db_scan.dir/db_scan.cpp.o.d"
+  "db_scan"
+  "db_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

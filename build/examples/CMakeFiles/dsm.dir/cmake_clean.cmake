@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm.dir/dsm.cpp.o"
+  "CMakeFiles/dsm.dir/dsm.cpp.o.d"
+  "dsm"
+  "dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

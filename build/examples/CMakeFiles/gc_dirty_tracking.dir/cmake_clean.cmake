@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_dirty_tracking.dir/gc_dirty_tracking.cpp.o"
+  "CMakeFiles/gc_dirty_tracking.dir/gc_dirty_tracking.cpp.o.d"
+  "gc_dirty_tracking"
+  "gc_dirty_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_dirty_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

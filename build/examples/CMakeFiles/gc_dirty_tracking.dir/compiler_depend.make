@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gc_dirty_tracking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_demux.dir/packet_demux.cpp.o"
+  "CMakeFiles/packet_demux.dir/packet_demux.cpp.o.d"
+  "packet_demux"
+  "packet_demux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_demux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

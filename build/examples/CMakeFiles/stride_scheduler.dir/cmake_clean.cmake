@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stride_scheduler.dir/stride_scheduler.cpp.o"
+  "CMakeFiles/stride_scheduler.dir/stride_scheduler.cpp.o.d"
+  "stride_scheduler"
+  "stride_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stride_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xok_ash.dir/ash.cc.o"
+  "CMakeFiles/xok_ash.dir/ash.cc.o.d"
+  "libxok_ash.a"
+  "libxok_ash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xok_ash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xok_base.dir/status.cc.o"
+  "CMakeFiles/xok_base.dir/status.cc.o.d"
+  "libxok_base.a"
+  "libxok_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xok_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xok_cap.dir/capability.cc.o"
+  "CMakeFiles/xok_cap.dir/capability.cc.o.d"
+  "CMakeFiles/xok_cap.dir/siphash.cc.o"
+  "CMakeFiles/xok_cap.dir/siphash.cc.o.d"
+  "libxok_cap.a"
+  "libxok_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xok_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xok_core.dir/aegis.cc.o"
+  "CMakeFiles/xok_core.dir/aegis.cc.o.d"
+  "libxok_core.a"
+  "libxok_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xok_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

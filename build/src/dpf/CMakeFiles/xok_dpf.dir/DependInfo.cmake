@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpf/dpf.cc" "src/dpf/CMakeFiles/xok_dpf.dir/dpf.cc.o" "gcc" "src/dpf/CMakeFiles/xok_dpf.dir/dpf.cc.o.d"
+  "/root/repo/src/dpf/filter.cc" "src/dpf/CMakeFiles/xok_dpf.dir/filter.cc.o" "gcc" "src/dpf/CMakeFiles/xok_dpf.dir/filter.cc.o.d"
+  "/root/repo/src/dpf/mpf.cc" "src/dpf/CMakeFiles/xok_dpf.dir/mpf.cc.o" "gcc" "src/dpf/CMakeFiles/xok_dpf.dir/mpf.cc.o.d"
+  "/root/repo/src/dpf/pathfinder.cc" "src/dpf/CMakeFiles/xok_dpf.dir/pathfinder.cc.o" "gcc" "src/dpf/CMakeFiles/xok_dpf.dir/pathfinder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xok_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcode/CMakeFiles/xok_vcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xok_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

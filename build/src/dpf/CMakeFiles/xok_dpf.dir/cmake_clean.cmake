@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xok_dpf.dir/dpf.cc.o"
+  "CMakeFiles/xok_dpf.dir/dpf.cc.o.d"
+  "CMakeFiles/xok_dpf.dir/filter.cc.o"
+  "CMakeFiles/xok_dpf.dir/filter.cc.o.d"
+  "CMakeFiles/xok_dpf.dir/mpf.cc.o"
+  "CMakeFiles/xok_dpf.dir/mpf.cc.o.d"
+  "CMakeFiles/xok_dpf.dir/pathfinder.cc.o"
+  "CMakeFiles/xok_dpf.dir/pathfinder.cc.o.d"
+  "libxok_dpf.a"
+  "libxok_dpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xok_dpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exos/fs.cc" "src/exos/CMakeFiles/xok_exos.dir/fs.cc.o" "gcc" "src/exos/CMakeFiles/xok_exos.dir/fs.cc.o.d"
+  "/root/repo/src/exos/heap.cc" "src/exos/CMakeFiles/xok_exos.dir/heap.cc.o" "gcc" "src/exos/CMakeFiles/xok_exos.dir/heap.cc.o.d"
+  "/root/repo/src/exos/ipc.cc" "src/exos/CMakeFiles/xok_exos.dir/ipc.cc.o" "gcc" "src/exos/CMakeFiles/xok_exos.dir/ipc.cc.o.d"
+  "/root/repo/src/exos/process.cc" "src/exos/CMakeFiles/xok_exos.dir/process.cc.o" "gcc" "src/exos/CMakeFiles/xok_exos.dir/process.cc.o.d"
+  "/root/repo/src/exos/rdp.cc" "src/exos/CMakeFiles/xok_exos.dir/rdp.cc.o" "gcc" "src/exos/CMakeFiles/xok_exos.dir/rdp.cc.o.d"
+  "/root/repo/src/exos/stride.cc" "src/exos/CMakeFiles/xok_exos.dir/stride.cc.o" "gcc" "src/exos/CMakeFiles/xok_exos.dir/stride.cc.o.d"
+  "/root/repo/src/exos/udp.cc" "src/exos/CMakeFiles/xok_exos.dir/udp.cc.o" "gcc" "src/exos/CMakeFiles/xok_exos.dir/udp.cc.o.d"
+  "/root/repo/src/exos/uthread.cc" "src/exos/CMakeFiles/xok_exos.dir/uthread.cc.o" "gcc" "src/exos/CMakeFiles/xok_exos.dir/uthread.cc.o.d"
+  "/root/repo/src/exos/vm.cc" "src/exos/CMakeFiles/xok_exos.dir/vm.cc.o" "gcc" "src/exos/CMakeFiles/xok_exos.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xok_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xok_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ash/CMakeFiles/xok_ash.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/xok_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpf/CMakeFiles/xok_dpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcode/CMakeFiles/xok_vcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xok_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xok_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xok_exos.dir/fs.cc.o"
+  "CMakeFiles/xok_exos.dir/fs.cc.o.d"
+  "CMakeFiles/xok_exos.dir/heap.cc.o"
+  "CMakeFiles/xok_exos.dir/heap.cc.o.d"
+  "CMakeFiles/xok_exos.dir/ipc.cc.o"
+  "CMakeFiles/xok_exos.dir/ipc.cc.o.d"
+  "CMakeFiles/xok_exos.dir/process.cc.o"
+  "CMakeFiles/xok_exos.dir/process.cc.o.d"
+  "CMakeFiles/xok_exos.dir/rdp.cc.o"
+  "CMakeFiles/xok_exos.dir/rdp.cc.o.d"
+  "CMakeFiles/xok_exos.dir/stride.cc.o"
+  "CMakeFiles/xok_exos.dir/stride.cc.o.d"
+  "CMakeFiles/xok_exos.dir/udp.cc.o"
+  "CMakeFiles/xok_exos.dir/udp.cc.o.d"
+  "CMakeFiles/xok_exos.dir/uthread.cc.o"
+  "CMakeFiles/xok_exos.dir/uthread.cc.o.d"
+  "CMakeFiles/xok_exos.dir/vm.cc.o"
+  "CMakeFiles/xok_exos.dir/vm.cc.o.d"
+  "libxok_exos.a"
+  "libxok_exos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xok_exos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

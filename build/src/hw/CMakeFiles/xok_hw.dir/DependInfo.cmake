@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/fiber.cc" "src/hw/CMakeFiles/xok_hw.dir/fiber.cc.o" "gcc" "src/hw/CMakeFiles/xok_hw.dir/fiber.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/xok_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/xok_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/nic.cc" "src/hw/CMakeFiles/xok_hw.dir/nic.cc.o" "gcc" "src/hw/CMakeFiles/xok_hw.dir/nic.cc.o.d"
+  "/root/repo/src/hw/world.cc" "src/hw/CMakeFiles/xok_hw.dir/world.cc.o" "gcc" "src/hw/CMakeFiles/xok_hw.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xok_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

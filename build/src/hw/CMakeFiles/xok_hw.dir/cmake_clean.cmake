@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xok_hw.dir/fiber.cc.o"
+  "CMakeFiles/xok_hw.dir/fiber.cc.o.d"
+  "CMakeFiles/xok_hw.dir/machine.cc.o"
+  "CMakeFiles/xok_hw.dir/machine.cc.o.d"
+  "CMakeFiles/xok_hw.dir/nic.cc.o"
+  "CMakeFiles/xok_hw.dir/nic.cc.o.d"
+  "CMakeFiles/xok_hw.dir/world.cc.o"
+  "CMakeFiles/xok_hw.dir/world.cc.o.d"
+  "libxok_hw.a"
+  "libxok_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xok_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xok_net.dir/wire.cc.o"
+  "CMakeFiles/xok_net.dir/wire.cc.o.d"
+  "libxok_net.a"
+  "libxok_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xok_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xok_ultrix.dir/ultrix.cc.o"
+  "CMakeFiles/xok_ultrix.dir/ultrix.cc.o.d"
+  "libxok_ultrix.a"
+  "libxok_ultrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xok_ultrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xok_vcode.dir/vcode.cc.o"
+  "CMakeFiles/xok_vcode.dir/vcode.cc.o.d"
+  "libxok_vcode.a"
+  "libxok_vcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xok_vcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

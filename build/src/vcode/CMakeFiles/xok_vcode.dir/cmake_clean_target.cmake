@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxok_vcode.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xok_vcode.
+# This may be replaced when dependencies are built.

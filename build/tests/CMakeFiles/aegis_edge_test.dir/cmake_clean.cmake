@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aegis_edge_test.dir/aegis_edge_test.cc.o"
+  "CMakeFiles/aegis_edge_test.dir/aegis_edge_test.cc.o.d"
+  "aegis_edge_test"
+  "aegis_edge_test.pdb"
+  "aegis_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aegis_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

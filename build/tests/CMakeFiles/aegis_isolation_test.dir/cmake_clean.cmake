@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aegis_isolation_test.dir/aegis_isolation_test.cc.o"
+  "CMakeFiles/aegis_isolation_test.dir/aegis_isolation_test.cc.o.d"
+  "aegis_isolation_test"
+  "aegis_isolation_test.pdb"
+  "aegis_isolation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aegis_isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aegis_test.dir/aegis_test.cc.o"
+  "CMakeFiles/aegis_test.dir/aegis_test.cc.o.d"
+  "aegis_test"
+  "aegis_test.pdb"
+  "aegis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aegis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

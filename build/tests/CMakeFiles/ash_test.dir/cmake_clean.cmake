@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_test.dir/ash_test.cc.o"
+  "CMakeFiles/ash_test.dir/ash_test.cc.o.d"
+  "ash_test"
+  "ash_test.pdb"
+  "ash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

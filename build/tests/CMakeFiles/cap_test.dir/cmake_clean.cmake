@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_test.dir/cap_test.cc.o"
+  "CMakeFiles/cap_test.dir/cap_test.cc.o.d"
+  "cap_test"
+  "cap_test.pdb"
+  "cap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

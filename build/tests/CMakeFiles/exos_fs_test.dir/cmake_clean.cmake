@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exos_fs_test.dir/exos_fs_test.cc.o"
+  "CMakeFiles/exos_fs_test.dir/exos_fs_test.cc.o.d"
+  "exos_fs_test"
+  "exos_fs_test.pdb"
+  "exos_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exos_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exos_heap_test.dir/exos_heap_test.cc.o"
+  "CMakeFiles/exos_heap_test.dir/exos_heap_test.cc.o.d"
+  "exos_heap_test"
+  "exos_heap_test.pdb"
+  "exos_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exos_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

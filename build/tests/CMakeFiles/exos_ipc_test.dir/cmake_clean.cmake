@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exos_ipc_test.dir/exos_ipc_test.cc.o"
+  "CMakeFiles/exos_ipc_test.dir/exos_ipc_test.cc.o.d"
+  "exos_ipc_test"
+  "exos_ipc_test.pdb"
+  "exos_ipc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exos_ipc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exos_ipt_test.dir/exos_ipt_test.cc.o"
+  "CMakeFiles/exos_ipt_test.dir/exos_ipt_test.cc.o.d"
+  "exos_ipt_test"
+  "exos_ipt_test.pdb"
+  "exos_ipt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exos_ipt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

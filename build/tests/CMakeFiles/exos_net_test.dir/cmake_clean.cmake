@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exos_net_test.dir/exos_net_test.cc.o"
+  "CMakeFiles/exos_net_test.dir/exos_net_test.cc.o.d"
+  "exos_net_test"
+  "exos_net_test.pdb"
+  "exos_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exos_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exos_rdp_test.dir/exos_rdp_test.cc.o"
+  "CMakeFiles/exos_rdp_test.dir/exos_rdp_test.cc.o.d"
+  "exos_rdp_test"
+  "exos_rdp_test.pdb"
+  "exos_rdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exos_rdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exos_uthread_test.dir/exos_uthread_test.cc.o"
+  "CMakeFiles/exos_uthread_test.dir/exos_uthread_test.cc.o.d"
+  "exos_uthread_test"
+  "exos_uthread_test.pdb"
+  "exos_uthread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exos_uthread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exos_vm_test.dir/exos_vm_test.cc.o"
+  "CMakeFiles/exos_vm_test.dir/exos_vm_test.cc.o.d"
+  "exos_vm_test"
+  "exos_vm_test.pdb"
+  "exos_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exos_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_clock_test.dir/hw_clock_test.cc.o"
+  "CMakeFiles/hw_clock_test.dir/hw_clock_test.cc.o.d"
+  "hw_clock_test"
+  "hw_clock_test.pdb"
+  "hw_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_devices_test.dir/hw_devices_test.cc.o"
+  "CMakeFiles/hw_devices_test.dir/hw_devices_test.cc.o.d"
+  "hw_devices_test"
+  "hw_devices_test.pdb"
+  "hw_devices_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_devices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

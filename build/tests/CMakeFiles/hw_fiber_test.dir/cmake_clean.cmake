@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_fiber_test.dir/hw_fiber_test.cc.o"
+  "CMakeFiles/hw_fiber_test.dir/hw_fiber_test.cc.o.d"
+  "hw_fiber_test"
+  "hw_fiber_test.pdb"
+  "hw_fiber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_fiber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

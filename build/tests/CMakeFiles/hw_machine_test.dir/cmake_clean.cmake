@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_machine_test.dir/hw_machine_test.cc.o"
+  "CMakeFiles/hw_machine_test.dir/hw_machine_test.cc.o.d"
+  "hw_machine_test"
+  "hw_machine_test.pdb"
+  "hw_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

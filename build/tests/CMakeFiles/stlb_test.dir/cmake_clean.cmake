@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stlb_test.dir/stlb_test.cc.o"
+  "CMakeFiles/stlb_test.dir/stlb_test.cc.o.d"
+  "stlb_test"
+  "stlb_test.pdb"
+  "stlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

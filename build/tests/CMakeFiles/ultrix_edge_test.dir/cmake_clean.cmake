@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultrix_edge_test.dir/ultrix_edge_test.cc.o"
+  "CMakeFiles/ultrix_edge_test.dir/ultrix_edge_test.cc.o.d"
+  "ultrix_edge_test"
+  "ultrix_edge_test.pdb"
+  "ultrix_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultrix_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultrix_test.dir/ultrix_test.cc.o"
+  "CMakeFiles/ultrix_test.dir/ultrix_test.cc.o.d"
+  "ultrix_test"
+  "ultrix_test.pdb"
+  "ultrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcode_fuzz_test.dir/vcode_fuzz_test.cc.o"
+  "CMakeFiles/vcode_fuzz_test.dir/vcode_fuzz_test.cc.o.d"
+  "vcode_fuzz_test"
+  "vcode_fuzz_test.pdb"
+  "vcode_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcode_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hw_clock_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_fiber_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_nic_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_devices_test[1]_include.cmake")
+include("/root/repo/build/tests/cap_test[1]_include.cmake")
+include("/root/repo/build/tests/vcode_test[1]_include.cmake")
+include("/root/repo/build/tests/dpf_test[1]_include.cmake")
+include("/root/repo/build/tests/net_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/aegis_test[1]_include.cmake")
+include("/root/repo/build/tests/ash_test[1]_include.cmake")
+include("/root/repo/build/tests/exos_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/exos_ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/ultrix_test[1]_include.cmake")
+include("/root/repo/build/tests/exos_net_test[1]_include.cmake")
+include("/root/repo/build/tests/exos_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/stlb_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_world_test[1]_include.cmake")
+include("/root/repo/build/tests/aegis_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/param_sweeps_test[1]_include.cmake")
+include("/root/repo/build/tests/exos_uthread_test[1]_include.cmake")
+include("/root/repo/build/tests/ultrix_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/vcode_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/exos_rdp_test[1]_include.cmake")
+include("/root/repo/build/tests/exos_heap_test[1]_include.cmake")
+include("/root/repo/build/tests/exos_ipt_test[1]_include.cmake")
+include("/root/repo/build/tests/aegis_isolation_test[1]_include.cmake")
