@@ -1,0 +1,83 @@
+// Ablation: crash-safe teardown cost. KillEnv walks every resource table
+// (slice vector, filter bindings, in-flight DMA, extents, pages with
+// per-page binding flushes, framebuffer tags), so its cost scales with the
+// victim's footprint — the price of guaranteeing zero leaked resources no
+// matter when an environment dies. Measured against the victim's page
+// count; the paper's abort protocol (§3.5) is the same machinery aimed at
+// a single unresponsive environment.
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/hw/disk.h"
+
+namespace xok::bench {
+namespace {
+
+uint64_t MeasureKillCycles(uint32_t pages_held) {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 2048, .name = "teardown"});
+  aegis::Aegis kernel(machine);
+  hw::Disk disk(machine, 64);
+  kernel.AttachDisk(&disk);
+  bool ready = false;
+  aegis::EnvId victim_id = aegis::kNoEnv;
+  uint64_t cycles = 0;
+
+  aegis::EnvSpec victim;
+  victim.entry = [&] {
+    for (uint32_t i = 0; i < pages_held; ++i) {
+      Result<aegis::PageGrant> grant = kernel.SysAllocPage();
+      if (!grant.ok()) {
+        break;
+      }
+      if (i < 8) {  // A handful of live TLB bindings to break.
+        (void)kernel.SysTlbWrite(0x100000 + i * hw::kPageBytes, grant->page, true, grant->cap);
+      }
+    }
+    (void)kernel.SysAllocDiskExtent(8);
+    ready = true;
+    kernel.SysBlock();  // Dies here.
+  };
+  aegis::EnvSpec killer;
+  killer.entry = [&] {
+    while (!ready) {
+      kernel.SysYield();
+    }
+    const uint64_t t0 = machine.clock().now();
+    (void)kernel.KillEnv(victim_id);
+    cycles = machine.clock().now() - t0;
+  };
+  Result<aegis::EnvGrant> gv = kernel.CreateEnv(std::move(victim));
+  if (!gv.ok()) {
+    std::fprintf(stderr, "bench: CreateEnv failed\n");
+    std::abort();
+  }
+  victim_id = gv->env;
+  (void)kernel.CreateEnv(std::move(killer));
+  kernel.Run();
+  return cycles;
+}
+
+void PrintPaperTables() {
+  Table table("Forced teardown (KillEnv): cost vs victim footprint",
+              {"pages held", "teardown us"});
+  for (uint32_t pages : {0u, 16u, 64u, 256u}) {
+    table.AddRow({std::to_string(pages), FmtUs(Us(MeasureKillCycles(pages)))});
+  }
+  table.Print();
+}
+
+void BM_KillEnv(benchmark::State& state) {
+  const uint32_t pages = static_cast<uint32_t>(state.range(0));
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    cycles = MeasureKillCycles(pages);
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_us"] = Us(cycles);
+}
+BENCHMARK(BM_KillEnv)->Arg(0)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace xok::bench
+
+XOK_BENCH_MAIN(xok::bench::PrintPaperTables)

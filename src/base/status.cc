@@ -22,6 +22,8 @@ std::string_view StatusName(Status status) {
       return "ERR_BAD_STATE";
     case Status::kErrUnsupported:
       return "ERR_UNSUPPORTED";
+    case Status::kErrIo:
+      return "ERR_IO";
     case Status::kErrAccessDenied:
       return "ERR_ACCESS_DENIED";
     case Status::kErrBadCapability:

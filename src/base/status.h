@@ -21,6 +21,7 @@ enum class Status : int32_t {
   kErrAlreadyExists = -6,
   kErrBadState = -7,
   kErrUnsupported = -8,
+  kErrIo = -9,  // Device-level transfer failure (media/controller error).
   // Protection failures.
   kErrAccessDenied = -20,   // Capability missing or insufficient rights.
   kErrBadCapability = -21,  // Capability failed self-authentication.

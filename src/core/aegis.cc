@@ -88,16 +88,186 @@ void Aegis::SysExit() {
   Env& env = CurrentEnv();
   env.state = EnvState::kExited;
   --live_envs_;
+  // Clean exit releases the CPU and the addressing context but NOT pages
+  // or disk extents: their ownership (and the capabilities minted from it)
+  // deliberately outlives the environment, so the common "allocate a
+  // shared buffer, hand the capability to a peer, exit" pattern works.
+  // Forced termination (KillEnv) reclaims everything instead.
   for (EnvId& owner : slice_vector_) {
     if (owner == env.id) {
       owner = kNoEnv;
     }
   }
+  if (yield_hint_ == env.id) {
+    yield_hint_ = kNoEnv;
+  }
+  env.mailbox.clear();
+  env.wake_pending = false;
   priv_.TlbFlushAsid(env.asid);
   stlb_.FlushAsid(env.asid);
   SwitchToKernel();
   std::fprintf(stderr, "aegis: exited environment resumed\n");
   std::abort();
+}
+
+// Crash-safe teardown (forced exit only): every resource class the
+// environment holds is reclaimed here, in dependency order — devices that
+// DMA into its frames first, then the frames themselves, then the cached
+// bindings naming them.
+void Aegis::TearDownEnv(Env& env) {
+  env.state = EnvState::kExited;
+  env.killed = true;
+  --live_envs_;
+
+  // CPU: slice-vector slots and any donation aimed at the corpse.
+  machine_.Charge(Instr(2) * slice_vector_.size());
+  for (EnvId& owner : slice_vector_) {
+    if (owner == env.id) {
+      owner = kNoEnv;
+    }
+  }
+  if (yield_hint_ == env.id) {
+    yield_hint_ = kNoEnv;
+  }
+
+  // Pending PCTs and the repossession vector die with the environment.
+  env.mailbox.clear();
+  env.repossessed.clear();
+  env.wake_pending = false;
+
+  // Packet-filter bindings: the classifier must stop steering frames at a
+  // dead owner, and the pinned ASH regions are released with the pages.
+  for (dpf::FilterId id = 0; id < bindings_.size(); ++id) {
+    FilterBinding& binding = bindings_[id];
+    if (binding.live && binding.owner == env.id) {
+      machine_.Charge(Instr(10));
+      binding.live = false;
+      binding.queue.clear();
+      binding.handler.reset();
+      (void)classifier_.Remove(id);
+    }
+  }
+
+  // Disk: cancel in-flight DMA targeting the victim's frames (they return
+  // to the free pool below and may be reallocated before the latency
+  // window closes), then drop its waiter registrations.
+  if (disk_ != nullptr) {
+    const std::vector<uint64_t> cancelled =
+        disk_->CancelIf([this, &env](hw::PageId frame) {
+          return frame < pages_.size() && pages_[frame].owner == env.id;
+        });
+    for (uint64_t request : cancelled) {
+      disk_waiters_.erase(request);
+    }
+  }
+  for (auto it = disk_waiters_.begin(); it != disk_waiters_.end();) {
+    it = (it->second == env.id) ? disk_waiters_.erase(it) : std::next(it);
+  }
+  env.disk_pending = false;
+
+  // Disk extents: epoch bump kills outstanding extent capabilities.
+  for (DiskExtent& extent : extents_) {
+    if (extent.live && extent.owner == env.id) {
+      machine_.Charge(Instr(4));
+      extent.live = false;
+      ++extent.epoch;
+    }
+  }
+
+  // Physical pages: the abort-protocol machinery (break bindings by
+  // force), minus the repossession vector — there is no one left to read it.
+  for (hw::PageId p = 0; p < pages_.size(); ++p) {
+    if (pages_[p].owner == env.id) {
+      pages_[p].owner = kNoEnv;
+      ++pages_[p].epoch;
+      FlushPageBindings(p);
+    }
+  }
+  env.pages_owned = 0;
+
+  // Addressing context: no stale translation may outlive the environment.
+  priv_.TlbFlushAsid(env.asid);
+  stlb_.FlushAsid(env.asid);
+
+  // Framebuffer ownership tags.
+  if (framebuffer_ != nullptr) {
+    framebuffer_->ClearOwner(env.id);
+  }
+}
+
+void Aegis::NotifyEnvDeath(const Env& dead) {
+  // Forced deaths are broadcast: a peer blocked on the corpse (pipe wait,
+  // PCT reply, disk completion that was cancelled) re-checks its condition
+  // and observes the death via SysEnvAlive. Runnable peers get the
+  // wake-pending latch instead — one may already have concluded "peer
+  // alive, ring empty" and be on its way into SysBlock, which must then
+  // return immediately rather than sleep through the only notification.
+  // Clean exits stay silent — a well-behaved environment finishes its
+  // protocols before exiting, and waking sleepers for every exit would
+  // break directed-wake semantics.
+  for (const auto& other : envs_) {
+    if (other->id != dead.id && other->state != EnvState::kExited) {
+      WakeEnvInternal(*other);
+    }
+  }
+}
+
+Status Aegis::KillEnv(EnvId victim_id) {
+  Env* victim = FindEnv(victim_id);
+  if (victim == nullptr || victim->state == EnvState::kExited) {
+    return Status::kErrNotFound;
+  }
+  if (in_pct_) {
+    // PCT atomicity: the transfer cannot be diverted between initiation
+    // and entry; the kill lands when the outermost transfer returns.
+    deferred_kills_.push_back(victim_id);
+    return Status::kOk;
+  }
+  const bool suicide = (victim_id == current_);
+  TearDownEnv(*victim);
+  ++envs_killed_;
+  NotifyEnvDeath(*victim);
+  MaybeAuditAfterFault();
+  if (suicide) {
+    // Killed from its own context (fault interrupt at a charge boundary):
+    // the fiber is abandoned, never to be resumed.
+    SwitchToKernel();
+    std::fprintf(stderr, "aegis: killed environment resumed\n");
+    std::abort();
+  }
+  return Status::kOk;
+}
+
+void Aegis::ProcessDeferredKills() {
+  if (deferred_kills_.empty()) {
+    return;
+  }
+  std::vector<EnvId> kills = std::move(deferred_kills_);
+  deferred_kills_.clear();
+  bool suicide = false;
+  for (EnvId id : kills) {
+    if (id == current_) {
+      suicide = true;
+      continue;
+    }
+    Env* victim = FindEnv(id);
+    if (victim != nullptr && victim->state != EnvState::kExited) {
+      TearDownEnv(*victim);
+      ++envs_killed_;
+      NotifyEnvDeath(*victim);
+    }
+  }
+  MaybeAuditAfterFault();
+  if (suicide) {
+    Env& env = CurrentEnv();
+    TearDownEnv(env);
+    ++envs_killed_;
+    NotifyEnvDeath(env);
+    MaybeAuditAfterFault();
+    SwitchToKernel();
+    std::fprintf(stderr, "aegis: killed environment resumed\n");
+    std::abort();
+  }
 }
 
 // --- Fiber plumbing ---
@@ -423,6 +593,9 @@ Result<PctArgs> Aegis::SysPctCall(EnvId callee, const PctArgs& args) {
   machine_.Charge(kPctOneWay);
   if (outer) {
     in_pct_ = false;
+    // Kills first: if the caller itself was condemned mid-transfer this
+    // does not return, and a corpse must not run its slice epilogue.
+    ProcessDeferredKills();
     if (slice_expired_during_pct_) {
       // The slice ended mid-transfer; honour it now that atomicity holds.
       slice_expired_during_pct_ = false;
@@ -493,6 +666,12 @@ void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
         return;
       }
       Env& env = CurrentEnv();
+      if (env.state == EnvState::kExited) {
+        // The slice owner died mid-teardown (its charges can still raise
+        // the deadline interrupt); never run a corpse's epilogue or switch
+        // away from the teardown in progress.
+        return;
+      }
       machine_.Charge(kTimerSlicePath);
       const uint64_t epilogue_start = machine_.clock().now();
       if (env.handlers.timer_epilogue) {
@@ -517,20 +696,223 @@ void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
       break;
     }
     case hw::InterruptSource::kDiskDone: {
+      // Retire the request (the DMA lands here unless the transfer drew an
+      // injected media error). A cancelled or spurious request id retires
+      // as kErrNotFound and wakes no one.
+      bool failed = false;
       if (disk_ != nullptr) {
-        (void)disk_->Complete(payload);  // Retire the request (DMA lands).
+        Result<hw::Disk::Completion> done = disk_->Complete(payload);
+        failed = done.ok() && done->failed;
       }
       auto it = disk_waiters_.find(payload);
       if (it != disk_waiters_.end()) {
         Env* waiter = FindEnv(it->second);
         disk_waiters_.erase(it);
         if (waiter != nullptr && waiter->state != EnvState::kExited) {
+          waiter->disk_pending = false;
+          waiter->disk_result = failed ? Status::kErrIo : Status::kOk;
           WakeEnvInternal(*waiter);
         }
       }
+      if (failed) {
+        MaybeAuditAfterFault();
+      }
       break;
     }
+    case hw::InterruptSource::kFault:
+      // Asynchronous environment kill, delivered at an arbitrary
+      // cycle-charge boundary. A stale id (the victim already exited) is a
+      // no-op.
+      (void)KillEnv(static_cast<EnvId>(payload));
+      break;
   }
+}
+
+// --- Fault injection and kernel self-audit ---
+
+void Aegis::InstallFaultPlan(const hw::FaultPlan& plan) {
+  injector_ = std::make_unique<hw::FaultInjector>(plan);
+  if (disk_ != nullptr) {
+    disk_->set_fault_injector(injector_.get());
+  }
+  const uint64_t now = machine_.clock().now();
+  for (const hw::FaultEvent& event : plan.events) {
+    const uint64_t delay = event.at_cycle > now ? event.at_cycle - now : 0;
+    switch (event.kind) {
+      case hw::FaultKind::kKillEnv:
+        priv_.ScheduleEvent(delay, hw::InterruptSource::kFault, event.arg0);
+        break;
+      case hw::FaultKind::kSpuriousIrq:
+        priv_.ScheduleEvent(delay, static_cast<hw::InterruptSource>(event.arg0), event.arg1);
+        break;
+    }
+  }
+}
+
+bool Aegis::EnvAlive(EnvId id) const {
+  if (id == kNoEnv || id > envs_.size()) {
+    return false;
+  }
+  return envs_[id - 1]->state != EnvState::kExited;
+}
+
+bool Aegis::SysEnvAlive(EnvId id) {
+  machine_.Charge(kSyscallEntry + Instr(4) + kSyscallExit);
+  return EnvAlive(id);
+}
+
+void Aegis::MaybeAuditAfterFault() {
+  if (!audit_on_fault_) {
+    return;
+  }
+  const AuditReport report = AuditInvariants();
+  if (!report.ok()) {
+    ++audit_failures_;
+    if (first_audit_failure_.empty()) {
+      first_audit_failure_ = report.violations.front();
+    }
+  }
+}
+
+Aegis::AuditReport Aegis::AuditInvariants() const {
+  AuditReport report;
+  auto fail = [&report](std::string what) { report.violations.push_back(std::move(what)); };
+  auto alive = [this](EnvId id) { return EnvAlive(id); };
+  // Ownership of pages/extents/filters/tiles persists past a *clean* exit
+  // (see SysExit); only a killed environment must have lost everything.
+  auto owner_ok = [this, alive](EnvId id) {
+    if (alive(id)) {
+      return true;
+    }
+    if (id == kNoEnv || id > envs_.size()) {
+      return false;
+    }
+    return !envs_[id - 1]->killed;
+  };
+
+  // Liveness bookkeeping is self-consistent.
+  uint32_t live = 0;
+  for (const auto& env : envs_) {
+    live += (env->state != EnvState::kExited) ? 1 : 0;
+  }
+  if (live != live_envs_) {
+    fail("live_envs_ == " + std::to_string(live_envs_) + ", counted " + std::to_string(live));
+  }
+
+  // Every owned page has a live owner; per-env counts agree.
+  std::vector<uint32_t> counted(envs_.size() + 1, 0);
+  for (hw::PageId p = 0; p < pages_.size(); ++p) {
+    const EnvId owner = pages_[p].owner;
+    if (owner == kNoEnv) {
+      continue;
+    }
+    if (!owner_ok(owner)) {
+      fail("page " + std::to_string(p) + " leaked by killed env " + std::to_string(owner));
+    } else {
+      ++counted[owner];
+    }
+  }
+  for (const auto& env : envs_) {
+    if (env->state == EnvState::kExited) {
+      if (env->killed && env->pages_owned != 0) {
+        fail("killed env " + std::to_string(env->id) + " counts pages");
+      }
+      if (!env->mailbox.empty()) fail("dead env " + std::to_string(env->id) + " holds PCTs");
+      if (env->killed && !env->repossessed.empty()) {
+        fail("killed env " + std::to_string(env->id) + " holds repossessed pages");
+      }
+      if (env->disk_pending) fail("dead env " + std::to_string(env->id) + " awaits disk");
+    } else if (env->pages_owned != counted[env->id]) {
+      fail("env " + std::to_string(env->id) + " pages_owned=" + std::to_string(env->pages_owned) +
+           " but owns " + std::to_string(counted[env->id]));
+    }
+  }
+
+  // No stale translation: every valid TLB/STLB entry names a live address
+  // space and a frame that space still owns.
+  // A mapping's address space must be live (asid flushed on any exit), and
+  // the frame it names must still be allocated to a valid owner — not
+  // necessarily the mapper: capability-authorized sharing maps a peer's
+  // frame. Reclaimed frames have no mappings (FlushPageBindings).
+  for (const hw::TlbEntry& entry : machine_.tlb().entries()) {
+    if (!entry.valid) {
+      continue;
+    }
+    if (!alive(static_cast<EnvId>(entry.asid))) {
+      fail("TLB entry for dead asid " + std::to_string(entry.asid));
+    } else if (entry.pfn >= pages_.size() || !owner_ok(pages_[entry.pfn].owner)) {
+      fail("TLB entry maps reclaimed frame " + std::to_string(entry.pfn));
+    }
+  }
+  for (const Stlb::Entry& entry : stlb_.slots()) {
+    if (!entry.valid) {
+      continue;
+    }
+    if (!alive(static_cast<EnvId>(entry.asid))) {
+      fail("STLB entry for dead asid " + std::to_string(entry.asid));
+    } else if (entry.pfn >= pages_.size() || !owner_ok(pages_[entry.pfn].owner)) {
+      fail("STLB entry maps reclaimed frame " + std::to_string(entry.pfn));
+    }
+  }
+
+  // Packet-filter bindings: live owner, and the pinned region is still his.
+  for (size_t id = 0; id < bindings_.size(); ++id) {
+    const FilterBinding& binding = bindings_[id];
+    if (!binding.live) {
+      continue;
+    }
+    if (!owner_ok(binding.owner)) {
+      fail("filter " + std::to_string(id) + " bound to killed env " +
+           std::to_string(binding.owner));
+      continue;
+    }
+    for (uint32_t i = 0; i < binding.region_pages; ++i) {
+      const hw::PageId p = binding.region_first_page + i;
+      if (p >= pages_.size() || pages_[p].owner != binding.owner) {
+        fail("filter " + std::to_string(id) + " pins frame " + std::to_string(p) +
+             " its owner lost");
+      }
+    }
+  }
+
+  // Disk extents and waiters.
+  for (size_t id = 0; id < extents_.size(); ++id) {
+    if (extents_[id].live && !owner_ok(extents_[id].owner)) {
+      fail("extent " + std::to_string(id) + " owned by killed env " +
+           std::to_string(extents_[id].owner));
+    }
+  }
+  for (const auto& [request, waiter] : disk_waiters_) {
+    if (!alive(waiter)) {
+      fail("disk request " + std::to_string(request) + " waited on by dead env " +
+           std::to_string(waiter));
+    }
+  }
+
+  // Scheduler: slice vector and donation hint reference only live envs.
+  for (size_t slot = 0; slot < slice_vector_.size(); ++slot) {
+    if (slice_vector_[slot] != kNoEnv && !alive(slice_vector_[slot])) {
+      fail("slice " + std::to_string(slot) + " owned by dead env " +
+           std::to_string(slice_vector_[slot]));
+    }
+  }
+  if (yield_hint_ != kNoEnv && !alive(yield_hint_)) {
+    fail("yield hint names dead env " + std::to_string(yield_hint_));
+  }
+
+  // Framebuffer ownership tags.
+  if (framebuffer_ != nullptr) {
+    for (uint32_t ty = 0; ty < framebuffer_->tile_rows(); ++ty) {
+      for (uint32_t tx = 0; tx < framebuffer_->tile_cols(); ++tx) {
+        const uint32_t tag = framebuffer_->TileOwner(tx, ty);
+        if (tag != hw::Framebuffer::kNoOwner && !owner_ok(static_cast<EnvId>(tag))) {
+          fail("fb tile (" + std::to_string(tx) + "," + std::to_string(ty) +
+               ") tagged for killed env " + std::to_string(tag));
+        }
+      }
+    }
+  }
+  return report;
 }
 
 // --- Disk multiplexing (§2: protect disks without understanding file
@@ -607,10 +989,15 @@ Status Aegis::DiskTransfer(uint32_t extent, const cap::Capability& extent_cap,
     machine_.Charge(kSyscallExit);
     return request.status();
   }
+  env.disk_pending = true;
+  env.disk_result = Status::kOk;
   disk_waiters_[*request] = env.id;
-  SysBlock();  // Woken by the completion interrupt.
+  while (env.disk_pending) {
+    SysBlock();  // Completion interrupt clears the flag; other wakes
+                 // (death broadcasts) are spurious here and loop back.
+  }
   machine_.Charge(kSyscallExit);
-  return Status::kOk;
+  return env.disk_result;
 }
 
 Status Aegis::SysDiskRead(uint32_t extent, const cap::Capability& extent_cap,

@@ -28,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +40,7 @@
 #include "src/core/stlb.h"
 #include "src/dpf/dpf.h"
 #include "src/hw/disk.h"
+#include "src/hw/fault.h"
 #include "src/hw/framebuffer.h"
 #include "src/hw/machine.h"
 #include "src/hw/nic.h"
@@ -181,11 +183,47 @@ class Aegis final : public hw::TrapSink {
   // Repossession vector (abort protocol, §3.5).
   std::vector<hw::PageId> SysReadRepossessed();
 
+  // Liveness probe: lets a library OS discover that a peer died (its pipe
+  // partner, PCT server, ...) without holding that peer's capability.
+  bool SysEnvAlive(EnvId env);
+
   // --- Kernel/host-side operations (not syscalls) ---
 
   // Visible revocation (test/bench driver): ask `victim` to give back
   // `pages` pages; on non-compliance within the handler call, repossess.
   Status RevokePages(EnvId victim, uint32_t pages);
+
+  // Forced termination (crash-safe teardown): reclaims every resource the
+  // victim holds — pages (abort-protocol machinery), TLB/STLB bindings,
+  // packet-filter bindings and pinned ASH regions, disk extents and
+  // in-flight transfers, framebuffer tiles, slice-vector slots, pending
+  // PCTs — then broadcasts a death notification so blocked peers re-check
+  // their wait conditions. Deferred to the outer return if a protected
+  // control transfer is in flight (PCT atomicity). Killing the calling
+  // environment does not return.
+  Status KillEnv(EnvId victim);
+
+  // Arms the deterministic fault injector: disk transfer errors flow
+  // through the attached disk, scheduled events (environment kills,
+  // spurious interrupts) are posted to the machine's event queue. Wire
+  // faults are armed by handing `fault_injector()` to the hw::Wire.
+  void InstallFaultPlan(const hw::FaultPlan& plan);
+  hw::FaultInjector* fault_injector() { return injector_.get(); }
+
+  // Kernel self-check: cross-checks every resource table against
+  // environment liveness. Host-side (charges no simulated cycles).
+  struct AuditReport {
+    std::vector<std::string> violations;
+    bool ok() const { return violations.empty(); }
+  };
+  AuditReport AuditInvariants() const;
+  // When set, the kernel audits itself after every injected fault
+  // (environment kill or failed disk transfer) and records violations.
+  void set_audit_on_fault(bool on) { audit_on_fault_ = on; }
+  uint64_t audit_failures() const { return audit_failures_; }
+  const std::string& first_audit_failure() const { return first_audit_failure_; }
+  uint64_t envs_killed() const { return envs_killed_; }
+  bool EnvAlive(EnvId env) const;
 
   // Introspection for tests, benches, and the libOS bootstrap.
   hw::Machine& machine() { return machine_; }
@@ -247,6 +285,18 @@ class Aegis final : public hw::TrapSink {
   // Forcibly repossesses up to `pages` pages from `victim`.
   uint32_t Repossess(Env& victim, uint32_t pages);
 
+  // Reclaims every resource class `env` holds and marks it exited. Shared
+  // by SysExit (clean exit) and KillEnv (forced); see KillEnv for the
+  // reclamation order.
+  void TearDownEnv(Env& env);
+  // Runs kills postponed for PCT atomicity; called at outer-PCT return.
+  void ProcessDeferredKills();
+  // Wakes every blocked peer of a dead environment so it re-checks its
+  // wait condition (all kernel/libOS block sites are loop-protected).
+  void NotifyEnvDeath(const Env& dead);
+  // Audits after an injected fault when set_audit_on_fault is armed.
+  void MaybeAuditAfterFault();
+
   // Network receive path (interrupt level).
   void HandleRxPacket();
   std::span<uint8_t> BindingRegion(FilterBinding& binding);
@@ -299,6 +349,14 @@ class Aegis final : public hw::TrapSink {
   std::unordered_map<uint64_t, EnvId> disk_waiters_;
 
   uint32_t live_envs_ = 0;
+
+  // Fault injection and crash-safe teardown.
+  std::unique_ptr<hw::FaultInjector> injector_;
+  std::vector<EnvId> deferred_kills_;  // Kills postponed by PCT atomicity.
+  uint64_t envs_killed_ = 0;
+  bool audit_on_fault_ = false;
+  uint64_t audit_failures_ = 0;
+  std::string first_audit_failure_;
 };
 
 }  // namespace xok::aegis

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/cap/capability.h"
 #include "src/hw/fiber.h"
 #include "src/hw/trap.h"
@@ -97,6 +98,18 @@ struct Env {
 
   // Live page count (for revocation targeting and accounting).
   uint32_t pages_owned = 0;
+
+  // In-flight disk transfer: set before blocking, cleared by the completion
+  // interrupt (or by teardown cancelling the request). The result carries
+  // injected media errors back to the blocked SysDiskRead/Write caller.
+  bool disk_pending = false;
+  Status disk_result = Status::kOk;
+
+  // Torn down by KillEnv (forced exit with full resource reclamation), as
+  // opposed to a clean SysExit, after which ownership of pages/extents
+  // deliberately persists so capabilities already handed to peers keep
+  // working.
+  bool killed = false;
 };
 
 }  // namespace xok::aegis

@@ -65,6 +65,9 @@ class Stlb {
     }
   }
 
+  // Diagnostic view for the kernel invariant auditor.
+  const std::array<Entry, kEntries>& slots() const { return slots_; }
+
  private:
   static uint32_t SlotOf(hw::Vpn vpn, hw::Asid asid) {
     return (vpn ^ (static_cast<uint32_t>(asid) << 7)) & (kEntries - 1);

@@ -66,12 +66,29 @@ size_t BlockCache::PickVictim() const {
   return best;
 }
 
+Status BlockCache::Transfer(uint32_t block, size_t slot, bool write) {
+  uint64_t backoff = hw::kClockHz / 10000;  // 0.1 ms before the first retry.
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    const Status status =
+        write ? proc_.kernel().SysDiskWrite(extent_.extent, extent_.cap, block, frames_[slot])
+              : proc_.kernel().SysDiskRead(extent_.extent, extent_.cap, block, frames_[slot]);
+    if (status != Status::kErrIo) {
+      return status;
+    }
+    // Media error: back off and retry. Storage robustness is library
+    // policy here — a different libFS could fail fast or remap instead.
+    ++io_retries_;
+    proc_.kernel().SysSleep(backoff);
+    backoff *= 2;
+  }
+  return Status::kErrIo;
+}
+
 Status BlockCache::WriteBack(size_t slot) {
   if (!slots_[slot].valid || !slots_[slot].dirty) {
     return Status::kOk;
   }
-  const Status status = proc_.kernel().SysDiskWrite(extent_.extent, extent_.cap,
-                                                    slots_[slot].block, frames_[slot]);
+  const Status status = Transfer(slots_[slot].block, slot, /*write=*/true);
   if (status == Status::kOk) {
     slots_[slot].dirty = false;
   }
@@ -98,8 +115,7 @@ Result<std::span<uint8_t>> BlockCache::GetBlock(uint32_t block, bool for_write) 
   if (flush != Status::kOk) {
     return flush;
   }
-  const Status read =
-      proc_.kernel().SysDiskRead(extent_.extent, extent_.cap, block, frames_[victim]);
+  const Status read = Transfer(block, victim, /*write=*/false);
   if (read != Status::kOk) {
     return read;
   }

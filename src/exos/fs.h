@@ -70,14 +70,20 @@ class BlockCache {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t io_retries() const { return io_retries_; }
   uint32_t extent_blocks() const { return extent_.blocks; }
 
  private:
+  static constexpr int kMaxIoAttempts = 8;
+
   BlockCache(Process& proc, const aegis::Aegis::DiskExtentGrant& extent)
       : proc_(proc), extent_(extent) {}
 
   size_t PickVictim() const;
   Status WriteBack(size_t slot);
+  // One block transfer, retried with exponential backoff on transient
+  // media errors (kErrIo); any other failure is immediately fatal.
+  Status Transfer(uint32_t block, size_t slot, bool write);
 
   Process& proc_;
   aegis::Aegis::DiskExtentGrant extent_;
@@ -89,6 +95,7 @@ class BlockCache {
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t io_retries_ = 0;
 };
 
 // A victim picker for scan-heavy workloads: metadata blocks (block id

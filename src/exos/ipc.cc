@@ -44,6 +44,8 @@ void PipeEndpoint::Store(uint32_t off, uint32_t value) {
   (void)self_.machine().StoreWord(base_ + off, value);
 }
 
+bool PipeEndpoint::PeerAlive() { return self_.kernel().SysEnvAlive(peer_.env); }
+
 void PipeEndpoint::WakePeerIfWaiting(uint32_t wait_flag_off) {
   if (Load(wait_flag_off) != 0) {
     Store(wait_flag_off, 0);
@@ -87,7 +89,15 @@ Status PipeEndpoint::WriteWord(uint32_t value) {
     const uint32_t head = Load(kHeadOff);
     const uint32_t tail = Load(kTailOff);
     if ((tail + 1) % kSlots == head) {
-      WaitAsWriter();
+      // The liveness probe charges cycles and may lose the slice, so the
+      // EPIPE conclusion must come from ring state re-read afterwards.
+      const bool peer_alive = PeerAlive();
+      if ((Load(kTailOff) + 1) % kSlots == Load(kHeadOff)) {
+        if (!peer_alive) {
+          return Status::kErrBadState;  // EPIPE: no reader will ever drain.
+        }
+        WaitAsWriter();
+      }
       continue;
     }
     Store(kDataOff + tail * 4, value);
@@ -103,7 +113,14 @@ Result<uint32_t> PipeEndpoint::ReadWord() {
     const uint32_t head = Load(kHeadOff);
     const uint32_t tail = Load(kTailOff);
     if (head == tail) {
-      WaitAsReader();
+      // Same staleness hazard as in WriteWord: re-read before concluding.
+      const bool peer_alive = PeerAlive();
+      if (Load(kHeadOff) == Load(kTailOff)) {
+        if (!peer_alive) {
+          return Status::kErrBadState;  // Writer died; the ring stays empty.
+        }
+        WaitAsReader();
+      }
       continue;
     }
     const uint32_t value = Load(kDataOff + head * 4);

@@ -54,9 +54,11 @@ class PipeEndpoint {
   // native ring. Functionality is identical.
   PipeEndpoint(Process& self, hw::Vaddr ring_va, PipePeer peer, bool posix_emulation);
 
-  // Writes one word; yields to the peer while the ring is full.
+  // Writes one word; yields to the peer while the ring is full. Returns
+  // kErrBadState (EPIPE) if the ring is full and the peer is dead.
   Status WriteWord(uint32_t value);
-  // Reads one word; blocks (directed-yields first) while empty.
+  // Reads one word; blocks (directed-yields first) while empty. Returns
+  // kErrBadState if the ring is empty and the peer is dead.
   Result<uint32_t> ReadWord();
 
   // Byte-stream convenience built on the word ring: a length-prefixed
@@ -74,6 +76,7 @@ class PipeEndpoint {
 
   uint32_t Load(uint32_t off);
   void Store(uint32_t off, uint32_t value);
+  bool PeerAlive();
   void WaitAsReader();
   void WaitAsWriter();
   void WakePeerIfWaiting(uint32_t wait_flag_off);

@@ -6,10 +6,44 @@ namespace xok::exos {
 
 using hw::Instr;
 
+uint16_t RdpEndpoint::Checksum(uint8_t type, uint8_t seq, std::span<const uint8_t> payload) {
+  // 16-bit ones'-complement sum (Internet checksum family) over the
+  // protocol-relevant bytes; the header checksum field itself is excluded.
+  uint32_t sum = static_cast<uint32_t>(type) | (static_cast<uint32_t>(seq) << 8);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    sum += static_cast<uint32_t>(payload[i]) << (8 * (i & 1));
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+bool RdpEndpoint::FrameValid(const Datagram& dgram) {
+  if (dgram.payload.size() < kHeaderBytes) {
+    ++checksum_drops_;
+    return false;
+  }
+  proc_.machine().Charge(Instr(4) + (dgram.payload.size() / 4) * Instr(1));
+  const std::span<const uint8_t> body(dgram.payload.data() + kHeaderBytes,
+                                      dgram.payload.size() - kHeaderBytes);
+  const uint16_t expect = Checksum(dgram.payload[0], dgram.payload[1], body);
+  const uint16_t got = static_cast<uint16_t>(dgram.payload[2]) |
+                       (static_cast<uint16_t>(dgram.payload[3]) << 8);
+  if (expect != got) {
+    ++checksum_drops_;  // Bit-flipped in transit: drop, ARQ recovers.
+    return false;
+  }
+  return true;
+}
+
 Status RdpEndpoint::Send(std::span<const uint8_t> payload) {
   std::vector<uint8_t> frame(kHeaderBytes + payload.size());
   frame[0] = kTypeData;
   frame[1] = send_seq_;
+  const uint16_t ck = Checksum(kTypeData, send_seq_, payload);
+  frame[2] = static_cast<uint8_t>(ck & 0xff);
+  frame[3] = static_cast<uint8_t>(ck >> 8);
   std::copy(payload.begin(), payload.end(), frame.begin() + kHeaderBytes);
 
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
@@ -37,7 +71,7 @@ Status RdpEndpoint::Send(std::span<const uint8_t> payload) {
         waited += nap;
         continue;
       }
-      if (dgram->payload.size() < kHeaderBytes) {
+      if (!FrameValid(*dgram)) {
         continue;
       }
       if (dgram->payload[0] == kTypeAck) {
@@ -75,7 +109,7 @@ Result<std::vector<uint8_t>> RdpEndpoint::Recv() {
       dgram = std::move(*received);
     }
     proc_.machine().Charge(Instr(15));
-    if (dgram.payload.size() < kHeaderBytes) {
+    if (!FrameValid(dgram)) {
       continue;
     }
     if (dgram.payload[0] == kTypeAck) {
@@ -100,7 +134,7 @@ void RdpEndpoint::PumpAcks() {
     if (!dgram.ok()) {
       return;
     }
-    if (dgram->payload.size() < kHeaderBytes || dgram->payload[0] != kTypeData) {
+    if (!FrameValid(*dgram) || dgram->payload[0] != kTypeData) {
       continue;
     }
     ++duplicates_dropped_;
@@ -110,7 +144,9 @@ void RdpEndpoint::PumpAcks() {
 
 void RdpEndpoint::SendAck(uint8_t seq) {
   proc_.machine().Charge(Instr(10));
-  std::vector<uint8_t> ack = {kTypeAck, seq, 0, 0};
+  const uint16_t ck = Checksum(kTypeAck, seq, {});
+  std::vector<uint8_t> ack = {kTypeAck, seq, static_cast<uint8_t>(ck & 0xff),
+                              static_cast<uint8_t>(ck >> 8)};
   (void)socket_.SendTo(config_.peer_ip, config_.peer_port, ack);
 }
 

@@ -10,13 +10,18 @@
 // exokernel, tested against real injected frame loss (hw::Wire loss
 // injection).
 //
-// Header (payload prefix, 4 bytes): [type, seq, 0, 0]
-//   type 1 = DATA, type 2 = ACK.
+// Header (payload prefix, 4 bytes): [type, seq, ck_lo, ck_hi]
+//   type 1 = DATA, type 2 = ACK; ck = 16-bit end-to-end checksum over
+//   type, seq, and the payload. UDP validates only the IP header, so a
+//   bit-flipped payload (hw::Wire corruption injection) reaches us; the
+//   checksum turns corruption into a drop, and the ARQ turns the drop
+//   into a retransmission.
 #ifndef XOK_SRC_EXOS_RDP_H_
 #define XOK_SRC_EXOS_RDP_H_
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "src/exos/udp.h"
@@ -51,12 +56,16 @@ class RdpEndpoint {
 
   uint64_t retransmissions() const { return retransmissions_; }
   uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  uint64_t checksum_drops() const { return checksum_drops_; }
 
  private:
   static constexpr uint8_t kTypeData = 1;
   static constexpr uint8_t kTypeAck = 2;
   static constexpr uint32_t kHeaderBytes = 4;
 
+  static uint16_t Checksum(uint8_t type, uint8_t seq, std::span<const uint8_t> payload);
+  // Length + checksum validation; counts and rejects damaged frames.
+  bool FrameValid(const Datagram& dgram);
   void SendAck(uint8_t seq);
 
   Process& proc_;
@@ -68,6 +77,7 @@ class RdpEndpoint {
   uint8_t pending_ack_ = 0;    // ACK seen while waiting for data.
   uint64_t retransmissions_ = 0;
   uint64_t duplicates_dropped_ = 0;
+  uint64_t checksum_drops_ = 0;
   std::deque<Datagram> stashed_;  // DATA that arrived during a Send wait.
 };
 

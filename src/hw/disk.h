@@ -7,10 +7,12 @@
 #define XOK_SRC_HW_DISK_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/base/result.h"
+#include "src/hw/fault.h"
 #include "src/hw/machine.h"
 
 namespace xok::hw {
@@ -20,6 +22,7 @@ class Disk {
   struct Completion {
     uint32_t block = 0;
     bool write = false;
+    bool failed = false;  // Media/controller error: the DMA never happened.
   };
 
   Disk(Machine& machine, uint32_t block_count)
@@ -40,6 +43,10 @@ class Disk {
     return Submit(block, frame, /*write=*/true);
   }
 
+  // Arms fault injection: transfers whose completion draws a disk error
+  // finish with Completion::failed set and no DMA. Pass nullptr to disarm.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+
   // Retires a completed request (called from the kDiskDone handler).
   Result<Completion> Complete(uint64_t request_id) {
     auto it = inflight_.find(request_id);
@@ -48,6 +55,9 @@ class Disk {
     }
     Request req = it->second;
     inflight_.erase(it);
+    if (fault_injector_ != nullptr && fault_injector_->NextDiskError()) {
+      return Completion{req.block, req.write, /*failed=*/true};
+    }
     // The DMA happens "during" the latency window; apply it at completion.
     uint8_t* media = &data_[static_cast<size_t>(req.block) * kPageBytes];
     auto frame_span = machine_.mem().PageSpan(req.frame);
@@ -56,8 +66,32 @@ class Disk {
     } else {
       std::copy(media, media + kPageBytes, frame_span.begin());
     }
-    return Completion{req.block, req.write};
+    return Completion{req.block, req.write, /*failed=*/false};
   }
+
+  // Cancels an in-flight request: the DMA will never land. The completion
+  // interrupt may still fire; Complete() then reports kErrNotFound, which
+  // the kernel treats as a retired/spurious completion.
+  bool Cancel(uint64_t request_id) { return inflight_.erase(request_id) > 0; }
+
+  // Cancels every in-flight request whose DMA frame satisfies `pred`.
+  // Used by crash-safe environment teardown: a dying environment's frames
+  // return to the free pool, so DMA into them must not land later (the
+  // frame may have been reallocated to another environment by then).
+  std::vector<uint64_t> CancelIf(const std::function<bool(PageId frame)>& pred) {
+    std::vector<uint64_t> cancelled;
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      if (pred(it->second.frame)) {
+        cancelled.push_back(it->first);
+        it = inflight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return cancelled;
+  }
+
+  size_t inflight_requests() const { return inflight_.size(); }
 
  private:
   struct Request {
@@ -83,6 +117,7 @@ class Disk {
   std::vector<uint8_t> data_;
   std::unordered_map<uint64_t, Request> inflight_;
   uint64_t next_id_ = 1;
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace xok::hw

@@ -1,0 +1,58 @@
+#include "src/hw/fault.h"
+
+namespace xok::hw {
+
+namespace {
+// Channel salts keep the per-channel streams independent under one seed.
+constexpr uint64_t kDiskSalt = 0xd15cULL;
+constexpr uint64_t kDropSalt = 0xd809ULL;
+constexpr uint64_t kCorruptSalt = 0xc087ULL;
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan),
+      disk_rng_(plan.seed ^ kDiskSalt),
+      drop_rng_(plan.seed ^ kDropSalt),
+      corrupt_rng_(plan.seed ^ kCorruptSalt) {}
+
+bool FaultInjector::NextDiskError() {
+  if (plan_.disk_error_per_mille == 0) {
+    return false;
+  }
+  if (disk_rng_.NextBelow(1000) >= plan_.disk_error_per_mille) {
+    return false;
+  }
+  ++disk_errors_injected_;
+  return true;
+}
+
+bool FaultInjector::NextWireDrop() {
+  if (plan_.wire_drop_per_mille == 0) {
+    return false;
+  }
+  if (drop_rng_.NextBelow(1000) >= plan_.wire_drop_per_mille) {
+    return false;
+  }
+  ++frames_dropped_;
+  return true;
+}
+
+bool FaultInjector::MaybeCorruptFrame(std::span<uint8_t> frame) {
+  if (plan_.wire_corrupt_per_mille == 0 || frame.empty()) {
+    return false;
+  }
+  if (corrupt_rng_.NextBelow(1000) >= plan_.wire_corrupt_per_mille) {
+    return false;
+  }
+  const uint64_t draw = corrupt_rng_.Next();
+  const size_t index = draw % frame.size();
+  uint8_t flip = static_cast<uint8_t>((draw >> 32) & 0xff);
+  if (flip == 0) {
+    flip = 0x01;  // Always change at least one bit.
+  }
+  frame[index] ^= flip;
+  ++frames_corrupted_;
+  return true;
+}
+
+}  // namespace xok::hw

@@ -1,0 +1,94 @@
+// Deterministic, seeded fault injection for the simulated hardware.
+//
+// The exokernel's central claim is that it *securely multiplexes* hardware
+// among untrusted, arbitrarily misbehaving library OSes (paper §3.4–3.5).
+// Proving that requires the ability to make the hardware — and the
+// applications — misbehave on demand, reproducibly. A FaultPlan is a seeded
+// schedule of failures across several channels:
+//
+//   * stochastic channels, drawn per opportunity from per-channel SplitMix64
+//     streams: disk transfers that complete with an error, frames that
+//     evaporate on the wire, frames that are bit-flipped in transit;
+//   * one-shot scheduled events, fired at absolute cycle counts through the
+//     machine's ordinary event queue: spurious interrupts with bogus
+//     payloads, and asynchronous environment kills (delivered to the kernel
+//     as InterruptSource::kFault at the next cycle-charge boundary, i.e. at
+//     an arbitrary point in kernel or application execution).
+//
+// The same FaultInjector object is shared by the devices it arms (disk,
+// wire) so a single seed reproduces an entire chaotic run exactly.
+#ifndef XOK_SRC_HW_FAULT_H_
+#define XOK_SRC_HW_FAULT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/rand.h"
+#include "src/hw/trap.h"
+
+namespace xok::hw {
+
+enum class FaultKind : uint8_t {
+  kKillEnv,      // arg0 = environment id: forcibly terminate it.
+  kSpuriousIrq,  // arg0 = InterruptSource, arg1 = payload: bogus interrupt.
+};
+
+struct FaultEvent {
+  uint64_t at_cycle = 0;
+  FaultKind kind = FaultKind::kSpuriousIrq;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  // Stochastic channels: probability per opportunity, in per-mille.
+  uint32_t disk_error_per_mille = 0;    // Transfer completes with an error.
+  uint32_t wire_drop_per_mille = 0;     // Frame evaporates on the wire.
+  uint32_t wire_corrupt_per_mille = 0;  // Frame is bit-flipped in transit.
+  // One-shot scheduled faults (absolute cycles).
+  std::vector<FaultEvent> events;
+
+  FaultPlan& KillEnvAt(uint64_t cycle, uint32_t env) {
+    events.push_back(FaultEvent{cycle, FaultKind::kKillEnv, env, 0});
+    return *this;
+  }
+  FaultPlan& SpuriousIrqAt(uint64_t cycle, InterruptSource source, uint64_t payload) {
+    events.push_back(
+        FaultEvent{cycle, FaultKind::kSpuriousIrq, static_cast<uint64_t>(source), payload});
+    return *this;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Stochastic draws. Each channel has its own deterministic stream, so
+  // enabling one channel does not perturb another's schedule.
+  bool NextDiskError();
+  bool NextWireDrop();
+  // Flips one byte of `frame` in place; returns whether it fired.
+  bool MaybeCorruptFrame(std::span<uint8_t> frame);
+
+  // Injection counters (tests assert the faults really fired).
+  uint64_t disk_errors_injected() const { return disk_errors_injected_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
+  uint64_t frames_corrupted() const { return frames_corrupted_; }
+
+ private:
+  FaultPlan plan_;
+  SplitMix64 disk_rng_;
+  SplitMix64 drop_rng_;
+  SplitMix64 corrupt_rng_;
+  uint64_t disk_errors_injected_ = 0;
+  uint64_t frames_dropped_ = 0;
+  uint64_t frames_corrupted_ = 0;
+};
+
+}  // namespace xok::hw
+
+#endif  // XOK_SRC_HW_FAULT_H_

@@ -32,6 +32,8 @@ class Framebuffer {
 
   uint32_t width() const { return width_; }
   uint32_t height() const { return height_; }
+  uint32_t tile_cols() const { return tile_cols_; }
+  uint32_t tile_rows() const { return tile_rows_; }
 
   // Privileged (kernel-only by convention: the kernel keeps the binding
   // table; applications never see this object directly, only through the
@@ -64,6 +66,21 @@ class Framebuffer {
 
   uint32_t OwnerAt(uint32_t x, uint32_t y) const {
     return tile_owner_[(y / kTileDim) * tile_cols_ + (x / kTileDim)];
+  }
+
+  uint32_t TileOwner(uint32_t tile_x, uint32_t tile_y) const {
+    return tile_owner_[tile_y * tile_cols_ + tile_x];
+  }
+
+  // Privileged: releases every tile held by `owner_tag` (environment
+  // teardown — the hardware tag table must not keep naming a dead owner).
+  void ClearOwner(uint32_t owner_tag) {
+    machine_.Charge(Instr(2) * tile_owner_.size());  // Tag-table sweep.
+    for (uint32_t& tag : tile_owner_) {
+      if (tag == owner_tag) {
+        tag = kNoOwner;
+      }
+    }
   }
 
  private:

@@ -48,15 +48,23 @@ void Wire::Broadcast(Nic* sender, std::span<const uint8_t> frame) {
     ++frames_lost_;  // The frame evaporates on the wire.
     return;
   }
-  const MacAddr dst = ReadMac(frame, 0);
+  if (fault_injector_ != nullptr && fault_injector_->NextWireDrop()) {
+    ++frames_lost_;
+    return;
+  }
+  std::vector<uint8_t> bytes(frame.begin(), frame.end());
+  if (fault_injector_ != nullptr && fault_injector_->MaybeCorruptFrame(bytes)) {
+    ++frames_corrupted_;  // Bit rot in transit; receivers must checksum.
+  }
+  const MacAddr dst = ReadMac(bytes, 0);
   const uint64_t arrival = sender->machine_.clock().now() +
-                           frame.size() * kWireCyclesPerByte + kNicControllerLatency;
+                           bytes.size() * kWireCyclesPerByte + kNicControllerLatency;
   for (Nic* nic : nics_) {
     if (nic == sender) {
       continue;
     }
     if (dst == kBroadcastMac || dst == nic->mac()) {
-      nic->DeliverAt(arrival, std::vector<uint8_t>(frame.begin(), frame.end()));
+      nic->DeliverAt(arrival, bytes);
     }
   }
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/base/rand.h"
+#include "src/hw/fault.h"
 #include "src/hw/machine.h"
 
 namespace xok::hw {
@@ -90,7 +91,12 @@ class Wire {
     loss_rng_ = SplitMix64(seed);
   }
 
+  // Richer fault injection (drop + byte corruption) from a shared seeded
+  // plan; composes with SetLossRate. Pass nullptr to disarm.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+
   uint64_t frames_lost() const { return frames_lost_; }
+  uint64_t frames_corrupted() const { return frames_corrupted_; }
 
  private:
   friend class Nic;
@@ -101,6 +107,8 @@ class Wire {
   uint32_t loss_per_mille_ = 0;
   SplitMix64 loss_rng_{0x10559};
   uint64_t frames_lost_ = 0;
+  uint64_t frames_corrupted_ = 0;
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace xok::hw

@@ -40,6 +40,7 @@ enum class InterruptSource : uint8_t {
   kNicRx,     // Packet arrived in the receive ring.
   kDiskDone,  // Disk request completed.
   kAlarm,     // Programmable one-shot alarm (payload: kernel cookie).
+  kFault,     // Injected fault event (payload: fault-plan cookie).
 };
 
 // What the kernel tells the machine to do after handling an exception.

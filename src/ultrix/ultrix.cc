@@ -300,6 +300,7 @@ void Ultrix::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
       Wakeup(static_cast<Pid>(payload));
       break;
     case hw::InterruptSource::kDiskDone:
+    case hw::InterruptSource::kFault:
       break;
   }
 }

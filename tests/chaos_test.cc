@@ -1,0 +1,246 @@
+// Randomized chaos soak: several library OSes (VM exerciser, pipe pair,
+// LibFS over a faulty disk, RDP over a lossy+corrupting wire) run
+// concurrently while a seeded FaultPlan kills environments at arbitrary
+// cycle points and injects device errors. After every injected event the
+// kernel audits its own resource tables (set_audit_on_fault); at the end,
+// every surviving protocol must have completed correctly. The whole run is
+// deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/aegis.h"
+#include "src/exos/fs.h"
+#include "src/exos/ipc.h"
+#include "src/exos/rdp.h"
+#include "src/hw/disk.h"
+#include "src/hw/fault.h"
+#include "src/hw/framebuffer.h"
+#include "src/hw/nic.h"
+#include "src/hw/world.h"
+
+namespace xok {
+namespace {
+
+uint64_t Resolve(uint32_t ip) { return ip == 1 ? 0xa : 0xb; }
+
+constexpr uint32_t kPipeWords = 2000;
+constexpr uint32_t kWordStride = 2654435761u;  // Knuth multiplicative hash.
+constexpr int kRdpMessages = 20;
+
+class ChaosSoak : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSoak, KilledEnvironmentsNeverCorruptTheSurvivors) {
+  const uint64_t seed = GetParam();
+  hw::World world;
+  hw::Machine ma(hw::Machine::Config{.phys_pages = 256, .name = "chaos"}, &world);
+  hw::Machine mb(hw::Machine::Config{.phys_pages = 256, .name = "peer"}, &world);
+  aegis::Aegis ka(ma);
+  aegis::Aegis kb(mb);
+  hw::Disk disk(ma, 256);
+  hw::Framebuffer fb(ma, 64, 64);
+  ka.AttachDisk(&disk);
+  ka.AttachFramebuffer(&fb);
+  hw::Wire wire;
+  hw::Nic na(ma, 0xa);
+  hw::Nic nb(mb, 0xb);
+  wire.Attach(&na);
+  wire.Attach(&nb);
+  ka.AttachNic(&na);
+  kb.AttachNic(&nb);
+
+  // --- Pipe pair: the writer produces forever (it dies by kill); the
+  // reader must obtain kPipeWords intact words and exit cleanly. ---
+  exos::SharedBufferDesc desc;
+  bool pipe_ready = false;
+  bool reader_done = false;
+  exos::PipePeer writer_peer;
+  exos::PipePeer reader_peer;
+  constexpr hw::Vaddr kRingVa = 0x5000000;
+  exos::Process pipe_writer(ka, [&](exos::Process& p) {
+    desc = *exos::CreateSharedBuffer(p);
+    ASSERT_EQ(exos::MapSharedBuffer(p, desc, kRingVa), Status::kOk);
+    pipe_ready = true;
+    exos::PipeEndpoint out(p, kRingVa, writer_peer, false);
+    for (uint32_t i = 0;; ++i) {
+      if (out.WriteWord(i * kWordStride) != Status::kOk) {
+        break;  // EPIPE: the reader finished and exited.
+      }
+    }
+    for (;;) {
+      p.kernel().SysSleep(100'000);  // Park until the scheduled kill lands.
+    }
+  });
+  exos::Process pipe_reader(ka, [&](exos::Process& p) {
+    while (!pipe_ready) {
+      p.kernel().SysYield();
+    }
+    ASSERT_EQ(exos::MapSharedBuffer(p, desc, kRingVa), Status::kOk);
+    exos::PipeEndpoint in(p, kRingVa, reader_peer, false);
+    for (uint32_t i = 0; i < kPipeWords; ++i) {
+      Result<uint32_t> word = in.ReadWord();
+      ASSERT_TRUE(word.ok()) << "word " << i;
+      ASSERT_EQ(*word, i * kWordStride) << "word " << i;
+    }
+    reader_done = true;
+  });
+
+  // --- VM exerciser: allocates, scribbles, and frees pages, and paints
+  // its framebuffer tile, forever (dies by kill). ---
+  exos::Process vm_worker(ka, [&](exos::Process& p) {
+    ASSERT_EQ(p.kernel().SysBindFbTile(0, 0), Status::kOk);
+    for (uint32_t round = 0;; ++round) {
+      Result<aegis::PageGrant> page = p.kernel().SysAllocPage();
+      if (page.ok()) {
+        std::span<uint8_t> bytes = ma.mem().PageSpan(page->page);
+        bytes[round % bytes.size()] = static_cast<uint8_t>(round);
+        (void)p.kernel().SysDeallocPage(page->page, page->cap);
+      }
+      (void)fb.WritePixel(p.id(), round % 16, (round / 16) % 16, 0xff00ff00u | round);
+      p.kernel().SysSleep(5'000);
+    }
+  });
+
+  // --- LibFS worker over the faulty disk: write/sync/read loops forever
+  // (dies by kill, possibly mid disk transfer). ---
+  exos::Process fs_worker(ka, [&](exos::Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = p.kernel().SysAllocDiskExtent(32);
+    ASSERT_TRUE(extent.ok());
+    Result<std::unique_ptr<exos::LibFs>> fs = exos::LibFs::Format(p, *extent, 4);
+    ASSERT_TRUE(fs.ok());
+    Result<exos::FileHandle> file = (*fs)->Create("scratch");
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> chunk(512);
+    for (uint32_t round = 0;; ++round) {
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        chunk[i] = static_cast<uint8_t>(round * 13 + i);
+      }
+      // Transient kErrIo past the retry budget is tolerated; being killed
+      // mid-transfer is the interesting case.
+      (void)(*fs)->Write(*file, (round % 8) * 512, chunk);
+      (void)(*fs)->Sync();
+      std::vector<uint8_t> back(chunk.size());
+      (void)(*fs)->Read(*file, (round % 8) * 512, back);
+      p.kernel().SysSleep(2'000);
+    }
+  });
+
+  // --- Hostile environment: hammers the kernel with forged and stale
+  // capabilities the whole time. Every attempt must be denied; it exits
+  // cleanly so the denial count is always asserted. ---
+  bool forgery_checked = false;
+  exos::Process hostile(ka, [&](exos::Process& p) {
+    for (int round = 0; round < 200; ++round) {
+      Result<aegis::PageGrant> page = p.kernel().SysAllocPage();
+      ASSERT_TRUE(page.ok());
+      cap::Capability forged = page->cap;
+      forged.mac ^= 0x1995 + round;
+      EXPECT_EQ(p.kernel().SysTlbWrite(0x30000, page->page, true, forged),
+                Status::kErrAccessDenied);
+      ASSERT_EQ(p.kernel().SysDeallocPage(page->page, page->cap), Status::kOk);
+      // Stale epoch: the very capability that was just valid.
+      EXPECT_EQ(p.kernel().SysTlbWrite(0x30000, page->page, true, page->cap),
+                Status::kErrAccessDenied);
+      p.kernel().SysSleep(1'000);
+    }
+    forgery_checked = true;
+  });
+
+  // --- RDP pair across the faulty wire: must deliver everything exactly
+  // once, in order, despite drops and corruption. ---
+  std::vector<std::vector<uint8_t>> received;
+  bool sender_done = false;
+  exos::Process rdp_sender(ka, [&](exos::Process& p) {
+    exos::UdpSocket socket(p, exos::NetIface{0xa, 1, Resolve});
+    ASSERT_EQ(socket.Bind(100), Status::kOk);
+    exos::RdpEndpoint rdp(p, socket, exos::RdpEndpoint::Config{.peer_ip = 2, .peer_port = 200});
+    p.kernel().SysSleep(hw::kClockHz / 100);
+    for (int i = 0; i < kRdpMessages; ++i) {
+      std::vector<uint8_t> payload(1 + (i % 32));
+      for (size_t j = 0; j < payload.size(); ++j) {
+        payload[j] = static_cast<uint8_t>(i * 3 + j);
+      }
+      ASSERT_EQ(rdp.Send(payload), Status::kOk);
+    }
+    sender_done = true;
+  });
+  exos::Process rdp_receiver(kb, [&](exos::Process& p) {
+    exos::UdpSocket socket(p, exos::NetIface{0xb, 2, Resolve});
+    ASSERT_EQ(socket.Bind(200), Status::kOk);
+    exos::RdpEndpoint rdp(p, socket, exos::RdpEndpoint::Config{.peer_ip = 1, .peer_port = 100});
+    for (int i = 0; i < kRdpMessages; ++i) {
+      Result<std::vector<uint8_t>> msg = rdp.Recv();
+      ASSERT_TRUE(msg.ok());
+      received.push_back(*msg);
+    }
+    for (int round = 0; round < 16; ++round) {
+      p.kernel().SysSleep(hw::kClockHz / 500);
+      rdp.PumpAcks();
+    }
+  });
+
+  ASSERT_TRUE(pipe_writer.ok());
+  ASSERT_TRUE(pipe_reader.ok());
+  ASSERT_TRUE(vm_worker.ok());
+  ASSERT_TRUE(fs_worker.ok());
+  ASSERT_TRUE(hostile.ok());
+  ASSERT_TRUE(rdp_sender.ok());
+  ASSERT_TRUE(rdp_receiver.ok());
+  writer_peer = {pipe_reader.id(), pipe_reader.env_cap()};
+  reader_peer = {pipe_writer.id(), pipe_writer.env_cap()};
+
+  // --- The fault plan: stochastic disk/wire faults plus scheduled kills
+  // aimed at the forever-running workers, at arbitrary cycle points. ---
+  hw::FaultPlan plan;
+  plan.seed = seed;
+  plan.disk_error_per_mille = 150;
+  plan.wire_drop_per_mille = 40;
+  plan.wire_corrupt_per_mille = 40;
+  plan.KillEnvAt(1'800'000, pipe_writer.id());
+  plan.KillEnvAt(2'500'000 + 10'000 * seed, vm_worker.id());
+  plan.KillEnvAt(3'500'000 + 20'000 * seed, fs_worker.id());
+  plan.SpuriousIrqAt(500'000, hw::InterruptSource::kDiskDone, 424242);
+  plan.SpuriousIrqAt(900'000, hw::InterruptSource::kFault, 61);  // No such env.
+  ka.InstallFaultPlan(plan);
+  wire.set_fault_injector(ka.fault_injector());
+  ka.set_audit_on_fault(true);
+  kb.set_audit_on_fault(true);
+
+  world.Run({[&] { ka.Run(); }, [&] { kb.Run(); }});
+
+  // Survivors completed despite the carnage around them.
+  EXPECT_TRUE(reader_done);
+  EXPECT_TRUE(sender_done);
+  EXPECT_TRUE(forgery_checked);
+  ASSERT_EQ(received.size(), static_cast<size_t>(kRdpMessages));
+  for (int i = 0; i < kRdpMessages; ++i) {
+    ASSERT_EQ(received[i].size(), static_cast<size_t>(1 + (i % 32))) << "message " << i;
+    for (size_t j = 0; j < received[i].size(); ++j) {
+      ASSERT_EQ(received[i][j], static_cast<uint8_t>(i * 3 + j)) << "message " << i;
+    }
+  }
+
+  // Every scheduled kill landed, and every post-event audit was clean.
+  EXPECT_EQ(ka.envs_killed(), 3u);
+  EXPECT_FALSE(ka.EnvAlive(pipe_writer.id()));
+  EXPECT_FALSE(ka.EnvAlive(vm_worker.id()));
+  EXPECT_FALSE(ka.EnvAlive(fs_worker.id()));
+  EXPECT_EQ(ka.audit_failures(), 0u) << ka.first_audit_failure();
+  EXPECT_EQ(kb.audit_failures(), 0u) << kb.first_audit_failure();
+  aegis::Aegis::AuditReport ra = ka.AuditInvariants();
+  EXPECT_TRUE(ra.ok()) << (ra.violations.empty() ? "" : ra.violations.front());
+  EXPECT_TRUE(kb.AuditInvariants().ok());
+  // The dead VM worker's framebuffer tile went back to the hardware pool.
+  EXPECT_EQ(fb.TileOwner(0, 0), hw::Framebuffer::kNoOwner);
+
+  // The fault channels all genuinely fired.
+  const hw::FaultInjector* injector = ka.fault_injector();
+  EXPECT_GT(injector->disk_errors_injected(), 0u);
+  EXPECT_GT(injector->frames_dropped() + injector->frames_corrupted(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace xok
