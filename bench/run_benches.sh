@@ -1,0 +1,50 @@
+#!/bin/sh
+# Runs the network benches (DPF demux, ASH/UDP roundtrip, packet rings) and
+# merges their google-benchmark JSON outputs into one BENCH_net.json.
+#
+# Usage: run_benches.sh [output.json]
+#   BENCH_BIN_DIR: directory holding the bench binaries (default: cwd).
+# Invoked by the optional `bench_net` CMake target; also runnable by hand
+# from the build tree's bench/ directory.
+set -eu
+
+out="${1:-BENCH_net.json}"
+bin_dir="${BENCH_BIN_DIR:-.}"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+benches="bench_t07_dpf bench_t11_ash_net bench_abl_pktring"
+
+for bench in $benches; do
+  if [ ! -x "$bin_dir/$bench" ]; then
+    echo "run_benches: missing $bin_dir/$bench (build the bench targets first)" >&2
+    exit 1
+  fi
+  echo "== $bench =="
+  # The paper-style table goes to the console; the machine-readable run
+  # goes to JSON. min_time keeps the wall-clock portion short — the
+  # simulated-cycle numbers inside are deterministic anyway.
+  "$bin_dir/$bench" \
+    --benchmark_out="$tmp_dir/$bench.json" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=0.05
+done
+
+python3 - "$out" "$tmp_dir" $benches <<'EOF'
+import json
+import sys
+
+out_path, tmp_dir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {"context": None, "benchmarks": []}
+for name in names:
+    with open(f"{tmp_dir}/{name}.json") as f:
+        report = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = report.get("context", {})
+    for entry in report.get("benchmarks", []):
+        entry["source_binary"] = name
+        merged["benchmarks"].append(entry)
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+print(f"wrote {out_path}: {len(merged['benchmarks'])} benchmarks from {len(names)} binaries")
+EOF

@@ -1,7 +1,10 @@
 #include "src/core/aegis.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+
+#include "src/net/pktring.h"
 
 namespace xok::aegis {
 
@@ -144,6 +147,10 @@ void Aegis::TearDownEnv(Env& env) {
       binding.live = false;
       binding.queue.clear();
       binding.handler.reset();
+      // The ring region's pages return to the free pool below; the binding
+      // must stop naming them first so no late frame lands in a reclaimed
+      // (and possibly reallocated) frame. Stats survive for post-mortems.
+      binding.ring = RingState{};
       (void)classifier_.Remove(id);
     }
   }
@@ -873,6 +880,15 @@ Aegis::AuditReport Aegis::AuditInvariants() const {
              " its owner lost");
       }
     }
+    // A live ring must target frames its owner still holds — otherwise the
+    // demux would deposit packets into reclaimed (reallocatable) memory.
+    for (uint32_t i = 0; binding.ring.live && i < binding.ring.pages; ++i) {
+      const hw::PageId p = binding.ring.first_page + i;
+      if (p >= pages_.size() || pages_[p].owner != binding.owner) {
+        fail("filter " + std::to_string(id) + " ring targets frame " + std::to_string(p) +
+             " its owner lost");
+      }
+    }
   }
 
   // Disk extents and waiters.
@@ -1053,6 +1069,8 @@ Result<dpf::FilterId> Aegis::SysBindFilter(FilterBindSpec spec, const Capability
   binding.region_first_page = spec.region_first_page;
   binding.region_pages = spec.region_pages;
   binding.queue.clear();
+  binding.ring = RingState{};
+  binding.stats = PacketStats{};
   binding.live = true;
   machine_.Charge(kSyscallExit);
   return *id;
@@ -1067,6 +1085,7 @@ Status Aegis::SysUnbindFilter(dpf::FilterId id) {
     return Status::kErrAccessDenied;
   }
   bindings_[id].live = false;
+  bindings_[id].ring = RingState{};  // The region pages stay with the caller.
   return classifier_.Remove(id);
 }
 
@@ -1104,6 +1123,146 @@ Status Aegis::SysNetSend(std::span<const uint8_t> frame) {
   return ok ? Status::kOk : Status::kErrInvalidArgs;
 }
 
+// --- Zero-copy packet rings ---
+
+net::PacketRingView Aegis::RingViewOf(const FilterBinding& binding) const {
+  std::span<uint8_t> region =
+      machine_.mem().RangeSpan(binding.ring.first_page, binding.ring.pages);
+  // Cannot fail: geometry was validated against the region at bind time
+  // and is re-derived from the trusted binding record here.
+  return *net::PacketRingView::Attach(region, binding.ring.rx_slots, binding.ring.tx_slots);
+}
+
+Status Aegis::SysBindPacketRing(dpf::FilterId id, const PacketRingSpec& spec,
+                                const Capability& region_cap) {
+  machine_.Charge(kSyscallEntry + kCapCheck + Instr(40));  // Validate + format.
+  Env& env = CurrentEnv();
+  machine_.Charge(kSyscallExit);
+  if (id >= bindings_.size() || !bindings_[id].live) {
+    return Status::kErrNotFound;
+  }
+  FilterBinding& binding = bindings_[id];
+  if (binding.owner != env.id) {
+    return Status::kErrAccessDenied;
+  }
+  if (binding.handler.has_value()) {
+    return Status::kErrInvalidArgs;  // ASH delivery and rings are exclusive.
+  }
+  if (spec.pages == 0 ||
+      static_cast<size_t>(spec.pages) * hw::kPageBytes <
+          net::PacketRingView::BytesNeeded(spec.rx_slots, spec.tx_slots)) {
+    return Status::kErrInvalidArgs;
+  }
+  // Secure binding: the region must be caller-owned contiguous frames and
+  // the caller must prove it with a read/write capability for the first.
+  for (uint32_t i = 0; i < spec.pages; ++i) {
+    const hw::PageId p = spec.first_page + i;
+    if (p >= pages_.size() || pages_[p].owner != env.id) {
+      return Status::kErrAccessDenied;
+    }
+  }
+  if (!authority_.Check(region_cap, PageResource(spec.first_page),
+                        cap::kRead | cap::kWrite, pages_[spec.first_page].epoch)) {
+    return Status::kErrAccessDenied;
+  }
+  std::span<uint8_t> region = machine_.mem().RangeSpan(spec.first_page, spec.pages);
+  Result<net::PacketRingView> view =
+      net::PacketRingView::Format(region, spec.rx_slots, spec.tx_slots);
+  if (!view.ok()) {
+    return view.status();  // Bad slot counts.
+  }
+  binding.ring.live = true;
+  binding.ring.batch_doorbells = spec.batch_doorbells;
+  binding.ring.first_page = spec.first_page;
+  binding.ring.pages = spec.pages;
+  binding.ring.rx_slots = spec.rx_slots;
+  binding.ring.tx_slots = spec.tx_slots;
+  binding.ring.rx_head = 0;
+  binding.ring.tx_tail = 0;
+  // Frames already queued on the legacy path stay there; SysRecvPacket
+  // still drains them.
+  return Status::kOk;
+}
+
+Status Aegis::SysUnbindPacketRing(dpf::FilterId id) {
+  machine_.Charge(kSyscallEntry + Instr(10) + kSyscallExit);
+  if (id >= bindings_.size() || !bindings_[id].live) {
+    return Status::kErrNotFound;
+  }
+  FilterBinding& binding = bindings_[id];
+  if (binding.owner != current_) {
+    return Status::kErrAccessDenied;
+  }
+  if (!binding.ring.live) {
+    return Status::kErrNotFound;
+  }
+  binding.ring = RingState{};  // Delivery reverts to the legacy queue.
+  return Status::kOk;
+}
+
+Result<uint32_t> Aegis::SysTxRing(dpf::FilterId id, uint32_t max_frames) {
+  machine_.Charge(kSyscallEntry + Instr(8));
+  if (id >= bindings_.size() || !bindings_[id].live) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrNotFound;
+  }
+  FilterBinding& binding = bindings_[id];
+  if (binding.owner != current_) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrAccessDenied;
+  }
+  if (!binding.ring.live || nic_ == nullptr) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrUnsupported;
+  }
+  net::PacketRingView view = RingViewOf(binding);
+  // The producer cursor is untrusted: a hostile header cannot make the
+  // kernel loop more than one full ring's worth per doorbell.
+  uint32_t pending = view.tx_head() - binding.ring.tx_tail;
+  pending = std::min(pending, binding.ring.tx_slots);
+  const uint32_t count = std::min(pending, max_frames);
+  uint32_t sent = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    machine_.Charge(kRingTxDescriptor);
+    std::span<const uint8_t> frame = view.ReadTxSlot(binding.ring.tx_tail);
+    ++binding.ring.tx_tail;
+    if (nic_->Transmit(frame)) {  // Charges the copy + controller (+ stall).
+      ++binding.stats.tx_frames;
+      ++sent;
+    } else {
+      ++binding.stats.tx_errors;  // Malformed length: skip the slot.
+    }
+  }
+  view.set_tx_tail(binding.ring.tx_tail);  // Publish consumer progress.
+  machine_.Charge(kSyscallExit);
+  return sent;
+}
+
+PacketStats Aegis::packet_stats(dpf::FilterId id) const {
+  if (id >= bindings_.size()) {
+    return PacketStats{};
+  }
+  const FilterBinding& binding = bindings_[id];
+  PacketStats stats = binding.stats;
+  stats.ring_bound = binding.ring.live;
+  if (binding.ring.live) {
+    const uint32_t pending = binding.ring.rx_head - RingViewOf(binding).rx_tail();
+    stats.rx_pending = std::min(pending, binding.ring.rx_slots);
+  }
+  return stats;
+}
+
+Result<PacketStats> Aegis::SysPacketStats(dpf::FilterId id) {
+  machine_.Charge(kSyscallEntry + Instr(10) + kSyscallExit);
+  if (id >= bindings_.size() || !bindings_[id].live) {
+    return Status::kErrNotFound;
+  }
+  if (bindings_[id].owner != current_) {
+    return Status::kErrAccessDenied;
+  }
+  return packet_stats(id);
+}
+
 std::span<uint8_t> Aegis::BindingRegion(FilterBinding& binding) {
   if (binding.region_pages == 0) {
     return {};
@@ -1137,11 +1296,46 @@ void Aegis::HandleRxPacket() {
       const ash::AshOutcome outcome =
           ash::RunAsh(*binding.handler, *frame, BindingRegion(binding), services);
       machine_.Charge(outcome.sim_cycles);
+    } else if (binding.ring.live) {
+      // Ring path: deposit straight into the owner's RX ring at interrupt
+      // level — one copy off the wire, no kernel-heap buffering. The
+      // consumer cursor is application memory and untrusted; free-running
+      // index arithmetic makes any value safe (a corrupted tail at worst
+      // drops the owner's own frames as "ring full").
+      net::PacketRingView view = RingViewOf(binding);
+      if (binding.ring.rx_head - view.rx_tail() >= binding.ring.rx_slots) {
+        ++binding.stats.ring_drops;  // Consumer too slow: drop and count.
+        continue;
+      }
+      machine_.Charge(hw::kMemWordCopy * ((frame->size() + 3) / 4));
+      machine_.Charge(kRingPublish);
+      view.WriteRxSlot(binding.ring.rx_head, *frame);
+      ++binding.ring.rx_head;
+      view.set_rx_head(binding.ring.rx_head);
+      ++binding.stats.delivered;
+      if (!binding.ring.batch_doorbells || view.rx_armed()) {
+        // Batched mode posts a doorbell only when the consumer armed the
+        // ring before blocking, and disarming here coalesces the rest of
+        // this drain: an awake consumer polls the header for free.
+        view.set_rx_armed(false);
+        machine_.Charge(kRxDoorbell);
+        ++binding.stats.doorbells;
+        WakeEnvInternal(*owner);
+      }
     } else {
       // Queue in a kernel buffer and wake the owner; it pays the extra
-      // copy and the scheduling delay when it finally runs.
+      // copy and the scheduling delay when it finally runs. The queue is
+      // capped: a slow consumer drops frames (counted) rather than growing
+      // kernel memory without bound.
+      if (binding.queue.size() >= FilterBinding::kMaxQueuedPackets) {
+        ++binding.stats.queue_drops;
+        continue;
+      }
       machine_.Charge(hw::kMemWordCopy * ((frame->size() + 3) / 4));
       binding.queue.push_back(std::move(*frame));
+      ++binding.stats.queued;
+      machine_.Charge(kRxDoorbell);
+      ++binding.stats.doorbells;
       WakeEnvInternal(*owner);
     }
   }

@@ -45,6 +45,10 @@
 #include "src/hw/machine.h"
 #include "src/hw/nic.h"
 
+namespace xok::net {
+class PacketRingView;
+}  // namespace xok::net
+
 namespace xok::aegis {
 
 inline constexpr hw::PageId kAnyPage = 0xffffffffu;
@@ -79,6 +83,34 @@ struct FilterBindSpec {
   std::optional<ash::AshProgram> handler;
   hw::PageId region_first_page = 0;  // First page of the pinned region.
   uint32_t region_pages = 0;         // 0: no region (no ASH, kernel queueing only).
+};
+
+// Options for binding a zero-copy packet-ring pair to an existing filter
+// binding: the region is a contiguous run of caller-owned pinned pages
+// formatted as net::PacketRingView rings; matched frames land in the RX
+// ring at interrupt level and SysTxRing drains the TX ring in one syscall.
+struct PacketRingSpec {
+  hw::PageId first_page = 0;
+  uint32_t pages = 0;
+  uint32_t rx_slots = 0;
+  uint32_t tx_slots = 0;
+  // Coalesce doorbells: wake the owner at most once per demux drain, and
+  // only when it armed the ring (interrupt mitigation). When false, every
+  // deposited frame posts a doorbell — the per-frame-interrupt baseline.
+  bool batch_doorbells = true;
+};
+
+// Counters for one filter binding (ring and legacy-queue paths).
+struct PacketStats {
+  uint64_t delivered = 0;    // Frames deposited in the RX ring.
+  uint64_t queued = 0;       // Frames queued on the legacy path.
+  uint64_t ring_drops = 0;   // Frames dropped because the RX ring was full.
+  uint64_t queue_drops = 0;  // Frames dropped at the legacy queue cap.
+  uint64_t doorbells = 0;    // Owner wakes posted by the demux.
+  uint64_t tx_frames = 0;    // Frames transmitted via SysTxRing.
+  uint64_t tx_errors = 0;    // Malformed TX-ring frames skipped.
+  uint32_t rx_pending = 0;   // RX frames deposited but not yet consumed.
+  bool ring_bound = false;
 };
 
 class Aegis final : public hw::TrapSink {
@@ -158,6 +190,20 @@ class Aegis final : public hw::TrapSink {
   // Transmits a raw frame.
   Status SysNetSend(std::span<const uint8_t> frame);
 
+  // Zero-copy packet rings. Binding is a secure-binding operation: the
+  // caller must own the filter binding and every region page, and must
+  // present a read/write capability for the region's first page. The
+  // region is formatted (net::PacketRingView) before frames flow.
+  Status SysBindPacketRing(dpf::FilterId id, const PacketRingSpec& spec,
+                           const cap::Capability& region_cap);
+  // Reverts the binding to the legacy kernel-queue delivery path.
+  Status SysUnbindPacketRing(dpf::FilterId id);
+  // TX doorbell: transmits up to `max_frames` frames queued in the TX
+  // ring (one kernel crossing for the whole batch). Returns the count.
+  Result<uint32_t> SysTxRing(dpf::FilterId id, uint32_t max_frames = 0xffffffffu);
+  // Ring/queue/drop/doorbell counters for a binding the caller owns.
+  Result<PacketStats> SysPacketStats(dpf::FilterId id);
+
   // Framebuffer binding: assigns a tile's ownership tag to the caller.
   Status SysBindFbTile(uint32_t tile_x, uint32_t tile_y);
 
@@ -234,6 +280,9 @@ class Aegis final : public hw::TrapSink {
   uint64_t stlb_hits() const { return stlb_hits_; }
   uint64_t stlb_misses() const { return stlb_misses_; }
   uint64_t slice_cycles() const { return config_.slice_cycles; }
+  // Host-side stats snapshot (charges nothing, ignores ownership): lets
+  // tests and benches inspect a binding's counters after its owner died.
+  PacketStats packet_stats(dpf::FilterId id) const;
   // Disables the software TLB (ablation bench).
   void set_stlb_enabled(bool enabled) { stlb_enabled_ = enabled; }
 
@@ -247,12 +296,35 @@ class Aegis final : public hw::TrapSink {
     uint32_t epoch = 0;
   };
 
+  // Kernel-side state of one bound packet ring. Slot counts and region
+  // bounds are recorded here at bind time and trusted thereafter; the
+  // kernel's producer/consumer cursors also live here (like a NIC's head
+  // register) and are only *published* to the shared header, so nothing
+  // the application scribbles into the shared region can steer a kernel
+  // access outside it.
+  struct RingState {
+    bool live = false;
+    bool batch_doorbells = true;
+    hw::PageId first_page = 0;
+    uint32_t pages = 0;
+    uint32_t rx_slots = 0;
+    uint32_t tx_slots = 0;
+    uint32_t rx_head = 0;  // Kernel RX producer cursor (trusted).
+    uint32_t tx_tail = 0;  // Kernel TX consumer cursor (trusted).
+  };
+
   struct FilterBinding {
+    // Capacity cap for the legacy kernel queue: a slow consumer drops
+    // frames (counted) instead of growing kernel memory without bound.
+    static constexpr size_t kMaxQueuedPackets = 64;
+
     EnvId owner = kNoEnv;
     std::optional<ash::AshProgram> handler;
     hw::PageId region_first_page = 0;
     uint32_t region_pages = 0;
     std::deque<std::vector<uint8_t>> queue;  // Non-ASH delivery path.
+    RingState ring;
+    PacketStats stats;
     bool live = false;
   };
 
@@ -300,6 +372,9 @@ class Aegis final : public hw::TrapSink {
   // Network receive path (interrupt level).
   void HandleRxPacket();
   std::span<uint8_t> BindingRegion(FilterBinding& binding);
+  // View over a live ring's region, parameterised from the *trusted*
+  // binding record (never from the shared header).
+  net::PacketRingView RingViewOf(const FilterBinding& binding) const;
 
   hw::Machine& machine_;
   Config config_;

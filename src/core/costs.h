@@ -37,6 +37,19 @@ inline constexpr uint64_t kCapCheck = Instr(12);
 // Directed yield: pick target, switch addressing context, dispatch.
 inline constexpr uint64_t kYieldPath = Instr(22);
 
+// Posting a receive doorbell to an application: marking it runnable,
+// interrupt bookkeeping, and the (eventual) dispatch it buys. Charged once
+// per queued frame on the legacy path; the ring path batches — one
+// doorbell per demux drain, and none at all while the consumer is awake
+// and has not re-armed the ring.
+inline constexpr uint64_t kRxDoorbell = Instr(100);
+
+// Publishing one RX-ring slot (descriptor write + producer index).
+inline constexpr uint64_t kRingPublish = Instr(6);
+
+// Examining one TX-ring descriptor from SysTxRing.
+inline constexpr uint64_t kRingTxDescriptor = Instr(6);
+
 // End-of-slice interrupt path in the kernel (before the application's own
 // epilogue runs): bookkeeping + schedule next.
 inline constexpr uint64_t kTimerSlicePath = Instr(12);

@@ -129,25 +129,38 @@ Result<std::vector<uint8_t>> RdpEndpoint::Recv() {
 }
 
 void RdpEndpoint::PumpAcks() {
+  // On a ring socket the ACKs are staged in the TX ring and drained with a
+  // single doorbell at the end — a burst of retransmissions costs one
+  // kernel crossing to answer instead of one per ACK.
+  const bool batch = socket_.ring_bound();
+  uint32_t staged = 0;
   for (;;) {
     Result<Datagram> dgram = socket_.Recv(/*blocking=*/false);
     if (!dgram.ok()) {
-      return;
+      break;
     }
     if (!FrameValid(*dgram) || dgram->payload[0] != kTypeData) {
       continue;
     }
     ++duplicates_dropped_;
-    SendAck(dgram->payload[1]);
+    SendAck(dgram->payload[1], /*queue_only=*/batch);
+    staged += batch ? 1 : 0;
+  }
+  if (staged > 0) {
+    (void)socket_.FlushTx();
   }
 }
 
-void RdpEndpoint::SendAck(uint8_t seq) {
+void RdpEndpoint::SendAck(uint8_t seq, bool queue_only) {
   proc_.machine().Charge(Instr(10));
   const uint16_t ck = Checksum(kTypeAck, seq, {});
   std::vector<uint8_t> ack = {kTypeAck, seq, static_cast<uint8_t>(ck & 0xff),
                               static_cast<uint8_t>(ck >> 8)};
-  (void)socket_.SendTo(config_.peer_ip, config_.peer_port, ack);
+  if (queue_only) {
+    (void)socket_.QueueTo(config_.peer_ip, config_.peer_port, ack);
+  } else {
+    (void)socket_.SendTo(config_.peer_ip, config_.peer_port, ack);
+  }
 }
 
 }  // namespace xok::exos

@@ -66,7 +66,9 @@ class RdpEndpoint {
   static uint16_t Checksum(uint8_t type, uint8_t seq, std::span<const uint8_t> payload);
   // Length + checksum validation; counts and rejects damaged frames.
   bool FrameValid(const Datagram& dgram);
-  void SendAck(uint8_t seq);
+  // `queue_only` (ring sockets): stage the ACK in the TX ring without a
+  // doorbell, so a burst of retransmissions is answered with one syscall.
+  void SendAck(uint8_t seq, bool queue_only = false);
 
   Process& proc_;
   UdpSocket& socket_;

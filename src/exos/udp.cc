@@ -29,16 +29,95 @@ Status UdpSocket::Bind(uint16_t port) {
   return Status::kOk;
 }
 
+Status UdpSocket::BindRing(uint16_t port, const RingConfig& config) {
+  if (binding_.has_value()) {
+    return Status::kErrBadState;
+  }
+  aegis::Aegis& kernel = proc_.kernel();
+  const size_t bytes = net::PacketRingView::BytesNeeded(config.rx_slots, config.tx_slots);
+  const uint32_t pages = static_cast<uint32_t>((bytes + hw::kPageBytes - 1) / hw::kPageBytes);
+  // Hunt for a contiguous run of free frames. Physical names are exposed
+  // to applications precisely so they can make placement decisions like
+  // this (paper §3.1); the kernel only checks ownership at bind time.
+  const uint32_t page_count = proc_.machine().mem().page_count();
+  for (hw::PageId start = 0; start + pages <= page_count && ring_pages_.empty();) {
+    std::vector<aegis::PageGrant> run;
+    hw::PageId next_start = start + pages;
+    for (uint32_t i = 0; i < pages; ++i) {
+      Result<aegis::PageGrant> grant = kernel.SysAllocPage(start + i);
+      if (!grant.ok()) {
+        next_start = start + i + 1;
+        break;
+      }
+      run.push_back(*grant);
+    }
+    if (run.size() == pages) {
+      ring_pages_ = std::move(run);
+      break;
+    }
+    for (const aegis::PageGrant& grant : run) {
+      (void)kernel.SysDeallocPage(grant.page, grant.cap);
+    }
+    start = next_start;
+  }
+  if (ring_pages_.empty()) {
+    return Status::kErrNoResources;
+  }
+  auto release_pages = [this, &kernel]() {
+    for (const aegis::PageGrant& grant : ring_pages_) {
+      (void)kernel.SysDeallocPage(grant.page, grant.cap);
+    }
+    ring_pages_.clear();
+  };
+  const Status bound = Bind(port);
+  if (bound != Status::kOk) {
+    release_pages();
+    return bound;
+  }
+  aegis::PacketRingSpec spec;
+  spec.first_page = ring_pages_.front().page;
+  spec.pages = pages;
+  spec.rx_slots = config.rx_slots;
+  spec.tx_slots = config.tx_slots;
+  spec.batch_doorbells = config.batch_doorbells;
+  const Status ring = kernel.SysBindPacketRing(*binding_, spec, ring_pages_.front().cap);
+  if (ring != Status::kOk) {
+    (void)kernel.SysUnbindFilter(*binding_);
+    binding_.reset();
+    release_pages();
+    return ring;
+  }
+  std::span<uint8_t> region = proc_.machine().mem().RangeSpan(spec.first_page, pages);
+  ring_ = *net::PacketRingView::Attach(region, config.rx_slots, config.tx_slots);
+  return Status::kOk;
+}
+
 Status UdpSocket::Close() {
   if (!binding_.has_value()) {
     return Status::kErrBadState;
   }
+  if (ring_.has_value()) {
+    (void)proc_.kernel().SysUnbindPacketRing(*binding_);
+    ring_.reset();
+  }
   const Status status = proc_.kernel().SysUnbindFilter(*binding_);
   binding_.reset();
+  for (const aegis::PageGrant& grant : ring_pages_) {
+    (void)proc_.kernel().SysDeallocPage(grant.page, grant.cap);
+  }
+  ring_pages_.clear();
   return status;
 }
 
 Status UdpSocket::SendTo(uint32_t dst_ip, uint16_t dst_port, std::span<const uint8_t> payload) {
+  if (ring_.has_value()) {
+    const Status queued = QueueTo(dst_ip, dst_port, payload);
+    if (queued != Status::kOk) {
+      return queued;
+    }
+    Result<uint32_t> sent = FlushTx();
+    return sent.ok() ? Status::kOk : sent.status();
+  }
   proc_.machine().Charge(kHeaderBuild + CksumCost(payload.size() + net::kUdpHeaderBytes) +
                          CksumCost(net::kIpHeaderBytes));
   const uint64_t dst_mac = iface_.resolve ? iface_.resolve(dst_ip) : hw::kBroadcastMac;
@@ -47,9 +126,88 @@ Status UdpSocket::SendTo(uint32_t dst_ip, uint16_t dst_port, std::span<const uin
   return proc_.kernel().SysNetSend(frame);
 }
 
+Status UdpSocket::QueueTo(uint32_t dst_ip, uint16_t dst_port, std::span<const uint8_t> payload) {
+  if (!ring_.has_value()) {
+    return Status::kErrBadState;
+  }
+  const size_t bytes = net::UdpFrameBytes(payload.size());
+  if (bytes > net::PacketRingView::kSlotDataBytes) {
+    return Status::kErrOutOfRange;
+  }
+  if (ring_->TxFull()) {
+    // Make room by draining what is already queued (one doorbell).
+    Result<uint32_t> flushed = FlushTx();
+    if (!flushed.ok()) {
+      return flushed.status();
+    }
+    if (ring_->TxFull()) {
+      return Status::kErrWouldBlock;
+    }
+  }
+  proc_.machine().Charge(kHeaderBuild + CksumCost(payload.size() + net::kUdpHeaderBytes) +
+                         CksumCost(net::kIpHeaderBytes));
+  const uint64_t dst_mac = iface_.resolve ? iface_.resolve(dst_ip) : hw::kBroadcastMac;
+  // Zero-copy build: the frame is assembled directly in the TX slot.
+  const uint32_t head = ring_->tx_head();
+  std::span<uint8_t> slot = ring_->TxSlotData(head, static_cast<uint32_t>(bytes));
+  net::BuildUdpFrameInto(slot, dst_mac, iface_.mac, iface_.ip, dst_ip, port_, dst_port, payload);
+  ring_->set_tx_head(head + 1);
+  return Status::kOk;
+}
+
+Result<uint32_t> UdpSocket::FlushTx() {
+  if (!ring_.has_value() || !binding_.has_value()) {
+    return Status::kErrBadState;
+  }
+  return proc_.kernel().SysTxRing(*binding_);
+}
+
+Result<Datagram> UdpSocket::PopRingFrame() {
+  proc_.machine().Charge(kHeaderParse);
+  net::UdpView view;
+  const bool valid = net::ParseUdpFrame(ring_->RxFront(), &view);
+  Datagram dgram;
+  if (valid) {
+    // Only the payload leaves the ring; the headers are parsed in place.
+    proc_.machine().Charge(hw::kMemWordCopy * ((view.payload.size() + 3) / 4));
+    dgram.src_ip = view.src_ip;
+    dgram.src_port = view.src_port;
+    dgram.payload.assign(view.payload.begin(), view.payload.end());
+  }
+  ring_->RxPop();
+  if (!valid) {
+    return Status::kErrInvalidArgs;  // Malformed; the library's policy is to drop.
+  }
+  return dgram;
+}
+
 Result<Datagram> UdpSocket::Recv(bool blocking) {
   if (!binding_.has_value()) {
     return Status::kErrBadState;
+  }
+  if (ring_.has_value()) {
+    for (;;) {
+      if (!ring_->RxEmpty()) {
+        Result<Datagram> dgram = PopRingFrame();
+        if (dgram.ok()) {
+          return dgram;
+        }
+        continue;  // Malformed frame dropped; try the next slot.
+      }
+      if (!blocking) {
+        return Status::kErrWouldBlock;
+      }
+      // Arm the doorbell, then re-check before sleeping: a frame deposited
+      // between the emptiness check and the arming would otherwise wait
+      // for the next arrival. The kernel's wake-pending latch covers the
+      // remaining arm-to-block window.
+      ring_->set_rx_armed(true);
+      if (!ring_->RxEmpty()) {
+        ring_->set_rx_armed(false);
+        continue;
+      }
+      proc_.kernel().SysBlock();
+    }
   }
   for (;;) {
     Result<std::vector<uint8_t>> frame = proc_.kernel().SysRecvPacket(*binding_);

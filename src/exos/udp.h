@@ -3,9 +3,14 @@
 // The whole protocol stack is library code: header construction, Internet
 // checksums, and demultiplexing policy (which packets to claim) are chosen
 // by the application; Aegis contributes only the secure filter binding and
-// raw frame transmission. Two receive paths exist:
+// raw frame transmission. Three receive paths exist:
 //   * the ordinary path — packets queue in a kernel buffer, the process is
 //     woken, and it copies the frame out when scheduled;
+//   * the ring path (BindRing below) — the demux deposits matched frames
+//     straight into a shared-memory RX ring the socket owns; Recv parses
+//     them in place (no receive syscall, no kernel-to-user frame copy) and
+//     SendTo/QueueTo build frames directly in TX-ring slots, draining a
+//     whole batch with one SysTxRing doorbell;
 //   * the ASH path (BindEchoAsh below / exos tests) — a downloaded handler
 //     vectors or answers the message at interrupt time.
 #ifndef XOK_SRC_EXOS_UDP_H_
@@ -18,6 +23,7 @@
 
 #include "src/dpf/tcpip_filters.h"
 #include "src/exos/process.h"
+#include "src/net/pktring.h"
 #include "src/net/wire.h"
 
 namespace xok::exos {
@@ -37,29 +43,53 @@ struct Datagram {
   std::vector<uint8_t> payload;
 };
 
+// Ring-mode geometry for BindRing.
+struct RingConfig {
+  uint32_t rx_slots = 32;
+  uint32_t tx_slots = 16;
+  bool batch_doorbells = true;
+};
+
 class UdpSocket {
  public:
   UdpSocket(Process& proc, NetIface iface) : proc_(proc), iface_(std::move(iface)) {}
 
   // Claims UDP packets to `port` via a filter binding (kernel-queue path).
   Status Bind(uint16_t port);
+  // Bind + zero-copy rings: allocates a contiguous run of pages, formats
+  // the ring pair in them, and registers it with the kernel. Matched
+  // frames then bypass the kernel queue entirely.
+  Status BindRing(uint16_t port, const RingConfig& config = {});
   Status Close();
 
   // Builds the frame (headers + checksums are application code, charged as
-  // such) and hands it to the kernel for transmission.
+  // such) and hands it to the kernel for transmission. On a ring socket
+  // the frame is assembled in a TX slot and the doorbell rung immediately.
   Status SendTo(uint32_t dst_ip, uint16_t dst_port, std::span<const uint8_t> payload);
+  // Ring sockets only: queue without ringing the doorbell. A batch of
+  // QueueTo calls followed by one FlushTx costs one kernel crossing total.
+  Status QueueTo(uint32_t dst_ip, uint16_t dst_port, std::span<const uint8_t> payload);
+  // Transmits everything queued in the TX ring; returns the frame count.
+  Result<uint32_t> FlushTx();
 
   // Receives the next datagram. Blocking: sleeps until the filter binding
   // wakes us. Non-blocking: returns kErrWouldBlock when empty.
   Result<Datagram> Recv(bool blocking = true);
 
   uint16_t port() const { return port_; }
+  bool ring_bound() const { return ring_.has_value(); }
+  std::optional<dpf::FilterId> filter_id() const { return binding_; }
 
  private:
+  // Parses the ring's front frame into a datagram (drops malformed ones).
+  Result<Datagram> PopRingFrame();
+
   Process& proc_;
   NetIface iface_;
   uint16_t port_ = 0;
   std::optional<dpf::FilterId> binding_;
+  std::optional<net::PacketRingView> ring_;
+  std::vector<aegis::PageGrant> ring_pages_;  // Contiguous run backing the rings.
 };
 
 // Binds an echo-reply ASH for UDP `port`: requests arriving at `port` are

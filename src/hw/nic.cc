@@ -11,10 +11,20 @@ bool Nic::Transmit(std::span<const uint8_t> frame) {
   if (wire_ == nullptr) {
     return false;  // Cable unplugged.
   }
+  // TX contention: the single transmitter serialises one frame at a time;
+  // a sender that outruns the wire stalls until the previous frame clears.
+  const uint64_t now = machine_.clock().now();
+  if (tx_free_at_ > now) {
+    ++tx_stalls_;
+    tx_stall_cycles_ += tx_free_at_ - now;
+    machine_.Charge(tx_free_at_ - now);
+  }
   // Copy into the transmit buffer plus DMA/doorbell setup.
   machine_.Charge(kMemWordCopy * ((frame.size() + 3) / 4));
   machine_.Charge(kNicControllerLatency);
   wire_->Broadcast(this, frame);
+  tx_free_at_ = machine_.clock().now() + frame.size() * kWireCyclesPerByte;
+  ++frames_transmitted_;
   return true;
 }
 
@@ -26,6 +36,10 @@ std::optional<std::vector<uint8_t>> Nic::ReceiveNext() {
   std::vector<uint8_t> frame = std::move(rx_ring_.front());
   rx_ring_.pop_front();
   return frame;
+}
+
+void Nic::InjectRx(std::vector<uint8_t> frame) {
+  DeliverAt(machine_.clock().now(), std::move(frame));
 }
 
 void Nic::DeliverAt(uint64_t arrival_cycle, std::vector<uint8_t> frame) {

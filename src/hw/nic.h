@@ -49,15 +49,27 @@ class Nic {
   Machine& machine() { return machine_; }
 
   // Transmits a frame. Charges the sender for the copy into the transmit
-  // buffer and the controller setup. Returns false for malformed frames.
+  // buffer and the controller setup — and, when the transmitter is still
+  // serialising the previous frame onto the 10 Mb/s wire, for the stall
+  // until it frees up (TX backpressure: back-to-back sends are wire-bound,
+  // not free beyond the copy). Returns false for malformed frames.
   bool Transmit(std::span<const uint8_t> frame);
 
   // Pops the next received frame, if any. Called by the kernel from the
   // kNicRx interrupt handler. The kernel is charged for examining the ring.
   std::optional<std::vector<uint8_t>> ReceiveNext();
 
+  // Host/bench-side injection (charges nothing): lands `frame` in the
+  // receive ring as if it had just arrived off the wire, posting the usual
+  // kNicRx interrupt. Lets benches isolate receive-path software cost from
+  // wire serialisation.
+  void InjectRx(std::vector<uint8_t> frame);
+
   uint64_t frames_dropped() const { return frames_dropped_; }
   uint64_t frames_received() const { return frames_received_; }
+  uint64_t frames_transmitted() const { return frames_transmitted_; }
+  uint64_t tx_stalls() const { return tx_stalls_; }
+  uint64_t tx_stall_cycles() const { return tx_stall_cycles_; }
 
  private:
   friend class Wire;
@@ -71,6 +83,10 @@ class Nic {
   std::deque<std::vector<uint8_t>> rx_ring_;
   uint64_t frames_dropped_ = 0;
   uint64_t frames_received_ = 0;
+  uint64_t frames_transmitted_ = 0;
+  uint64_t tx_free_at_ = 0;  // Cycle the transmitter finishes serialising.
+  uint64_t tx_stalls_ = 0;
+  uint64_t tx_stall_cycles_ = 0;
 };
 
 class Wire {

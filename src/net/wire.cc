@@ -1,12 +1,18 @@
 #include "src/net/wire.h"
 
+#include <algorithm>
+
 namespace xok::net {
 
-std::vector<uint8_t> BuildUdpFrame(uint64_t dst_mac, uint64_t src_mac, uint32_t src_ip,
-                                   uint32_t dst_ip, uint16_t src_port, uint16_t dst_port,
-                                   std::span<const uint8_t> payload) {
-  const size_t total = kUdpPayloadOff + payload.size();
-  std::vector<uint8_t> frame(std::max<size_t>(total, 60), 0);  // Ethernet minimum: 60 bytes.
+size_t UdpFrameBytes(size_t payload_bytes) {
+  // Ethernet minimum: 60 bytes.
+  return std::max<size_t>(kUdpPayloadOff + payload_bytes, 60);
+}
+
+void BuildUdpFrameInto(std::span<uint8_t> frame, uint64_t dst_mac, uint64_t src_mac,
+                       uint32_t src_ip, uint32_t dst_ip, uint16_t src_port, uint16_t dst_port,
+                       std::span<const uint8_t> payload) {
+  std::fill(frame.begin(), frame.end(), 0);
   PutMac(frame, kEthDstOff, dst_mac);
   PutMac(frame, kEthSrcOff, src_mac);
   PutBe16(frame, kEthTypeOff, kEthTypeIpv4);
@@ -29,6 +35,13 @@ std::vector<uint8_t> BuildUdpFrame(uint64_t dst_mac, uint64_t src_mac, uint32_t 
   const uint16_t udp_cksum = InternetChecksum(
       std::span<const uint8_t>(frame).subspan(kUdpOff, kUdpHeaderBytes + payload.size()));
   PutBe16(frame, kUdpCksumOff, udp_cksum);
+}
+
+std::vector<uint8_t> BuildUdpFrame(uint64_t dst_mac, uint64_t src_mac, uint32_t src_ip,
+                                   uint32_t dst_ip, uint16_t src_port, uint16_t dst_port,
+                                   std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame(UdpFrameBytes(payload.size()));
+  BuildUdpFrameInto(frame, dst_mac, src_mac, src_ip, dst_ip, src_port, dst_port, payload);
   return frame;
 }
 

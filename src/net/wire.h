@@ -89,10 +89,20 @@ inline uint16_t InternetChecksum(std::span<const uint8_t> data, uint32_t initial
   return static_cast<uint16_t>(~sum & 0xffff);
 }
 
+// Frame length for a UDP payload (respects the 60-byte Ethernet minimum).
+size_t UdpFrameBytes(size_t payload_bytes);
+
 // Builds a UDP/IPv4/Ethernet frame around `payload`.
 std::vector<uint8_t> BuildUdpFrame(uint64_t dst_mac, uint64_t src_mac, uint32_t src_ip,
                                    uint32_t dst_ip, uint16_t src_port, uint16_t dst_port,
                                    std::span<const uint8_t> payload);
+
+// Same, but assembled in place — `frame` must be exactly
+// UdpFrameBytes(payload.size()) long. Used by the zero-copy TX-ring path
+// to build the frame directly in a ring slot.
+void BuildUdpFrameInto(std::span<uint8_t> frame, uint64_t dst_mac, uint64_t src_mac,
+                       uint32_t src_ip, uint32_t dst_ip, uint16_t src_port, uint16_t dst_port,
+                       std::span<const uint8_t> payload);
 
 // Validates lengths, ethertype, protocol, and the IP header checksum.
 // Returns the payload span on success.

@@ -147,6 +147,40 @@ TEST_P(ChaosSoak, KilledEnvironmentsNeverCorruptTheSurvivors) {
     forgery_checked = true;
   });
 
+  // --- Packet-ring consumer killed mid-drain: a flooder on the peer
+  // machine streams datagrams at a ring-bound socket forever; the consumer
+  // drains its RX ring until the scheduled kill lands at an arbitrary
+  // point in the drain loop. Teardown must reclaim the ring region while
+  // frames are still in flight at it. ---
+  uint64_t ring_frames_drained = 0;
+  dpf::FilterId ring_filter = 0;
+  exos::Process ring_consumer(ka, [&](exos::Process& p) {
+    exos::UdpSocket socket(p, exos::NetIface{0xa, 1, Resolve});
+    ASSERT_EQ(socket.BindRing(300, exos::RingConfig{.rx_slots = 8, .tx_slots = 4}),
+              Status::kOk);
+    ring_filter = *socket.filter_id();
+    for (;;) {
+      Result<exos::Datagram> dgram = socket.Recv();  // Dies by kill in here.
+      if (dgram.ok()) {
+        ++ring_frames_drained;
+      }
+    }
+  });
+  exos::Process ring_flooder(kb, [&](exos::Process& p) {
+    exos::UdpSocket socket(p, exos::NetIface{0xb, 2, Resolve});
+    ASSERT_EQ(socket.BindRing(301), Status::kOk);
+    p.kernel().SysSleep(hw::kClockHz / 100);
+    for (int round = 0; round < 700; ++round) {
+      for (uint8_t burst = 0; burst < 4; ++burst) {
+        const std::vector<uint8_t> payload = {static_cast<uint8_t>(round), burst};
+        (void)socket.QueueTo(1, 300, payload);
+      }
+      (void)socket.FlushTx();  // One doorbell per burst of four.
+      p.kernel().SysSleep(5'000);
+    }
+    EXPECT_EQ(socket.Close(), Status::kOk);
+  });
+
   // --- RDP pair across the faulty wire: must deliver everything exactly
   // once, in order, despite drops and corruption. ---
   std::vector<std::vector<uint8_t>> received;
@@ -185,6 +219,8 @@ TEST_P(ChaosSoak, KilledEnvironmentsNeverCorruptTheSurvivors) {
   ASSERT_TRUE(vm_worker.ok());
   ASSERT_TRUE(fs_worker.ok());
   ASSERT_TRUE(hostile.ok());
+  ASSERT_TRUE(ring_consumer.ok());
+  ASSERT_TRUE(ring_flooder.ok());
   ASSERT_TRUE(rdp_sender.ok());
   ASSERT_TRUE(rdp_receiver.ok());
   writer_peer = {pipe_reader.id(), pipe_reader.env_cap()};
@@ -200,6 +236,7 @@ TEST_P(ChaosSoak, KilledEnvironmentsNeverCorruptTheSurvivors) {
   plan.KillEnvAt(1'800'000, pipe_writer.id());
   plan.KillEnvAt(2'500'000 + 10'000 * seed, vm_worker.id());
   plan.KillEnvAt(3'500'000 + 20'000 * seed, fs_worker.id());
+  plan.KillEnvAt(2'800'000 + 15'000 * seed, ring_consumer.id());
   plan.SpuriousIrqAt(500'000, hw::InterruptSource::kDiskDone, 424242);
   plan.SpuriousIrqAt(900'000, hw::InterruptSource::kFault, 61);  // No such env.
   ka.InstallFaultPlan(plan);
@@ -222,10 +259,18 @@ TEST_P(ChaosSoak, KilledEnvironmentsNeverCorruptTheSurvivors) {
   }
 
   // Every scheduled kill landed, and every post-event audit was clean.
-  EXPECT_EQ(ka.envs_killed(), 3u);
+  EXPECT_EQ(ka.envs_killed(), 4u);
   EXPECT_FALSE(ka.EnvAlive(pipe_writer.id()));
   EXPECT_FALSE(ka.EnvAlive(vm_worker.id()));
   EXPECT_FALSE(ka.EnvAlive(fs_worker.id()));
+  EXPECT_FALSE(ka.EnvAlive(ring_consumer.id()));
+  // The ring consumer was mid-traffic when it died: it had drained frames,
+  // the kernel had deposited into its ring, and the post-mortem stats are
+  // still readable even though teardown unbound the ring itself.
+  EXPECT_GT(ring_frames_drained, 0u);
+  const aegis::PacketStats ring_stats = ka.packet_stats(ring_filter);
+  EXPECT_GT(ring_stats.delivered, 0u);
+  EXPECT_FALSE(ring_stats.ring_bound);
   EXPECT_EQ(ka.audit_failures(), 0u) << ka.first_audit_failure();
   EXPECT_EQ(kb.audit_failures(), 0u) << kb.first_audit_failure();
   aegis::Aegis::AuditReport ra = ka.AuditInvariants();
