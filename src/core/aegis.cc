@@ -571,6 +571,33 @@ void Aegis::FlushPageBindings(hw::PageId page) {
   machine_.Charge(Instr(20));  // Reverse-map sweep of cached bindings.
   machine_.tlb().FlushPfn(page);
   stlb_.FlushPfn(page);
+  // Packet-filter bindings are cached bindings too: a ring or pinned ASH
+  // region spanning the reclaimed frame would keep the demux writing into
+  // it at interrupt level after reallocation. Sever them here so every
+  // reclaim path (dealloc, repossession, teardown) breaks them uniformly.
+  const auto spans = [page](hw::PageId first, uint32_t count) {
+    return page >= first && page < first + count;
+  };
+  for (dpf::FilterId id = 0; id < bindings_.size(); ++id) {
+    FilterBinding& binding = bindings_[id];
+    if (!binding.live) {
+      continue;
+    }
+    if (binding.ring.live && spans(binding.ring.first_page, binding.ring.pages)) {
+      machine_.Charge(Instr(10));
+      binding.ring = RingState{};  // Delivery reverts to the legacy queue.
+    }
+    if (binding.region_pages > 0 && spans(binding.region_first_page, binding.region_pages)) {
+      // The ASH runs against the whole pinned region; losing any frame of
+      // it kills the binding (stats survive for post-mortems).
+      machine_.Charge(Instr(10));
+      binding.live = false;
+      binding.queue.clear();
+      binding.handler.reset();
+      binding.ring = RingState{};
+      (void)classifier_.Remove(id);
+    }
+  }
 }
 
 // --- Protected control transfer (paper §5.2) ---

@@ -352,7 +352,9 @@ class Aegis final : public hw::TrapSink {
   cap::ResourceId EnvResource(EnvId env) const {
     return cap::ResourceId{cap::ResourceKind::kEnvironment, env};
   }
-  // Breaks every cached binding to `page` (TLB + STLB).
+  // Breaks every cached binding to `page`: TLB + STLB translations, packet
+  // rings, and ASH pinned regions. Called on every frame-reclaim path
+  // (dealloc, repossession, teardown) so no binding outlives the frame.
   void FlushPageBindings(hw::PageId page);
   // Forcibly repossesses up to `pages` pages from `victim`.
   uint32_t Repossess(Env& victim, uint32_t pages);

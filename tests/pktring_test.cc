@@ -435,6 +435,87 @@ TEST_F(PktRingKernelTest, KillMidDrainIsCrashSafe) {
   EXPECT_TRUE(kernel_.AuditInvariants().ok());
 }
 
+TEST_F(PktRingKernelTest, DeallocRingPageMidTrafficSeversRing) {
+  EnvSpec spec;
+  spec.entry = [&] {
+    aegis::FilterBindSpec fspec;
+    fspec.filter = dpf::UdpPortFilter(kPort);
+    Result<dpf::FilterId> id = kernel_.SysBindFilter(std::move(fspec), cap::Capability{});
+    ASSERT_TRUE(id.ok());
+    const cap::Capability cap0 = AllocRegion(10, 3);
+    PacketRingSpec rspec{.first_page = 10, .pages = 3, .rx_slots = 4, .tx_slots = 2};
+    ASSERT_EQ(kernel_.SysBindPacketRing(*id, rspec, cap0), Status::kOk);
+    nic_.InjectRx(Frame(0));
+    kernel_.SysNull();
+    EXPECT_TRUE(kernel_.SysPacketStats(*id)->ring_bound);
+
+    // The owner frees a ring page mid-traffic. The kernel must sever the
+    // ring with it — a stale binding would keep the demux depositing into
+    // the reclaimed (reallocatable) frame at interrupt level.
+    ASSERT_EQ(kernel_.SysDeallocPage(10, cap0), Status::kOk);
+    EXPECT_TRUE(kernel_.AuditInvariants().ok());
+
+    // Later frames fall back to the legacy kernel queue, untouched by the
+    // freed frames, and stats no longer dereference the dead ring.
+    nic_.InjectRx(Frame(1));
+    kernel_.SysNull();
+    Result<PacketStats> stats = kernel_.SysPacketStats(*id);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_FALSE(stats->ring_bound);
+    EXPECT_EQ(stats->delivered, 1u);  // The pre-dealloc ring deposit.
+    EXPECT_EQ(stats->queued, 1u);     // The post-dealloc fallback.
+    Result<std::vector<uint8_t>> frame = kernel_.SysRecvPacket(*id);
+    ASSERT_TRUE(frame.ok());
+    net::UdpView udp;
+    ASSERT_TRUE(net::ParseUdpFrame(*frame, &udp));
+    EXPECT_EQ(udp.payload[0], 1u);
+  };
+  ASSERT_TRUE(kernel_.CreateEnv(std::move(spec)).ok());
+  kernel_.Run();
+  EXPECT_TRUE(kernel_.AuditInvariants().ok());
+  EXPECT_EQ(kernel_.audit_failures(), 0u);
+}
+
+TEST_F(PktRingKernelTest, RepossessedRingPageSeversRingMidTraffic) {
+  EnvId owner_id = aegis::kNoEnv;
+
+  EnvSpec spec;
+  spec.entry = [&] {
+    aegis::FilterBindSpec fspec;
+    fspec.filter = dpf::UdpPortFilter(kPort);
+    Result<dpf::FilterId> id = kernel_.SysBindFilter(std::move(fspec), cap::Capability{});
+    ASSERT_TRUE(id.ok());
+    const cap::Capability cap0 = AllocRegion(10, 3);
+    PacketRingSpec rspec{.first_page = 10, .pages = 3, .rx_slots = 4, .tx_slots = 2};
+    ASSERT_EQ(kernel_.SysBindPacketRing(*id, rspec, cap0), Status::kOk);
+    nic_.InjectRx(Frame(0));
+    kernel_.SysNull();
+
+    // Abort protocol: with no revoke handler installed, the kernel forcibly
+    // repossesses the victim's lowest frame — a ring page. The binding must
+    // not outlive it.
+    ASSERT_EQ(kernel_.RevokePages(owner_id, 1), Status::kOk);
+    EXPECT_TRUE(kernel_.AuditInvariants().ok());
+    const std::vector<hw::PageId> taken = kernel_.SysReadRepossessed();
+    ASSERT_EQ(taken.size(), 1u);
+    EXPECT_EQ(taken[0], 10u);
+
+    nic_.InjectRx(Frame(1));
+    kernel_.SysNull();
+    Result<PacketStats> stats = kernel_.SysPacketStats(*id);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_FALSE(stats->ring_bound);
+    EXPECT_EQ(stats->delivered, 1u);
+    EXPECT_EQ(stats->queued, 1u);  // Delivery reverted to the legacy queue.
+  };
+  Result<EnvGrant> grant = kernel_.CreateEnv(std::move(spec));
+  ASSERT_TRUE(grant.ok());
+  owner_id = grant->env;
+  kernel_.Run();
+  EXPECT_TRUE(kernel_.AuditInvariants().ok());
+  EXPECT_EQ(kernel_.audit_failures(), 0u);
+}
+
 TEST_F(PktRingKernelTest, RecvAfterOwnerKilledReportsNotFound) {
   EnvId owner_id = aegis::kNoEnv;
   dpf::FilterId filter = 0;
