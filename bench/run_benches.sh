@@ -1,19 +1,35 @@
 #!/bin/sh
-# Runs the network benches (DPF demux, ASH/UDP roundtrip, packet rings) and
-# merges their google-benchmark JSON outputs into one BENCH_net.json.
+# Runs one suite of benches and merges their google-benchmark JSON outputs
+# into a single report:
+#   net — DPF demux, ASH/UDP roundtrip, packet rings  -> BENCH_net.json
+#   fs  — file-cache policy and journaling ablations  -> BENCH_fs.json
 #
-# Usage: run_benches.sh [output.json]
+# Usage: run_benches.sh [suite] [output.json]
 #   BENCH_BIN_DIR: directory holding the bench binaries (default: cwd).
-# Invoked by the optional `bench_net` CMake target; also runnable by hand
-# from the build tree's bench/ directory.
+# Invoked by the optional `bench_net` / `bench_fs` CMake targets; also
+# runnable by hand from the build tree's bench/ directory.
 set -eu
 
-out="${1:-BENCH_net.json}"
+suite="${1:-net}"
+case "$suite" in
+  net)
+    benches="bench_t07_dpf bench_t11_ash_net bench_abl_pktring"
+    default_out="BENCH_net.json"
+    ;;
+  fs)
+    benches="bench_abl_file_cache bench_abl_journal"
+    default_out="BENCH_fs.json"
+    ;;
+  *)
+    echo "run_benches: unknown suite '$suite' (expected: net, fs)" >&2
+    exit 2
+    ;;
+esac
+
+out="${2:-$default_out}"
 bin_dir="${BENCH_BIN_DIR:-.}"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
-
-benches="bench_t07_dpf bench_t11_ash_net bench_abl_pktring"
 
 for bench in $benches; do
   if [ ! -x "$bin_dir/$bench" ]; then

@@ -289,7 +289,9 @@ void Aegis::SwitchToKernel() {
 
 void Aegis::ResumeEnv(Env& env) {
   priv_.SwapTrapDepth(env.saved_trap_depth);
+  env_fiber_active_ = true;
   hw::Fiber::Switch(kernel_fiber_, *env.fiber);
+  env_fiber_active_ = false;
   priv_.SwapTrapDepth(0);  // Back on the kernel fiber.
 }
 
@@ -339,7 +341,7 @@ EnvId Aegis::NextRunnable() {
 
 void Aegis::Run() {
   running_ = true;
-  while (AnyLive()) {
+  while (AnyLive() && !powered_off_) {
     EnvId next = kNoEnv;
     bool donated = false;
     if (yield_hint_ != kNoEnv) {
@@ -377,7 +379,7 @@ void Aegis::Run() {
     ++env.slices_run;
     current_ = next;
     DrainMailbox(env);
-    if (env.state == EnvState::kRunnable) {
+    if (env.state == EnvState::kRunnable && !powered_off_) {
       ResumeEnv(env);
     }
     current_ = kNoEnv;
@@ -759,6 +761,24 @@ void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
       // no-op.
       (void)KillEnv(static_cast<EnvId>(payload));
       break;
+    case hw::InterruptSource::kPowerFail: {
+      // Power loss at an arbitrary cycle-charge boundary: the disk's
+      // volatile buffer dies (torn writes land now), the device freezes,
+      // and the scheduler halts. If we are executing on an environment's
+      // fiber, abandon it mid-instruction — no epilogue, no teardown; a
+      // power cut gives nobody a chance to clean up.
+      if (powered_off_) {
+        break;
+      }
+      powered_off_ = true;
+      if (disk_ != nullptr) {
+        disk_->PowerCut();
+      }
+      if (env_fiber_active_ && current_ != kNoEnv) {
+        SwitchToKernel();  // Never returns: Run() exits on powered_off_.
+      }
+      break;
+    }
   }
 }
 
@@ -778,6 +798,9 @@ void Aegis::InstallFaultPlan(const hw::FaultPlan& plan) {
         break;
       case hw::FaultKind::kSpuriousIrq:
         priv_.ScheduleEvent(delay, static_cast<hw::InterruptSource>(event.arg0), event.arg1);
+        break;
+      case hw::FaultKind::kPowerCut:
+        priv_.ScheduleEvent(delay, hw::InterruptSource::kPowerFail, 0);
         break;
     }
   }
@@ -1051,6 +1074,37 @@ Status Aegis::SysDiskRead(uint32_t extent, const cap::Capability& extent_cap,
 Status Aegis::SysDiskWrite(uint32_t extent, const cap::Capability& extent_cap,
                            uint32_t block_in_extent, hw::PageId frame) {
   return DiskTransfer(extent, extent_cap, block_in_extent, frame, /*write=*/true);
+}
+
+Status Aegis::SysDiskBarrier(uint32_t extent, const cap::Capability& extent_cap) {
+  machine_.Charge(kSyscallEntry + kCapCheck);
+  if (disk_ == nullptr) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrUnsupported;
+  }
+  if (extent >= extents_.size() || !extents_[extent].live) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrOutOfRange;
+  }
+  if (!authority_.Check(extent_cap, cap::ResourceId{cap::ResourceKind::kDiskExtent, extent},
+                        cap::kWrite, extents_[extent].epoch)) {
+    machine_.Charge(kSyscallExit);
+    return Status::kErrAccessDenied;
+  }
+  Result<uint64_t> request = disk_->SubmitBarrier();
+  if (!request.ok()) {
+    machine_.Charge(kSyscallExit);
+    return request.status();
+  }
+  Env& env = CurrentEnv();
+  env.disk_pending = true;
+  env.disk_result = Status::kOk;
+  disk_waiters_[*request] = env.id;
+  while (env.disk_pending) {
+    SysBlock();  // Completion interrupt clears the flag (see DiskTransfer).
+  }
+  machine_.Charge(kSyscallExit);
+  return env.disk_result;
 }
 
 // --- Network (paper §3.2) ---

@@ -225,6 +225,12 @@ class Aegis final : public hw::TrapSink {
                      uint32_t block_in_extent, hw::PageId frame);
   Status SysDiskWrite(uint32_t extent, const cap::Capability& extent_cap,
                       uint32_t block_in_extent, hw::PageId frame);
+  // Write barrier (the flush/ordering point durability policy is built
+  // from): blocks until every write the disk has acknowledged is durable.
+  // The kernel still understands extents, not file systems — journaling,
+  // ordering, and checkpoint policy all live in library code above this.
+  // Requires a write capability on an extent the caller can access.
+  Status SysDiskBarrier(uint32_t extent, const cap::Capability& extent_cap);
 
   // Repossession vector (abort protocol, §3.5).
   std::vector<hw::PageId> SysReadRepossessed();
@@ -269,6 +275,10 @@ class Aegis final : public hw::TrapSink {
   uint64_t audit_failures() const { return audit_failures_; }
   const std::string& first_audit_failure() const { return first_audit_failure_; }
   uint64_t envs_killed() const { return envs_killed_; }
+  // True once a FaultPlan power cut landed: Run() returned with every
+  // surviving environment abandoned mid-execution, exactly as power loss
+  // leaves a real machine.
+  bool powered_off() const { return powered_off_; }
   bool EnvAlive(EnvId env) const;
 
   // Introspection for tests, benches, and the libOS bootstrap.
@@ -389,6 +399,12 @@ class Aegis final : public hw::TrapSink {
   bool running_ = false;
   bool in_pct_ = false;
   bool slice_expired_during_pct_ = false;
+  // True only while control is on current_'s own fiber (between ResumeEnv's
+  // switch in and out): the power-cut handler may abandon the environment
+  // with SwitchToKernel only then, never from kernel-fiber interrupt
+  // delivery (DrainMailbox, WaitForInterrupt).
+  bool env_fiber_active_ = false;
+  bool powered_off_ = false;
 
   // CPU: the linear vector of time slices (paper §5.1.1).
   std::vector<EnvId> slice_vector_;

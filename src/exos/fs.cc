@@ -1,5 +1,6 @@
 #include "src/exos/fs.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace xok::exos {
@@ -21,6 +22,33 @@ void WriteLe32(std::span<uint8_t> bytes, size_t off, uint32_t value) {
 constexpr size_t kDirEntryBytes = 32;  // 28-byte name + 4-byte inode.
 constexpr size_t kDirEntries = hw::kPageBytes / kDirEntryBytes;
 constexpr size_t kInodeBytes = 64;
+
+// Superblock field offsets.
+constexpr size_t kSuperMagicOff = 0;
+constexpr size_t kSuperNextFreeOff = 4;
+constexpr size_t kSuperJournalStartOff = 8;
+constexpr size_t kSuperJournalBlocksOff = 12;
+
+// Journal record block layouts. Checksums sit in the last word of the
+// block so a torn write (which durably lands a *prefix* of the new words)
+// can never produce a block that checksums as complete.
+constexpr uint32_t kDescMagic = 0xd5c0de01;
+constexpr uint32_t kCommitMagic = 0xd5c0de02;
+constexpr size_t kChecksumOff = hw::kPageBytes - 4;
+
+uint32_t Fnv1a(std::span<const uint8_t> bytes, uint32_t hash = 2166136261u) {
+  for (uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+// Header checksum of a descriptor/commit block: everything before the
+// checksum word.
+uint32_t HeaderChecksum(std::span<const uint8_t> block) {
+  return Fnv1a(block.first(kChecksumOff));
+}
 
 }  // namespace
 
@@ -124,13 +152,27 @@ Result<std::span<uint8_t>> BlockCache::GetBlock(uint32_t block, bool for_write) 
 }
 
 Status BlockCache::Flush() {
+  // Attempt every slot even after a failure: one bad block must not leave
+  // the rest of the dirty set stranded in volatile memory. The first error
+  // is reported; dirty_remaining() tells the caller what is still at risk.
+  Status first_error = Status::kOk;
   for (size_t i = 0; i < slots_.size(); ++i) {
     const Status status = WriteBack(i);
-    if (status != Status::kOk) {
-      return status;
+    if (status != Status::kOk && first_error == Status::kOk) {
+      first_error = status;
     }
   }
-  return Status::kOk;
+  return first_error;
+}
+
+size_t BlockCache::dirty_remaining() const {
+  size_t dirty = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.valid && slot.dirty) {
+      ++dirty;
+    }
+  }
+  return dirty;
 }
 
 BlockCache::VictimPicker MakeScanAwarePicker(uint32_t metadata_blocks) {
@@ -166,22 +208,54 @@ BlockCache::VictimPicker MakeScanAwarePicker(uint32_t metadata_blocks) {
 Result<std::unique_ptr<LibFs>> LibFs::Format(Process& proc,
                                              const aegis::Aegis::DiskExtentGrant& extent,
                                              size_t cache_slots) {
-  if (extent.blocks < kDataStart + 1) {
+  Options options;
+  options.cache_slots = cache_slots;
+  return Format(proc, extent, options);
+}
+
+Result<std::unique_ptr<LibFs>> LibFs::Format(Process& proc,
+                                             const aegis::Aegis::DiskExtentGrant& extent,
+                                             const Options& options) {
+  if (options.journal_blocks > 0 && options.journal_blocks < kMaxTxnBlocks + 2) {
+    return Status::kErrInvalidArgs;  // Not even one transaction fits.
+  }
+  const uint32_t data_start = kJournalStart + options.journal_blocks;
+  if (extent.blocks < data_start + 1) {
     return Status::kErrInvalidArgs;
   }
-  Result<std::unique_ptr<BlockCache>> cache = BlockCache::Create(proc, extent, cache_slots);
+  Result<std::unique_ptr<BlockCache>> cache =
+      BlockCache::Create(proc, extent, options.cache_slots);
   if (!cache.ok()) {
     return cache.status();
   }
-  auto fs = std::unique_ptr<LibFs>(new LibFs(proc, std::move(*cache)));
+  auto fs = std::unique_ptr<LibFs>(new LibFs(proc, extent, std::move(*cache)));
+  fs->journal_blocks_ = options.journal_blocks;
+  fs->data_start_ = data_start;
+  if (fs->journaled()) {
+    // A stale journal from a previous tenant of this extent must not replay
+    // over the fresh file system.
+    const Status frame = fs->AllocRawFrame();
+    if (frame != Status::kOk) {
+      return frame;
+    }
+    std::vector<uint8_t> zero(hw::kPageBytes, 0);
+    for (uint32_t j = 0; j < fs->journal_blocks_; ++j) {
+      const Status wiped = fs->RawWrite(kJournalStart + j, zero);
+      if (wiped != Status::kOk) {
+        return wiped;
+      }
+    }
+  }
   // Superblock.
   Result<std::span<uint8_t>> super = fs->cache_->GetBlock(kSuperBlock, /*for_write=*/true);
   if (!super.ok()) {
     return super.status();
   }
   std::fill(super->begin(), super->end(), uint8_t{0});
-  WriteLe32(*super, 0, kMagic);
-  WriteLe32(*super, 4, kDataStart);  // Next free data block.
+  WriteLe32(*super, kSuperMagicOff, kMagic);
+  WriteLe32(*super, kSuperNextFreeOff, data_start);  // Next free data block.
+  WriteLe32(*super, kSuperJournalStartOff, kJournalStart);
+  WriteLe32(*super, kSuperJournalBlocksOff, fs->journal_blocks_);
   // Empty directory and inode table.
   for (uint32_t block : {kDirBlock, kInodeBlock}) {
     Result<std::span<uint8_t>> bytes = fs->cache_->GetBlock(block, /*for_write=*/true);
@@ -204,16 +278,308 @@ Result<std::unique_ptr<LibFs>> LibFs::Mount(Process& proc,
   if (!cache.ok()) {
     return cache.status();
   }
-  auto fs = std::unique_ptr<LibFs>(new LibFs(proc, std::move(*cache)));
-  Result<std::span<uint8_t>> super = fs->cache_->GetBlock(kSuperBlock, /*for_write=*/false);
-  if (!super.ok()) {
-    return super.status();
+  auto fs = std::unique_ptr<LibFs>(new LibFs(proc, extent, std::move(*cache)));
+  // The superblock is read raw, not through the cache: journal replay may
+  // rewrite it, and a pre-replay copy must never linger in a cache slot.
+  const Status frame = fs->AllocRawFrame();
+  if (frame != Status::kOk) {
+    return frame;
   }
-  if (ReadLe32(*super, 0) != kMagic) {
+  std::vector<uint8_t> super(hw::kPageBytes);
+  const Status read = fs->RawRead(kSuperBlock, super);
+  if (read != Status::kOk) {
+    return read;
+  }
+  if (ReadLe32(super, kSuperMagicOff) != kMagic) {
     return Status::kErrBadState;
+  }
+  const uint32_t journal_start = ReadLe32(super, kSuperJournalStartOff);
+  const uint32_t journal_blocks = ReadLe32(super, kSuperJournalBlocksOff);
+  if (journal_blocks > 0 &&
+      (journal_start != kJournalStart || journal_blocks < kMaxTxnBlocks + 2 ||
+       kJournalStart + journal_blocks >= extent.blocks)) {
+    return Status::kErrBadState;
+  }
+  fs->journal_blocks_ = journal_blocks;
+  fs->data_start_ = kJournalStart + journal_blocks;
+  if (fs->journaled()) {
+    const Status replayed = fs->ReplayJournal();
+    if (replayed != Status::kOk) {
+      return replayed;
+    }
   }
   return fs;
 }
+
+// --- Raw (cache-bypassing) journal I/O ---
+
+Status LibFs::AllocRawFrame() {
+  if (raw_frame_ok_) {
+    return Status::kOk;
+  }
+  Result<aegis::PageGrant> frame = proc_.kernel().SysAllocPage();
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  raw_frame_ = frame->page;
+  raw_frame_ok_ = true;
+  return Status::kOk;
+}
+
+Status LibFs::RawWrite(uint32_t block, std::span<const uint8_t> bytes) {
+  auto frame_span = proc_.machine().mem().PageSpan(raw_frame_);
+  proc_.machine().Charge(hw::kMemWordCopy * (hw::kPageBytes / 4));
+  std::copy(bytes.begin(), bytes.end(), frame_span.begin());
+  uint64_t backoff = hw::kClockHz / 10000;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const Status status =
+        proc_.kernel().SysDiskWrite(extent_.extent, extent_.cap, block, raw_frame_);
+    if (status != Status::kErrIo) {
+      if (status == Status::kOk) {
+        ++journal_block_writes_;
+      }
+      return status;
+    }
+    proc_.kernel().SysSleep(backoff);
+    backoff *= 2;
+  }
+  return Status::kErrIo;
+}
+
+Status LibFs::RawRead(uint32_t block, std::span<uint8_t> out) {
+  uint64_t backoff = hw::kClockHz / 10000;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const Status status =
+        proc_.kernel().SysDiskRead(extent_.extent, extent_.cap, block, raw_frame_);
+    if (status == Status::kOk) {
+      auto frame_span = proc_.machine().mem().PageSpan(raw_frame_);
+      proc_.machine().Charge(hw::kMemWordCopy * (hw::kPageBytes / 4));
+      std::copy(frame_span.begin(), frame_span.end(), out.begin());
+      return Status::kOk;
+    }
+    if (status != Status::kErrIo) {
+      return status;
+    }
+    proc_.kernel().SysSleep(backoff);
+    backoff *= 2;
+  }
+  return Status::kErrIo;
+}
+
+Status LibFs::Barrier() {
+  const Status status = proc_.kernel().SysDiskBarrier(extent_.extent, extent_.cap);
+  if (status == Status::kOk) {
+    ++barriers_issued_;
+  }
+  return status;
+}
+
+// --- Transactions ---
+
+Result<std::span<uint8_t>> LibFs::TxnStage(uint32_t block) {
+  for (TxnBlock& staged : txn_) {
+    if (staged.block == block) {
+      return std::span<uint8_t>(staged.bytes);
+    }
+  }
+  if (txn_.size() >= kMaxTxnBlocks) {
+    return Status::kErrNoResources;
+  }
+  Result<std::span<uint8_t>> current = cache_->GetBlock(block, /*for_write=*/false);
+  if (!current.ok()) {
+    return current.status();
+  }
+  txn_.reserve(kMaxTxnBlocks);
+  txn_.push_back(TxnBlock{block, std::vector<uint8_t>(current->begin(), current->end())});
+  return std::span<uint8_t>(txn_.back().bytes);
+}
+
+Status LibFs::CommitTxn() {
+  if (txn_.empty()) {
+    return Status::kOk;
+  }
+  if (journaled()) {
+    const uint32_t record_blocks = 2 + static_cast<uint32_t>(txn_.size());
+    if (journal_head_ + record_blocks > journal_blocks_) {
+      // Journal full: checkpoint (home locations catch up, head rewinds).
+      const Status checkpointed = Checkpoint();
+      if (checkpointed != Status::kOk) {
+        AbortTxn();
+        return checkpointed;
+      }
+    }
+    const uint32_t txn_id = next_txn_id_;
+    // Descriptor: magic, id, count, target block list, tail checksum.
+    scratch_.assign(hw::kPageBytes, 0);
+    std::span<uint8_t> desc(scratch_);
+    WriteLe32(desc, 0, kDescMagic);
+    WriteLe32(desc, 4, txn_id);
+    WriteLe32(desc, 8, static_cast<uint32_t>(txn_.size()));
+    for (size_t i = 0; i < txn_.size(); ++i) {
+      WriteLe32(desc, 12 + 4 * i, txn_[i].block);
+    }
+    proc_.machine().Charge(Instr(hw::kPageBytes / 4));  // Checksum pass.
+    WriteLe32(desc, kChecksumOff, HeaderChecksum(desc));
+    Status written = RawWrite(kJournalStart + journal_head_, desc);
+    if (written != Status::kOk) {
+      AbortTxn();
+      return written;
+    }
+    // Payload blocks: the new images, verbatim.
+    uint32_t payload_checksum = 2166136261u;
+    for (size_t i = 0; i < txn_.size(); ++i) {
+      proc_.machine().Charge(Instr(hw::kPageBytes / 4));
+      payload_checksum = Fnv1a(txn_[i].bytes, payload_checksum);
+      written = RawWrite(kJournalStart + journal_head_ + 1 + static_cast<uint32_t>(i),
+                         txn_[i].bytes);
+      if (written != Status::kOk) {
+        AbortTxn();
+        return written;
+      }
+    }
+    // Commit block. It can only be durable together with (or after) the
+    // payloads — the barrier below is the commit point, and a power cut
+    // can at worst tear it into a block that fails its own checksum.
+    scratch_.assign(hw::kPageBytes, 0);
+    std::span<uint8_t> commit(scratch_);
+    WriteLe32(commit, 0, kCommitMagic);
+    WriteLe32(commit, 4, txn_id);
+    WriteLe32(commit, 8, payload_checksum);
+    proc_.machine().Charge(Instr(hw::kPageBytes / 4));
+    WriteLe32(commit, kChecksumOff, HeaderChecksum(commit));
+    written = RawWrite(kJournalStart + journal_head_ + 1 + record_blocks - 2, commit);
+    if (written != Status::kOk) {
+      AbortTxn();
+      return written;
+    }
+    const Status committed = Barrier();
+    if (committed != Status::kOk) {
+      AbortTxn();
+      return committed;
+    }
+    journal_head_ += record_blocks;
+    ++next_txn_id_;
+    ++txns_committed_;
+  }
+  // Only now may the new images enter the write-back cache: any eviction
+  // that carries them toward their home locations happens strictly after
+  // the commit barrier (write-ahead rule).
+  for (const TxnBlock& staged : txn_) {
+    Result<std::span<uint8_t>> home = cache_->GetBlock(staged.block, /*for_write=*/true);
+    if (!home.ok()) {
+      return home.status();
+    }
+    proc_.machine().Charge(hw::kMemWordCopy * (hw::kPageBytes / 4));
+    std::copy(staged.bytes.begin(), staged.bytes.end(), home->begin());
+  }
+  txn_.clear();
+  return Status::kOk;
+}
+
+Status LibFs::Checkpoint() {
+  const Status flushed = cache_->Flush();
+  if (flushed != Status::kOk) {
+    return flushed;
+  }
+  const Status durable = Barrier();
+  if (durable != Status::kOk) {
+    return durable;
+  }
+  if (journaled()) {
+    // Every committed transaction is home and durable; the journal can be
+    // overwritten from the start. Transaction ids keep increasing, which
+    // is what lets replay tell fresh records from stale ones.
+    journal_head_ = 0;
+    ++checkpoints_;
+  }
+  return Status::kOk;
+}
+
+Status LibFs::ReplayJournal() {
+  // Snapshot the whole journal region, then walk records from the start.
+  std::vector<std::vector<uint8_t>> journal(journal_blocks_);
+  for (uint32_t j = 0; j < journal_blocks_; ++j) {
+    journal[j].resize(hw::kPageBytes);
+    const Status read = RawRead(kJournalStart + j, journal[j]);
+    if (read != Status::kOk) {
+      return read;
+    }
+  }
+  const auto desc_valid = [](std::span<const uint8_t> block) {
+    return ReadLe32(block, 0) == kDescMagic &&
+           ReadLe32(block, kChecksumOff) == HeaderChecksum(block);
+  };
+  uint32_t head = 0;
+  uint32_t last_id = 0;
+  uint64_t replayed = 0;
+  while (head + 2 + 1 <= journal_blocks_) {
+    const std::span<const uint8_t> desc(journal[head]);
+    proc_.machine().Charge(Instr(hw::kPageBytes / 4));
+    if (!desc_valid(desc)) {
+      break;  // Torn, stale-garbage, or never-written: end of the log.
+    }
+    const uint32_t txn_id = ReadLe32(desc, 4);
+    const uint32_t count = ReadLe32(desc, 8);
+    if (txn_id <= last_id || count == 0 || count > kMaxTxnBlocks ||
+        head + 2 + count > journal_blocks_) {
+      break;  // Stale record from an earlier checkpoint window.
+    }
+    bool targets_ok = true;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (ReadLe32(desc, 12 + 4 * i) >= kJournalStart) {
+        targets_ok = false;  // Only metadata blocks are ever journaled.
+      }
+    }
+    if (!targets_ok) {
+      break;
+    }
+    const std::span<const uint8_t> commit(journal[head + 1 + count]);
+    proc_.machine().Charge(Instr(hw::kPageBytes / 4));
+    if (ReadLe32(commit, 0) != kCommitMagic || ReadLe32(commit, 4) != txn_id ||
+        ReadLe32(commit, kChecksumOff) != HeaderChecksum(commit)) {
+      break;  // Uncommitted or torn: discard this and everything after.
+    }
+    uint32_t payload_checksum = 2166136261u;
+    for (uint32_t i = 0; i < count; ++i) {
+      proc_.machine().Charge(Instr(hw::kPageBytes / 4));
+      payload_checksum = Fnv1a(journal[head + 1 + i], payload_checksum);
+    }
+    if (payload_checksum != ReadLe32(commit, 8)) {
+      break;  // A payload block was torn by the crash.
+    }
+    // Committed: physical redo (idempotent — replaying twice is harmless).
+    for (uint32_t i = 0; i < count; ++i) {
+      const Status redone = RawWrite(ReadLe32(desc, 12 + 4 * i), journal[head + 1 + i]);
+      if (redone != Status::kOk) {
+        return redone;
+      }
+    }
+    last_id = txn_id;
+    ++replayed;
+    head += 2 + count;
+  }
+  // New transaction ids must exceed every id still readable in the journal,
+  // including stale committed records beyond the replay point — otherwise a
+  // later mount could mistake such a leftover for fresh log tail.
+  uint32_t max_id = last_id;
+  for (uint32_t j = 0; j < journal_blocks_; ++j) {
+    if (desc_valid(journal[j])) {
+      max_id = std::max(max_id, ReadLe32(journal[j], 4));
+    }
+  }
+  if (replayed > 0) {
+    const Status durable = Barrier();
+    if (durable != Status::kOk) {
+      return durable;
+    }
+  }
+  txns_replayed_ = replayed;
+  next_txn_id_ = max_id + 1;
+  journal_head_ = 0;
+  return Status::kOk;
+}
+
+// --- Files ---
 
 Result<LibFs::Inode> LibFs::LoadInode(FileHandle file) {
   if (file >= kMaxInodes) {
@@ -231,33 +597,6 @@ Result<LibFs::Inode> LibFs::LoadInode(FileHandle file) {
     inode.direct[i] = ReadLe32(*block, base + 8 + 4 * i);
   }
   return inode;
-}
-
-Status LibFs::StoreInode(FileHandle file, const Inode& inode) {
-  Result<std::span<uint8_t>> block = cache_->GetBlock(kInodeBlock, /*for_write=*/true);
-  if (!block.ok()) {
-    return block.status();
-  }
-  const size_t base = file * kInodeBytes;
-  WriteLe32(*block, base, inode.used);
-  WriteLe32(*block, base + 4, inode.size);
-  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
-    WriteLe32(*block, base + 8 + 4 * i, inode.direct[i]);
-  }
-  return Status::kOk;
-}
-
-Result<uint32_t> LibFs::AllocDataBlock() {
-  Result<std::span<uint8_t>> super = cache_->GetBlock(kSuperBlock, /*for_write=*/true);
-  if (!super.ok()) {
-    return super.status();
-  }
-  const uint32_t next = ReadLe32(*super, 4);
-  if (next >= cache_->extent_blocks()) {
-    return Status::kErrNoResources;
-  }
-  WriteLe32(*super, 4, next + 1);
-  return next;
 }
 
 Result<FileHandle> LibFs::Create(std::string_view name) {
@@ -279,24 +618,41 @@ Result<FileHandle> LibFs::Create(std::string_view name) {
   if (handle == kMaxInodes) {
     return Status::kErrNoResources;
   }
-  // Find a free directory entry.
-  Result<std::span<uint8_t>> dir = cache_->GetBlock(kDirBlock, /*for_write=*/true);
+  // Find a free directory entry and build the directory + inode images as
+  // one transaction: a crash either shows the file (entry and inode both
+  // live) or doesn't — never a dangling entry.
+  Result<std::span<uint8_t>> dir = TxnStage(kDirBlock);
   if (!dir.ok()) {
     return dir.status();
   }
+  size_t entry_index = kDirEntries;
   for (size_t e = 0; e < kDirEntries; ++e) {
-    uint8_t* entry = &(*dir)[e * kDirEntryBytes];
-    if (entry[0] == 0) {
-      std::memcpy(entry, name.data(), name.size());
-      entry[name.size()] = 0;
-      WriteLe32(*dir, e * kDirEntryBytes + 28, handle);
-      Inode inode;
-      inode.used = 1;
-      return StoreInode(handle, inode) == Status::kOk ? Result<FileHandle>(handle)
-                                                      : Result<FileHandle>(Status::kErrInternal);
+    if ((*dir)[e * kDirEntryBytes] == 0) {
+      entry_index = e;
+      break;
     }
   }
-  return Status::kErrNoResources;
+  if (entry_index == kDirEntries) {
+    AbortTxn();
+    return Status::kErrNoResources;
+  }
+  uint8_t* entry = &(*dir)[entry_index * kDirEntryBytes];
+  std::memcpy(entry, name.data(), name.size());
+  entry[name.size()] = 0;
+  WriteLe32(*dir, entry_index * kDirEntryBytes + 28, handle);
+  Result<std::span<uint8_t>> inodes = TxnStage(kInodeBlock);  // May invalidate `dir`.
+  if (!inodes.ok()) {
+    AbortTxn();
+    return inodes.status();
+  }
+  const size_t base = handle * kInodeBytes;
+  std::fill(inodes->begin() + base, inodes->begin() + base + kInodeBytes, uint8_t{0});
+  WriteLe32(*inodes, base, 1);  // used
+  const Status committed = CommitTxn();
+  if (committed != Status::kOk) {
+    return committed;
+  }
+  return handle;
 }
 
 Result<FileHandle> LibFs::Open(std::string_view name) {
@@ -373,6 +729,7 @@ Status LibFs::Write(FileHandle file, uint32_t offset, std::span<const uint8_t> d
   if (offset > inode.size) {
     return Status::kErrOutOfRange;  // No holes in this little FS.
   }
+  bool meta_dirty = false;
   uint32_t done = 0;
   while (done < data.size()) {
     const uint32_t pos = offset + done;
@@ -381,25 +738,168 @@ Status LibFs::Write(FileHandle file, uint32_t offset, std::span<const uint8_t> d
     const uint32_t chunk =
         std::min<uint32_t>(static_cast<uint32_t>(data.size()) - done, hw::kPageBytes - in_block);
     if (index >= kDirectBlocks) {
+      AbortTxn();
       return Status::kErrOutOfRange;
     }
     if (pos >= inode.size && in_block == 0 && inode.direct[index] == 0) {
-      Result<uint32_t> fresh = AllocDataBlock();
-      if (!fresh.ok()) {
-        return fresh.status();
+      // Allocate from the staged superblock image, so the bumped allocator
+      // commits atomically with the inode that references the new block.
+      Result<std::span<uint8_t>> super = TxnStage(kSuperBlock);
+      if (!super.ok()) {
+        AbortTxn();
+        return super.status();
       }
-      inode.direct[index] = *fresh;
+      const uint32_t fresh = ReadLe32(*super, kSuperNextFreeOff);
+      if (fresh >= extent_.blocks) {
+        AbortTxn();
+        return Status::kErrNoResources;
+      }
+      WriteLe32(*super, kSuperNextFreeOff, fresh + 1);
+      inode.direct[index] = fresh;
+      meta_dirty = true;
     }
+    // Data blocks go through the cache un-journaled (metadata journaling
+    // only): a crash may lose un-synced data, never metadata integrity.
     Result<std::span<uint8_t>> block = cache_->GetBlock(inode.direct[index], /*for_write=*/true);
     if (!block.ok()) {
+      AbortTxn();
       return block.status();
     }
     proc_.machine().Charge(hw::kMemWordCopy * ((chunk + 3) / 4));
     std::memcpy(&(*block)[in_block], &data[done], chunk);
     done += chunk;
   }
-  inode.size = std::max(inode.size, offset + static_cast<uint32_t>(data.size()));
-  return StoreInode(file, inode);
+  const uint32_t new_size = std::max(inode.size, offset + static_cast<uint32_t>(data.size()));
+  if (new_size != inode.size) {
+    meta_dirty = true;
+    inode.size = new_size;
+  }
+  if (!meta_dirty) {
+    return Status::kOk;  // Pure overwrite: no metadata transaction needed.
+  }
+  Result<std::span<uint8_t>> inodes = TxnStage(kInodeBlock);
+  if (!inodes.ok()) {
+    AbortTxn();
+    return inodes.status();
+  }
+  const size_t base = file * kInodeBytes;
+  WriteLe32(*inodes, base, inode.used);
+  WriteLe32(*inodes, base + 4, inode.size);
+  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+    WriteLe32(*inodes, base + 8 + 4 * i, inode.direct[i]);
+  }
+  return CommitTxn();
+}
+
+Status LibFs::Sync() {
+  return Checkpoint();
+}
+
+// --- Fsck ---
+
+Status LibFs::Fsck() {
+  fsck_error_.clear();
+  const auto fail = [this](std::string message) {
+    fsck_error_ = std::move(message);
+    return Status::kErrBadState;
+  };
+  // Superblock. Copy the fields out: the span dies at the next GetBlock.
+  Result<std::span<uint8_t>> super = cache_->GetBlock(kSuperBlock, /*for_write=*/false);
+  if (!super.ok()) {
+    return super.status();
+  }
+  if (ReadLe32(*super, kSuperMagicOff) != kMagic) {
+    return fail("superblock: bad magic");
+  }
+  const uint32_t next_free = ReadLe32(*super, kSuperNextFreeOff);
+  const uint32_t journal_start = ReadLe32(*super, kSuperJournalStartOff);
+  const uint32_t journal_blocks = ReadLe32(*super, kSuperJournalBlocksOff);
+  if (journal_blocks != journal_blocks_ ||
+      (journal_blocks > 0 && journal_start != kJournalStart)) {
+    return fail("superblock: journal geometry mismatch");
+  }
+  if (next_free < data_start_ || next_free > extent_.blocks) {
+    return fail("superblock: allocator out of range (next_free=" + std::to_string(next_free) +
+                ")");
+  }
+  // Inode table. Copy it out before touching the directory block.
+  Result<std::span<uint8_t>> inode_block = cache_->GetBlock(kInodeBlock, /*for_write=*/false);
+  if (!inode_block.ok()) {
+    return inode_block.status();
+  }
+  std::vector<Inode> inodes(kMaxInodes);
+  for (uint32_t n = 0; n < kMaxInodes; ++n) {
+    const size_t base = n * kInodeBytes;
+    inodes[n].used = ReadLe32(*inode_block, base);
+    inodes[n].size = ReadLe32(*inode_block, base + 4);
+    for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+      inodes[n].direct[i] = ReadLe32(*inode_block, base + 8 + 4 * i);
+    }
+  }
+  std::vector<uint32_t> claimed;
+  for (uint32_t n = 0; n < kMaxInodes; ++n) {
+    const Inode& inode = inodes[n];
+    if (inode.used == 0) {
+      continue;
+    }
+    if (inode.used != 1) {
+      return fail("inode " + std::to_string(n) + ": bad used flag");
+    }
+    if (inode.size > kMaxFileBytes) {
+      return fail("inode " + std::to_string(n) + ": size out of range");
+    }
+    const uint32_t blocks = (inode.size + hw::kPageBytes - 1) / hw::kPageBytes;
+    for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+      if (i < blocks) {
+        if (inode.direct[i] < data_start_ || inode.direct[i] >= next_free) {
+          return fail("inode " + std::to_string(n) + ": direct block " +
+                      std::to_string(inode.direct[i]) + " outside allocated data region");
+        }
+        claimed.push_back(inode.direct[i]);
+      } else if (inode.direct[i] != 0) {
+        return fail("inode " + std::to_string(n) + ": direct pointer past EOF");
+      }
+    }
+  }
+  std::sort(claimed.begin(), claimed.end());
+  if (std::adjacent_find(claimed.begin(), claimed.end()) != claimed.end()) {
+    return fail("data block claimed by two files");
+  }
+  // Directory: well-formed names, live targets, and a bijection with the
+  // used inodes.
+  Result<std::span<uint8_t>> dir = cache_->GetBlock(kDirBlock, /*for_write=*/false);
+  if (!dir.ok()) {
+    return dir.status();
+  }
+  std::vector<bool> referenced(kMaxInodes, false);
+  for (size_t e = 0; e < kDirEntries; ++e) {
+    const uint8_t* entry = &(*dir)[e * kDirEntryBytes];
+    if (entry[0] == 0) {
+      continue;
+    }
+    const size_t len = strnlen(reinterpret_cast<const char*>(entry), 28);
+    if (len > kMaxNameBytes) {
+      return fail("directory entry " + std::to_string(e) + ": unterminated name");
+    }
+    const uint32_t target = ReadLe32(*dir, e * kDirEntryBytes + 28);
+    if (target >= kMaxInodes) {
+      return fail("directory entry " + std::to_string(e) + ": inode out of range");
+    }
+    if (inodes[target].used == 0) {
+      return fail("directory entry " + std::to_string(e) + ": dangling (inode " +
+                  std::to_string(target) + " free)");
+    }
+    if (referenced[target]) {
+      return fail("inode " + std::to_string(target) + " referenced by two directory entries");
+    }
+    referenced[target] = true;
+  }
+  for (uint32_t n = 0; n < kMaxInodes; ++n) {
+    if (inodes[n].used == 1 && !referenced[n]) {
+      return fail("inode " + std::to_string(n) + " used but unreachable from the directory");
+    }
+  }
+  return Status::kOk;
 }
 
 }  // namespace xok::exos

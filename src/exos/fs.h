@@ -1,20 +1,38 @@
-// LibFS: a library file system with application-controlled caching.
+// LibFS: a library file system with application-controlled caching and
+// application-owned crash consistency.
 //
 // The paper's §2 motivates exokernels with storage: "database implementors
 // must struggle to emulate random-access record storage on top of file
 // systems" (Stonebraker [47]) and "application-level control over file
 // caching can reduce application running time by 45%" (Cao et al. [10]).
 // Here the *entire* file system is library code on top of Aegis's
-// capability-protected disk extents: layout, metadata, and — crucially —
-// the block-cache replacement policy are all application choices. The
-// db_scan example and bench_abl_file_cache reproduce the Cao-style win by
-// swapping LRU for an application-chosen policy, with zero kernel change.
+// capability-protected disk extents: layout, metadata, the block-cache
+// replacement policy — and durability policy. The kernel exposes exactly
+// one ordering primitive (SysDiskBarrier); everything built on it — the
+// physical-redo journal, commit checksums, mount-time replay, fsck — is
+// untrusted library code, so a different application could run with no
+// journal at all (Options::journal_blocks = 0 reproduces the original
+// write-back-only LibFS, and is the ablation baseline in
+// bench_abl_journal).
 //
 // On-extent layout (4 KB blocks):
-//   block 0 — superblock: magic, next free data block
+//   block 0 — superblock: magic, next free data block, journal geometry
 //   block 1 — root directory: 128 entries of {28-byte name, inode index}
 //   block 2 — inode table: 64 inodes of {used, size, 12 direct blocks}
-//   block 3+ — data
+//   blocks 3 .. 3+J-1 — journal (J = journal_blocks, 0 if unjournaled)
+//   blocks 3+J .. — data
+//
+// Journal format (physical redo, one transaction per metadata mutation):
+//   descriptor block {magic, txn id, count, target blocks, checksum}
+//   `count` payload blocks (verbatim new contents of the targets)
+//   commit block {magic, txn id, checksum over all payloads, checksum}
+// A mutation stages the new metadata images, appends the transaction,
+// issues a barrier (commit point), and only then lets the new images into
+// the write-back cache — so a torn or lost home-location write is always
+// covered by a committed, replayable journal record. Mount() replays every
+// committed transaction (idempotent physical redo) and discards torn or
+// uncommitted tails by checksum; Sync() checkpoints (flush + barrier) and
+// resets the journal head.
 #ifndef XOK_SRC_EXOS_FS_H_
 #define XOK_SRC_EXOS_FS_H_
 
@@ -22,6 +40,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -65,8 +84,14 @@ class BlockCache {
   // `for_write` marks the block dirty.
   Result<std::span<uint8_t>> GetBlock(uint32_t block, bool for_write);
 
-  // Writes every dirty block back to the extent.
+  // Writes every dirty block back to the extent. Every slot is attempted
+  // even after a failure — one bad block must not strand the rest — and
+  // the first error is returned; dirty_remaining() says what is still at
+  // risk afterwards.
   Status Flush();
+
+  // Dirty blocks not yet written back (data at risk if the cache dies).
+  size_t dirty_remaining() const;
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -116,13 +141,29 @@ class LibFs {
   static constexpr uint32_t kDirectBlocks = 12;
   static constexpr uint32_t kMaxFileBytes = kDirectBlocks * hw::kPageBytes;
   static constexpr uint32_t kMaxNameBytes = 27;  // NUL-terminated in 28.
+  static constexpr uint32_t kDefaultJournalBlocks = 8;
+  // Largest transaction: superblock + directory + inode table.
+  static constexpr uint32_t kMaxTxnBlocks = 3;
+
+  struct Options {
+    size_t cache_slots = 8;
+    // Journal region size in blocks; 0 disables journaling entirely (the
+    // pre-journal write-back LibFS, kept as the ablation baseline). Must
+    // leave room for at least one transaction (kMaxTxnBlocks + 2).
+    uint32_t journal_blocks = kDefaultJournalBlocks;
+  };
 
   // Formats a fresh file system on `extent` and returns it, with a cache
   // of `cache_slots` blocks.
   static Result<std::unique_ptr<LibFs>> Format(Process& proc,
                                                const aegis::Aegis::DiskExtentGrant& extent,
                                                size_t cache_slots);
-  // Mounts an existing file system (validates the superblock).
+  static Result<std::unique_ptr<LibFs>> Format(Process& proc,
+                                               const aegis::Aegis::DiskExtentGrant& extent,
+                                               const Options& options);
+  // Mounts an existing file system: validates the superblock, then replays
+  // every committed journal transaction and discards torn/uncommitted
+  // tails by checksum (journal geometry comes from the superblock).
   static Result<std::unique_ptr<LibFs>> Mount(Process& proc,
                                               const aegis::Aegis::DiskExtentGrant& extent,
                                               size_t cache_slots);
@@ -136,13 +177,32 @@ class LibFs {
   Result<uint32_t> Read(FileHandle file, uint32_t offset, std::span<uint8_t> out);
   Status Write(FileHandle file, uint32_t offset, std::span<const uint8_t> data);
 
-  Status Sync() { return cache_->Flush(); }
+  // Durability point: flushes the cache, issues a disk barrier, and (when
+  // journaling) checkpoints — every committed transaction is now home and
+  // durable, so the journal head rewinds to the start of the region.
+  Status Sync();
+
+  // Structural self-check: superblock sanity, allocator bounds, inode
+  // sizes vs. direct blocks, no doubly-used data blocks, directory entries
+  // referencing exactly the used inodes. Returns kErrBadState (and sets
+  // fsck_error()) on the first violation.
+  Status Fsck();
+  const std::string& fsck_error() const { return fsck_error_; }
 
   BlockCache& cache() { return *cache_; }
 
+  bool journaled() const { return journal_blocks_ > 0; }
+  uint32_t data_start() const { return data_start_; }
+  uint64_t txns_committed() const { return txns_committed_; }
+  uint64_t txns_replayed() const { return txns_replayed_; }
+  uint64_t journal_block_writes() const { return journal_block_writes_; }
+  uint64_t barriers_issued() const { return barriers_issued_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+
  private:
-  LibFs(Process& proc, std::unique_ptr<BlockCache> cache)
-      : proc_(proc), cache_(std::move(cache)) {}
+  LibFs(Process& proc, const aegis::Aegis::DiskExtentGrant& extent,
+        std::unique_ptr<BlockCache> cache)
+      : proc_(proc), extent_(extent), cache_(std::move(cache)) {}
 
   struct Inode {
     uint32_t used = 0;
@@ -150,17 +210,62 @@ class LibFs {
     uint32_t direct[kDirectBlocks] = {};
   };
 
+  // One staged metadata block: the image CommitTxn will journal and then
+  // let into the cache. Staging keeps the write-ahead rule honest — the
+  // cache (whose evictions write home locations) never sees uncommitted
+  // metadata.
+  struct TxnBlock {
+    uint32_t block = 0;
+    std::vector<uint8_t> bytes;
+  };
+
   Result<Inode> LoadInode(FileHandle file);
-  Status StoreInode(FileHandle file, const Inode& inode);
-  Result<uint32_t> AllocDataBlock();
+
+  // --- Journal machinery ---
+  // Stages `block` for the current transaction (copying its present
+  // contents); returns the mutable image. Idempotent per block.
+  Result<std::span<uint8_t>> TxnStage(uint32_t block);
+  // Journals the staged images (descriptor + payloads + commit + barrier),
+  // then applies them to the cache. With journaling off, just applies.
+  Status CommitTxn();
+  void AbortTxn() { txn_.clear(); }
+  // Flush + barrier + journal-head rewind (all committed txns are home).
+  Status Checkpoint();
+  // Journal replay at mount: applies committed transactions in txn-id
+  // order, stops at the first invalid/torn/uncommitted record.
+  Status ReplayJournal();
+  Status Barrier();
+  // Raw block I/O through the dedicated journal frame, bypassing the
+  // cache (journal blocks must never alias cache slots). Retries
+  // transient kErrIo like BlockCache::Transfer.
+  Status RawWrite(uint32_t block, std::span<const uint8_t> bytes);
+  Status RawRead(uint32_t block, std::span<uint8_t> out);
+  Status AllocRawFrame();
 
   static constexpr uint32_t kSuperBlock = 0;
   static constexpr uint32_t kDirBlock = 1;
   static constexpr uint32_t kInodeBlock = 2;
-  static constexpr uint32_t kDataStart = 3;
+  static constexpr uint32_t kJournalStart = 3;
 
   Process& proc_;
+  aegis::Aegis::DiskExtentGrant extent_;
   std::unique_ptr<BlockCache> cache_;
+
+  uint32_t journal_blocks_ = 0;
+  uint32_t data_start_ = kJournalStart;
+  uint32_t journal_head_ = 0;  // Next free block, relative to kJournalStart.
+  uint32_t next_txn_id_ = 1;
+  std::vector<TxnBlock> txn_;          // Staged images of the open txn.
+  std::vector<uint8_t> scratch_;       // One-block build buffer.
+  hw::PageId raw_frame_ = 0;           // Journal DMA frame (cache-bypassing).
+  bool raw_frame_ok_ = false;
+
+  uint64_t txns_committed_ = 0;
+  uint64_t txns_replayed_ = 0;
+  uint64_t journal_block_writes_ = 0;
+  uint64_t barriers_issued_ = 0;
+  uint64_t checkpoints_ = 0;
+  std::string fsck_error_;
 };
 
 }  // namespace xok::exos

@@ -1,5 +1,6 @@
 #include "src/exos/rdp.h"
 
+#include <algorithm>
 #include <deque>
 
 namespace xok::exos {
@@ -46,6 +47,7 @@ Status RdpEndpoint::Send(std::span<const uint8_t> payload) {
   frame[3] = static_cast<uint8_t>(ck >> 8);
   std::copy(payload.begin(), payload.end(), frame.begin() + kHeaderBytes);
 
+  uint64_t rto = config_.retransmit_cycles;
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
     proc_.machine().Charge(Instr(20));  // Protocol bookkeeping.
     const Status sent = socket_.SendTo(config_.peer_ip, config_.peer_port, frame);
@@ -53,12 +55,17 @@ Status RdpEndpoint::Send(std::span<const uint8_t> payload) {
       return sent;
     }
     if (attempt > 0) {
+      // Timed out: retransmit with the RTO doubled (capped). Backoff is
+      // pure library policy — a latency-sensitive application could pick a
+      // fixed beat instead; nothing in the kernel knows about timers here.
       ++retransmissions_;
+      ++backoffs_;
+      rto = std::min(rto * 2, std::max<uint64_t>(config_.retransmit_cap_cycles, 1));
     }
     // Await the ACK, polling with a short sleep so a lost ACK cannot
     // block us forever.
     uint64_t waited = 0;
-    while (waited < config_.retransmit_cycles) {
+    while (waited < rto) {
       if (have_peer_ack_ && pending_ack_ == send_seq_) {
         have_peer_ack_ = false;
         send_seq_ ^= 1;
@@ -66,7 +73,7 @@ Status RdpEndpoint::Send(std::span<const uint8_t> payload) {
       }
       Result<Datagram> dgram = socket_.Recv(/*blocking=*/false);
       if (!dgram.ok()) {
-        const uint64_t nap = config_.retransmit_cycles / 8 + 1;
+        const uint64_t nap = rto / 8 + 1;
         proc_.kernel().SysSleep(nap);
         waited += nap;
         continue;

@@ -33,7 +33,11 @@ class RdpEndpoint {
   struct Config {
     uint32_t peer_ip = 0;
     uint16_t peer_port = 0;
-    uint64_t retransmit_cycles = hw::kClockHz / 500;  // 2 ms.
+    uint64_t retransmit_cycles = hw::kClockHz / 500;  // Initial RTO: 2 ms.
+    // Each timeout doubles the RTO up to this cap (20 ms), then Send keeps
+    // retrying at the cap: under a long loss burst the sender stops
+    // hammering the wire instead of retransmitting at a fixed 2 ms beat.
+    uint64_t retransmit_cap_cycles = hw::kClockHz / 50;
     int max_retries = 64;
   };
 
@@ -57,6 +61,8 @@ class RdpEndpoint {
   uint64_t retransmissions() const { return retransmissions_; }
   uint64_t duplicates_dropped() const { return duplicates_dropped_; }
   uint64_t checksum_drops() const { return checksum_drops_; }
+  // Timeouts that doubled the RTO (an RTO already at the cap still counts).
+  uint64_t backoffs() const { return backoffs_; }
 
  private:
   static constexpr uint8_t kTypeData = 1;
@@ -80,6 +86,7 @@ class RdpEndpoint {
   uint64_t retransmissions_ = 0;
   uint64_t duplicates_dropped_ = 0;
   uint64_t checksum_drops_ = 0;
+  uint64_t backoffs_ = 0;
   std::deque<Datagram> stashed_;  // DATA that arrived during a Send wait.
 };
 

@@ -3,11 +3,23 @@
 // the request id; the kernel then calls Complete() to retire it. Transfers
 // move whole 4 KB blocks to/from physical page frames (DMA), charged per
 // word like any other bulk copy.
+//
+// Durability model: the controller has a volatile write buffer. A write
+// request is *acknowledged* at its completion interrupt but the block sits
+// in the buffer until a barrier request (SubmitBarrier) drains it to the
+// platter. Reads see the buffer (read-your-writes). At a power cut
+// (PowerCut) the buffer dies: each buffered block is lost whole, except
+// that with FaultPlan::disk_torn_per_mille a block caught mid-DMA retains
+// a prefix of its new words on the platter — the torn-write hazard a
+// crash-consistent library file system must survive. TakeImage /
+// RestoreImage let a test boot a fresh Machine over the surviving platter
+// contents.
 #ifndef XOK_SRC_HW_DISK_H_
 #define XOK_SRC_HW_DISK_H_
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -22,29 +34,35 @@ class Disk {
   struct Completion {
     uint32_t block = 0;
     bool write = false;
-    bool failed = false;  // Media/controller error: the DMA never happened.
+    bool failed = false;   // Media/controller error: the DMA never happened.
+    bool barrier = false;  // Write-buffer drain, not a block transfer.
   };
 
   Disk(Machine& machine, uint32_t block_count)
       : machine_(machine),
         block_count_(block_count),
-        data_(static_cast<size_t>(block_count) * kPageBytes, 0) {}
+        media_(static_cast<size_t>(block_count) * kPageBytes, 0) {}
 
   uint32_t block_count() const { return block_count_; }
 
   // Starts a read of `block` into physical frame `frame`. Returns the
   // request id whose completion interrupt will carry it as payload.
   Result<uint64_t> SubmitRead(uint32_t block, PageId frame) {
-    return Submit(block, frame, /*write=*/false);
+    return Submit(block, frame, Kind::kRead);
   }
 
   // Starts a write of physical frame `frame` to `block`.
   Result<uint64_t> SubmitWrite(uint32_t block, PageId frame) {
-    return Submit(block, frame, /*write=*/true);
+    return Submit(block, frame, Kind::kWrite);
   }
 
+  // Starts a write barrier: when its completion interrupt fires, every
+  // previously acknowledged write is durable on the platter.
+  Result<uint64_t> SubmitBarrier() { return Submit(0, 0, Kind::kBarrier); }
+
   // Arms fault injection: transfers whose completion draws a disk error
-  // finish with Completion::failed set and no DMA. Pass nullptr to disarm.
+  // finish with Completion::failed set and no DMA, and PowerCut draws
+  // torn-write prefixes. Pass nullptr to disarm.
   void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
 
   // Retires a completed request (called from the kDiskDone handler).
@@ -55,18 +73,30 @@ class Disk {
     }
     Request req = it->second;
     inflight_.erase(it);
+    if (req.kind == Kind::kBarrier) {
+      for (auto& [block, bytes] : buffer_) {
+        std::copy(bytes.begin(), bytes.end(), MediaOf(block));
+        ++blocks_made_durable_;
+      }
+      buffer_.clear();
+      ++barriers_completed_;
+      return Completion{0, true, /*failed=*/false, /*barrier=*/true};
+    }
     if (fault_injector_ != nullptr && fault_injector_->NextDiskError()) {
-      return Completion{req.block, req.write, /*failed=*/true};
+      return Completion{req.block, req.kind == Kind::kWrite, /*failed=*/true};
     }
     // The DMA happens "during" the latency window; apply it at completion.
-    uint8_t* media = &data_[static_cast<size_t>(req.block) * kPageBytes];
     auto frame_span = machine_.mem().PageSpan(req.frame);
-    if (req.write) {
-      std::copy(frame_span.begin(), frame_span.end(), media);
+    if (req.kind == Kind::kWrite) {
+      // Acknowledged into the volatile buffer; durable only after a barrier.
+      buffer_[req.block].assign(frame_span.begin(), frame_span.end());
     } else {
-      std::copy(media, media + kPageBytes, frame_span.begin());
+      auto buffered = buffer_.find(req.block);
+      const uint8_t* src =
+          buffered != buffer_.end() ? buffered->second.data() : MediaOf(req.block);
+      std::copy(src, src + kPageBytes, frame_span.begin());
     }
-    return Completion{req.block, req.write, /*failed=*/false};
+    return Completion{req.block, req.kind == Kind::kWrite, /*failed=*/false};
   }
 
   // Cancels an in-flight request: the DMA will never land. The completion
@@ -74,14 +104,15 @@ class Disk {
   // the kernel treats as a retired/spurious completion.
   bool Cancel(uint64_t request_id) { return inflight_.erase(request_id) > 0; }
 
-  // Cancels every in-flight request whose DMA frame satisfies `pred`.
+  // Cancels every in-flight transfer whose DMA frame satisfies `pred`.
   // Used by crash-safe environment teardown: a dying environment's frames
   // return to the free pool, so DMA into them must not land later (the
   // frame may have been reallocated to another environment by then).
+  // Barriers have no DMA frame and are never cancelled here.
   std::vector<uint64_t> CancelIf(const std::function<bool(PageId frame)>& pred) {
     std::vector<uint64_t> cancelled;
     for (auto it = inflight_.begin(); it != inflight_.end();) {
-      if (pred(it->second.frame)) {
+      if (it->second.kind != Kind::kBarrier && pred(it->second.frame)) {
         cancelled.push_back(it->first);
         it = inflight_.erase(it);
       } else {
@@ -91,32 +122,90 @@ class Disk {
     return cancelled;
   }
 
+  // Power loss. In-flight requests never happen; the volatile write buffer
+  // dies — each buffered block survives only if the torn-write channel
+  // fires, and then only as a prefix of new words over the old block. The
+  // device refuses all further requests.
+  void PowerCut() {
+    for (const auto& [block, bytes] : buffer_) {
+      const uint32_t words =
+          fault_injector_ != nullptr ? fault_injector_->NextTornWords(kPageBytes / 4) : 0;
+      if (words > 0) {
+        std::copy(bytes.begin(), bytes.begin() + words * 4, MediaOf(block));
+      }
+    }
+    buffer_.clear();
+    inflight_.clear();
+    powered_off_ = true;
+  }
+
+  // Snapshot of the durable platter contents (the volatile buffer is
+  // deliberately excluded — only barrier-ordered state survives a reboot).
+  std::vector<uint8_t> TakeImage() const { return media_; }
+
+  // Boots this (fresh) disk over a surviving platter image.
+  Status RestoreImage(const std::vector<uint8_t>& image) {
+    if (image.size() != media_.size()) {
+      return Status::kErrInvalidArgs;
+    }
+    media_ = image;
+    buffer_.clear();
+    inflight_.clear();
+    powered_off_ = false;
+    return Status::kOk;
+  }
+
   size_t inflight_requests() const { return inflight_.size(); }
+  size_t buffered_blocks() const { return buffer_.size(); }
+  bool powered_off() const { return powered_off_; }
+  uint64_t barriers_completed() const { return barriers_completed_; }
+  uint64_t blocks_made_durable() const { return blocks_made_durable_; }
 
  private:
+  enum class Kind : uint8_t { kRead, kWrite, kBarrier };
+
   struct Request {
     uint32_t block = 0;
     PageId frame = 0;
-    bool write = false;
+    Kind kind = Kind::kRead;
   };
 
-  Result<uint64_t> Submit(uint32_t block, PageId frame, bool write) {
-    if (block >= block_count_ || !machine_.mem().ValidPage(frame)) {
+  uint8_t* MediaOf(uint32_t block) {
+    return &media_[static_cast<size_t>(block) * kPageBytes];
+  }
+
+  Result<uint64_t> Submit(uint32_t block, PageId frame, Kind kind) {
+    if (powered_off_) {
+      return Status::kErrBadState;
+    }
+    if (kind != Kind::kBarrier &&
+        (block >= block_count_ || !machine_.mem().ValidPage(frame))) {
       return Status::kErrOutOfRange;
     }
     machine_.Charge(Instr(50));  // Controller programming.
     const uint64_t id = next_id_++;
-    inflight_.emplace(id, Request{block, frame, write});
-    machine_.PushEvent(machine_.clock().now() + kDiskAccessCycles, InterruptSource::kDiskDone,
-                       id);
+    inflight_.emplace(id, Request{block, frame, kind});
+    // A barrier is a cache flush — cheaper than a seek, but it scales with
+    // how much is buffered.
+    const uint64_t latency =
+        kind == Kind::kBarrier
+            ? kDiskAccessCycles / 10 + buffer_.size() * (kDiskAccessCycles / 50)
+            : kDiskAccessCycles;
+    machine_.PushEvent(machine_.clock().now() + latency, InterruptSource::kDiskDone, id);
     return id;
   }
 
   Machine& machine_;
   uint32_t block_count_;
-  std::vector<uint8_t> data_;
+  std::vector<uint8_t> media_;  // Durable platter contents.
+  // Volatile write buffer: acknowledged but not yet durable, keyed by block
+  // (std::map so power-cut torn draws are deterministic per seed).
+  std::map<uint32_t, std::vector<uint8_t>> buffer_;
   std::unordered_map<uint64_t, Request> inflight_;
   uint64_t next_id_ = 1;
+  bool powered_off_ = false;
+  uint64_t barriers_completed_ = 0;
+  uint64_t blocks_made_durable_ = 0;
   FaultInjector* fault_injector_ = nullptr;
 };
 

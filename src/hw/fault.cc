@@ -5,6 +5,7 @@ namespace xok::hw {
 namespace {
 // Channel salts keep the per-channel streams independent under one seed.
 constexpr uint64_t kDiskSalt = 0xd15cULL;
+constexpr uint64_t kTornSalt = 0x7093ULL;
 constexpr uint64_t kDropSalt = 0xd809ULL;
 constexpr uint64_t kCorruptSalt = 0xc087ULL;
 }  // namespace
@@ -12,6 +13,7 @@ constexpr uint64_t kCorruptSalt = 0xc087ULL;
 FaultInjector::FaultInjector(const FaultPlan& plan)
     : plan_(plan),
       disk_rng_(plan.seed ^ kDiskSalt),
+      torn_rng_(plan.seed ^ kTornSalt),
       drop_rng_(plan.seed ^ kDropSalt),
       corrupt_rng_(plan.seed ^ kCorruptSalt) {}
 
@@ -24,6 +26,17 @@ bool FaultInjector::NextDiskError() {
   }
   ++disk_errors_injected_;
   return true;
+}
+
+uint32_t FaultInjector::NextTornWords(uint32_t words_per_block) {
+  if (plan_.disk_torn_per_mille == 0 || words_per_block < 2) {
+    return 0;
+  }
+  if (torn_rng_.NextBelow(1000) >= plan_.disk_torn_per_mille) {
+    return 0;
+  }
+  ++blocks_torn_;
+  return 1 + static_cast<uint32_t>(torn_rng_.NextBelow(words_per_block - 1));
 }
 
 bool FaultInjector::NextWireDrop() {

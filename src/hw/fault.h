@@ -32,6 +32,7 @@ namespace xok::hw {
 enum class FaultKind : uint8_t {
   kKillEnv,      // arg0 = environment id: forcibly terminate it.
   kSpuriousIrq,  // arg0 = InterruptSource, arg1 = payload: bogus interrupt.
+  kPowerCut,     // Power loss: the machine halts; volatile disk state dies.
 };
 
 struct FaultEvent {
@@ -45,6 +46,7 @@ struct FaultPlan {
   uint64_t seed = 1;
   // Stochastic channels: probability per opportunity, in per-mille.
   uint32_t disk_error_per_mille = 0;    // Transfer completes with an error.
+  uint32_t disk_torn_per_mille = 0;     // Volatile block torn (prefix) at power cut.
   uint32_t wire_drop_per_mille = 0;     // Frame evaporates on the wire.
   uint32_t wire_corrupt_per_mille = 0;  // Frame is bit-flipped in transit.
   // One-shot scheduled faults (absolute cycles).
@@ -57,6 +59,10 @@ struct FaultPlan {
   FaultPlan& SpuriousIrqAt(uint64_t cycle, InterruptSource source, uint64_t payload) {
     events.push_back(
         FaultEvent{cycle, FaultKind::kSpuriousIrq, static_cast<uint64_t>(source), payload});
+    return *this;
+  }
+  FaultPlan& PowerCutAt(uint64_t cycle) {
+    events.push_back(FaultEvent{cycle, FaultKind::kPowerCut, 0, 0});
     return *this;
   }
 };
@@ -73,18 +79,25 @@ class FaultInjector {
   bool NextWireDrop();
   // Flips one byte of `frame` in place; returns whether it fired.
   bool MaybeCorruptFrame(std::span<uint8_t> frame);
+  // Torn-write draw for one volatile block at power cut: 0 means the block
+  // is lost whole (old contents survive); 1..words_per_block-1 means that
+  // many leading words of the new contents reached the platter mid-DMA.
+  uint32_t NextTornWords(uint32_t words_per_block);
 
   // Injection counters (tests assert the faults really fired).
   uint64_t disk_errors_injected() const { return disk_errors_injected_; }
+  uint64_t blocks_torn() const { return blocks_torn_; }
   uint64_t frames_dropped() const { return frames_dropped_; }
   uint64_t frames_corrupted() const { return frames_corrupted_; }
 
  private:
   FaultPlan plan_;
   SplitMix64 disk_rng_;
+  SplitMix64 torn_rng_;
   SplitMix64 drop_rng_;
   SplitMix64 corrupt_rng_;
   uint64_t disk_errors_injected_ = 0;
+  uint64_t blocks_torn_ = 0;
   uint64_t frames_dropped_ = 0;
   uint64_t frames_corrupted_ = 0;
 };

@@ -41,6 +41,7 @@ enum class InterruptSource : uint8_t {
   kDiskDone,  // Disk request completed.
   kAlarm,     // Programmable one-shot alarm (payload: kernel cookie).
   kFault,     // Injected fault event (payload: fault-plan cookie).
+  kPowerFail,  // Power loss: the world halts at this charge boundary.
 };
 
 // What the kernel tells the machine to do after handling an exception.

@@ -301,6 +301,7 @@ void Ultrix::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
       break;
     case hw::InterruptSource::kDiskDone:
     case hw::InterruptSource::kFault:
+    case hw::InterruptSource::kPowerFail:
       break;
   }
 }

@@ -357,6 +357,296 @@ TEST_F(FsTest, FileSizeLimitEnforced) {
   });
 }
 
+// --- Disk barrier syscall ---
+
+TEST_F(FsTest, SysDiskBarrierRequiresLiveExtentAndWriteRights) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(8);
+    ASSERT_TRUE(extent.ok());
+    cap::Capability forged = extent->cap;
+    forged.mac ^= 3;
+    EXPECT_EQ(kernel_.SysDiskBarrier(extent->extent, forged), Status::kErrAccessDenied);
+    Result<cap::Capability> ro = kernel_.SysDeriveCap(extent->cap, cap::kRead);
+    ASSERT_TRUE(ro.ok());
+    EXPECT_EQ(kernel_.SysDiskBarrier(extent->extent, *ro), Status::kErrAccessDenied);
+    EXPECT_EQ(kernel_.SysDiskBarrier(extent->extent, extent->cap), Status::kOk);
+    ASSERT_EQ(kernel_.SysFreeDiskExtent(extent->extent, extent->cap), Status::kOk);
+    EXPECT_EQ(kernel_.SysDiskBarrier(extent->extent, extent->cap), Status::kErrOutOfRange);
+    (void)p;
+  });
+}
+
+TEST_F(FsTest, SysDiskBarrierDrainsAcknowledgedWrites) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(8);
+    ASSERT_TRUE(extent.ok());
+    Result<aegis::PageGrant> frame = kernel_.SysAllocPage();
+    ASSERT_TRUE(frame.ok());
+    auto bytes = machine_.mem().PageSpan(frame->page);
+    std::fill(bytes.begin(), bytes.end(), uint8_t{0x5a});
+    ASSERT_EQ(kernel_.SysDiskWrite(extent->extent, extent->cap, 2, frame->page), Status::kOk);
+    // Acknowledged, but only buffered: the platter image is still zero.
+    EXPECT_EQ(disk_.buffered_blocks(), 1u);
+    const size_t platter_off = (extent->first_block + 2) * hw::kPageBytes;
+    EXPECT_EQ(disk_.TakeImage()[platter_off], 0u);
+    ASSERT_EQ(kernel_.SysDiskBarrier(extent->extent, extent->cap), Status::kOk);
+    EXPECT_EQ(disk_.buffered_blocks(), 0u);
+    EXPECT_EQ(disk_.TakeImage()[platter_off], 0x5au);
+    (void)p;
+  });
+}
+
+// --- Journaling ---
+
+TEST_F(FsTest, CommittedMetadataSurvivesRemountWithoutSync) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    {
+      auto fs = LibFs::Format(p, *extent, 4);
+      ASSERT_TRUE(fs.ok());
+      ASSERT_TRUE((*fs)->journaled());
+      Result<FileHandle> file = (*fs)->Create("wal.txt");
+      ASSERT_TRUE(file.ok());
+      std::vector<uint8_t> data(5000, 0xab);
+      ASSERT_EQ((*fs)->Write(*file, 0, data), Status::kOk);
+      EXPECT_GT((*fs)->txns_committed(), 0u);
+      // No Sync: the dirty cache is simply dropped, as if the library
+      // crashed. The journal alone must carry the metadata.
+    }
+    auto fs = LibFs::Mount(p, *extent, 4);
+    ASSERT_TRUE(fs.ok());
+    EXPECT_GT((*fs)->txns_replayed(), 0u);
+    Result<FileHandle> file = (*fs)->Open("wal.txt");
+    ASSERT_TRUE(file.ok());
+    EXPECT_EQ(*(*fs)->FileSize(*file), 5000u);
+    EXPECT_EQ((*fs)->Fsck(), Status::kOk) << (*fs)->fsck_error();
+  });
+}
+
+TEST_F(FsTest, FullJournalCheckpointsAutomatically) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(128);
+    ASSERT_TRUE(extent.ok());
+    auto fs = LibFs::Format(p, *extent, 6);
+    ASSERT_TRUE(fs.ok());
+    // Each create is a 2-block transaction in an 8-block journal (4 blocks
+    // per record with descriptor and commit): the journal wraps repeatedly.
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE((*fs)->Create("file" + std::to_string(i)).ok());
+    }
+    EXPECT_GT((*fs)->checkpoints(), 1u);
+    EXPECT_EQ((*fs)->Fsck(), Status::kOk) << (*fs)->fsck_error();
+    // Everything is still there after a remount (mixture of checkpointed
+    // home blocks and journal replay).
+    auto again = LibFs::Mount(p, *extent, 6);
+    ASSERT_TRUE(again.ok());
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_TRUE((*again)->Open("file" + std::to_string(i)).ok()) << i;
+    }
+    EXPECT_EQ((*again)->Fsck(), Status::kOk) << (*again)->fsck_error();
+  });
+}
+
+TEST_F(FsTest, UnjournaledOptionReproducesLegacyLayout) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    LibFs::Options options;
+    options.cache_slots = 4;
+    options.journal_blocks = 0;
+    auto fs = LibFs::Format(p, *extent, options);
+    ASSERT_TRUE(fs.ok());
+    EXPECT_FALSE((*fs)->journaled());
+    EXPECT_EQ((*fs)->data_start(), 3u);
+    Result<FileHandle> file = (*fs)->Create("plain");
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> data = {9, 8, 7};
+    ASSERT_EQ((*fs)->Write(*file, 0, data), Status::kOk);
+    ASSERT_EQ((*fs)->Sync(), Status::kOk);
+    EXPECT_EQ((*fs)->journal_block_writes(), 0u);
+    auto again = LibFs::Mount(p, *extent, 4);
+    ASSERT_TRUE(again.ok());
+    EXPECT_FALSE((*again)->journaled());
+    EXPECT_EQ((*again)->Fsck(), Status::kOk) << (*again)->fsck_error();
+    std::vector<uint8_t> out(3);
+    ASSERT_TRUE((*again)->Read(*(*again)->Open("plain"), 0, out).ok());
+    EXPECT_EQ(out, data);
+  });
+}
+
+TEST_F(FsTest, SyncIssuesABarrierToTheDevice) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    auto fs = LibFs::Format(p, *extent, 4);
+    ASSERT_TRUE(fs.ok());
+    const uint64_t before = disk_.barriers_completed();
+    Result<FileHandle> file = (*fs)->Create("durable");
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> data = {1};
+    ASSERT_EQ((*fs)->Write(*file, 0, data), Status::kOk);
+    ASSERT_EQ((*fs)->Sync(), Status::kOk);
+    EXPECT_GT((*fs)->barriers_issued(), 0u);
+    EXPECT_GT(disk_.barriers_completed(), before);
+    // After the sync checkpoint nothing volatile remains on the device.
+    EXPECT_EQ(disk_.buffered_blocks(), 0u);
+    EXPECT_EQ((*fs)->cache().dirty_remaining(), 0u);
+  });
+}
+
+// --- Fsck ---
+
+TEST_F(FsTest, FsckFlagsCorruptAllocatorAndDanglingEntries) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    {
+      auto fs = LibFs::Format(p, *extent, 4);
+      ASSERT_TRUE(fs.ok());
+      Result<FileHandle> file = (*fs)->Create("victim");
+      ASSERT_TRUE(file.ok());
+      std::vector<uint8_t> data(100, 7);
+      ASSERT_EQ((*fs)->Write(*file, 0, data), Status::kOk);
+      ASSERT_EQ((*fs)->Sync(), Status::kOk);
+      EXPECT_EQ((*fs)->Fsck(), Status::kOk) << (*fs)->fsck_error();
+    }
+    // Corrupt the durable image out-of-band: allocator pointer beyond the
+    // extent. (Host-level tampering, as a crashed controller might leave.)
+    // The journal region is wiped too — otherwise mount-time replay would
+    // simply redo the committed metadata over the corruption.
+    const size_t super_off = static_cast<size_t>(extent->first_block) * hw::kPageBytes;
+    {
+      std::vector<uint8_t> image = disk_.TakeImage();
+      const uint32_t bogus = 0xffff;
+      std::memcpy(&image[super_off + 4], &bogus, 4);
+      std::memset(&image[super_off + 3 * hw::kPageBytes], 0, 8 * hw::kPageBytes);
+      ASSERT_EQ(disk_.RestoreImage(image), Status::kOk);
+      auto fs = LibFs::Mount(p, *extent, 4);
+      ASSERT_TRUE(fs.ok());
+      EXPECT_EQ((*fs)->Fsck(), Status::kErrBadState);
+      EXPECT_NE((*fs)->fsck_error().find("allocator"), std::string::npos)
+          << (*fs)->fsck_error();
+    }
+    // Restore a sane allocator but free the inode under the directory
+    // entry: the entry dangles.
+    {
+      std::vector<uint8_t> image = disk_.TakeImage();
+      const uint32_t sane = 12;  // data_start (3 + 8 journal blocks) + 1 block.
+      std::memcpy(&image[super_off + 4], &sane, 4);
+      const size_t inode_off = super_off + 2 * hw::kPageBytes;
+      const uint32_t zero = 0;
+      std::memcpy(&image[inode_off], &zero, 4);  // inode 0: used = 0.
+      ASSERT_EQ(disk_.RestoreImage(image), Status::kOk);
+      auto fs = LibFs::Mount(p, *extent, 4);
+      ASSERT_TRUE(fs.ok());
+      EXPECT_EQ((*fs)->Fsck(), Status::kErrBadState);
+      EXPECT_NE((*fs)->fsck_error().find("dangling"), std::string::npos)
+          << (*fs)->fsck_error();
+    }
+  });
+}
+
+TEST_F(FsTest, FsckFlagsDoublyClaimedDataBlock) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    {
+      auto fs = LibFs::Format(p, *extent, 4);
+      ASSERT_TRUE(fs.ok());
+      std::vector<uint8_t> data(100, 7);
+      for (const char* name : {"a", "b"}) {
+        Result<FileHandle> file = (*fs)->Create(name);
+        ASSERT_TRUE(file.ok());
+        ASSERT_EQ((*fs)->Write(*file, 0, data), Status::kOk);
+      }
+      ASSERT_EQ((*fs)->Sync(), Status::kOk);
+    }
+    std::vector<uint8_t> image = disk_.TakeImage();
+    const size_t super_off = static_cast<size_t>(extent->first_block) * hw::kPageBytes;
+    const size_t inode_off = super_off + 2 * hw::kPageBytes;
+    // Point inode 1's first direct block at inode 0's, and wipe the
+    // journal so replay cannot redo the intact inode table.
+    uint32_t block0 = 0;
+    std::memcpy(&block0, &image[inode_off + 8], 4);
+    std::memcpy(&image[inode_off + 64 + 8], &block0, 4);
+    std::memset(&image[super_off + 3 * hw::kPageBytes], 0, 8 * hw::kPageBytes);
+    ASSERT_EQ(disk_.RestoreImage(image), Status::kOk);
+    auto fs = LibFs::Mount(p, *extent, 4);
+    ASSERT_TRUE(fs.ok());
+    EXPECT_EQ((*fs)->Fsck(), Status::kErrBadState);
+    EXPECT_NE((*fs)->fsck_error().find("two files"), std::string::npos) << (*fs)->fsck_error();
+  });
+}
+
+// --- Persistent media errors (retry exhaustion) ---
+
+TEST_F(FsTest, PersistentMediaErrorSurfacesAsIoFailure) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(64);
+    ASSERT_TRUE(extent.ok());
+    auto fs = LibFs::Format(p, *extent, 4);
+    ASSERT_TRUE(fs.ok());
+    Result<FileHandle> file = (*fs)->Create("sick");
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> data(256, 3);
+    ASSERT_EQ((*fs)->Write(*file, 0, data), Status::kOk);
+    ASSERT_EQ((*fs)->Sync(), Status::kOk);
+
+    // From here every transfer fails: retries must exhaust and surface
+    // kErrIo instead of looping forever.
+    hw::FaultPlan plan;
+    plan.seed = 5;
+    plan.disk_error_per_mille = 1000;
+    kernel_.InstallFaultPlan(plan);
+    std::vector<uint8_t> more(hw::kPageBytes, 4);
+    EXPECT_EQ((*fs)->Write(*file, 256, more), Status::kErrIo);  // Extension txn.
+    EXPECT_GE(kernel_.fault_injector()->disk_errors_injected(), 8u);  // kMaxIoAttempts.
+
+    // An overwrite of a cached block succeeds in memory, but Sync cannot
+    // write it back; the dirty block stays accounted for.
+    std::vector<uint8_t> touch = {9};
+    ASSERT_EQ((*fs)->Write(*file, 0, touch), Status::kOk);
+    EXPECT_EQ((*fs)->Sync(), Status::kErrIo);
+    EXPECT_GT((*fs)->cache().dirty_remaining(), 0u);
+
+    // The medium recovers: everything drains.
+    hw::FaultPlan healthy;
+    kernel_.InstallFaultPlan(healthy);
+    EXPECT_EQ((*fs)->Sync(), Status::kOk);
+    EXPECT_EQ((*fs)->cache().dirty_remaining(), 0u);
+    EXPECT_EQ((*fs)->Fsck(), Status::kOk) << (*fs)->fsck_error();
+  });
+}
+
+TEST_F(FsTest, FlushAttemptsEverySlotPastTheFirstFailure) {
+  RunInProcess([&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = kernel_.SysAllocDiskExtent(16);
+    ASSERT_TRUE(extent.ok());
+    auto cache = BlockCache::Create(p, *extent, 4);
+    ASSERT_TRUE(cache.ok());
+    ASSERT_TRUE((*cache)->GetBlock(1, true).ok());
+    ASSERT_TRUE((*cache)->GetBlock(2, true).ok());
+    ASSERT_TRUE((*cache)->GetBlock(3, true).ok());
+    EXPECT_EQ((*cache)->dirty_remaining(), 3u);
+
+    hw::FaultPlan plan;
+    plan.seed = 6;
+    plan.disk_error_per_mille = 1000;
+    kernel_.InstallFaultPlan(plan);
+    EXPECT_EQ((*cache)->Flush(), Status::kErrIo);
+    // Every slot was attempted (8 exhausted retries each), not just the
+    // first: 24 injected errors, three blocks still dirty.
+    EXPECT_EQ(kernel_.fault_injector()->disk_errors_injected(), 24u);
+    EXPECT_EQ((*cache)->dirty_remaining(), 3u);
+
+    hw::FaultPlan healthy;
+    kernel_.InstallFaultPlan(healthy);
+    EXPECT_EQ((*cache)->Flush(), Status::kOk);
+    EXPECT_EQ((*cache)->dirty_remaining(), 0u);
+  });
+}
+
 // Property: LibFs against an in-memory reference over random file ops.
 TEST_F(FsTest, PropertyMatchesReferenceModel) {
   RunInProcess([&](Process& p) {

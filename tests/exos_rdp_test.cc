@@ -18,6 +18,7 @@ struct TransferResult {
   std::vector<std::vector<uint8_t>> received;
   uint64_t retransmissions = 0;
   uint64_t duplicates = 0;
+  uint64_t backoffs = 0;
   uint64_t frames_lost = 0;
   bool sender_ok = true;
 };
@@ -57,6 +58,7 @@ TransferResult Transfer(uint32_t loss_per_mille, int messages, uint64_t seed = 0
       }
     }
     result.retransmissions = rdp.retransmissions();
+    result.backoffs = rdp.backoffs();
   });
   Process receiver(kb, [&](Process& p) {
     UdpSocket socket(p, NetIface{0xb, 2, Resolve});
@@ -131,6 +133,126 @@ TEST(RdpTest, LostAcksProduceDuplicatesThatAreSuppressed) {
     duplicates_total += result.duplicates;
   }
   EXPECT_GT(duplicates_total, 0u);
+}
+
+// Like Transfer, but the loss comes from the seeded kernel FaultPlan
+// (wire_drop_per_mille) instead of the wire's own loss knob.
+TransferResult TransferWithFaultPlan(uint32_t drop_per_mille, int messages, uint64_t seed) {
+  hw::World world;
+  hw::Machine ma(hw::Machine::Config{.phys_pages = 256, .name = "snd"}, &world);
+  hw::Machine mb(hw::Machine::Config{.phys_pages = 256, .name = "rcv"}, &world);
+  aegis::Aegis ka(ma);
+  aegis::Aegis kb(mb);
+  hw::Wire wire;
+  hw::FaultPlan plan;
+  plan.seed = seed;
+  plan.wire_drop_per_mille = drop_per_mille;
+  ka.InstallFaultPlan(plan);
+  wire.set_fault_injector(ka.fault_injector());
+  hw::Nic na(ma, 0xa);
+  hw::Nic nb(mb, 0xb);
+  wire.Attach(&na);
+  wire.Attach(&nb);
+  ka.AttachNic(&na);
+  kb.AttachNic(&nb);
+
+  TransferResult result;
+  Process sender(ka, [&](Process& p) {
+    UdpSocket socket(p, NetIface{0xa, 1, Resolve});
+    if (socket.Bind(100) != Status::kOk) {
+      result.sender_ok = false;
+      return;
+    }
+    RdpEndpoint rdp(p, socket, RdpEndpoint::Config{.peer_ip = 2, .peer_port = 200});
+    p.kernel().SysSleep(hw::kClockHz / 100);
+    for (int i = 0; i < messages; ++i) {
+      std::vector<uint8_t> payload(1 + (i % 32));
+      for (size_t j = 0; j < payload.size(); ++j) {
+        payload[j] = static_cast<uint8_t>(i + j);
+      }
+      if (rdp.Send(payload) != Status::kOk) {
+        result.sender_ok = false;
+        return;
+      }
+    }
+    result.retransmissions = rdp.retransmissions();
+    result.backoffs = rdp.backoffs();
+  });
+  Process receiver(kb, [&](Process& p) {
+    UdpSocket socket(p, NetIface{0xb, 2, Resolve});
+    if (socket.Bind(200) != Status::kOk) {
+      return;
+    }
+    RdpEndpoint rdp(p, socket, RdpEndpoint::Config{.peer_ip = 1, .peer_port = 100});
+    for (int i = 0; i < messages; ++i) {
+      Result<std::vector<uint8_t>> msg = rdp.Recv();
+      if (!msg.ok()) {
+        return;
+      }
+      result.received.push_back(*msg);
+    }
+    for (int round = 0; round < 16; ++round) {
+      p.kernel().SysSleep(hw::kClockHz / 500);
+      rdp.PumpAcks();
+    }
+    result.duplicates = rdp.duplicates_dropped();
+  });
+  EXPECT_TRUE(sender.ok());
+  EXPECT_TRUE(receiver.ok());
+  world.Run({[&] { ka.Run(); }, [&] { kb.Run(); }});
+  result.frames_lost = wire.frames_lost();
+  return result;
+}
+
+// Backoff: the exponential RTO still converges on exactly-once delivery
+// under seeded fault-plan frame loss, and the backoff counter records the
+// timeouts that stretched the RTO.
+TEST(RdpTest, BackoffConvergesUnderInjectedWireDrop) {
+  uint64_t backoffs_total = 0;
+  for (uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    const TransferResult result = TransferWithFaultPlan(/*drop_per_mille=*/300,
+                                                        /*messages=*/15, seed);
+    EXPECT_TRUE(result.sender_ok);
+    CheckPayloads(result, 15);
+    EXPECT_GT(result.frames_lost, 0u);
+    backoffs_total += result.backoffs;
+  }
+  EXPECT_GT(backoffs_total, 0u);
+}
+
+// With a silent peer every attempt times out, so the waits double up to
+// the cap: total wall-clock must far exceed a fixed-RTO schedule's.
+TEST(RdpTest, BackoffDoublesRtoUpToCap) {
+  hw::World world;
+  hw::Machine ma(hw::Machine::Config{.phys_pages = 256, .name = "snd"}, &world);
+  aegis::Aegis ka(ma);
+  hw::Wire wire;
+  hw::Nic na(ma, 0xa);
+  wire.Attach(&na);  // Peer NIC 0xb never attached: frames vanish.
+  ka.AttachNic(&na);
+
+  uint64_t elapsed = 0;
+  uint64_t backoffs = 0;
+  Status send_status = Status::kOk;
+  Process sender(ka, [&](Process& p) {
+    UdpSocket socket(p, NetIface{0xa, 1, Resolve});
+    ASSERT_EQ(socket.Bind(100), Status::kOk);
+    RdpEndpoint::Config config{.peer_ip = 2, .peer_port = 200};
+    config.max_retries = 6;
+    RdpEndpoint rdp(p, socket, config);
+    const uint64_t start = p.machine().clock().now();
+    std::vector<uint8_t> payload = {42};
+    send_status = rdp.Send(payload);
+    elapsed = p.machine().clock().now() - start;
+    backoffs = rdp.backoffs();
+  });
+  ASSERT_TRUE(sender.ok());
+  world.Run({[&] { ka.Run(); }});
+  EXPECT_EQ(send_status, Status::kErrTimedOut);
+  EXPECT_EQ(backoffs, 6u);
+  // Doubling from 2 ms capped at 20 ms: 2+4+8+16+20+20+20 = 90 ms of
+  // waiting. A fixed 2 ms RTO would give up after ~14 ms.
+  EXPECT_GT(elapsed, (hw::kClockHz / 1000) * 50);
 }
 
 // Sweep: exactly-once delivery holds across the loss spectrum.
