@@ -19,6 +19,7 @@
 
 #include "src/core/aegis.h"
 #include "src/exos/process.h"
+#include "src/exos/tracelib.h"
 #include "src/hw/machine.h"
 #include "src/ultrix/ultrix.h"
 
@@ -26,19 +27,133 @@ namespace xok::bench {
 
 inline double Us(uint64_t cycles) { return hw::CyclesToMicros(cycles); }
 
+// --- Optional kernel tracing: --xok_trace=PATH ---
+//
+// When the flag is present, every RunOnAegis/RunOnExos boot arms an xtrace
+// ring before the workload runs; after all benchmarks finish, the merged
+// event summary is written to PATH as JSON (the observability sidecar next
+// to each BENCH_*.json). Armed tracing costs kTraceArmedSyscall per traced
+// syscall, so expect slightly higher sim numbers in this mode — that cost
+// is itself measured by bench_abl_trace.
+struct TraceCapture {
+  bool enabled = false;
+  std::string path;
+  exos::TraceSummary summary;
+  uint64_t sessions = 0;
+};
+
+inline TraceCapture& GlobalTraceCapture() {
+  static TraceCapture capture;
+  return capture;
+}
+
+// Strips --xok_trace=PATH from argv (google-benchmark rejects unknown
+// flags) and records it. Call before benchmark::Initialize.
+inline void ParseTraceFlag(int* argc, char** argv) {
+  const std::string prefix = "--xok_trace=";
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      GlobalTraceCapture().enabled = true;
+      GlobalTraceCapture().path = arg.substr(prefix.size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+}
+
+// Arms the trace ring from inside the boot environment. A fresh machine
+// hands out frames from the bottom, so kAnyPage allocations come back
+// contiguous — but verify, and give up quietly if the run is fragmented.
+inline void ArmTraceRing(aegis::Aegis& kernel, std::vector<aegis::PageGrant>& pages) {
+  if (!GlobalTraceCapture().enabled) {
+    return;
+  }
+  constexpr uint32_t kTracePages = 8;
+  for (uint32_t i = 0; i < kTracePages; ++i) {
+    Result<aegis::PageGrant> grant = kernel.SysAllocPage(aegis::kAnyPage);
+    if (!grant.ok() || (!pages.empty() && grant->page != pages.back().page + 1)) {
+      for (const aegis::PageGrant& g : pages) {
+        (void)kernel.SysDeallocPage(g.page, g.cap);
+      }
+      pages.clear();
+      return;
+    }
+    pages.push_back(*grant);
+  }
+  aegis::TraceRingSpec spec;
+  spec.first_page = pages.front().page;
+  spec.pages = kTracePages;
+  spec.mask = xtrace::kMaskAll;
+  if (kernel.SysBindTraceRing(spec, pages.front().cap) != Status::kOk) {
+    for (const aegis::PageGrant& g : pages) {
+      (void)kernel.SysDeallocPage(g.page, g.cap);
+    }
+    pages.clear();
+  }
+}
+
+// Post-run harvest: decode the ring straight out of simulated RAM (the
+// boot env exited cleanly, so the binding and pages persist) and fold the
+// records into the global summary.
+inline void HarvestTraceRing(hw::Machine& machine, const std::vector<aegis::PageGrant>& pages) {
+  if (pages.empty()) {
+    return;
+  }
+  std::span<uint8_t> region =
+      machine.mem().RangeSpan(pages.front().page, static_cast<uint32_t>(pages.size()));
+  Result<std::vector<xtrace::Record>> records = exos::DecodeRegion(region);
+  if (records.ok()) {
+    for (const xtrace::Record& record : *records) {
+      GlobalTraceCapture().summary.Add(record);
+    }
+  }
+  Result<xtrace::TraceRingView> view = xtrace::TraceRingView::AttachExisting(region);
+  if (view.ok()) {
+    GlobalTraceCapture().summary.dropped += view->dropped();
+  }
+  ++GlobalTraceCapture().sessions;
+}
+
+inline void WriteTraceJson() {
+  TraceCapture& capture = GlobalTraceCapture();
+  if (!capture.enabled) {
+    return;
+  }
+  std::FILE* f = std::fopen(capture.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", capture.path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\"sessions\": %llu, \"summary\": %s}\n",
+               static_cast<unsigned long long>(capture.sessions),
+               exos::SummaryToJson(capture.summary).c_str());
+  std::fclose(f);
+  std::printf("wrote trace summary: %s (%llu records, %llu sessions)\n", capture.path.c_str(),
+              static_cast<unsigned long long>(capture.summary.records),
+              static_cast<unsigned long long>(capture.sessions));
+}
+
 // Runs `body` inside a single Aegis environment on a fresh machine.
 // The body performs its own interval measurements via the machine clock.
 inline void RunOnAegis(const std::function<void(aegis::Aegis&, hw::Machine&)>& body,
                        uint32_t phys_pages = 2048) {
   hw::Machine machine(hw::Machine::Config{.phys_pages = phys_pages, .name = "bench"});
   aegis::Aegis kernel(machine);
+  std::vector<aegis::PageGrant> trace_pages;
   aegis::EnvSpec spec;
-  spec.entry = [&] { body(kernel, machine); };
+  spec.entry = [&] {
+    ArmTraceRing(kernel, trace_pages);
+    body(kernel, machine);
+  };
   if (!kernel.CreateEnv(std::move(spec)).ok()) {
     std::fprintf(stderr, "bench: CreateEnv failed\n");
     std::abort();
   }
   kernel.Run();
+  HarvestTraceRing(machine, trace_pages);
 }
 
 // Runs `body` inside a single ExOS process (full library OS handlers).
@@ -46,12 +161,17 @@ inline void RunOnExos(const std::function<void(exos::Process&)>& body,
                       uint32_t phys_pages = 2048) {
   hw::Machine machine(hw::Machine::Config{.phys_pages = phys_pages, .name = "bench"});
   aegis::Aegis kernel(machine);
-  exos::Process proc(kernel, [&](exos::Process& p) { body(p); });
+  std::vector<aegis::PageGrant> trace_pages;
+  exos::Process proc(kernel, [&](exos::Process& p) {
+    ArmTraceRing(kernel, trace_pages);
+    body(p);
+  });
   if (!proc.ok()) {
     std::fprintf(stderr, "bench: Process creation failed\n");
     std::abort();
   }
   kernel.Run();
+  HarvestTraceRing(machine, trace_pages);
 }
 
 // Runs `body` inside a single Ultrix process on a fresh machine.
@@ -110,13 +230,16 @@ inline std::string FmtX(double ratio) {
 }
 
 // Standard main: print the paper table, then run google-benchmark.
+// Understands --xok_trace=PATH (stripped before benchmark::Initialize).
 #define XOK_BENCH_MAIN(PrintPaperTables)                  \
   int main(int argc, char** argv) {                       \
+    ::xok::bench::ParseTraceFlag(&argc, argv);            \
     PrintPaperTables();                                   \
     ::benchmark::Initialize(&argc, argv);                 \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                \
     ::benchmark::Shutdown();                              \
+    ::xok::bench::WriteTraceJson();                       \
     return 0;                                             \
   }
 

@@ -1,13 +1,18 @@
 #!/bin/sh
 # Runs one suite of benches and merges their google-benchmark JSON outputs
 # into a single report:
-#   net — DPF demux, ASH/UDP roundtrip, packet rings  -> BENCH_net.json
-#   fs  — file-cache policy and journaling ablations  -> BENCH_fs.json
+#   net   — DPF demux, ASH/UDP roundtrip, packet rings  -> BENCH_net.json
+#   fs    — file-cache policy and journaling ablations  -> BENCH_fs.json
+#   trace — xtrace observability cost ablation          -> BENCH_trace.json
+#
+# The trace suite additionally arms the kernel event ring in every bench
+# boot (--xok_trace) and writes one TRACE_<bench>.json event summary next
+# to the merged report.
 #
 # Usage: run_benches.sh [suite] [output.json]
 #   BENCH_BIN_DIR: directory holding the bench binaries (default: cwd).
-# Invoked by the optional `bench_net` / `bench_fs` CMake targets; also
-# runnable by hand from the build tree's bench/ directory.
+# Invoked by the optional `bench_net` / `bench_fs` / `bench_trace` CMake
+# targets; also runnable by hand from the build tree's bench/ directory.
 set -eu
 
 suite="${1:-net}"
@@ -15,18 +20,26 @@ case "$suite" in
   net)
     benches="bench_t07_dpf bench_t11_ash_net bench_abl_pktring"
     default_out="BENCH_net.json"
+    with_trace=0
     ;;
   fs)
     benches="bench_abl_file_cache bench_abl_journal"
     default_out="BENCH_fs.json"
+    with_trace=0
+    ;;
+  trace)
+    benches="bench_abl_trace"
+    default_out="BENCH_trace.json"
+    with_trace=1
     ;;
   *)
-    echo "run_benches: unknown suite '$suite' (expected: net, fs)" >&2
+    echo "run_benches: unknown suite '$suite' (expected: net, fs, trace)" >&2
     exit 2
     ;;
 esac
 
 out="${2:-$default_out}"
+out_dir="$(dirname "$out")"
 bin_dir="${BENCH_BIN_DIR:-.}"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
@@ -40,7 +53,12 @@ for bench in $benches; do
   # The paper-style table goes to the console; the machine-readable run
   # goes to JSON. min_time keeps the wall-clock portion short — the
   # simulated-cycle numbers inside are deterministic anyway.
+  trace_flag=""
+  if [ "$with_trace" = "1" ]; then
+    trace_flag="--xok_trace=$out_dir/TRACE_$bench.json"
+  fi
   "$bin_dir/$bench" \
+    $trace_flag \
     --benchmark_out="$tmp_dir/$bench.json" \
     --benchmark_out_format=json \
     --benchmark_min_time=0.05

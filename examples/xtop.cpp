@@ -1,0 +1,134 @@
+// xtop: a live per-environment resource monitor, built entirely in
+// application space from what the exokernel exposes — SysEnvStats (raw
+// per-env counters), SysSyscallHist (log2 latency histograms), and a bound
+// trace ring (src/exos/tracelib). The kernel contributes no "top"
+// abstraction whatsoever: sampling period, which columns to show, and how
+// to aggregate are all library policy here.
+//
+//   cmake -B build && cmake --build build
+//   ./build/examples/xtop
+#include <cstdio>
+
+#include "src/core/aegis.h"
+#include "src/exos/process.h"
+#include "src/exos/tracelib.h"
+#include "src/exos/udp.h"
+#include "src/hw/nic.h"
+
+using namespace xok;
+
+namespace {
+
+// One sampled row per environment, straight from SysEnvStats.
+void PrintSample(exos::Process& p, uint64_t sample_no) {
+  std::printf("--- xtop sample %llu (cycle %llu) ---\n",
+              static_cast<unsigned long long>(sample_no),
+              static_cast<unsigned long long>(p.kernel().SysGetCycles()));
+  std::printf("%4s %6s %10s %9s %9s %8s %8s %8s\n", "env", "alive", "cycles",
+              "syscalls", "tlb-miss", "pages", "pkt-rxtx", "blk-rw");
+  for (aegis::EnvId id = 1;; ++id) {
+    Result<aegis::EnvStats> stats = p.kernel().SysEnvStats(id);
+    if (!stats.ok()) {
+      break;
+    }
+    std::printf("%4u %6s %10llu %9llu %9llu %8u %8llu %8llu\n", stats->env,
+                stats->alive ? "yes" : (stats->killed ? "kill" : "exit"),
+                static_cast<unsigned long long>(stats->counters.cycles_on_cpu),
+                static_cast<unsigned long long>(stats->counters.syscalls_total()),
+                static_cast<unsigned long long>(stats->counters.tlb_misses),
+                stats->pages_held,
+                static_cast<unsigned long long>(stats->counters.packets_rx +
+                                                stats->counters.packets_tx),
+                static_cast<unsigned long long>(stats->counters.disk_blocks_read +
+                                                stats->counters.disk_blocks_written));
+  }
+}
+
+}  // namespace
+
+int main() {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 256, .name = "xtop"});
+  aegis::Aegis kernel(machine);
+  hw::Wire wire;  // Nobody on the far end; TX still counts.
+  hw::Nic nic(machine, 0x02aabbccddee);
+  wire.Attach(&nic);
+  kernel.AttachNic(&nic);
+
+  // --- Workload: two processes generating observable activity ---
+
+  // A memory-churner: allocates pages and touches demand-zero heap (TLB
+  // misses, alloc syscalls).
+  exos::Process churner(kernel, [](exos::Process& p) {
+    for (int round = 0; round < 40; ++round) {
+      (void)p.machine().StoreWord(0x200000 + round * hw::kPageBytes, round);
+      p.kernel().SysYield();
+    }
+  });
+
+  // A talker: sends UDP frames into the ether (packet TX counters).
+  exos::Process talker(kernel, [](exos::Process& p) {
+    exos::NetIface iface{/*mac=*/0x02aabbccddee, /*ip=*/1,
+                         /*resolve=*/[](uint32_t) -> uint64_t { return 0x02ffeeddccbb; }};
+    exos::UdpSocket socket(p, iface);
+    if (socket.Bind(7000) != Status::kOk) {
+      return;
+    }
+    const uint8_t payload[] = {'x', 't', 'o', 'p'};
+    for (int i = 0; i < 25; ++i) {
+      (void)socket.SendTo(/*dst_ip=*/2, /*dst_port=*/7001, payload);
+      p.kernel().SysYield();
+    }
+    (void)socket.Close();
+  });
+
+  // --- The monitor itself: samples stats between sleeps, tails the ring ---
+  exos::Process monitor(kernel, [](exos::Process& p) {
+    exos::TraceSession trace(p);
+    if (trace.Bind({.pages = 4, .mask = xtrace::kMaskAll}) != Status::kOk) {
+      std::fprintf(stderr, "xtop: trace ring bind failed\n");
+      return;
+    }
+    std::vector<xtrace::Record> records;
+    for (uint64_t sample = 1; sample <= 3; ++sample) {
+      p.kernel().SysSleep(50'000);  // 2 ms between samples at 25 MHz.
+      PrintSample(p, sample);
+      trace.Drain(records);
+    }
+    exos::TraceSummary summary = exos::Summarize(records);
+    summary.dropped = trace.dropped();
+    std::printf("\ntrace: %llu records (%llu dropped by ring, %llu lost to lap)\n",
+                static_cast<unsigned long long>(summary.records),
+                static_cast<unsigned long long>(summary.dropped),
+                static_cast<unsigned long long>(trace.lapped()));
+    for (uint32_t i = 0; i < xtrace::kEventCount; ++i) {
+      if (summary.by_type[i] > 0) {
+        std::printf("  %-14s %8llu\n", xtrace::EventName(static_cast<xtrace::Event>(i)),
+                    static_cast<unsigned long long>(summary.by_type[i]));
+      }
+    }
+    // Latency histogram for SysYield — the kernel keeps the log2 buckets,
+    // the library decides how to render them.
+    Result<xtrace::LatencyHist> hist =
+        p.kernel().SysSyscallHist(static_cast<uint32_t>(xtrace::Sys::kYield));
+    if (hist.ok() && hist->count > 0) {
+      std::printf("\nsys_yield latency: %llu calls, mean %.1f cycles, max %llu\n",
+                  static_cast<unsigned long long>(hist->count),
+                  static_cast<double>(hist->total_cycles) / hist->count,
+                  static_cast<unsigned long long>(hist->max_cycles));
+      for (uint32_t b = 0; b < xtrace::kHistBuckets; ++b) {
+        if (hist->bucket[b] > 0) {
+          std::printf("  [2^%-2u, 2^%-2u) %8llu\n", b, b + 1,
+                      static_cast<unsigned long long>(hist->bucket[b]));
+        }
+      }
+    }
+    (void)trace.Close();
+  });
+
+  if (!churner.ok() || !talker.ok() || !monitor.ok()) {
+    std::fprintf(stderr, "xtop: failed to create processes\n");
+    return 1;
+  }
+  kernel.Run();
+  return 0;
+}

@@ -23,6 +23,60 @@ Aegis::Aegis(hw::Machine& machine) : Aegis(machine, Config{}) {}
 
 Aegis::~Aegis() = default;
 
+// --- xtrace hooks ---
+
+Aegis::SyscallScope::SyscallScope(Aegis& kernel, xtrace::Sys number)
+    : kernel_(kernel), number_(number), entry_cycle_(kernel.machine_.clock().now()) {
+  Env* env = kernel_.FindEnv(kernel_.current_);
+  if (env != nullptr) {
+    ++env->counters.syscalls[static_cast<uint32_t>(number)];
+  }
+  kernel_.Trace(xtrace::Event::kSyscallEnter, static_cast<uint32_t>(number));
+}
+
+Aegis::SyscallScope::~SyscallScope() {
+  const uint64_t latency = kernel_.machine_.clock().now() - entry_cycle_;
+  kernel_.syscall_hist_[static_cast<uint32_t>(number_)].Add(latency);
+  if (kernel_.trace_ != nullptr &&
+      (kernel_.trace_->mask & xtrace::kMaskSyscalls) != 0) {
+    kernel_.Trace(xtrace::Event::kSyscallExit, static_cast<uint32_t>(number_),
+                  static_cast<uint32_t>(latency), static_cast<uint32_t>(latency >> 32));
+    // The only simulated cost of an armed ring on the syscall path: the
+    // record stores sink into the write buffer, the head publish does not.
+    kernel_.machine_.Charge(kTraceArmedSyscall);
+  }
+}
+
+void Aegis::TraceAppend(xtrace::Event type, uint32_t a0, uint32_t a1, uint32_t a2,
+                        uint32_t a3) {
+  TraceState& trace = *trace_;
+  std::span<uint8_t> region = machine_.mem().RangeSpan(trace.first_page, trace.pages);
+  // Cannot fail: geometry was validated at bind time and is re-derived
+  // from the trusted binding record, never from the shared header.
+  xtrace::TraceRingView view = *xtrace::TraceRingView::Attach(region, trace.slots);
+  // Drop-oldest: the kernel never stalls on a slow reader. The tail is
+  // application memory and untrusted — a scribbled value at worst
+  // misreports the owner's own drop counter.
+  if (trace.head - view.tail() >= trace.slots) {
+    ++trace.dropped;
+    view.set_dropped(trace.dropped);
+  }
+  xtrace::Record record;
+  record.cycle = machine_.clock().now();
+  record.seq = trace.head;
+  record.type = static_cast<uint16_t>(type);
+  record.env = static_cast<uint16_t>(current_);
+  record.arg0 = a0;
+  record.arg1 = a1;
+  record.arg2 = a2;
+  record.arg3 = a3;
+  view.Write(trace.head, record);
+  ++trace.head;
+  view.set_head(trace.head);
+}
+
+void Aegis::SeverTraceRing() { trace_.reset(); }
+
 Env& Aegis::CurrentEnv() {
   Env* env = FindEnv(current_);
   if (env == nullptr) {
@@ -84,11 +138,17 @@ Result<EnvGrant> Aegis::CreateEnv(EnvSpec spec) {
   const EnvGrant grant{id, env->self_cap};
   envs_.push_back(std::move(env));
   ++live_envs_;
+  Trace(xtrace::Event::kEnvBirth, id);
   return grant;
 }
 
 void Aegis::SysExit() {
   Env& env = CurrentEnv();
+  // Manual syscall accounting: SysExit never returns, so the RAII scope
+  // other syscalls use would never run its exit half.
+  ++env.counters.syscalls[static_cast<uint32_t>(xtrace::Sys::kExit)];
+  Trace(xtrace::Event::kSyscallEnter, static_cast<uint32_t>(xtrace::Sys::kExit));
+  Trace(xtrace::Event::kEnvDeath, env.id, /*killed=*/0);
   env.state = EnvState::kExited;
   --live_envs_;
   // Clean exit releases the CPU and the addressing context but NOT pages
@@ -118,6 +178,11 @@ void Aegis::SysExit() {
 // DMA into its frames first, then the frames themselves, then the cached
 // bindings naming them.
 void Aegis::TearDownEnv(Env& env) {
+  // Emit the death record *before* reclamation: if the observer is a peer
+  // its ring is untouched; if the victim owns the ring itself, the record
+  // still lands in RAM (readable post-mortem) before the binding is
+  // severed below.
+  Trace(xtrace::Event::kEnvDeath, env.id, /*killed=*/1);
   env.state = EnvState::kExited;
   env.killed = true;
   --live_envs_;
@@ -191,6 +256,13 @@ void Aegis::TearDownEnv(Env& env) {
     }
   }
   env.pages_owned = 0;
+
+  // Trace ring: FlushPageBindings severed it if it spanned a reclaimed
+  // frame; a ring bound by the victim but somehow spanning no reclaimed
+  // frame must die here too — nobody is left to read it.
+  if (trace_ != nullptr && trace_->owner == env.id) {
+    SeverTraceRing();
+  }
 
   // Addressing context: no stale translation may outlive the environment.
   priv_.TlbFlushAsid(env.asid);
@@ -378,10 +450,13 @@ void Aegis::Run() {
     }
     ++env.slices_run;
     current_ = next;
+    Trace(xtrace::Event::kSliceSwitch, donated ? 1u : 0u);
+    const uint64_t resumed_at = machine_.clock().now();
     DrainMailbox(env);
     if (env.state == EnvState::kRunnable && !powered_off_) {
       ResumeEnv(env);
     }
+    env.counters.cycles_on_cpu += machine_.clock().now() - resumed_at;
     current_ = kNoEnv;
   }
   priv_.SetSliceDeadline(0);
@@ -390,24 +465,32 @@ void Aegis::Run() {
 
 // --- Basic syscalls ---
 
-void Aegis::SysNull() { machine_.Charge(kSyscallEntry + kSyscallExit); }
+void Aegis::SysNull() {
+  SyscallScope scope(*this, xtrace::Sys::kNull);
+  machine_.Charge(kSyscallEntry + kSyscallExit);
+}
 
 uint64_t Aegis::SysGetCycles() {
+  SyscallScope scope(*this, xtrace::Sys::kGetCycles);
   machine_.Charge(Instr(3));  // Guaranteed-register pseudo-instruction.
   return machine_.clock().now();
 }
 
 EnvId Aegis::SysSelf() {
+  SyscallScope scope(*this, xtrace::Sys::kSelf);
   machine_.Charge(Instr(2));
   return current_;
 }
 
 uint32_t Aegis::SysCpuSlices() {
+  SyscallScope scope(*this, xtrace::Sys::kCpuSlices);
   machine_.Charge(Instr(2));
   return static_cast<uint32_t>(slice_vector_.size());
 }
 
 void Aegis::SysYield(EnvId target) {
+  SyscallScope scope(*this, xtrace::Sys::kYield);
+  Trace(xtrace::Event::kYield, target);
   machine_.Charge(kSyscallEntry + kYieldPath);
   if (target != kAnyEnv && target != kNoEnv) {
     // Directed yield donates the rest of the current slice to `target`.
@@ -420,6 +503,7 @@ void Aegis::SysYield(EnvId target) {
 }
 
 void Aegis::SysBlock() {
+  SyscallScope scope(*this, xtrace::Sys::kBlock);
   machine_.Charge(kSyscallEntry + Instr(6));
   Env& env = CurrentEnv();
   if (env.wake_pending) {
@@ -434,12 +518,14 @@ void Aegis::SysBlock() {
 }
 
 void Aegis::SysSleep(uint64_t cycles) {
+  SyscallScope scope(*this, xtrace::Sys::kSleep);
   machine_.Charge(kSyscallEntry + Instr(6));
   priv_.ScheduleEvent(cycles, hw::InterruptSource::kAlarm, current_);
   SysBlock();
 }
 
 Status Aegis::SysWake(EnvId id, const Capability& env_cap) {
+  SyscallScope scope(*this, xtrace::Sys::kWake);
   machine_.Charge(kSyscallEntry + kCapCheck + kSyscallExit);
   Env* env = FindEnv(id);
   if (env == nullptr || env->state == EnvState::kExited) {
@@ -474,6 +560,7 @@ uint64_t Aegis::slices_of(EnvId id) const {
 }
 
 Result<PageGrant> Aegis::SysAllocPage(hw::PageId requested) {
+  SyscallScope scope(*this, xtrace::Sys::kAllocPage);
   machine_.Charge(kSyscallEntry + Instr(20) + kSyscallExit);
   Env& env = CurrentEnv();
   hw::PageId page = requested;
@@ -501,6 +588,7 @@ Result<PageGrant> Aegis::SysAllocPage(hw::PageId requested) {
 }
 
 Status Aegis::SysDeallocPage(hw::PageId page, const Capability& cap) {
+  SyscallScope scope(*this, xtrace::Sys::kDeallocPage);
   machine_.Charge(kSyscallEntry + kCapCheck + Instr(10) + kSyscallExit);
   if (page >= pages_.size() || pages_[page].owner == kNoEnv) {
     return Status::kErrNotFound;
@@ -519,6 +607,7 @@ Status Aegis::SysDeallocPage(hw::PageId page, const Capability& cap) {
 }
 
 Status Aegis::SysTlbWrite(hw::Vaddr va, hw::PageId page, bool writable, const Capability& cap) {
+  SyscallScope scope(*this, xtrace::Sys::kTlbWrite);
   machine_.Charge(kSyscallEntry + kCapCheck);
   if (page >= pages_.size()) {
     machine_.Charge(kSyscallExit);
@@ -544,6 +633,7 @@ Status Aegis::SysTlbWrite(hw::Vaddr va, hw::PageId page, bool writable, const Ca
 }
 
 Status Aegis::SysTlbInvalidate(hw::Vaddr va) {
+  SyscallScope scope(*this, xtrace::Sys::kTlbInvalidate);
   machine_.Charge(kSyscallEntry + Instr(4) + kSyscallExit);
   const hw::Asid asid = CurrentEnv().asid;
   priv_.TlbInvalidate(hw::VpnOf(va), asid);
@@ -552,6 +642,7 @@ Status Aegis::SysTlbInvalidate(hw::Vaddr va) {
 }
 
 Status Aegis::SysTlbInvalidateRange(hw::Vaddr va, uint32_t pages) {
+  SyscallScope scope(*this, xtrace::Sys::kTlbInvalidateRange);
   machine_.Charge(kSyscallEntry);
   const hw::Asid asid = CurrentEnv().asid;
   for (uint32_t i = 0; i < pages; ++i) {
@@ -565,6 +656,7 @@ Status Aegis::SysTlbInvalidateRange(hw::Vaddr va, uint32_t pages) {
 }
 
 Result<Capability> Aegis::SysDeriveCap(const Capability& cap, uint32_t rights) {
+  SyscallScope scope(*this, xtrace::Sys::kDeriveCap);
   machine_.Charge(kSyscallEntry + 2 * kCapCheck + kSyscallExit);
   return authority_.Derive(cap, rights);
 }
@@ -600,11 +692,20 @@ void Aegis::FlushPageBindings(hw::PageId page) {
       (void)classifier_.Remove(id);
     }
   }
+  // The trace ring is a cached binding too: losing any frame of it severs
+  // the whole ring, or the kernel would keep appending records into a
+  // reclaimed (and possibly reallocated) frame.
+  if (trace_ != nullptr && spans(trace_->first_page, trace_->pages)) {
+    machine_.Charge(Instr(10));
+    SeverTraceRing();
+  }
 }
 
 // --- Protected control transfer (paper §5.2) ---
 
 Result<PctArgs> Aegis::SysPctCall(EnvId callee, const PctArgs& args) {
+  SyscallScope scope(*this, xtrace::Sys::kPctCall);
+  Trace(xtrace::Event::kPct, callee, /*sync=*/1);
   machine_.Charge(kPctOneWay);
   Env* target = FindEnv(callee);
   if (target == nullptr || target->state == EnvState::kExited) {
@@ -642,6 +743,8 @@ Result<PctArgs> Aegis::SysPctCall(EnvId callee, const PctArgs& args) {
 }
 
 Status Aegis::SysPctSend(EnvId callee, const PctArgs& args) {
+  SyscallScope scope(*this, xtrace::Sys::kPctSend);
+  Trace(xtrace::Event::kPct, callee, /*sync=*/0);
   machine_.Charge(kPctOneWay);
   Env* target = FindEnv(callee);
   if (target == nullptr || target->state == EnvState::kExited) {
@@ -658,8 +761,12 @@ Status Aegis::SysPctSend(EnvId callee, const PctArgs& args) {
 // --- Exceptions (paper §5.3) ---
 
 hw::TrapOutcome Aegis::OnException(hw::TrapFrame& frame) {
+  Env* faulter = FindEnv(current_);
   if (frame.type == hw::ExceptionType::kTlbMissLoad ||
       frame.type == hw::ExceptionType::kTlbMissStore) {
+    if (faulter != nullptr) {
+      ++faulter->counters.tlb_misses;
+    }
     // Kernel TLB refill: the software TLB caches secure bindings; a hit
     // installs the mapping without involving the application at all.
     if (stlb_enabled_) {
@@ -670,11 +777,20 @@ hw::TrapOutcome Aegis::OnException(hw::TrapFrame& frame) {
         hw::TlbEntry tlb_entry{entry->vpn, asid, entry->pfn, true, entry->writable};
         priv_.TlbWriteRandom(tlb_entry);
         ++stlb_hits_;
+        if (faulter != nullptr) {
+          ++faulter->counters.stlb_hits;
+        }
+        Trace(xtrace::Event::kStlbFill, hw::VpnOf(frame.bad_vaddr));
         return hw::TrapOutcome::kRetry;
       }
       ++stlb_misses_;
+      if (faulter != nullptr) {
+        ++faulter->counters.stlb_misses;
+      }
     }
   }
+  Trace(xtrace::Event::kException, static_cast<uint32_t>(frame.type),
+        static_cast<uint32_t>(frame.bad_vaddr));
   // Dispatch to the application's exception context: save the three
   // scratch registers to the agreed-upon save area (physical addresses),
   // load cause/badvaddr, and jump — 18 instructions.
@@ -691,7 +807,8 @@ hw::TrapOutcome Aegis::OnException(hw::TrapFrame& frame) {
 // --- Interrupts ---
 
 void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
-  (void)payload;
+  Trace(xtrace::Event::kInterrupt, static_cast<uint32_t>(source),
+        static_cast<uint32_t>(payload));
   switch (source) {
     case hw::InterruptSource::kTimer: {
       if (current_ == kNoEnv) {
@@ -740,6 +857,7 @@ void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
         Result<hw::Disk::Completion> done = disk_->Complete(payload);
         failed = done.ok() && done->failed;
       }
+      Trace(xtrace::Event::kDiskComplete, static_cast<uint32_t>(payload), failed ? 1u : 0u);
       auto it = disk_waiters_.find(payload);
       if (it != disk_waiters_.end()) {
         Env* waiter = FindEnv(it->second);
@@ -755,12 +873,17 @@ void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
       }
       break;
     }
-    case hw::InterruptSource::kFault:
+    case hw::InterruptSource::kFault: {
       // Asynchronous environment kill, delivered at an arbitrary
       // cycle-charge boundary. A stale id (the victim already exited) is a
       // no-op.
+      Env* victim = FindEnv(static_cast<EnvId>(payload));
+      if (victim != nullptr && victim->state != EnvState::kExited) {
+        ++victim->counters.faults_injected;
+      }
       (void)KillEnv(static_cast<EnvId>(payload));
       break;
+    }
     case hw::InterruptSource::kPowerFail: {
       // Power loss at an arbitrary cycle-charge boundary: the disk's
       // volatile buffer dies (torn writes land now), the device freezes,
@@ -770,6 +893,7 @@ void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
       if (powered_off_) {
         break;
       }
+      Trace(xtrace::Event::kPowerCut);
       powered_off_ = true;
       if (disk_ != nullptr) {
         disk_->PowerCut();
@@ -814,8 +938,109 @@ bool Aegis::EnvAlive(EnvId id) const {
 }
 
 bool Aegis::SysEnvAlive(EnvId id) {
+  SyscallScope scope(*this, xtrace::Sys::kEnvAlive);
   machine_.Charge(kSyscallEntry + Instr(4) + kSyscallExit);
   return EnvAlive(id);
+}
+
+// --- xtrace syscalls (observability as library policy) ---
+
+Status Aegis::SysBindTraceRing(const TraceRingSpec& spec, const Capability& region_cap) {
+  SyscallScope scope(*this, xtrace::Sys::kBindTraceRing);
+  machine_.Charge(kSyscallEntry + kCapCheck + Instr(30));  // Validate + format.
+  Env& env = CurrentEnv();
+  machine_.Charge(kSyscallExit);
+  if (trace_ != nullptr) {
+    // One logic analyser on the bus at a time: the ring is a global kernel
+    // resource (it records events from *every* environment), so a second
+    // binding must fail visibly rather than silently steal the stream.
+    return Status::kErrAlreadyExists;
+  }
+  const uint32_t slots =
+      xtrace::TraceRingView::SlotsFor(static_cast<size_t>(spec.pages) * hw::kPageBytes);
+  if (spec.pages == 0 || slots == 0 || spec.mask == 0) {
+    return Status::kErrInvalidArgs;
+  }
+  // Secure binding: the region must be caller-owned contiguous frames and
+  // the caller must prove it with a read/write capability for the first
+  // (same pattern as SysBindPacketRing).
+  for (uint32_t i = 0; i < spec.pages; ++i) {
+    const hw::PageId p = spec.first_page + i;
+    if (p >= pages_.size() || pages_[p].owner != env.id) {
+      return Status::kErrAccessDenied;
+    }
+  }
+  if (!authority_.Check(region_cap, PageResource(spec.first_page),
+                        cap::kRead | cap::kWrite, pages_[spec.first_page].epoch)) {
+    return Status::kErrAccessDenied;
+  }
+  std::span<uint8_t> region = machine_.mem().RangeSpan(spec.first_page, spec.pages);
+  Result<xtrace::TraceRingView> view =
+      xtrace::TraceRingView::Format(region, slots, spec.mask);
+  if (!view.ok()) {
+    return view.status();
+  }
+  auto trace = std::make_unique<TraceState>();
+  trace->owner = env.id;
+  trace->first_page = spec.first_page;
+  trace->pages = spec.pages;
+  trace->slots = slots;
+  trace->mask = spec.mask;
+  trace_ = std::move(trace);
+  return Status::kOk;
+}
+
+Status Aegis::SysUnbindTraceRing() {
+  SyscallScope scope(*this, xtrace::Sys::kUnbindTraceRing);
+  machine_.Charge(kSyscallEntry + Instr(6) + kSyscallExit);
+  if (trace_ == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (trace_->owner != current_) {
+    return Status::kErrAccessDenied;
+  }
+  SeverTraceRing();  // The region pages stay with the caller.
+  return Status::kOk;
+}
+
+Result<EnvStats> Aegis::SysEnvStats(EnvId env) {
+  SyscallScope scope(*this, xtrace::Sys::kEnvStats);
+  machine_.Charge(kSyscallEntry + Instr(20) + kSyscallExit);
+  if (env == kNoEnv || env > envs_.size()) {
+    return Status::kErrNotFound;
+  }
+  return env_stats(env);
+}
+
+Result<xtrace::LatencyHist> Aegis::SysSyscallHist(uint32_t sysno) {
+  SyscallScope scope(*this, xtrace::Sys::kSyscallHist);
+  machine_.Charge(kSyscallEntry + Instr(20) + kSyscallExit);
+  if (sysno >= xtrace::kSysCount) {
+    return Status::kErrOutOfRange;
+  }
+  return syscall_hist_[sysno];
+}
+
+EnvStats Aegis::env_stats(EnvId env) const {
+  EnvStats stats;
+  if (env == kNoEnv || env > envs_.size()) {
+    return stats;
+  }
+  const Env& e = *envs_[env - 1];
+  stats.env = env;
+  stats.alive = e.state != EnvState::kExited;
+  stats.killed = e.killed;
+  stats.pages_held = e.pages_owned;
+  stats.slices_run = e.slices_run;
+  stats.counters = e.counters;
+  return stats;
+}
+
+void Aegis::DebugSkewPageAccounting(EnvId env, int32_t delta) {
+  Env* e = FindEnv(env);
+  if (e != nullptr) {
+    e->pages_owned = static_cast<uint32_t>(static_cast<int32_t>(e->pages_owned) + delta);
+  }
 }
 
 void Aegis::MaybeAuditAfterFault() {
@@ -882,6 +1107,48 @@ Aegis::AuditReport Aegis::AuditInvariants() const {
     } else if (env->pages_owned != counted[env->id]) {
       fail("env " + std::to_string(env->id) + " pages_owned=" + std::to_string(env->pages_owned) +
            " but owns " + std::to_string(counted[env->id]));
+    }
+  }
+
+  // Accounting cross-check (xtrace): the per-env pages-held counters the
+  // kernel reports through SysEnvStats must sum to exactly the number of
+  // allocated frames — a mismatch means the kernel's own books are cooked
+  // and every resource-visibility claim downstream of them is suspect.
+  {
+    uint64_t held = 0;
+    for (const auto& env : envs_) {
+      held += env->pages_owned;
+    }
+    uint64_t allocated = 0;
+    for (const PageInfo& page : pages_) {
+      allocated += (page.owner != kNoEnv) ? 1 : 0;
+    }
+    if (held != allocated) {
+      EnvId offender = kNoEnv;
+      for (const auto& env : envs_) {
+        if (env->pages_owned != counted[env->id]) {
+          offender = env->id;
+          break;
+        }
+      }
+      fail("page accounting: envs report " + std::to_string(held) + " pages held, kernel has " +
+           std::to_string(allocated) + " frames allocated (first offender: env " +
+           std::to_string(offender) + ")");
+    }
+  }
+
+  // Trace ring: a live binding must belong to an owner that kept its
+  // resources and target frames that owner still holds — otherwise the
+  // kernel would append records into reclaimed (reallocatable) memory.
+  if (trace_ != nullptr) {
+    if (!owner_ok(trace_->owner)) {
+      fail("trace ring bound to killed env " + std::to_string(trace_->owner));
+    }
+    for (uint32_t i = 0; i < trace_->pages; ++i) {
+      const hw::PageId p = trace_->first_page + i;
+      if (p >= pages_.size() || pages_[p].owner != trace_->owner) {
+        fail("trace ring targets frame " + std::to_string(p) + " its owner lost");
+      }
     }
   }
 
@@ -985,6 +1252,7 @@ Aegis::AuditReport Aegis::AuditInvariants() const {
 // systems) ---
 
 Result<Aegis::DiskExtentGrant> Aegis::SysAllocDiskExtent(uint32_t blocks) {
+  SyscallScope scope(*this, xtrace::Sys::kAllocDiskExtent);
   machine_.Charge(kSyscallEntry + Instr(20) + kSyscallExit);
   Env& env = CurrentEnv();
   if (disk_ == nullptr) {
@@ -1011,6 +1279,7 @@ Result<Aegis::DiskExtentGrant> Aegis::SysAllocDiskExtent(uint32_t blocks) {
 }
 
 Status Aegis::SysFreeDiskExtent(uint32_t extent, const cap::Capability& cap) {
+  SyscallScope scope(*this, xtrace::Sys::kFreeDiskExtent);
   machine_.Charge(kSyscallEntry + kCapCheck + kSyscallExit);
   if (extent >= extents_.size() || !extents_[extent].live) {
     return Status::kErrNotFound;
@@ -1055,6 +1324,7 @@ Status Aegis::DiskTransfer(uint32_t extent, const cap::Capability& extent_cap,
     machine_.Charge(kSyscallExit);
     return request.status();
   }
+  Trace(xtrace::Event::kDiskSubmit, block, write ? 1u : 0u, static_cast<uint32_t>(*request));
   env.disk_pending = true;
   env.disk_result = Status::kOk;
   disk_waiters_[*request] = env.id;
@@ -1062,21 +1332,29 @@ Status Aegis::DiskTransfer(uint32_t extent, const cap::Capability& extent_cap,
     SysBlock();  // Completion interrupt clears the flag; other wakes
                  // (death broadcasts) are spurious here and loop back.
   }
+  if (env.disk_result == Status::kOk) {
+    ++(write ? env.counters.disk_blocks_written : env.counters.disk_blocks_read);
+  } else {
+    ++env.counters.faults_injected;  // The media error landed on this env.
+  }
   machine_.Charge(kSyscallExit);
   return env.disk_result;
 }
 
 Status Aegis::SysDiskRead(uint32_t extent, const cap::Capability& extent_cap,
                           uint32_t block_in_extent, hw::PageId frame) {
+  SyscallScope scope(*this, xtrace::Sys::kDiskRead);
   return DiskTransfer(extent, extent_cap, block_in_extent, frame, /*write=*/false);
 }
 
 Status Aegis::SysDiskWrite(uint32_t extent, const cap::Capability& extent_cap,
                            uint32_t block_in_extent, hw::PageId frame) {
+  SyscallScope scope(*this, xtrace::Sys::kDiskWrite);
   return DiskTransfer(extent, extent_cap, block_in_extent, frame, /*write=*/true);
 }
 
 Status Aegis::SysDiskBarrier(uint32_t extent, const cap::Capability& extent_cap) {
+  SyscallScope scope(*this, xtrace::Sys::kDiskBarrier);
   machine_.Charge(kSyscallEntry + kCapCheck);
   if (disk_ == nullptr) {
     machine_.Charge(kSyscallExit);
@@ -1096,6 +1374,7 @@ Status Aegis::SysDiskBarrier(uint32_t extent, const cap::Capability& extent_cap)
     machine_.Charge(kSyscallExit);
     return request.status();
   }
+  Trace(xtrace::Event::kDiskBarrier, static_cast<uint32_t>(*request));
   Env& env = CurrentEnv();
   env.disk_pending = true;
   env.disk_result = Status::kOk;
@@ -1110,6 +1389,7 @@ Status Aegis::SysDiskBarrier(uint32_t extent, const cap::Capability& extent_cap)
 // --- Network (paper §3.2) ---
 
 Result<dpf::FilterId> Aegis::SysBindFilter(FilterBindSpec spec, const Capability& region_cap) {
+  SyscallScope scope(*this, xtrace::Sys::kBindFilter);
   machine_.Charge(kSyscallEntry + kCapCheck + Instr(50));  // Filter compile/merge.
   Env& env = CurrentEnv();
   if (nic_ == nullptr) {
@@ -1158,6 +1438,7 @@ Result<dpf::FilterId> Aegis::SysBindFilter(FilterBindSpec spec, const Capability
 }
 
 Status Aegis::SysUnbindFilter(dpf::FilterId id) {
+  SyscallScope scope(*this, xtrace::Sys::kUnbindFilter);
   machine_.Charge(kSyscallEntry + Instr(10) + kSyscallExit);
   if (id >= bindings_.size() || !bindings_[id].live) {
     return Status::kErrNotFound;
@@ -1171,6 +1452,7 @@ Status Aegis::SysUnbindFilter(dpf::FilterId id) {
 }
 
 Result<std::vector<uint8_t>> Aegis::SysRecvPacket(dpf::FilterId id) {
+  SyscallScope scope(*this, xtrace::Sys::kRecvPacket);
   machine_.Charge(kSyscallEntry + Instr(8));
   if (id >= bindings_.size() || !bindings_[id].live) {
     machine_.Charge(kSyscallExit);
@@ -1194,12 +1476,16 @@ Result<std::vector<uint8_t>> Aegis::SysRecvPacket(dpf::FilterId id) {
 }
 
 Status Aegis::SysNetSend(std::span<const uint8_t> frame) {
+  SyscallScope scope(*this, xtrace::Sys::kNetSend);
   machine_.Charge(kSyscallEntry + Instr(10));
   if (nic_ == nullptr) {
     machine_.Charge(kSyscallExit);
     return Status::kErrUnsupported;
   }
   const bool ok = nic_->Transmit(frame);  // Charges the copy + controller.
+  if (ok) {
+    ++CurrentEnv().counters.packets_tx;
+  }
   machine_.Charge(kSyscallExit);
   return ok ? Status::kOk : Status::kErrInvalidArgs;
 }
@@ -1216,6 +1502,7 @@ net::PacketRingView Aegis::RingViewOf(const FilterBinding& binding) const {
 
 Status Aegis::SysBindPacketRing(dpf::FilterId id, const PacketRingSpec& spec,
                                 const Capability& region_cap) {
+  SyscallScope scope(*this, xtrace::Sys::kBindPacketRing);
   machine_.Charge(kSyscallEntry + kCapCheck + Instr(40));  // Validate + format.
   Env& env = CurrentEnv();
   machine_.Charge(kSyscallExit);
@@ -1266,6 +1553,7 @@ Status Aegis::SysBindPacketRing(dpf::FilterId id, const PacketRingSpec& spec,
 }
 
 Status Aegis::SysUnbindPacketRing(dpf::FilterId id) {
+  SyscallScope scope(*this, xtrace::Sys::kUnbindPacketRing);
   machine_.Charge(kSyscallEntry + Instr(10) + kSyscallExit);
   if (id >= bindings_.size() || !bindings_[id].live) {
     return Status::kErrNotFound;
@@ -1282,6 +1570,7 @@ Status Aegis::SysUnbindPacketRing(dpf::FilterId id) {
 }
 
 Result<uint32_t> Aegis::SysTxRing(dpf::FilterId id, uint32_t max_frames) {
+  SyscallScope scope(*this, xtrace::Sys::kTxRing);
   machine_.Charge(kSyscallEntry + Instr(8));
   if (id >= bindings_.size() || !bindings_[id].live) {
     machine_.Charge(kSyscallExit);
@@ -1315,6 +1604,7 @@ Result<uint32_t> Aegis::SysTxRing(dpf::FilterId id, uint32_t max_frames) {
     }
   }
   view.set_tx_tail(binding.ring.tx_tail);  // Publish consumer progress.
+  CurrentEnv().counters.packets_tx += sent;
   machine_.Charge(kSyscallExit);
   return sent;
 }
@@ -1326,6 +1616,7 @@ PacketStats Aegis::packet_stats(dpf::FilterId id) const {
   const FilterBinding& binding = bindings_[id];
   PacketStats stats = binding.stats;
   stats.ring_bound = binding.ring.live;
+  stats.queue_pending = static_cast<uint32_t>(binding.queue.size());
   if (binding.ring.live) {
     const uint32_t pending = binding.ring.rx_head - RingViewOf(binding).rx_tail();
     stats.rx_pending = std::min(pending, binding.ring.rx_slots);
@@ -1334,6 +1625,7 @@ PacketStats Aegis::packet_stats(dpf::FilterId id) const {
 }
 
 Result<PacketStats> Aegis::SysPacketStats(dpf::FilterId id) {
+  SyscallScope scope(*this, xtrace::Sys::kPacketStats);
   machine_.Charge(kSyscallEntry + Instr(10) + kSyscallExit);
   if (id >= bindings_.size() || !bindings_[id].live) {
     return Status::kErrNotFound;
@@ -1361,18 +1653,27 @@ void Aegis::HandleRxPacket() {
     std::optional<dpf::FilterId> match = classifier_.Classify(*frame);
     machine_.Charge(classifier_.sim_cycles() - before);
     if (!match.has_value() || *match >= bindings_.size() || !bindings_[*match].live) {
+      Trace(xtrace::Event::kDpfDrop, /*reason=*/0, match.value_or(0));
       continue;  // No binding claims this packet: drop it.
     }
     FilterBinding& binding = bindings_[*match];
     Env* owner = FindEnv(binding.owner);
     if (owner == nullptr || owner->state == EnvState::kExited) {
+      Trace(xtrace::Event::kDpfDrop, /*reason=*/3, *match);
       continue;
     }
     if (binding.handler.has_value()) {
       // ASH path: the handler runs *now*, at interrupt level, without
       // scheduling the owner. Replies leave from here (paper §6.3).
+      Trace(xtrace::Event::kDpfMatch, *match, static_cast<uint32_t>(frame->size()),
+            /*path=*/2);
+      ++owner->counters.packets_rx;
       ash::AshServices services;
-      services.send_reply = [this](std::span<const uint8_t> reply) { nic_->Transmit(reply); };
+      services.send_reply = [this, owner](std::span<const uint8_t> reply) {
+        if (nic_->Transmit(reply)) {
+          ++owner->counters.packets_tx;
+        }
+      };
       services.wake_owner = [this, owner]() { WakeEnvInternal(*owner); };
       const ash::AshOutcome outcome =
           ash::RunAsh(*binding.handler, *frame, BindingRegion(binding), services);
@@ -1386,8 +1687,12 @@ void Aegis::HandleRxPacket() {
       net::PacketRingView view = RingViewOf(binding);
       if (binding.ring.rx_head - view.rx_tail() >= binding.ring.rx_slots) {
         ++binding.stats.ring_drops;  // Consumer too slow: drop and count.
+        Trace(xtrace::Event::kDpfDrop, /*reason=*/1, *match);
         continue;
       }
+      Trace(xtrace::Event::kDpfMatch, *match, static_cast<uint32_t>(frame->size()),
+            /*path=*/1);
+      ++owner->counters.packets_rx;
       machine_.Charge(hw::kMemWordCopy * ((frame->size() + 3) / 4));
       machine_.Charge(kRingPublish);
       view.WriteRxSlot(binding.ring.rx_head, *frame);
@@ -1410,8 +1715,12 @@ void Aegis::HandleRxPacket() {
       // kernel memory without bound.
       if (binding.queue.size() >= FilterBinding::kMaxQueuedPackets) {
         ++binding.stats.queue_drops;
+        Trace(xtrace::Event::kDpfDrop, /*reason=*/2, *match);
         continue;
       }
+      Trace(xtrace::Event::kDpfMatch, *match, static_cast<uint32_t>(frame->size()),
+            /*path=*/0);
+      ++owner->counters.packets_rx;
       machine_.Charge(hw::kMemWordCopy * ((frame->size() + 3) / 4));
       binding.queue.push_back(std::move(*frame));
       ++binding.stats.queued;
@@ -1425,6 +1734,7 @@ void Aegis::HandleRxPacket() {
 // --- Framebuffer binding ---
 
 Status Aegis::SysBindFbTile(uint32_t tile_x, uint32_t tile_y) {
+  SyscallScope scope(*this, xtrace::Sys::kBindFbTile);
   machine_.Charge(kSyscallEntry + Instr(6) + kSyscallExit);
   if (framebuffer_ == nullptr) {
     return Status::kErrUnsupported;
@@ -1445,6 +1755,7 @@ Status Aegis::SysBindFbTile(uint32_t tile_x, uint32_t tile_y) {
 // --- Revocation and the abort protocol (paper §3.4–3.5) ---
 
 std::vector<hw::PageId> Aegis::SysReadRepossessed() {
+  SyscallScope scope(*this, xtrace::Sys::kReadRepossessed);
   machine_.Charge(kSyscallEntry + Instr(6) + kSyscallExit);
   Env& env = CurrentEnv();
   std::vector<hw::PageId> taken = std::move(env.repossessed);
@@ -1467,6 +1778,7 @@ uint32_t Aegis::Repossess(Env& victim, uint32_t pages) {
     }
     ++taken;
   }
+  Trace(xtrace::Event::kRepossess, victim.id, taken);
   return taken;
 }
 
@@ -1475,6 +1787,7 @@ Status Aegis::RevokePages(EnvId victim_id, uint32_t pages) {
   if (victim == nullptr || victim->state == EnvState::kExited) {
     return Status::kErrNotFound;
   }
+  Trace(xtrace::Event::kRevoke, victim_id, pages);
   const uint32_t free_before = free_pages();
   if (victim->handlers.revoke) {
     // Visible revocation: the library OS chooses which pages to give up.

@@ -38,6 +38,7 @@
 #include "src/core/costs.h"
 #include "src/core/env.h"
 #include "src/core/stlb.h"
+#include "src/core/xtrace.h"
 #include "src/dpf/dpf.h"
 #include "src/hw/disk.h"
 #include "src/hw/fault.h"
@@ -110,7 +111,29 @@ struct PacketStats {
   uint64_t tx_frames = 0;    // Frames transmitted via SysTxRing.
   uint64_t tx_errors = 0;    // Malformed TX-ring frames skipped.
   uint32_t rx_pending = 0;   // RX frames deposited but not yet consumed.
+  uint32_t queue_pending = 0;  // Frames sitting in the legacy bounded queue.
   bool ring_bound = false;
+};
+
+// Options for binding the kernel event-trace ring (xtrace): a contiguous
+// run of caller-owned pinned pages, plus the event-type mask the caller
+// wants recorded (measurement policy is the application's — it pays for
+// exactly the events it asked for). Slot count is derived from the region
+// size: (pages * 4096 - 64) / 32 records.
+struct TraceRingSpec {
+  hw::PageId first_page = 0;
+  uint32_t pages = 0;
+  uint32_t mask = xtrace::kMaskAll;
+};
+
+// Per-environment resource accounting snapshot (SysEnvStats / env_stats).
+struct EnvStats {
+  EnvId env = kNoEnv;
+  bool alive = false;
+  bool killed = false;
+  uint32_t pages_held = 0;
+  uint64_t slices_run = 0;
+  xtrace::EnvCounters counters;
 };
 
 class Aegis final : public hw::TrapSink {
@@ -207,6 +230,23 @@ class Aegis final : public hw::TrapSink {
   // Framebuffer binding: assigns a tile's ownership tag to the caller.
   Status SysBindFbTile(uint32_t tile_x, uint32_t tile_y);
 
+  // Kernel event tracing (xtrace). Binding is a secure-binding operation:
+  // the caller must own every region page and present a read/write
+  // capability for the first. One ring per kernel (the trace is a global
+  // hardware resource, like a logic analyser on the bus); records flow
+  // until the ring is unbound or a reclaim path severs it
+  // (FlushPageBindings / KillEnv, like any other binding). Drop-oldest:
+  // the kernel never stalls on a slow reader, it overwrites and counts.
+  Status SysBindTraceRing(const TraceRingSpec& spec, const cap::Capability& region_cap);
+  Status SysUnbindTraceRing();
+  // Raw per-environment accounting. Deliberately readable by *any*
+  // environment: revocation and scheduling policy live in libraries, and
+  // good policy needs global visibility of who holds what (paper §3.4).
+  Result<EnvStats> SysEnvStats(EnvId env);
+  // Log2 latency histogram for one syscall number (kernel-wide),
+  // maintained at the syscall entry/exit hook.
+  Result<xtrace::LatencyHist> SysSyscallHist(uint32_t sysno);
+
   // Disk multiplexing: the kernel protects block extents without
   // understanding file systems (§2: "an exokernel should protect ... disks
   // without understanding file systems"). An extent is a contiguous run of
@@ -293,6 +333,17 @@ class Aegis final : public hw::TrapSink {
   // Host-side stats snapshot (charges nothing, ignores ownership): lets
   // tests and benches inspect a binding's counters after its owner died.
   PacketStats packet_stats(dpf::FilterId id) const;
+  // Host-side accounting snapshots (charge nothing); same data as the
+  // syscalls, usable after the subject environment died.
+  EnvStats env_stats(EnvId env) const;
+  const xtrace::LatencyHist& syscall_hist(xtrace::Sys n) const {
+    return syscall_hist_[static_cast<uint32_t>(n)];
+  }
+  bool trace_armed() const { return trace_ != nullptr; }
+  // Test-only: skews an environment's pages-held counter without moving
+  // any page, so tests can prove the accounting cross-check in
+  // AuditInvariants catches a real leak.
+  void DebugSkewPageAccounting(EnvId env, int32_t delta);
   // Disables the software TLB (ablation bench).
   void set_stlb_enabled(bool enabled) { stlb_enabled_ = enabled; }
 
@@ -336,6 +387,55 @@ class Aegis final : public hw::TrapSink {
     RingState ring;
     PacketStats stats;
     bool live = false;
+  };
+
+  // Kernel-side state of the bound trace ring. Geometry and mask are
+  // recorded at bind time and trusted thereafter; the producer cursor
+  // lives here and is only *published* to the shared header (exactly the
+  // packet-ring trust model).
+  struct TraceState {
+    EnvId owner = kNoEnv;
+    hw::PageId first_page = 0;
+    uint32_t pages = 0;
+    uint32_t slots = 0;
+    uint32_t mask = 0;
+    uint32_t head = 0;      // Trusted free-running producer cursor.
+    uint64_t dropped = 0;   // Records overwritten before the reader got them.
+  };
+
+  // Trace emission hook. Disarmed (no ring bound) this is one branch on a
+  // nullptr; armed, it appends a fixed-format record at the trusted head
+  // cursor with drop-oldest semantics. Record stores charge nothing (see
+  // costs.h); the per-syscall charge is applied by SyscallScope.
+  void Trace(xtrace::Event type, uint32_t a0 = 0, uint32_t a1 = 0, uint32_t a2 = 0,
+             uint32_t a3 = 0) {
+    if (trace_ == nullptr || (trace_->mask & xtrace::Bit(type)) == 0) {
+      return;
+    }
+    TraceAppend(type, a0, a1, a2, a3);
+  }
+  void TraceAppend(xtrace::Event type, uint32_t a0, uint32_t a1, uint32_t a2, uint32_t a3);
+  // Severs the trace binding (reclaim paths); no further records flow.
+  void SeverTraceRing();
+
+  // Entry/exit hook wrapped around every syscall body: counts the call in
+  // the caller's accounting, emits enter/exit records, and feeds the
+  // kernel-wide log2 latency histogram at exit. Destruction order makes
+  // the exit hook run after the syscall's last Charge; fibers abandoned
+  // mid-syscall (SysExit, suicide kills, power cut) simply never log an
+  // exit — exactly what happened.
+  class SyscallScope {
+   public:
+    SyscallScope(Aegis& kernel, xtrace::Sys number);
+    ~SyscallScope();
+
+    SyscallScope(const SyscallScope&) = delete;
+    SyscallScope& operator=(const SyscallScope&) = delete;
+
+   private:
+    Aegis& kernel_;
+    xtrace::Sys number_;
+    uint64_t entry_cycle_;
   };
 
   Env& CurrentEnv();
@@ -442,6 +542,11 @@ class Aegis final : public hw::TrapSink {
   std::unordered_map<uint64_t, EnvId> disk_waiters_;
 
   uint32_t live_envs_ = 0;
+
+  // xtrace: the bound event ring (nullptr = disarmed) and the kernel-wide
+  // per-syscall latency histograms.
+  std::unique_ptr<TraceState> trace_;
+  xtrace::LatencyHist syscall_hist_[xtrace::kSysCount];
 
   // Fault injection and crash-safe teardown.
   std::unique_ptr<hw::FaultInjector> injector_;

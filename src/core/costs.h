@@ -50,6 +50,13 @@ inline constexpr uint64_t kRingPublish = Instr(6);
 // Examining one TX-ring descriptor from SysTxRing.
 inline constexpr uint64_t kRingTxDescriptor = Instr(6);
 
+// Armed trace hook on a traced syscall (xtrace): the two 32-byte record
+// stores land in the write buffer without stalling the syscall path; what
+// the path actually pays is the head publish + histogram bucket update.
+// A *disarmed* hook is a single branch on a nullptr ring and charges
+// nothing, so tracing is compiled-in but free until a ring is bound.
+inline constexpr uint64_t kTraceArmedSyscall = Instr(1);
+
 // End-of-slice interrupt path in the kernel (before the application's own
 // epilogue runs): bookkeeping + schedule next.
 inline constexpr uint64_t kTimerSlicePath = Instr(12);

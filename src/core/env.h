@@ -19,6 +19,7 @@
 
 #include "src/base/status.h"
 #include "src/cap/capability.h"
+#include "src/core/xtrace.h"
 #include "src/hw/fiber.h"
 #include "src/hw/trap.h"
 
@@ -98,6 +99,11 @@ struct Env {
 
   // Live page count (for revocation targeting and accounting).
   uint32_t pages_owned = 0;
+
+  // Free-running resource accounting (xtrace): hardware-counter-style,
+  // charges nothing, readable via SysEnvStats. The kernel only counts;
+  // rates, ratios, and reporting are library policy.
+  xtrace::EnvCounters counters;
 
   // In-flight disk transfer: set before blocking, cleared by the completion
   // interrupt (or by teardown cancelling the request). The result carries

@@ -12,6 +12,7 @@
 
 #include "src/core/aegis.h"
 #include "src/exos/fs.h"
+#include "src/exos/tracelib.h"
 #include "src/exos/ipc.h"
 #include "src/exos/rdp.h"
 #include "src/hw/disk.h"
@@ -49,6 +50,21 @@ TEST_P(ChaosSoak, KilledEnvironmentsNeverCorruptTheSurvivors) {
   wire.Attach(&nb);
   ka.AttachNic(&na);
   kb.AttachNic(&nb);
+
+  // --- Observer: binds the kernel event ring (lifecycle events only — the
+  // mask is measurement policy) and exits cleanly, which *retains* the
+  // binding: the kernel keeps appending for the whole soak and the ring is
+  // read post-mortem below. The observer never runs again, so it cannot
+  // perturb the chaos it is recording. ---
+  hw::PageId trace_first_page = 0;
+  uint32_t trace_pages = 0;
+  exos::Process observer(ka, [&](exos::Process& p) {
+    exos::TraceSession trace(p);
+    ASSERT_EQ(trace.Bind({.pages = 2, .mask = xtrace::kMaskEnvLifecycle}), Status::kOk);
+    trace_first_page = trace.first_page();
+    trace_pages = trace.page_count();
+    // No Close(): exit cleanly with the ring still armed.
+  });
 
   // --- Pipe pair: the writer produces forever (it dies by kill); the
   // reader must obtain kPipeWords intact words and exit cleanly. ---
@@ -214,6 +230,7 @@ TEST_P(ChaosSoak, KilledEnvironmentsNeverCorruptTheSurvivors) {
     }
   });
 
+  ASSERT_TRUE(observer.ok());
   ASSERT_TRUE(pipe_writer.ok());
   ASSERT_TRUE(pipe_reader.ok());
   ASSERT_TRUE(vm_worker.ok());
@@ -278,6 +295,24 @@ TEST_P(ChaosSoak, KilledEnvironmentsNeverCorruptTheSurvivors) {
   EXPECT_TRUE(kb.AuditInvariants().ok());
   // The dead VM worker's framebuffer tile went back to the hardware pool.
   EXPECT_EQ(fb.TileOwner(0, 0), hw::Framebuffer::kNoOwner);
+
+  // The event ring survived the whole soak and its record of the carnage
+  // matches the kernel's: exactly the scheduled kills appear as forced
+  // deaths, while the ring binding (owned by a cleanly exited env) is
+  // still live and auditable.
+  ASSERT_GT(trace_pages, 0u);
+  Result<std::vector<xtrace::Record>> trace_records =
+      exos::DecodeRegion(ma.mem().RangeSpan(trace_first_page, trace_pages));
+  ASSERT_TRUE(trace_records.ok());
+  uint64_t forced_deaths = 0;
+  for (const xtrace::Record& record : *trace_records) {
+    if (record.type == static_cast<uint16_t>(xtrace::Event::kEnvDeath) &&
+        record.arg1 == 1) {
+      ++forced_deaths;
+    }
+  }
+  EXPECT_EQ(forced_deaths, ka.envs_killed());
+  EXPECT_TRUE(ka.trace_armed());
 
   // The fault channels all genuinely fired.
   const hw::FaultInjector* injector = ka.fault_injector();

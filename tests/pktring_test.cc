@@ -203,12 +203,16 @@ TEST_F(PktRingKernelTest, LegacyQueueCapDropsAreCounted) {
     ASSERT_TRUE(stats.ok());
     EXPECT_EQ(stats->queued, 64u);  // FilterBinding::kMaxQueuedPackets.
     EXPECT_EQ(stats->queue_drops, 16u);
+    EXPECT_EQ(stats->queue_pending, 64u);  // Depth is visible, not just drops.
     // The queue still drains in order through the legacy syscall.
     Result<std::vector<uint8_t>> first = kernel_.SysRecvPacket(*id);
     ASSERT_TRUE(first.ok());
     net::UdpView udp;
     ASSERT_TRUE(net::ParseUdpFrame(*first, &udp));
     EXPECT_EQ(udp.payload[0], 0u);
+    stats = kernel_.SysPacketStats(*id);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->queue_pending, 63u);  // One drained; the depth tracks it.
   };
   ASSERT_TRUE(kernel_.CreateEnv(std::move(spec)).ok());
   kernel_.Run();
