@@ -1,0 +1,283 @@
+// Ablation: SMP Aegis — what N CPUs buy, and what shootdown costs.
+//
+// Three measurements on the simulated multi-processor DECstation:
+//
+//   1. Aggregate null-syscall throughput at cpus = 1, 2, 4, 8: one
+//      environment pinned per CPU, each hammering SysNull. Syscalls
+//      enter the kernel on the CPU that raised them and touch no shared
+//      hardware, so throughput must scale essentially linearly (the
+//      bench aborts if 4 CPUs deliver less than 3x one CPU).
+//
+//   2. Packet receive rate with busy siblings: the receiver owns the
+//      demux filter on CPU 0 while three compute-bound environments
+//      churn. On one CPU they time-share the receiver's cycles; on four
+//      CPUs they are pinned elsewhere and the receive path runs
+//      uncontended.
+//
+//   3. TLB shootdown cost vs how many remote CPUs hold the dying
+//      translation: SysDeallocPage pays kIpiCost per remote round plus
+//      kIpiRemoteInvalidate per zapped entry, all billed to the
+//      initiator (visible revocation: the one who frees pays).
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/dpf/tcpip_filters.h"
+#include "src/hw/nic.h"
+#include "src/net/wire.h"
+
+namespace xok::bench {
+namespace {
+
+// --- 1. Null-syscall throughput vs CPU count ---
+
+constexpr int kCallsPerEnv = 2000;
+
+struct Throughput {
+  uint64_t calls = 0;
+  uint64_t elapsed_cycles = 0;  // Max over CPUs: the machine is done when
+                                // its slowest CPU is.
+  double calls_per_sec = 0.0;
+};
+
+Throughput MeasureNullThroughput(uint32_t cpus) {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 64, .name = "smp", .cpus = cpus});
+  aegis::Aegis kernel(machine);
+  for (uint32_t k = 0; k < cpus; ++k) {
+    aegis::EnvSpec spec;
+    spec.cpu_mask = 1ULL << k;
+    spec.entry = [&kernel] {
+      for (int i = 0; i < kCallsPerEnv; ++i) {
+        kernel.SysNull();
+      }
+    };
+    if (!kernel.CreateEnv(std::move(spec)).ok()) {
+      std::abort();
+    }
+  }
+  kernel.Run();
+  Throughput result;
+  result.calls = static_cast<uint64_t>(cpus) * kCallsPerEnv;
+  result.elapsed_cycles = machine.MaxCpuCycle();
+  result.calls_per_sec = static_cast<double>(result.calls) /
+                         (static_cast<double>(result.elapsed_cycles) / hw::kClockHz);
+  return result;
+}
+
+// --- 2. Packet receive rate with busy siblings ---
+
+constexpr uint16_t kPort = 200;
+constexpr int kBursts = 32;
+constexpr int kBurst = 8;
+constexpr int kComputeEnvs = 3;
+
+double MeasurePacketRate(uint32_t cpus) {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 128, .name = "smprx", .cpus = cpus});
+  aegis::Aegis kernel(machine);
+  hw::Wire wire;
+  hw::Nic nic(machine, 0xb);
+  wire.Attach(&nic);
+  kernel.AttachNic(&nic);
+
+  bool rx_done = false;
+  double pkts_per_sec = 0.0;
+
+  // Receiver on CPU 0 (device interrupts land there).
+  aegis::EnvSpec rx;
+  rx.cpu_mask = 1ULL << 0;
+  rx.entry = [&] {
+    aegis::FilterBindSpec fspec;
+    fspec.filter = dpf::UdpPortFilter(kPort);
+    Result<dpf::FilterId> id = kernel.SysBindFilter(std::move(fspec), cap::Capability{});
+    if (!id.ok()) {
+      std::abort();
+    }
+    const std::vector<uint8_t> payload = {7, 0, 0, 0};
+    const std::vector<uint8_t> frame =
+        net::BuildUdpFrame(0xb, 0xa, 1, 2, 100, kPort, payload);
+    uint64_t consumed = 0;
+    const uint64_t t0 = machine.clock().now();
+    for (int burst = 0; burst < kBursts; ++burst) {
+      for (int i = 0; i < kBurst; ++i) {
+        nic.InjectRx(frame);
+      }
+      kernel.SysNull();  // Charge boundary: the rx interrupt drains the NIC.
+      for (int i = 0; i < kBurst; ++i) {
+        Result<std::vector<uint8_t>> got = kernel.SysRecvPacket(*id);
+        if (got.ok()) {
+          ++consumed;
+        }
+      }
+    }
+    const uint64_t total = machine.clock().now() - t0;
+    if (consumed != static_cast<uint64_t>(kBursts) * kBurst) {
+      std::abort();  // Every frame must actually be consumed.
+    }
+    pkts_per_sec = static_cast<double>(consumed) /
+                   (static_cast<double>(total) / hw::kClockHz);
+    rx_done = true;
+  };
+  if (!kernel.CreateEnv(std::move(rx)).ok()) {
+    std::abort();
+  }
+
+  // Compute-bound siblings: on one CPU they steal the receiver's slices;
+  // on four they are pinned to CPUs 1..3 and never touch CPU 0.
+  for (int c = 0; c < kComputeEnvs; ++c) {
+    aegis::EnvSpec spec;
+    spec.cpu_mask = cpus == 1 ? 1ULL : (1ULL << (1 + c % (cpus - 1)));
+    spec.entry = [&] {
+      while (!rx_done) {
+        machine.Charge(hw::Instr(500));
+      }
+    };
+    if (!kernel.CreateEnv(std::move(spec)).ok()) {
+      std::abort();
+    }
+  }
+  kernel.Run();
+  return pkts_per_sec;
+}
+
+// --- 3. Shootdown cost vs mapped-CPU count ---
+
+constexpr hw::Vaddr kProbeVa = 0x40000;
+
+uint64_t MeasureShootdown(uint32_t remote_mappers) {
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 64, .name = "smptlb", .cpus = 4});
+  aegis::Aegis kernel(machine);
+
+  hw::PageId page = 0;
+  cap::Capability page_cap;
+  bool allocated = false;
+  uint32_t mapped = 0;
+  bool revoked = false;
+  uint64_t dealloc_cycles = 0;
+
+  // Mappers: each pins one remote CPU, installs the shared translation,
+  // and touches it so the hardware entry is live when the axe falls.
+  for (uint32_t m = 0; m < remote_mappers; ++m) {
+    aegis::EnvSpec spec;
+    spec.cpu_mask = 1ULL << (1 + m);
+    spec.handlers.exception = [](const hw::TrapFrame&) { return aegis::ExcAction::kSkip; };
+    spec.entry = [&] {
+      while (!allocated) {
+        kernel.SysYield();
+      }
+      if (kernel.SysTlbWrite(kProbeVa, page, true, page_cap) != Status::kOk) {
+        std::abort();
+      }
+      (void)machine.LoadWord(kProbeVa);
+      ++mapped;
+      while (!revoked) {
+        kernel.SysYield();
+      }
+    };
+    if (!kernel.CreateEnv(std::move(spec)).ok()) {
+      std::abort();
+    }
+  }
+
+  // Initiator on CPU 0: allocates, waits for every mapper, then pays for
+  // the revocation — including every remote CPU's invalidate.
+  aegis::EnvSpec init;
+  init.cpu_mask = 1ULL << 0;
+  init.entry = [&] {
+    Result<aegis::PageGrant> grant = kernel.SysAllocPage();
+    if (!grant.ok()) {
+      std::abort();
+    }
+    page = grant->page;
+    page_cap = grant->cap;
+    allocated = true;
+    while (mapped < remote_mappers) {
+      kernel.SysYield();
+    }
+    const uint64_t t0 = machine.clock().now();
+    if (kernel.SysDeallocPage(page, page_cap) != Status::kOk) {
+      std::abort();
+    }
+    dealloc_cycles = machine.clock().now() - t0;
+    revoked = true;
+  };
+  if (!kernel.CreateEnv(std::move(init)).ok()) {
+    std::abort();
+  }
+  kernel.Run();
+  return dealloc_cycles;
+}
+
+std::string FmtRate(double per_sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0fk/s", per_sec / 1000.0);
+  return buf;
+}
+
+void PrintPaperTables() {
+  const Throughput t1 = MeasureNullThroughput(1);
+  const Throughput t2 = MeasureNullThroughput(2);
+  const Throughput t4 = MeasureNullThroughput(4);
+  const Throughput t8 = MeasureNullThroughput(8);
+  Table scaling("Ablation: SMP null-syscall throughput (one pinned env per CPU)",
+                {"cpus", "calls", "elapsed us", "calls/sec", "vs 1 cpu"});
+  const Throughput* rows[] = {&t1, &t2, &t4, &t8};
+  const char* labels[] = {"1", "2", "4", "8"};
+  for (int i = 0; i < 4; ++i) {
+    scaling.AddRow({labels[i], std::to_string(rows[i]->calls),
+                    FmtUs(Us(rows[i]->elapsed_cycles)), FmtRate(rows[i]->calls_per_sec),
+                    FmtX(rows[i]->calls_per_sec / t1.calls_per_sec)});
+  }
+  scaling.Print();
+  if (t4.calls_per_sec < 3.0 * t1.calls_per_sec) {
+    std::fprintf(stderr, "FAIL: 4 CPUs delivered <3x one CPU's syscall throughput\n");
+    std::abort();
+  }
+
+  const double rx1 = MeasurePacketRate(1);
+  const double rx4 = MeasurePacketRate(4);
+  Table rx("Ablation: packet receive rate with 3 compute-bound siblings",
+           {"cpus", "pkts/sec", "vs 1 cpu"});
+  rx.AddRow({"1", FmtRate(rx1), "1.0x"});
+  rx.AddRow({"4", FmtRate(rx4), FmtX(rx4 / rx1)});
+  rx.Print();
+
+  Table shoot("Ablation: TLB shootdown cost vs remote CPUs holding the entry",
+              {"remote cpus", "dealloc cycles", "dealloc us"});
+  for (uint32_t remote = 0; remote <= 3; ++remote) {
+    const uint64_t cycles = MeasureShootdown(remote);
+    shoot.AddRow({std::to_string(remote), std::to_string(cycles), FmtUs(Us(cycles))});
+  }
+  shoot.Print();
+  std::printf("Syscalls scale with CPUs because each enters the kernel locally;\n"
+              "revocation does not: every remote CPU holding the translation adds\n"
+              "an IPI round and a per-entry invalidate, billed to the initiator.\n");
+}
+
+void BM_SmpNull1Cpu(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureNullThroughput(1));
+  }
+  state.counters["sim_calls_per_sec"] = MeasureNullThroughput(1).calls_per_sec;
+}
+BENCHMARK(BM_SmpNull1Cpu)->Unit(benchmark::kMillisecond);
+
+void BM_SmpNull4Cpu(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureNullThroughput(4));
+  }
+  state.counters["sim_calls_per_sec"] = MeasureNullThroughput(4).calls_per_sec;
+}
+BENCHMARK(BM_SmpNull4Cpu)->Unit(benchmark::kMillisecond);
+
+void BM_SmpShootdown3Remote(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureShootdown(3));
+  }
+  state.counters["sim_us"] = Us(MeasureShootdown(3));
+}
+BENCHMARK(BM_SmpShootdown3Remote)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xok::bench
+
+XOK_BENCH_MAIN(xok::bench::PrintPaperTables)

@@ -4,6 +4,7 @@
 #   net   — DPF demux, ASH/UDP roundtrip, packet rings  -> BENCH_net.json
 #   fs    — file-cache policy and journaling ablations  -> BENCH_fs.json
 #   trace — xtrace observability cost ablation          -> BENCH_trace.json
+#   smp   — multi-CPU scaling and shootdown cost        -> BENCH_smp.json
 #
 # The trace suite additionally arms the kernel event ring in every bench
 # boot (--xok_trace) and writes one TRACE_<bench>.json event summary next
@@ -32,8 +33,13 @@ case "$suite" in
     default_out="BENCH_trace.json"
     with_trace=1
     ;;
+  smp)
+    benches="bench_abl_smp"
+    default_out="BENCH_smp.json"
+    with_trace=0
+    ;;
   *)
-    echo "run_benches: unknown suite '$suite' (expected: net, fs, trace)" >&2
+    echo "run_benches: unknown suite '$suite' (expected: net, fs, trace, smp)" >&2
     exit 2
     ;;
 esac

@@ -24,15 +24,21 @@ void PrintSample(exos::Process& p, uint64_t sample_no) {
   std::printf("--- xtop sample %llu (cycle %llu) ---\n",
               static_cast<unsigned long long>(sample_no),
               static_cast<unsigned long long>(p.kernel().SysGetCycles()));
-  std::printf("%4s %6s %10s %9s %9s %8s %8s %8s\n", "env", "alive", "cycles",
-              "syscalls", "tlb-miss", "pages", "pkt-rxtx", "blk-rw");
+  std::printf("%4s %6s %4s %10s %9s %9s %8s %8s %8s %5s\n", "env", "alive", "cpu",
+              "cycles", "syscalls", "tlb-miss", "pages", "pkt-rxtx", "blk-rw", "migr");
   for (aegis::EnvId id = 1;; ++id) {
     Result<aegis::EnvStats> stats = p.kernel().SysEnvStats(id);
     if (!stats.ok()) {
       break;
     }
-    std::printf("%4u %6s %10llu %9llu %9llu %8u %8llu %8llu\n", stats->env,
-                stats->alive ? "yes" : (stats->killed ? "kill" : "exit"),
+    char cpu[8];
+    if (stats->alive) {
+      std::snprintf(cpu, sizeof(cpu), "%u", stats->cpu);
+    } else {
+      std::snprintf(cpu, sizeof(cpu), "-");
+    }
+    std::printf("%4u %6s %4s %10llu %9llu %9llu %8u %8llu %8llu %5llu\n", stats->env,
+                stats->alive ? "yes" : (stats->killed ? "kill" : "exit"), cpu,
                 static_cast<unsigned long long>(stats->counters.cycles_on_cpu),
                 static_cast<unsigned long long>(stats->counters.syscalls_total()),
                 static_cast<unsigned long long>(stats->counters.tlb_misses),
@@ -40,14 +46,17 @@ void PrintSample(exos::Process& p, uint64_t sample_no) {
                 static_cast<unsigned long long>(stats->counters.packets_rx +
                                                 stats->counters.packets_tx),
                 static_cast<unsigned long long>(stats->counters.disk_blocks_read +
-                                                stats->counters.disk_blocks_written));
+                                                stats->counters.disk_blocks_written),
+                static_cast<unsigned long long>(stats->counters.migrations));
   }
 }
 
 }  // namespace
 
 int main() {
-  hw::Machine machine(hw::Machine::Config{.phys_pages = 256, .name = "xtop"});
+  // Two CPUs so the cpu/migr columns have something to show: the kernel
+  // places the processes across both and they migrate as slices free up.
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 256, .name = "xtop", .cpus = 2});
   aegis::Aegis kernel(machine);
   hw::Wire wire;  // Nobody on the far end; TX still counts.
   hw::Nic nic(machine, 0x02aabbccddee);

@@ -16,8 +16,12 @@ Aegis::Aegis(hw::Machine& machine, const Config& config)
       config_(config),
       priv_(machine.InstallKernel(this)),
       authority_(cap::SipKey{config.cap_key0, config.cap_key1}),
-      slice_vector_(config.slice_count, kNoEnv),
-      pages_(machine.mem().page_count()) {}
+      cpu_(machine.cpu_count()),
+      pages_(machine.mem().page_count()) {
+  for (CpuSched& cpu : cpu_) {
+    cpu.slice_vector.assign(config.slice_count, kNoEnv);
+  }
+}
 
 Aegis::Aegis(hw::Machine& machine) : Aegis(machine, Config{}) {}
 
@@ -27,7 +31,7 @@ Aegis::~Aegis() = default;
 
 Aegis::SyscallScope::SyscallScope(Aegis& kernel, xtrace::Sys number)
     : kernel_(kernel), number_(number), entry_cycle_(kernel.machine_.clock().now()) {
-  Env* env = kernel_.FindEnv(kernel_.current_);
+  Env* env = kernel_.FindEnv(kernel_.cur().current);
   if (env != nullptr) {
     ++env->counters.syscalls[static_cast<uint32_t>(number)];
   }
@@ -65,7 +69,7 @@ void Aegis::TraceAppend(xtrace::Event type, uint32_t a0, uint32_t a1, uint32_t a
   record.cycle = machine_.clock().now();
   record.seq = trace.head;
   record.type = static_cast<uint16_t>(type);
-  record.env = static_cast<uint16_t>(current_);
+  record.env = static_cast<uint16_t>(cur().current);
   record.arg0 = a0;
   record.arg1 = a1;
   record.arg2 = a2;
@@ -78,7 +82,7 @@ void Aegis::TraceAppend(xtrace::Event type, uint32_t a0, uint32_t a1, uint32_t a
 void Aegis::SeverTraceRing() { trace_.reset(); }
 
 Env& Aegis::CurrentEnv() {
-  Env* env = FindEnv(current_);
+  Env* env = FindEnv(cur().current);
   if (env == nullptr) {
     std::fprintf(stderr, "aegis: syscall outside any environment\n");
     std::abort();
@@ -102,10 +106,20 @@ Result<EnvGrant> Aegis::CreateEnv(EnvSpec spec) {
   if (!spec.entry) {
     return Status::kErrInvalidArgs;
   }
-  // Allocate time-slice vector positions (the CPU is a linear vector of
+  // Placement: every birth slice lands on the least-loaded CPU the spec's
+  // mask admits (lowest index breaks ties); SysAllocSlice spans others
+  // later. On a single-CPU machine this is always CPU 0.
+  const uint32_t ncpus = machine_.cpu_count();
+  const uint64_t machine_mask = ncpus >= 64 ? ~0ULL : (1ULL << ncpus) - 1;
+  const uint64_t cpu_mask = spec.cpu_mask & machine_mask;
+  if (cpu_mask == 0) {
+    return Status::kErrInvalidArgs;
+  }
+  const uint32_t home = PickCpu(cpu_mask);
+  // Allocate time-slice vector positions (each CPU is a linear vector of
   // slices; an environment without a slice never runs).
   uint32_t free_slots = 0;
-  for (EnvId owner : slice_vector_) {
+  for (EnvId owner : cpu_[home].slice_vector) {
     free_slots += (owner == kNoEnv) ? 1 : 0;
   }
   if (free_slots < spec.slices) {
@@ -124,15 +138,10 @@ Result<EnvGrant> Aegis::CreateEnv(EnvSpec spec) {
     SysExit();  // Entries that "return" exit cleanly.
   });
 
-  uint32_t granted = 0;
-  for (EnvId& owner : slice_vector_) {
-    if (granted == spec.slices) {
-      break;
-    }
-    if (owner == kNoEnv) {
-      owner = id;
-      ++granted;
-    }
+  env->cpu_mask = cpu_mask;
+  env->last_cpu = home;
+  for (uint32_t granted = 0; granted < spec.slices; ++granted) {
+    (void)GrantSlice(*env, home);  // Cannot fail: capacity checked above.
   }
 
   const EnvGrant grant{id, env->self_cap};
@@ -156,18 +165,23 @@ void Aegis::SysExit() {
   // deliberately outlives the environment, so the common "allocate a
   // shared buffer, hand the capability to a peer, exit" pattern works.
   // Forced termination (KillEnv) reclaims everything instead.
-  for (EnvId& owner : slice_vector_) {
-    if (owner == env.id) {
-      owner = kNoEnv;
+  for (CpuSched& cpu : cpu_) {
+    for (EnvId& owner : cpu.slice_vector) {
+      if (owner == env.id) {
+        owner = kNoEnv;
+      }
+    }
+    if (cpu.yield_hint == env.id) {
+      cpu.yield_hint = kNoEnv;
     }
   }
-  if (yield_hint_ == env.id) {
-    yield_hint_ = kNoEnv;
-  }
+  env.slice_slots = 0;
+  env.slot_mask = 0;
   env.mailbox.clear();
   env.wake_pending = false;
   priv_.TlbFlushAsid(env.asid);
   stlb_.FlushAsid(env.asid);
+  ShootdownRemoteAsid(env.asid);
   SwitchToKernel();
   std::fprintf(stderr, "aegis: exited environment resumed\n");
   std::abort();
@@ -187,16 +201,23 @@ void Aegis::TearDownEnv(Env& env) {
   env.killed = true;
   --live_envs_;
 
-  // CPU: slice-vector slots and any donation aimed at the corpse.
-  machine_.Charge(Instr(2) * slice_vector_.size());
-  for (EnvId& owner : slice_vector_) {
-    if (owner == env.id) {
-      owner = kNoEnv;
+  // CPU: slice-vector slots on every processor and any donation aimed at
+  // the corpse.
+  for (CpuSched& cpu : cpu_) {
+    machine_.Charge(Instr(2) * cpu.slice_vector.size());
+    for (EnvId& owner : cpu.slice_vector) {
+      if (owner == env.id) {
+        owner = kNoEnv;
+      }
+    }
+    if (cpu.yield_hint == env.id) {
+      cpu.yield_hint = kNoEnv;
     }
   }
-  if (yield_hint_ == env.id) {
-    yield_hint_ = kNoEnv;
-  }
+  env.slice_slots = 0;
+  env.slot_mask = 0;
+  env.kill_pending = false;
+  env.on_cpu = kNoCpu;
 
   // Pending PCTs and the repossession vector die with the environment.
   env.mailbox.clear();
@@ -264,9 +285,11 @@ void Aegis::TearDownEnv(Env& env) {
     SeverTraceRing();
   }
 
-  // Addressing context: no stale translation may outlive the environment.
+  // Addressing context: no stale translation may outlive the environment,
+  // on this CPU or any other.
   priv_.TlbFlushAsid(env.asid);
   stlb_.FlushAsid(env.asid);
+  ShootdownRemoteAsid(env.asid);
 
   // Framebuffer ownership tags.
   if (framebuffer_ != nullptr) {
@@ -296,13 +319,40 @@ Status Aegis::KillEnv(EnvId victim_id) {
   if (victim == nullptr || victim->state == EnvState::kExited) {
     return Status::kErrNotFound;
   }
-  if (in_pct_) {
+  if (cur().in_pct) {
     // PCT atomicity: the transfer cannot be diverted between initiation
     // and entry; the kill lands when the outermost transfer returns.
     deferred_kills_.push_back(victim_id);
     return Status::kOk;
   }
-  const bool suicide = (victim_id == current_);
+  for (const CpuSched& cpu : cpu_) {
+    if (&cpu != &cur() && cpu.in_pct && cpu.current == victim_id) {
+      // The victim is the callee of a transfer in flight on another CPU;
+      // that CPU runs the deferred kill at its outer return.
+      deferred_kills_.push_back(victim_id);
+      return Status::kOk;
+    }
+  }
+  if (victim->on_cpu != kNoCpu && victim->on_cpu != machine_.current_cpu()) {
+    // The victim is executing on another processor: this CPU cannot tear
+    // down a fiber that is live over there. Send a reap IPI; the target
+    // kills the victim from its own context at the next charge boundary,
+    // exactly as a locally delivered fault interrupt would.
+    if (!victim->kill_pending) {
+      const uint32_t target = victim->on_cpu;
+      victim->kill_pending = true;
+      machine_.Charge(kIpiCost);
+      Trace(xtrace::Event::kIpi, target, victim_id);
+      Env* initiator = FindEnv(cur().current);
+      if (initiator != nullptr) {
+        ++initiator->counters.ipis_sent;
+      }
+      ++remote_kills_sent_;
+      priv_.SendIpi(target, victim_id);
+    }
+    return Status::kOk;
+  }
+  const bool suicide = (victim_id == cur().current);
   TearDownEnv(*victim);
   ++envs_killed_;
   NotifyEnvDeath(*victim);
@@ -325,16 +375,21 @@ void Aegis::ProcessDeferredKills() {
   deferred_kills_.clear();
   bool suicide = false;
   for (EnvId id : kills) {
-    if (id == current_) {
+    if (id == cur().current) {
       suicide = true;
       continue;
     }
     Env* victim = FindEnv(id);
-    if (victim != nullptr && victim->state != EnvState::kExited) {
-      TearDownEnv(*victim);
-      ++envs_killed_;
-      NotifyEnvDeath(*victim);
+    if (victim == nullptr || victim->state == EnvState::kExited) {
+      continue;
     }
+    if (victim->on_cpu != kNoCpu && victim->on_cpu != machine_.current_cpu()) {
+      (void)KillEnv(id);  // Re-route: the reap belongs to the CPU running it.
+      continue;
+    }
+    TearDownEnv(*victim);
+    ++envs_killed_;
+    NotifyEnvDeath(*victim);
   }
   MaybeAuditAfterFault();
   if (suicide) {
@@ -356,14 +411,14 @@ void Aegis::SwitchToKernel() {
   // Interrupt masking follows the context: save this context's trap depth
   // and run the kernel scheduler unmasked. ResumeEnv restores it.
   env.saved_trap_depth = priv_.SwapTrapDepth(0);
-  hw::Fiber::Switch(*env.fiber, kernel_fiber_);
+  hw::Fiber::Switch(*env.fiber, cur().kernel_fiber);
 }
 
 void Aegis::ResumeEnv(Env& env) {
   priv_.SwapTrapDepth(env.saved_trap_depth);
-  env_fiber_active_ = true;
-  hw::Fiber::Switch(kernel_fiber_, *env.fiber);
-  env_fiber_active_ = false;
+  cur().env_fiber_active = true;
+  hw::Fiber::Switch(cur().kernel_fiber, *env.fiber);
+  cur().env_fiber_active = false;
   priv_.SwapTrapDepth(0);  // Back on the kernel fiber.
 }
 
@@ -381,8 +436,26 @@ void Aegis::DrainMailbox(Env& env) {
 void Aegis::WakeEnvInternal(Env& env) {
   if (env.state == EnvState::kBlocked) {
     env.state = EnvState::kRunnable;
+    NudgeCpusFor(env);
   } else if (env.state == EnvState::kRunnable) {
     env.wake_pending = true;
+  }
+}
+
+void Aegis::NudgeCpusFor(const Env& env) {
+  if (machine_.cpu_count() <= 1) {
+    return;  // The one CPU is the caller; its loop rescans on its own.
+  }
+  // An env with no slots yet can be picked up by any CPU's idle fallback.
+  const uint64_t mask = env.slot_mask != 0 ? env.slot_mask : ~0ULL;
+  for (uint32_t k = 0; k < machine_.cpu_count(); ++k) {
+    if ((mask & (1ULL << k)) == 0 || k == machine_.current_cpu()) {
+      continue;
+    }
+    if (machine_.CpuParked(k)) {
+      Trace(xtrace::Event::kIpi, k, 0);
+      priv_.SendIpi(k, 0);  // Payload 0: reschedule; waking alone suffices.
+    }
   }
 }
 
@@ -390,13 +463,15 @@ void Aegis::WakeEnvInternal(Env& env) {
 
 bool Aegis::AnyLive() const { return live_envs_ > 0; }
 
-EnvId Aegis::NextRunnable() {
-  const uint32_t n = static_cast<uint32_t>(slice_vector_.size());
+EnvId Aegis::NextRunnable(uint32_t cpu_index) {
+  CpuSched& cpu = cpu_[cpu_index];
+  const uint32_t n = static_cast<uint32_t>(cpu.slice_vector.size());
   for (uint32_t step = 0; step < n; ++step) {
-    const uint32_t pos = (slice_cursor_ + step) % n;
-    const EnvId id = slice_vector_[pos];
+    const uint32_t pos = (cpu.slice_cursor + step) % n;
+    const EnvId id = cpu.slice_vector[pos];
     Env* env = FindEnv(id);
-    if (env == nullptr || env->state != EnvState::kRunnable) {
+    if (env == nullptr || env->state != EnvState::kRunnable ||
+        env->on_cpu != kNoCpu || env->kill_pending) {
       continue;
     }
     if (env->excess_penalty > 0) {
@@ -405,51 +480,109 @@ EnvId Aegis::NextRunnable() {
       --env->excess_penalty;
       continue;
     }
-    slice_cursor_ = pos + 1;
+    cpu.slice_cursor = pos + 1;
     return id;
   }
   return kNoEnv;
 }
 
+uint32_t Aegis::PickCpu(uint64_t mask) const {
+  uint32_t best = kNoCpu;
+  uint32_t best_load = 0;
+  for (uint32_t k = 0; k < machine_.cpu_count() && k < 64; ++k) {
+    if ((mask & (1ULL << k)) == 0) {
+      continue;
+    }
+    uint32_t load = 0;
+    for (EnvId owner : cpu_[k].slice_vector) {
+      load += (owner != kNoEnv) ? 1 : 0;
+    }
+    if (best == kNoCpu || load < best_load) {
+      best = k;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+Status Aegis::GrantSlice(Env& env, uint32_t cpu_index) {
+  for (EnvId& owner : cpu_[cpu_index].slice_vector) {
+    if (owner == kNoEnv) {
+      owner = env.id;
+      ++env.slice_slots;
+      env.slot_mask |= 1ULL << cpu_index;
+      return Status::kOk;
+    }
+  }
+  return Status::kErrNoResources;
+}
+
 void Aegis::Run() {
   running_ = true;
+  if (machine_.cpu_count() == 1) {
+    RunCpu(0);  // On the calling fiber, exactly as the uniprocessor did.
+  } else {
+    std::vector<std::function<void()>> bodies;
+    for (uint32_t k = 0; k < machine_.cpu_count(); ++k) {
+      bodies.push_back([this, k]() { RunCpu(k); });
+    }
+    machine_.RunCpus(std::move(bodies));
+  }
+  running_ = false;
+}
+
+void Aegis::RunCpu(uint32_t cpu_index) {
+  CpuSched& cpu = cpu_[cpu_index];
   while (AnyLive() && !powered_off_) {
     EnvId next = kNoEnv;
     bool donated = false;
-    if (yield_hint_ != kNoEnv) {
-      Env* target = FindEnv(yield_hint_);
-      yield_hint_ = kNoEnv;
-      if (target != nullptr && target->state == EnvState::kRunnable) {
+    if (cpu.yield_hint != kNoEnv) {
+      Env* target = FindEnv(cpu.yield_hint);
+      cpu.yield_hint = kNoEnv;
+      if (target != nullptr && target->state == EnvState::kRunnable &&
+          target->on_cpu == kNoCpu && !target->kill_pending) {
         next = target->id;
         donated = true;
       }
     }
     if (next == kNoEnv) {
-      next = NextRunnable();
+      next = NextRunnable(cpu_index);
     }
     if (next == kNoEnv) {
       // Excess-time penalties only bite under contention: if every
       // runnable environment was skipped for penalties this pass, run one
-      // anyway rather than idling the processor.
+      // anyway rather than idling the processor. A CPU prefers envs
+      // holding one of its slots; an env with no slots anywhere may land
+      // on any processor.
       for (const auto& env : envs_) {
-        if (env->state == EnvState::kRunnable) {
+        if (env->state == EnvState::kRunnable && env->on_cpu == kNoCpu &&
+            !env->kill_pending &&
+            (machine_.cpu_count() == 1 || env->slot_mask == 0 ||
+             (env->slot_mask & (1ULL << cpu_index)) != 0)) {
           next = env->id;
           break;
         }
       }
     }
     if (next == kNoEnv) {
-      priv_.SetSliceDeadline(0);
+      priv_.ClearSliceDeadline();
       machine_.WaitForInterrupt();
       continue;
     }
     Env& env = *FindEnv(next);
+    env.on_cpu = cpu_index;  // Claim before the first charge: no sibling
+                             // may pick this env while its resume is set up.
     priv_.SetAsid(env.asid);
-    if (!donated || priv_.slice_deadline() == 0) {
+    if (!donated || !priv_.slice_armed()) {
       priv_.SetSliceDeadline(machine_.clock().now() + config_.slice_cycles);
     }
     ++env.slices_run;
-    current_ = next;
+    cpu.current = next;
+    if (cpu_index != env.last_cpu) {
+      ++env.counters.migrations;
+      Trace(xtrace::Event::kMigration, env.last_cpu, cpu_index);
+      env.last_cpu = cpu_index;
+    }
     Trace(xtrace::Event::kSliceSwitch, donated ? 1u : 0u);
     const uint64_t resumed_at = machine_.clock().now();
     DrainMailbox(env);
@@ -457,10 +590,10 @@ void Aegis::Run() {
       ResumeEnv(env);
     }
     env.counters.cycles_on_cpu += machine_.clock().now() - resumed_at;
-    current_ = kNoEnv;
+    env.on_cpu = kNoCpu;
+    cpu.current = kNoEnv;
   }
-  priv_.SetSliceDeadline(0);
-  running_ = false;
+  priv_.ClearSliceDeadline();
 }
 
 // --- Basic syscalls ---
@@ -479,13 +612,42 @@ uint64_t Aegis::SysGetCycles() {
 EnvId Aegis::SysSelf() {
   SyscallScope scope(*this, xtrace::Sys::kSelf);
   machine_.Charge(Instr(2));
-  return current_;
+  return cur().current;
 }
 
 uint32_t Aegis::SysCpuSlices() {
   SyscallScope scope(*this, xtrace::Sys::kCpuSlices);
   machine_.Charge(Instr(2));
-  return static_cast<uint32_t>(slice_vector_.size());
+  return static_cast<uint32_t>(cur().slice_vector.size());
+}
+
+uint32_t Aegis::SysCpuCount() {
+  SyscallScope scope(*this, xtrace::Sys::kCpuCount);
+  machine_.Charge(Instr(2));  // PRId/config register read.
+  return machine_.cpu_count();
+}
+
+uint32_t Aegis::SysCurrentCpu() {
+  SyscallScope scope(*this, xtrace::Sys::kCurrentCpu);
+  machine_.Charge(Instr(2));
+  return machine_.current_cpu();
+}
+
+Status Aegis::SysAllocSlice(uint32_t cpu) {
+  SyscallScope scope(*this, xtrace::Sys::kAllocSlice);
+  machine_.Charge(kSyscallEntry + Instr(10) + kSyscallExit);
+  Env& env = CurrentEnv();
+  uint32_t target = cpu;
+  if (cpu == kAnyCpu) {
+    target = PickCpu(env.cpu_mask);
+  } else if (cpu >= machine_.cpu_count() || cpu >= 64 ||
+             (env.cpu_mask & (1ULL << cpu)) == 0) {
+    return Status::kErrInvalidArgs;
+  }
+  if (target == kNoCpu) {
+    return Status::kErrInvalidArgs;
+  }
+  return GrantSlice(env, target);
 }
 
 void Aegis::SysYield(EnvId target) {
@@ -494,9 +656,9 @@ void Aegis::SysYield(EnvId target) {
   machine_.Charge(kSyscallEntry + kYieldPath);
   if (target != kAnyEnv && target != kNoEnv) {
     // Directed yield donates the rest of the current slice to `target`.
-    yield_hint_ = target;
+    cur().yield_hint = target;
   } else {
-    priv_.SetSliceDeadline(0);  // Give up the remainder.
+    priv_.ClearSliceDeadline();  // Give up the remainder.
   }
   SwitchToKernel();
   machine_.Charge(kSyscallExit);
@@ -512,7 +674,7 @@ void Aegis::SysBlock() {
     return;
   }
   env.state = EnvState::kBlocked;
-  priv_.SetSliceDeadline(0);
+  priv_.ClearSliceDeadline();
   SwitchToKernel();
   machine_.Charge(kSyscallExit);
 }
@@ -520,7 +682,7 @@ void Aegis::SysBlock() {
 void Aegis::SysSleep(uint64_t cycles) {
   SyscallScope scope(*this, xtrace::Sys::kSleep);
   machine_.Charge(kSyscallEntry + Instr(6));
-  priv_.ScheduleEvent(cycles, hw::InterruptSource::kAlarm, current_);
+  priv_.ScheduleEvent(cycles, hw::InterruptSource::kAlarm, cur().current);
   SysBlock();
 }
 
@@ -536,6 +698,7 @@ Status Aegis::SysWake(EnvId id, const Capability& env_cap) {
   }
   if (env->state == EnvState::kBlocked) {
     env->state = EnvState::kRunnable;
+    NudgeCpusFor(*env);
   } else {
     env->wake_pending = true;  // Latch: a racing SysBlock returns at once.
   }
@@ -661,10 +824,68 @@ Result<Capability> Aegis::SysDeriveCap(const Capability& cap, uint32_t rights) {
   return authority_.Derive(cap, rights);
 }
 
+// TLB shootdown, the software half: invalidate a reclaimed translation in
+// every *other* CPU's TLB. Synchronous, as real shootdowns are — the
+// initiator may not reuse the frame (or the asid) until every CPU has
+// dropped it, so the remote vectoring and invalidation bill to the
+// initiator: kIpiCost per remote CPU whose TLB actually held a matching
+// entry, plus kIpiRemoteInvalidate per entry dropped. CPUs that never
+// cached the translation cost nothing.
+void Aegis::ShootdownRemotePfn(hw::PageId page) {
+  const uint32_t ncpus = machine_.cpu_count();
+  if (ncpus <= 1) {
+    return;
+  }
+  const uint32_t self = machine_.current_cpu();
+  Env* initiator = FindEnv(cur().current);
+  for (uint32_t k = 0; k < ncpus; ++k) {
+    if (k == self) {
+      continue;
+    }
+    const uint32_t dropped = priv_.TlbRemoteFlushPfn(k, page);
+    if (dropped == 0) {
+      continue;
+    }
+    machine_.Charge(kIpiCost + kIpiRemoteInvalidate * dropped);
+    ++tlb_shootdowns_;
+    if (initiator != nullptr) {
+      ++initiator->counters.ipis_sent;
+      ++initiator->counters.tlb_shootdowns;
+    }
+    Trace(xtrace::Event::kTlbShootdown, page, k, dropped, /*asid_flush=*/0);
+  }
+}
+
+void Aegis::ShootdownRemoteAsid(hw::Asid asid) {
+  const uint32_t ncpus = machine_.cpu_count();
+  if (ncpus <= 1) {
+    return;
+  }
+  const uint32_t self = machine_.current_cpu();
+  Env* initiator = FindEnv(cur().current);
+  for (uint32_t k = 0; k < ncpus; ++k) {
+    if (k == self) {
+      continue;
+    }
+    const uint32_t dropped = priv_.TlbRemoteFlushAsid(k, asid);
+    if (dropped == 0) {
+      continue;
+    }
+    machine_.Charge(kIpiCost + kIpiRemoteInvalidate * dropped);
+    ++tlb_shootdowns_;
+    if (initiator != nullptr) {
+      ++initiator->counters.ipis_sent;
+      ++initiator->counters.tlb_shootdowns;
+    }
+    Trace(xtrace::Event::kTlbShootdown, asid, k, dropped, /*asid_flush=*/1);
+  }
+}
+
 void Aegis::FlushPageBindings(hw::PageId page) {
   machine_.Charge(Instr(20));  // Reverse-map sweep of cached bindings.
   machine_.tlb().FlushPfn(page);
   stlb_.FlushPfn(page);
+  ShootdownRemotePfn(page);
   // Packet-filter bindings are cached bindings too: a ring or pinned ASH
   // region spanning the reclaimed frame would keep the demux writing into
   // it at interrupt level after reallocation. Sever them here so every
@@ -714,28 +935,28 @@ Result<PctArgs> Aegis::SysPctCall(EnvId callee, const PctArgs& args) {
   if (!target->handlers.pct_sync) {
     return Status::kErrUnsupported;
   }
-  const EnvId caller = current_;
-  const bool outer = !in_pct_;
-  in_pct_ = true;
+  const EnvId caller = cur().current;
+  const bool outer = !cur().in_pct;
+  cur().in_pct = true;
   priv_.SetAsid(target->asid);
-  current_ = callee;
+  cur().current = callee;
 
   // Control is now in the callee's protection domain, at its protected
   // entry, with the caller's slice donated. The transfer is atomic: it
   // cannot be diverted between initiation and entry.
   PctArgs reply = target->handlers.pct_sync(args);
 
-  current_ = caller;
+  cur().current = caller;
   priv_.SetAsid(CurrentEnv().asid);
   machine_.Charge(kPctOneWay);
   if (outer) {
-    in_pct_ = false;
+    cur().in_pct = false;
     // Kills first: if the caller itself was condemned mid-transfer this
     // does not return, and a corpse must not run its slice epilogue.
     ProcessDeferredKills();
-    if (slice_expired_during_pct_) {
+    if (cur().slice_expired_during_pct) {
       // The slice ended mid-transfer; honour it now that atomicity holds.
-      slice_expired_during_pct_ = false;
+      cur().slice_expired_during_pct = false;
       OnInterrupt(hw::InterruptSource::kTimer, 0);
     }
   }
@@ -761,7 +982,7 @@ Status Aegis::SysPctSend(EnvId callee, const PctArgs& args) {
 // --- Exceptions (paper §5.3) ---
 
 hw::TrapOutcome Aegis::OnException(hw::TrapFrame& frame) {
-  Env* faulter = FindEnv(current_);
+  Env* faulter = FindEnv(cur().current);
   if (frame.type == hw::ExceptionType::kTlbMissLoad ||
       frame.type == hw::ExceptionType::kTlbMissStore) {
     if (faulter != nullptr) {
@@ -795,7 +1016,7 @@ hw::TrapOutcome Aegis::OnException(hw::TrapFrame& frame) {
   // scratch registers to the agreed-upon save area (physical addresses),
   // load cause/badvaddr, and jump — 18 instructions.
   machine_.Charge(kExceptionDispatch);
-  Env* env = FindEnv(current_);
+  Env* env = FindEnv(cur().current);
   if (env == nullptr || !env->handlers.exception || env->state == EnvState::kExited) {
     return hw::TrapOutcome::kSkip;
   }
@@ -811,11 +1032,11 @@ void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
         static_cast<uint32_t>(payload));
   switch (source) {
     case hw::InterruptSource::kTimer: {
-      if (current_ == kNoEnv) {
+      if (cur().current == kNoEnv) {
         return;  // Stale timer after the slice owner already left.
       }
-      if (in_pct_) {
-        slice_expired_during_pct_ = true;  // Honoured when the PCT returns.
+      if (cur().in_pct) {
+        cur().slice_expired_during_pct = true;  // Honoured when the PCT returns.
         return;
       }
       Env& env = CurrentEnv();
@@ -873,6 +1094,21 @@ void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
       }
       break;
     }
+    case hw::InterruptSource::kIpi: {
+      // Payload 0: reschedule nudge — being woken out of WaitForInterrupt
+      // is the entire effect; the kernel loop rescans its slice vector.
+      // Nonzero: reap request for the named environment (cross-CPU kill).
+      const EnvId target = static_cast<EnvId>(payload);
+      if (target == kNoEnv) {
+        break;
+      }
+      Env* victim = FindEnv(target);
+      if (victim != nullptr) {
+        victim->kill_pending = false;  // The reap is landing right now.
+      }
+      (void)KillEnv(target);  // Suicide path if the victim runs here.
+      break;
+    }
     case hw::InterruptSource::kFault: {
       // Asynchronous environment kill, delivered at an arbitrary
       // cycle-charge boundary. A stale id (the victim already exited) is a
@@ -898,7 +1134,7 @@ void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
       if (disk_ != nullptr) {
         disk_->PowerCut();
       }
-      if (env_fiber_active_ && current_ != kNoEnv) {
+      if (cur().env_fiber_active && cur().current != kNoEnv) {
         SwitchToKernel();  // Never returns: Run() exits on powered_off_.
       }
       break;
@@ -996,7 +1232,7 @@ Status Aegis::SysUnbindTraceRing() {
   if (trace_ == nullptr) {
     return Status::kErrNotFound;
   }
-  if (trace_->owner != current_) {
+  if (trace_->owner != cur().current) {
     return Status::kErrAccessDenied;
   }
   SeverTraceRing();  // The region pages stay with the caller.
@@ -1032,6 +1268,7 @@ EnvStats Aegis::env_stats(EnvId env) const {
   stats.killed = e.killed;
   stats.pages_held = e.pages_owned;
   stats.slices_run = e.slices_run;
+  stats.cpu = e.on_cpu != kNoCpu ? e.on_cpu : e.last_cpu;
   stats.counters = e.counters;
   return stats;
 }
@@ -1040,6 +1277,13 @@ void Aegis::DebugSkewPageAccounting(EnvId env, int32_t delta) {
   Env* e = FindEnv(env);
   if (e != nullptr) {
     e->pages_owned = static_cast<uint32_t>(static_cast<int32_t>(e->pages_owned) + delta);
+  }
+}
+
+void Aegis::DebugSkewSliceAccounting(EnvId env, int32_t delta) {
+  Env* e = FindEnv(env);
+  if (e != nullptr) {
+    e->slice_slots = static_cast<uint32_t>(static_cast<int32_t>(e->slice_slots) + delta);
   }
 }
 
@@ -1158,14 +1402,18 @@ Aegis::AuditReport Aegis::AuditInvariants() const {
   // the frame it names must still be allocated to a valid owner — not
   // necessarily the mapper: capability-authorized sharing maps a peer's
   // frame. Reclaimed frames have no mappings (FlushPageBindings).
-  for (const hw::TlbEntry& entry : machine_.tlb().entries()) {
-    if (!entry.valid) {
-      continue;
-    }
-    if (!alive(static_cast<EnvId>(entry.asid))) {
-      fail("TLB entry for dead asid " + std::to_string(entry.asid));
-    } else if (entry.pfn >= pages_.size() || !owner_ok(pages_[entry.pfn].owner)) {
-      fail("TLB entry maps reclaimed frame " + std::to_string(entry.pfn));
+  for (uint32_t k = 0; k < machine_.cpu_count(); ++k) {
+    for (const hw::TlbEntry& entry : machine_.cpu(k).tlb().entries()) {
+      if (!entry.valid) {
+        continue;
+      }
+      if (!alive(static_cast<EnvId>(entry.asid))) {
+        fail("cpu " + std::to_string(k) + " TLB entry for dead asid " +
+             std::to_string(entry.asid));
+      } else if (entry.pfn >= pages_.size() || !owner_ok(pages_[entry.pfn].owner)) {
+        fail("cpu " + std::to_string(k) + " TLB entry maps reclaimed frame " +
+             std::to_string(entry.pfn));
+      }
     }
   }
   for (const Stlb::Entry& entry : stlb_.slots()) {
@@ -1222,15 +1470,37 @@ Aegis::AuditReport Aegis::AuditInvariants() const {
     }
   }
 
-  // Scheduler: slice vector and donation hint reference only live envs.
-  for (size_t slot = 0; slot < slice_vector_.size(); ++slot) {
-    if (slice_vector_[slot] != kNoEnv && !alive(slice_vector_[slot])) {
-      fail("slice " + std::to_string(slot) + " owned by dead env " +
-           std::to_string(slice_vector_[slot]));
+  // Scheduler: every slice-vector slot on every CPU names a live env, the
+  // donation hints reference only live envs, and each env's slice-slot
+  // ledger matches the slots the vectors actually hold for it.
+  std::vector<uint32_t> slots_held(envs_.size() + 1, 0);
+  for (size_t k = 0; k < cpu_.size(); ++k) {
+    const CpuSched& cpu = cpu_[k];
+    for (size_t slot = 0; slot < cpu.slice_vector.size(); ++slot) {
+      const EnvId id = cpu.slice_vector[slot];
+      if (id == kNoEnv) {
+        continue;
+      }
+      if (!alive(id)) {
+        fail("cpu " + std::to_string(k) + " slice " + std::to_string(slot) +
+             " owned by dead env " + std::to_string(id));
+      } else {
+        ++slots_held[id];
+      }
+    }
+    if (cpu.yield_hint != kNoEnv && !alive(cpu.yield_hint)) {
+      fail("cpu " + std::to_string(k) + " yield hint names dead env " +
+           std::to_string(cpu.yield_hint));
     }
   }
-  if (yield_hint_ != kNoEnv && !alive(yield_hint_)) {
-    fail("yield hint names dead env " + std::to_string(yield_hint_));
+  for (const auto& env : envs_) {
+    if (env->state != EnvState::kExited && env->slice_slots != slots_held[env->id]) {
+      fail("slice accounting: env " + std::to_string(env->id) + " reports " +
+           std::to_string(env->slice_slots) + " slots, vectors hold " +
+           std::to_string(slots_held[env->id]) + " (first offender: env " +
+           std::to_string(env->id) + ")");
+      break;  // Name the first offender; one cooked ledger line suffices.
+    }
   }
 
   // Framebuffer ownership tags.
@@ -1443,7 +1713,7 @@ Status Aegis::SysUnbindFilter(dpf::FilterId id) {
   if (id >= bindings_.size() || !bindings_[id].live) {
     return Status::kErrNotFound;
   }
-  if (bindings_[id].owner != current_) {
+  if (bindings_[id].owner != cur().current) {
     return Status::kErrAccessDenied;
   }
   bindings_[id].live = false;
@@ -1459,7 +1729,7 @@ Result<std::vector<uint8_t>> Aegis::SysRecvPacket(dpf::FilterId id) {
     return Status::kErrNotFound;
   }
   FilterBinding& binding = bindings_[id];
-  if (binding.owner != current_) {
+  if (binding.owner != cur().current) {
     machine_.Charge(kSyscallExit);
     return Status::kErrAccessDenied;
   }
@@ -1559,7 +1829,7 @@ Status Aegis::SysUnbindPacketRing(dpf::FilterId id) {
     return Status::kErrNotFound;
   }
   FilterBinding& binding = bindings_[id];
-  if (binding.owner != current_) {
+  if (binding.owner != cur().current) {
     return Status::kErrAccessDenied;
   }
   if (!binding.ring.live) {
@@ -1577,7 +1847,7 @@ Result<uint32_t> Aegis::SysTxRing(dpf::FilterId id, uint32_t max_frames) {
     return Status::kErrNotFound;
   }
   FilterBinding& binding = bindings_[id];
-  if (binding.owner != current_) {
+  if (binding.owner != cur().current) {
     machine_.Charge(kSyscallExit);
     return Status::kErrAccessDenied;
   }
@@ -1630,7 +1900,7 @@ Result<PacketStats> Aegis::SysPacketStats(dpf::FilterId id) {
   if (id >= bindings_.size() || !bindings_[id].live) {
     return Status::kErrNotFound;
   }
-  if (bindings_[id].owner != current_) {
+  if (bindings_[id].owner != cur().current) {
     return Status::kErrAccessDenied;
   }
   return packet_stats(id);
@@ -1791,10 +2061,10 @@ Status Aegis::RevokePages(EnvId victim_id, uint32_t pages) {
   const uint32_t free_before = free_pages();
   if (victim->handlers.revoke) {
     // Visible revocation: the library OS chooses which pages to give up.
-    const EnvId saved = current_;
-    current_ = victim_id;
+    const EnvId saved = cur().current;
+    cur().current = victim_id;
     victim->handlers.revoke(pages);
-    current_ = saved;
+    cur().current = saved;
   }
   const uint32_t freed = free_pages() - free_before;
   if (freed < pages) {

@@ -19,7 +19,10 @@
 // Threading model: Aegis::Run() executes the scheduler loop on the calling
 // fiber ("kernel fiber"); each environment runs on its own fiber. All
 // syscalls are methods called from environment fibers; they charge their
-// documented path lengths to the simulated clock.
+// documented path lengths to the simulated clock. On a multi-CPU machine
+// (hw::Machine::Config::cpus > 1) Run() instead drives one scheduler loop
+// per CPU through the machine's SMP interleaver; each CPU owns a slice
+// vector and revocation paths shoot down remote TLBs over IPIs.
 #ifndef XOK_SRC_CORE_AEGIS_H_
 #define XOK_SRC_CORE_AEGIS_H_
 
@@ -74,6 +77,11 @@ struct EnvSpec {
   std::function<void()> entry;
   EnvHandlers handlers;
   uint32_t slices = 1;  // Time-slice vector positions to allocate at birth.
+  // CPUs the environment may hold slices on. All requested birth slices
+  // land on the least-loaded admitted CPU (lowest index breaks ties);
+  // SysAllocSlice grows onto others later. kAnyCpuMask admits every CPU,
+  // which on a single-CPU machine reproduces the old placement exactly.
+  uint64_t cpu_mask = kAnyCpuMask;
 };
 
 // Options for binding a packet filter (paper §3.2): the owning
@@ -133,6 +141,7 @@ struct EnvStats {
   bool killed = false;
   uint32_t pages_held = 0;
   uint64_t slices_run = 0;
+  uint32_t cpu = 0;  // CPU currently running the env, else its last CPU.
   xtrace::EnvCounters counters;
 };
 
@@ -169,9 +178,15 @@ class Aegis final : public hw::TrapSink {
   // Null system call: enters and leaves the kernel (Table 2 workload).
   void SysNull();
   // Guaranteed-not-to-clobber-registers primitive operations (Table 3).
-  uint64_t SysGetCycles();     // Read the cycle counter.
+  uint64_t SysGetCycles();     // Read the cycle counter (executing CPU).
   EnvId SysSelf();             // Current environment id.
-  uint32_t SysCpuSlices();     // Length of the slice vector.
+  uint32_t SysCpuSlices();     // Length of each per-CPU slice vector.
+  uint32_t SysCpuCount();      // Processors on this machine.
+  uint32_t SysCurrentCpu();    // CPU executing the caller right now.
+  // Grants the caller one more slice-vector slot on `cpu` (kAnyCpu: the
+  // least-loaded CPU admitted by the env's cpu_mask). This is how an
+  // environment spans processors after birth.
+  Status SysAllocSlice(uint32_t cpu = kAnyCpu);
   // Yields the rest of the current slice to `target` (directed yield) or
   // to the next runnable environment (kAnyEnv).
   void SysYield(EnvId target = kAnyEnv);
@@ -325,8 +340,13 @@ class Aegis final : public hw::TrapSink {
   hw::Machine& machine() { return machine_; }
   const cap::CapAuthority& authority() const { return authority_; }
   uint32_t free_pages() const;
-  EnvId current_env() const { return current_; }
+  EnvId current_env() const { return cur().current; }
   uint64_t slices_of(EnvId env) const;
+  // Forced kills whose reap was handed to another CPU via IPI.
+  uint64_t remote_kills_sent() const { return remote_kills_sent_; }
+  // TLB shootdowns performed (remote CPUs whose TLB actually held the
+  // flushed translation).
+  uint64_t tlb_shootdowns() const { return tlb_shootdowns_; }
   uint64_t stlb_hits() const { return stlb_hits_; }
   uint64_t stlb_misses() const { return stlb_misses_; }
   uint64_t slice_cycles() const { return config_.slice_cycles; }
@@ -344,6 +364,9 @@ class Aegis final : public hw::TrapSink {
   // any page, so tests can prove the accounting cross-check in
   // AuditInvariants catches a real leak.
   void DebugSkewPageAccounting(EnvId env, int32_t delta);
+  // Test-only: skews an environment's slice-slot counter the same way, so
+  // tests can prove the per-CPU slice accounting cross-check fires.
+  void DebugSkewSliceAccounting(EnvId env, int32_t delta);
   // Disables the software TLB (ablation bench).
   void set_stlb_enabled(bool enabled) { stlb_enabled_ = enabled; }
 
@@ -450,10 +473,21 @@ class Aegis final : public hw::TrapSink {
   // Wakes `env` (kernel-internal paths), latching wakes aimed at runnable
   // environments so racing SysBlocks do not sleep through them.
   void WakeEnvInternal(Env& env);
+  // Cross-CPU wake kick: IPIs every parked CPU holding one of `env`'s
+  // slice slots so it leaves WaitForInterrupt and rescans. No-op on a
+  // single-CPU machine (the one CPU is the caller).
+  void NudgeCpusFor(const Env& env);
 
-  // Scheduler helpers.
-  EnvId NextRunnable();
+  // Scheduler helpers. The per-CPU loop body and the slice scan both act
+  // on one CPU's slice vector.
+  void RunCpu(uint32_t cpu_index);
+  EnvId NextRunnable(uint32_t cpu_index);
   bool AnyLive() const;
+  // Least-loaded CPU admitted by `mask` (fewest owned slice slots; lowest
+  // index breaks ties). Returns kNoCpu if the mask admits none.
+  uint32_t PickCpu(uint64_t mask) const;
+  // Grants `env` one slot on `cpu_index`'s vector; updates slot accounting.
+  Status GrantSlice(Env& env, uint32_t cpu_index);
 
   // Secure-binding helpers.
   cap::ResourceId PageResource(hw::PageId page) const {
@@ -465,7 +499,13 @@ class Aegis final : public hw::TrapSink {
   // Breaks every cached binding to `page`: TLB + STLB translations, packet
   // rings, and ASH pinned regions. Called on every frame-reclaim path
   // (dealloc, repossession, teardown) so no binding outlives the frame.
+  // On SMP this includes the IPI-driven TLB shootdown of remote CPUs.
   void FlushPageBindings(hw::PageId page);
+  // Shootdown halves: invalidate `page`'s (or `asid`'s) translations in
+  // every *other* CPU's TLB, charging kIpiCost plus kIpiRemoteInvalidate
+  // per entry for each remote CPU whose TLB actually held one.
+  void ShootdownRemotePfn(hw::PageId page);
+  void ShootdownRemoteAsid(hw::Asid asid);
   // Forcibly repossesses up to `pages` pages from `victim`.
   uint32_t Repossess(Env& victim, uint32_t pages);
 
@@ -494,22 +534,31 @@ class Aegis final : public hw::TrapSink {
   cap::CapAuthority authority_;
 
   std::vector<std::unique_ptr<Env>> envs_;  // Index = EnvId - 1.
-  EnvId current_ = kNoEnv;
-  hw::Fiber kernel_fiber_;
   bool running_ = false;
-  bool in_pct_ = false;
-  bool slice_expired_during_pct_ = false;
-  // True only while control is on current_'s own fiber (between ResumeEnv's
-  // switch in and out): the power-cut handler may abandon the environment
-  // with SwitchToKernel only then, never from kernel-fiber interrupt
-  // delivery (DrainMailbox, WaitForInterrupt).
-  bool env_fiber_active_ = false;
   bool powered_off_ = false;
 
-  // CPU: the linear vector of time slices (paper §5.1.1).
-  std::vector<EnvId> slice_vector_;
-  uint32_t slice_cursor_ = 0;
-  EnvId yield_hint_ = kNoEnv;  // Directed-yield target (slice donation).
+  // Per-CPU scheduler state: each processor owns a linear vector of time
+  // slices (paper §5.1.1 generalised), a kernel-loop fiber slot, and the
+  // flags that used to be kernel-global on the uniprocessor. cur() names
+  // the executing CPU's state; on a single-CPU machine that is always
+  // cpu_[0], which behaves exactly as the old globals did.
+  struct CpuSched {
+    std::vector<EnvId> slice_vector;
+    uint32_t slice_cursor = 0;
+    EnvId yield_hint = kNoEnv;  // Directed-yield target (slice donation).
+    EnvId current = kNoEnv;
+    hw::Fiber kernel_fiber;  // Continuation slot for this CPU's loop.
+    bool in_pct = false;
+    bool slice_expired_during_pct = false;
+    // True only while control is on current's own fiber (between
+    // ResumeEnv's switch in and out): the power-cut handler may abandon
+    // the environment with SwitchToKernel only then, never from
+    // kernel-fiber interrupt delivery (DrainMailbox, WaitForInterrupt).
+    bool env_fiber_active = false;
+  };
+  std::vector<CpuSched> cpu_;
+  CpuSched& cur() { return cpu_[machine_.current_cpu()]; }
+  const CpuSched& cur() const { return cpu_[machine_.current_cpu()]; }
 
   // Physical memory bindings.
   std::vector<PageInfo> pages_;
@@ -552,6 +601,8 @@ class Aegis final : public hw::TrapSink {
   std::unique_ptr<hw::FaultInjector> injector_;
   std::vector<EnvId> deferred_kills_;  // Kills postponed by PCT atomicity.
   uint64_t envs_killed_ = 0;
+  uint64_t remote_kills_sent_ = 0;  // Reaps handed to another CPU via IPI.
+  uint64_t tlb_shootdowns_ = 0;     // Remote TLBs actually invalidated.
   bool audit_on_fault_ = false;
   uint64_t audit_failures_ = 0;
   std::string first_audit_failure_;

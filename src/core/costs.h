@@ -70,6 +70,16 @@ inline constexpr uint64_t kDefaultSliceCycles = 25'000;
 // subsequent time slice per excess unit (paper §5.1.1).
 inline constexpr uint64_t kEpilogueBudget = Instr(500);
 
+// One inter-processor interrupt round on the initiating CPU: mailbox
+// write, the remote vectoring, and the initiator's wait for the
+// acknowledgment (shootdowns are synchronous, as in real kernels — the
+// initiator may not free the frame until every CPU has dropped it).
+inline constexpr uint64_t kIpiCost = Instr(60);
+
+// Each remote TLB entry the shootdown handler invalidates (indexed probe
+// + tlbwi on the remote CPU, billed to the initiator who waits for it).
+inline constexpr uint64_t kIpiRemoteInvalidate = Instr(8);
+
 }  // namespace xok::aegis
 
 #endif  // XOK_SRC_CORE_COSTS_H_

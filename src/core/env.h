@@ -29,6 +29,13 @@ using EnvId = uint32_t;
 inline constexpr EnvId kNoEnv = 0;
 inline constexpr EnvId kAnyEnv = 0xffffffffu;
 
+// CPU naming for slice placement. kNoCpu marks "not on any CPU right now";
+// kAnyCpu asks the kernel to pick (least-loaded placement).
+inline constexpr uint32_t kNoCpu = 0xffffffffu;
+inline constexpr uint32_t kAnyCpu = 0xffffffffu;
+// EnvSpec cpu_mask value admitting every CPU.
+inline constexpr uint64_t kAnyCpuMask = ~0ULL;
+
 // Argument/result "registers" for protected control transfer: the paper
 // notes that because Aegis never overwrites application-visible registers,
 // the register file doubles as the message buffer (ref [14]).
@@ -90,6 +97,25 @@ struct Env {
   uint64_t slices_run = 0;
   uint32_t excess_penalty = 0;  // Slices to forfeit (epilogue overruns).
   uint64_t epilogue_overruns = 0;
+
+  // --- SMP placement ---
+  // CPUs this environment may hold slices on (intersected with the
+  // machine's CPU count at birth).
+  uint64_t cpu_mask = kAnyCpuMask;
+  // CPU currently executing this environment's fiber; kNoCpu when it is
+  // not on any CPU. Claimed by the per-CPU scheduler before any cycle is
+  // charged, so no two CPUs can resume the same fiber.
+  uint32_t on_cpu = kNoCpu;
+  // CPU that last ran the environment (migration detection).
+  uint32_t last_cpu = 0;
+  // Bitmask of CPUs holding at least one of this env's slice slots, kept
+  // in step with slice_slots; cross-CPU wakes IPI the parked CPUs in it.
+  uint64_t slot_mask = 0;
+  // Slice-vector slots currently owned across all CPUs (audit cross-check).
+  uint32_t slice_slots = 0;
+  // A forced kill aimed at this env is in flight on another CPU (IPI sent);
+  // the env must not be rescheduled or migrated meanwhile.
+  bool kill_pending = false;
 
   // Asynchronous PCT mailbox, drained before the env resumes.
   std::deque<PctArgs> mailbox;

@@ -24,6 +24,9 @@ const char* EventName(Event e) {
     case Event::kEnvDeath: return "env_death";
     case Event::kPct: return "pct";
     case Event::kPowerCut: return "power_cut";
+    case Event::kMigration: return "migration";
+    case Event::kIpi: return "ipi";
+    case Event::kTlbShootdown: return "tlb_shootdown";
   }
   return "unknown";
 }
@@ -67,6 +70,9 @@ const char* SysName(Sys n) {
     case Sys::kUnbindTraceRing: return "unbind_trace_ring";
     case Sys::kEnvStats: return "env_stats";
     case Sys::kSyscallHist: return "syscall_hist";
+    case Sys::kCpuCount: return "cpu_count";
+    case Sys::kCurrentCpu: return "current_cpu";
+    case Sys::kAllocSlice: return "alloc_slice";
     case Sys::kCount: break;
   }
   return "unknown";

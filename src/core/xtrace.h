@@ -63,8 +63,12 @@ enum class Event : uint8_t {
   kEnvDeath = 15,      // arg0 = env id, arg1 = killed flag (0 clean exit).
   kPct = 16,           // arg0 = callee env, arg1 = sync flag.
   kPowerCut = 17,
+  kMigration = 18,     // env = migrating env, arg0 = from cpu, arg1 = to cpu.
+  kIpi = 19,           // arg0 = target cpu, arg1 = payload (low 32).
+  kTlbShootdown = 20,  // arg0 = pfn or asid, arg1 = remote cpu,
+                       // arg2 = entries invalidated, arg3 = asid flag.
 };
-inline constexpr uint32_t kEventCount = 18;
+inline constexpr uint32_t kEventCount = 21;
 
 constexpr uint32_t Bit(Event e) { return 1u << static_cast<uint32_t>(e); }
 inline constexpr uint32_t kMaskAll = 0xffffffffu;
@@ -130,6 +134,9 @@ enum class Sys : uint8_t {
   kUnbindTraceRing,
   kEnvStats,
   kSyscallHist,
+  kCpuCount,
+  kCurrentCpu,
+  kAllocSlice,
   kCount,
 };
 inline constexpr uint32_t kSysCount = static_cast<uint32_t>(Sys::kCount);
@@ -152,6 +159,9 @@ struct EnvCounters {
   uint64_t disk_blocks_read = 0;
   uint64_t disk_blocks_written = 0;
   uint64_t faults_injected = 0;  // Injected faults that landed on this env.
+  uint64_t migrations = 0;       // Resumes on a different CPU than the last.
+  uint64_t ipis_sent = 0;        // IPIs this env's syscalls caused.
+  uint64_t tlb_shootdowns = 0;   // Remote TLBs invalidated on its behalf.
 
   uint64_t syscalls_total() const {
     uint64_t total = 0;

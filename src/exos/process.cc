@@ -14,6 +14,7 @@ Process::Process(aegis::Aegis& kernel, std::function<void(Process&)> main,
 
   EnvSpec spec;
   spec.slices = options.slices;
+  spec.cpu_mask = options.cpu_mask;
   spec.entry = [this, main = std::move(main)]() { main(*this); };
   spec.handlers.exception = [this](const hw::TrapFrame& frame) { return OnException(frame); };
   // Default interrupt context: save the general-purpose context (the

@@ -20,6 +20,10 @@ class Process {
     uint32_t slices = 1;
     bool demand_zero = true;
     PageTableKind page_table = PageTableKind::kTwoLevel;
+    // CPUs this process may hold slices on (bit k = CPU k). The default
+    // admits every CPU; Aegis places the environment on the least-loaded
+    // admitted one.
+    uint64_t cpu_mask = aegis::kAnyCpuMask;
   };
 
   // Creates the process and its environment; `main` runs when scheduled.

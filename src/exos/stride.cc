@@ -43,4 +43,76 @@ void StrideScheduler::RunSlices(uint32_t slices) {
   }
 }
 
+size_t SmpStrideScheduler::AddClient(aegis::EnvId env, uint32_t tickets,
+                                     uint32_t home_cpu) {
+  Client client;
+  client.env = env;
+  client.stride = tickets == 0 ? kStride1 : kStride1 / tickets;
+  client.home_cpu = home_cpu;
+  uint64_t min_pass = 0;
+  bool first = true;
+  for (const Client& existing : clients_) {
+    if (first || existing.pass < min_pass) {
+      min_pass = existing.pass;
+      first = false;
+    }
+  }
+  client.pass = min_pass + client.stride;
+  clients_.push_back(client);
+  allocations_.push_back(0);
+  return clients_.size() - 1;
+}
+
+bool SmpStrideScheduler::Start(uint32_t slices_per_cpu) {
+  const uint32_t cpus = kernel_.machine().cpu_count();
+  for (uint32_t k = 0; k < cpus; ++k) {
+    Process::Options options;
+    options.cpu_mask = 1ULL << k;
+    schedulers_.push_back(std::make_unique<Process>(
+        kernel_,
+        [this, k, slices_per_cpu](Process& self) {
+          RunCpu(self, k, slices_per_cpu);
+        },
+        options));
+    if (!schedulers_.back()->ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SmpStrideScheduler::RunCpu(Process& self, uint32_t cpu, uint32_t slices) {
+  for (uint32_t i = 0; i < slices; ++i) {
+    // Scan the local run list first; fall back to a global scan only when
+    // no client is homed here (work conservation).
+    self.machine().Charge(Instr(10 + 4 * clients_.size()));
+    size_t winner = clients_.size();
+    for (size_t c = 0; c < clients_.size(); ++c) {
+      if (clients_[c].home_cpu != cpu) {
+        continue;
+      }
+      if (winner == clients_.size() || clients_[c].pass < clients_[winner].pass) {
+        winner = c;
+      }
+    }
+    const bool handoff = winner == clients_.size();
+    if (handoff) {
+      for (size_t c = 0; c < clients_.size(); ++c) {
+        if (winner == clients_.size() || clients_[c].pass < clients_[winner].pass) {
+          winner = c;
+        }
+      }
+      if (winner == clients_.size()) {
+        return;  // No clients at all.
+      }
+      ++handoffs_;
+    }
+    clients_[winner].pass += clients_[winner].stride;
+    ++allocations_[winner];
+    // Donate this slice straight to the chosen client, even one homed on
+    // another CPU — the slice being donated is ours, not the client's.
+    self.kernel().SysYield(clients_[winner].env);
+  }
+}
+
 }  // namespace xok::exos

@@ -9,6 +9,7 @@
 #define XOK_SRC_EXOS_STRIDE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/exos/process.h"
@@ -47,6 +48,53 @@ class StrideScheduler {
   std::vector<Client> clients_;
   std::vector<uint64_t> allocations_;
   std::vector<size_t> history_;
+};
+
+// Multiprocessor stride scheduling, still entirely in application space.
+//
+// One scheduler environment is pinned per CPU (cpu_mask = 1 << k); all of
+// them share one client table. Each client has a home CPU: the pinned
+// scheduler for that CPU normally picks the minimum-pass client among its
+// own, which keeps the hot path free of cross-CPU pass comparisons. When a
+// CPU's local run list is empty the scheduler is work-conserving: it hands
+// its slice to the global minimum-pass client instead of idling (counted
+// in handoffs()). Pass/stride state is global, so proportions hold across
+// the whole machine, not per CPU.
+class SmpStrideScheduler {
+ public:
+  static constexpr uint64_t kStride1 = StrideScheduler::kStride1;
+
+  explicit SmpStrideScheduler(aegis::Aegis& kernel) : kernel_(kernel) {}
+
+  // Registers a client with `tickets` homed on `home_cpu` (which must be
+  // < the machine's CPU count). Call before Start(). Returns its index.
+  size_t AddClient(aegis::EnvId env, uint32_t tickets, uint32_t home_cpu);
+
+  // Spawns one scheduler process pinned to each CPU; each runs
+  // `slices_per_cpu` scheduling decisions once the kernel runs. Returns
+  // false if any scheduler environment could not be created.
+  bool Start(uint32_t slices_per_cpu);
+
+  // Slices granted to each client so far (by AddClient index).
+  const std::vector<uint64_t>& allocations() const { return allocations_; }
+  // Slices a CPU granted to a client homed elsewhere (work conservation).
+  uint64_t handoffs() const { return handoffs_; }
+
+ private:
+  struct Client {
+    aegis::EnvId env = aegis::kNoEnv;
+    uint64_t stride = 0;
+    uint64_t pass = 0;
+    uint32_t home_cpu = 0;
+  };
+
+  void RunCpu(Process& self, uint32_t cpu, uint32_t slices);
+
+  aegis::Aegis& kernel_;
+  std::vector<Client> clients_;
+  std::vector<uint64_t> allocations_;
+  std::vector<std::unique_ptr<Process>> schedulers_;
+  uint64_t handoffs_ = 0;
 };
 
 }  // namespace xok::exos

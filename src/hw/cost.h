@@ -55,6 +55,13 @@ inline constexpr uint64_t kTlbProbe = Instr(2);
 // Saving or restoring one general-purpose register to/from memory.
 inline constexpr uint64_t kSaveRegister = Instr(1);
 
+// Writing the inter-processor interrupt mailbox register (uncached I/O).
+inline constexpr uint64_t kIpiSend = Instr(2);
+
+// Wire latency from the mailbox write until the target CPU observes the
+// interrupt request pending.
+inline constexpr uint64_t kIpiLatency = Instr(5);
+
 // --- Network hardware (LANCE-style 10 Mb/s Ethernet controller) ---
 
 // Cycles to put one byte on a 10 Mb/s wire: 0.8 us/byte = 20 cycles.

@@ -11,51 +11,74 @@ namespace xok::hw {
 
 void PrivPort::TlbWriteRandom(const TlbEntry& entry) {
   machine_.Charge(kTlbWrite);
-  machine_.tlb_.WriteRandom(entry);
+  machine_.active_->tlb_.WriteRandom(entry);
 }
 
 void PrivPort::TlbInvalidate(Vpn vpn, Asid asid) {
   machine_.Charge(kTlbWrite);
-  machine_.tlb_.Invalidate(vpn, asid);
+  machine_.active_->tlb_.Invalidate(vpn, asid);
 }
 
 void PrivPort::TlbFlushAsid(Asid asid) {
   machine_.Charge(kTlbWrite * 4);  // Indexed sweep.
-  machine_.tlb_.FlushAsid(asid);
+  machine_.active_->tlb_.FlushAsid(asid);
 }
 
 void PrivPort::TlbFlushAll() {
   machine_.Charge(kTlbWrite * 4);
-  machine_.tlb_.FlushAll();
+  machine_.active_->tlb_.FlushAll();
 }
 
 const TlbEntry* PrivPort::TlbProbe(Vpn vpn, Asid asid) {
   machine_.Charge(kTlbProbe);
-  return machine_.tlb_.Lookup(vpn, asid);
+  return machine_.active_->tlb_.Lookup(vpn, asid);
+}
+
+uint32_t PrivPort::TlbRemoteFlushPfn(uint32_t cpu, PageId pfn) {
+  return machine_.cpus_[cpu]->tlb_.FlushPfn(pfn);
+}
+
+uint32_t PrivPort::TlbRemoteFlushAsid(uint32_t cpu, Asid asid) {
+  return machine_.cpus_[cpu]->tlb_.FlushAsid(asid);
 }
 
 void PrivPort::SetAsid(Asid asid) {
   machine_.Charge(Instr(1));
-  machine_.asid_ = asid;
+  machine_.active_->asid_ = asid;
 }
 
-Asid PrivPort::asid() const { return machine_.asid_; }
+Asid PrivPort::asid() const { return machine_.active_->asid_; }
 
 void PrivPort::SetSliceDeadline(uint64_t absolute_cycle) {
   machine_.Charge(Instr(1));
-  machine_.slice_deadline_ = absolute_cycle;
+  // Written after the charge, as one atomic compare-register update: the
+  // charge can only deliver the deadline being replaced. A new deadline at
+  // or before the current cycle (including cycle 0) stays armed and fires
+  // on the next charge boundary.
+  Cpu& cpu = *machine_.active_;
+  cpu.slice_deadline_ = absolute_cycle;
+  cpu.slice_armed_ = true;
 }
 
-uint64_t PrivPort::slice_deadline() const { return machine_.slice_deadline_; }
+void PrivPort::ClearSliceDeadline() {
+  machine_.Charge(Instr(1));
+  Cpu& cpu = *machine_.active_;
+  cpu.slice_deadline_ = 0;
+  cpu.slice_armed_ = false;
+}
+
+uint64_t PrivPort::slice_deadline() const { return machine_.active_->slice_deadline_; }
+
+bool PrivPort::slice_armed() const { return machine_.active_->slice_armed_; }
 
 void PrivPort::SetCoprocEnabled(bool enabled) {
   machine_.Charge(Instr(1));
-  machine_.coproc_enabled_ = enabled;
+  machine_.active_->coproc_enabled_ = enabled;
 }
 
 void PrivPort::SetInterruptsEnabled(bool enabled) {
   machine_.Charge(Instr(1));
-  machine_.interrupts_enabled_ = enabled;
+  machine_.active_->interrupts_enabled_ = enabled;
 }
 
 uint32_t PrivPort::PhysReadWord(Paddr pa) {
@@ -76,23 +99,148 @@ void PrivPort::PhysCopy(Paddr dst, Paddr src, uint32_t bytes) {
 }
 
 void PrivPort::ScheduleEvent(uint64_t delay, InterruptSource source, uint64_t payload) {
-  machine_.PushEvent(machine_.clock_->now() + delay, source, payload);
+  Cpu& cpu = *machine_.active_;
+  cpu.PushEvent(cpu.clock_->now() + delay, source, payload);
 }
 
+void PrivPort::SendIpi(uint32_t cpu, uint64_t payload) {
+  if (cpu >= machine_.cpu_count()) {
+    std::fprintf(stderr, "xok: machine %s IPI to nonexistent cpu %u\n", machine_.config_.name,
+                 cpu);
+    std::abort();
+  }
+  machine_.Charge(kIpiSend);
+  const uint64_t due = machine_.active_->clock_->now() + kIpiLatency;
+  machine_.cpus_[cpu]->PushEvent(due, InterruptSource::kIpi, payload);
+}
+
+uint32_t PrivPort::cpu_count() const { return machine_.cpu_count(); }
+
+uint32_t PrivPort::current_cpu() const { return machine_.current_cpu(); }
+
 int PrivPort::SwapTrapDepth(int depth) {
-  const int old = machine_.trap_depth_;
-  machine_.trap_depth_ = depth;
+  const int old = machine_.active_->trap_depth_;
+  machine_.active_->trap_depth_ = depth;
   return old;
+}
+
+// --- Cpu ---
+
+Cpu::Cpu(Machine& machine, uint32_t index, std::shared_ptr<CycleClock> clock)
+    : machine_(machine), index_(index), clock_(std::move(clock)) {}
+
+void Cpu::Charge(uint64_t cycles) {
+  clock_->Advance(cycles);
+  if (trap_depth_ > 0) {
+    return;  // Interrupts implicitly masked while handling a trap.
+  }
+  if (machine_.world_ != nullptr && machine_.world_->ParkedEventDue(clock_->now())) {
+    machine_.world_->YieldForDueEvent(&machine_);
+  }
+  if (machine_.smp_running_ && machine_.SiblingBehind(*this)) {
+    machine_.YieldCpu(*this);
+  }
+  if (interrupts_enabled_) {
+    DeliverDue();
+  }
+}
+
+void Cpu::WaitForInterrupt() {
+  for (;;) {
+    if (interrupts_enabled_ && DeliverDue()) {
+      return;
+    }
+    if (machine_.smp_running_) {
+      machine_.ParkCpu(*this);
+      // Resumed: either the scheduler advanced our clock to a due event, or
+      // this is a spurious wake so the kernel loop can re-check whether it
+      // still has anything to run.
+      if (interrupts_enabled_ && DeliverDue()) {
+        return;
+      }
+      return;
+    }
+    const uint64_t next = NextDueCycle();
+    if (machine_.world_ != nullptr) {
+      machine_.world_->Park(&machine_);
+      continue;  // Resumed: re-check for due events.
+    }
+    if (next == ~0ULL) {
+      std::fprintf(stderr, "xok: machine %s idle with no pending events (hang)\n",
+                   machine_.config_.name);
+      std::abort();
+    }
+    clock_->AdvanceTo(next);
+  }
+}
+
+void Cpu::PushEvent(uint64_t due_cycle, InterruptSource source, uint64_t payload) {
+  events_.push(PendingEvent{due_cycle, source, payload, event_seq_++});
+  if (machine_.world_ != nullptr) {
+    machine_.world_->RecomputeParkedMin();
+  }
+}
+
+bool Cpu::DeliverDue() {
+  bool delivered = false;
+  const uint64_t now = clock_->now();
+  if (slice_armed_ && now >= slice_deadline_) {
+    slice_armed_ = false;
+    slice_deadline_ = 0;
+    DeliverOne(PendingEvent{now, InterruptSource::kTimer, 0, 0});
+    delivered = true;
+  }
+  while (!events_.empty() && events_.top().due_cycle <= clock_->now()) {
+    const PendingEvent event = events_.top();
+    events_.pop();
+    DeliverOne(event);
+    delivered = true;
+  }
+  return delivered;
+}
+
+void Cpu::DeliverOne(const PendingEvent& event) {
+  if (machine_.kernel_ == nullptr) {
+    return;  // Events before kernel installation are dropped (power-on noise).
+  }
+  Charge(kExceptionRaise);
+  ++trap_depth_;
+  machine_.kernel_->OnInterrupt(event.source, event.payload);
+  // The handler may have suspended this fiber mid-trap and had it resumed
+  // on a different CPU (SMP migration); the unwind must release the trap
+  // depth of whichever CPU is executing it now — the kernel moved the
+  // suspended context's depth there when it resumed the fiber.
+  --machine_.active_->trap_depth_;
+  machine_.active_->Charge(kExceptionReturn);
 }
 
 // --- Machine ---
 
 Machine::Machine(const Config& config, World* world)
-    : config_(config),
-      clock_(world != nullptr ? world->clock() : std::make_shared<CycleClock>()),
-      mem_(config.phys_pages),
-      priv_(*this),
-      world_(world) {
+    : config_(config), mem_(config.phys_pages), priv_(*this), world_(world) {
+  const uint32_t cpus = std::max(1u, config.cpus);
+  if (cpus > 1 && world != nullptr) {
+    std::fprintf(stderr,
+                 "xok: machine %s: multi-CPU machines cannot join a World "
+                 "(per-CPU clocks break cross-machine event ordering)\n",
+                 config_.name);
+    std::abort();
+  }
+  if (cpus > 64) {
+    std::fprintf(stderr, "xok: machine %s: cpus=%u exceeds the 64-CPU limit\n", config_.name,
+                 cpus);
+    std::abort();
+  }
+  // CPU 0 runs on the machine clock (shared with the world if attached);
+  // further CPUs keep local clocks so they can burn cycles independently.
+  std::shared_ptr<CycleClock> clock =
+      world != nullptr ? world->clock() : std::make_shared<CycleClock>();
+  cpus_.reserve(cpus);
+  cpus_.push_back(std::make_unique<Cpu>(*this, 0, std::move(clock)));
+  for (uint32_t i = 1; i < cpus; ++i) {
+    cpus_.push_back(std::make_unique<Cpu>(*this, i, std::make_shared<CycleClock>()));
+  }
+  active_ = cpus_[0].get();
   if (world_ != nullptr) {
     world_->Attach(this);
   }
@@ -109,23 +257,24 @@ PrivPort& Machine::InstallKernel(TrapSink* kernel) {
   return priv_;
 }
 
-void Machine::Charge(uint64_t cycles) {
-  clock_->Advance(cycles);
-  if (trap_depth_ > 0) {
-    return;  // Interrupts implicitly masked while handling a trap.
+uint64_t Machine::MaxCpuCycle() const {
+  uint64_t max = 0;
+  for (const std::unique_ptr<Cpu>& cpu : cpus_) {
+    max = std::max(max, cpu->clock().now());
   }
-  if (world_ != nullptr && world_->ParkedEventDue(clock_->now())) {
-    world_->YieldForDueEvent(this);
-  }
-  if (interrupts_enabled_) {
-    DeliverDue();
-  }
+  return max;
 }
+
+bool Machine::CpuParked(uint32_t index) const {
+  return cpus_[index]->run_state_ == Cpu::RunState::kParked;
+}
+
+void Machine::Charge(uint64_t cycles) { active_->Charge(cycles); }
 
 Result<Paddr> Machine::Translate(Vaddr va, bool store) {
   const Vpn vpn = VpnOf(va);
   for (int attempt = 0; attempt < 8; ++attempt) {
-    const TlbEntry* entry = tlb_.Lookup(vpn, asid_);
+    const TlbEntry* entry = active_->tlb_.Lookup(vpn, active_->asid_);
     if (entry == nullptr) {
       const ExceptionType type =
           store ? ExceptionType::kTlbMissStore : ExceptionType::kTlbMissLoad;
@@ -162,9 +311,11 @@ TrapOutcome Machine::RaiseException(ExceptionType type, Vaddr bad_vaddr, bool st
   frame.type = type;
   frame.bad_vaddr = bad_vaddr;
   frame.store = store;
-  ++trap_depth_;
+  ++active_->trap_depth_;
   const TrapOutcome outcome = kernel_->OnException(frame);
-  --trap_depth_;
+  // As in Cpu::DeliverOne: unwind on the executing CPU, which may differ
+  // from the raising CPU if the handler suspended and migrated this fiber.
+  --active_->trap_depth_;
   Charge(kExceptionReturn);
   return outcome;
 }
@@ -265,72 +416,147 @@ Result<int32_t> Machine::AddOverflow(int32_t a, int32_t b) {
 
 Status Machine::CoprocOp() {
   Charge(Instr(1));
-  if (coproc_enabled_) {
+  if (active_->coproc_enabled_) {
     return Status::kOk;
   }
   RaiseException(ExceptionType::kCoprocUnusable, 0, /*store=*/false);
   // Re-check: the handler may have enabled the coprocessor and asked for a
   // retry; otherwise the operation is abandoned.
-  return coproc_enabled_ ? Status::kOk : Status::kErrBadState;
+  return active_->coproc_enabled_ ? Status::kOk : Status::kErrBadState;
 }
 
-void Machine::WaitForInterrupt() {
-  for (;;) {
-    if (interrupts_enabled_ && DeliverDue()) {
-      return;
-    }
-    uint64_t next = ~0ULL;
-    if (!events_.empty()) {
-      next = events_.top().due_cycle;
-    }
-    if (slice_deadline_ != 0 && slice_deadline_ < next) {
-      next = slice_deadline_;
-    }
-    if (world_ != nullptr) {
-      world_->Park(this);
-      continue;  // Resumed: re-check for due events.
-    }
-    if (next == ~0ULL) {
-      std::fprintf(stderr, "xok: machine %s idle with no pending events (hang)\n", config_.name);
-      std::abort();
-    }
-    clock_->AdvanceTo(next);
-  }
-}
+void Machine::WaitForInterrupt() { active_->WaitForInterrupt(); }
 
 void Machine::PushEvent(uint64_t due_cycle, InterruptSource source, uint64_t payload) {
-  events_.push(PendingEvent{due_cycle, source, payload, event_seq_++});
-  if (world_ != nullptr) {
-    world_->RecomputeParkedMin();
-  }
+  cpus_[0]->PushEvent(due_cycle, source, payload);
 }
 
-bool Machine::DeliverDue() {
-  bool delivered = false;
-  const uint64_t now = clock_->now();
-  if (slice_deadline_ != 0 && now >= slice_deadline_) {
-    slice_deadline_ = 0;
-    DeliverOne(PendingEvent{now, InterruptSource::kTimer, 0, 0});
-    delivered = true;
+// --- SMP interleaver ---
+
+bool Machine::SiblingBehind(const Cpu& cpu) const {
+  const uint64_t now = cpu.clock().now();
+  for (const std::unique_ptr<Cpu>& other : cpus_) {
+    if (other.get() == &cpu) {
+      continue;
+    }
+    if (other->run_state_ == Cpu::RunState::kReady && other->clock().now() < now) {
+      return true;
+    }
+    if (other->run_state_ == Cpu::RunState::kParked && other->NextDueCycle() < now) {
+      return true;
+    }
   }
-  while (!events_.empty() && events_.top().due_cycle <= clock_->now()) {
-    const PendingEvent event = events_.top();
-    events_.pop();
-    DeliverOne(event);
-    delivered = true;
-  }
-  return delivered;
+  return false;
 }
 
-void Machine::DeliverOne(const PendingEvent& event) {
-  if (kernel_ == nullptr) {
-    return;  // Events before kernel installation are dropped (power-on noise).
+void Machine::YieldCpu(Cpu& cpu) {
+  cpu.run_state_ = Cpu::RunState::kReady;
+  Fiber::Switch(*cpu.fiber_, scheduler_fiber_);
+}
+
+void Machine::ParkCpu(Cpu& cpu) {
+  cpu.run_state_ = Cpu::RunState::kParked;
+  Fiber::Switch(*cpu.fiber_, scheduler_fiber_);
+}
+
+void Machine::ResumeCpu(Cpu& cpu) {
+  cpu.run_state_ = Cpu::RunState::kRunning;
+  active_ = &cpu;
+  Fiber::Switch(scheduler_fiber_, *cpu.fiber_);
+}
+
+void Machine::RunCpus(std::vector<std::function<void()>> bodies) {
+  if (bodies.size() != cpus_.size()) {
+    std::fprintf(stderr, "xok: machine %s RunCpus wants %zu bodies for %zu CPUs\n", config_.name,
+                 bodies.size(), cpus_.size());
+    std::abort();
   }
-  Charge(kExceptionRaise);
-  ++trap_depth_;
-  kernel_->OnInterrupt(event.source, event.payload);
-  --trap_depth_;
-  Charge(kExceptionReturn);
+  if (smp_running_) {
+    std::fprintf(stderr, "xok: machine %s RunCpus is not reentrant\n", config_.name);
+    std::abort();
+  }
+  smp_running_ = true;
+  for (size_t i = 0; i < cpus_.size(); ++i) {
+    Cpu* cpu = cpus_[i].get();
+    std::function<void()> body = std::move(bodies[i]);
+    cpu->run_state_ = Cpu::RunState::kReady;
+    cpu->fiber_ = std::make_unique<Fiber>([this, cpu, body = std::move(body)] {
+      body();
+      cpu->run_state_ = Cpu::RunState::kDone;
+      for (;;) {
+        Fiber::Switch(*cpu->fiber_, scheduler_fiber_);
+      }
+    });
+  }
+  ScheduleCpus();
+  smp_running_ = false;
+  for (const std::unique_ptr<Cpu>& cpu : cpus_) {
+    cpu->fiber_.reset();
+    cpu->run_state_ = Cpu::RunState::kIdle;
+  }
+  active_ = cpus_[0].get();
+}
+
+void Machine::ScheduleCpus() {
+  // Lowest-local-time-first, the SMP analogue of World::Schedule: among
+  // ready CPUs pick the one whose clock is furthest behind; wake a parked
+  // CPU instead when its next event is due no later than every ready CPU's
+  // present. When nothing is ready and nothing is due, sweep the parked
+  // CPUs with spurious wakes so their kernel loops can observe a global
+  // exit condition; if a full sweep changes nothing, the machine is hung.
+  bool swept = false;
+  for (;;) {
+    Cpu* best_ready = nullptr;
+    Cpu* best_parked = nullptr;
+    uint64_t parked_due = ~0ULL;
+    bool any_undone = false;
+    for (const std::unique_ptr<Cpu>& cpu : cpus_) {
+      switch (cpu->run_state_) {
+        case Cpu::RunState::kReady:
+          any_undone = true;
+          if (best_ready == nullptr || cpu->clock().now() < best_ready->clock().now()) {
+            best_ready = cpu.get();
+          }
+          break;
+        case Cpu::RunState::kParked:
+          any_undone = true;
+          if (cpu->NextDueCycle() < parked_due) {
+            parked_due = cpu->NextDueCycle();
+            best_parked = cpu.get();
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    if (!any_undone) {
+      return;  // Every body returned.
+    }
+    if (best_parked != nullptr && parked_due != ~0ULL &&
+        (best_ready == nullptr || parked_due <= best_ready->clock().now())) {
+      best_parked->clock().AdvanceTo(parked_due);
+      swept = false;
+      ResumeCpu(*best_parked);
+      continue;
+    }
+    if (best_ready != nullptr) {
+      swept = false;
+      ResumeCpu(*best_ready);
+      continue;
+    }
+    // Only parked CPUs remain and none has a due event.
+    if (swept) {
+      std::fprintf(stderr, "xok: machine %s: all CPUs idle with no pending events (hang)\n",
+                   config_.name);
+      std::abort();
+    }
+    swept = true;
+    for (const std::unique_ptr<Cpu>& cpu : cpus_) {
+      if (cpu->run_state_ == Cpu::RunState::kParked) {
+        ResumeCpu(*cpu);
+      }
+    }
+  }
 }
 
 }  // namespace xok::hw

@@ -1,13 +1,23 @@
-// The simulated machine: CPU (cycle clock, exception raising, interrupt
-// delivery, privileged-operation port), physical memory, and the hardware
-// TLB. Devices (NIC, framebuffer, disk) attach to a machine.
+// The simulated machine: one or more CPUs (cycle clock, exception raising,
+// interrupt delivery, privileged-operation port), physical memory, and the
+// hardware TLBs. Devices (NIC, framebuffer, disk) attach to a machine.
 //
 // Execution model: application and kernel code are ordinary C++ running on
 // fibers. Simulated time advances only through Charge(); asynchronous
-// interrupts (timer, NIC, disk) are delivered at charge boundaries or when
-// the machine idles in WaitForInterrupt(). Synchronous exceptions (TLB miss,
+// interrupts (timer, NIC, disk, IPI) are delivered at charge boundaries or
+// when a CPU idles in WaitForInterrupt(). Synchronous exceptions (TLB miss,
 // protection, unaligned, overflow, coprocessor) are raised by the memory and
 // ALU access methods and vector immediately to the installed kernel.
+//
+// SMP model: Config::cpus > 1 gives the machine several processors that
+// share physical memory and devices but each own a TLB, ASID, slice timer,
+// interrupt state, event queue, and — crucially — a local cycle clock.
+// CPU 0 aliases the machine clock (and the world clock when attached), so a
+// single-CPU machine behaves bit-for-bit as before. The per-CPU kernel
+// loops run on fibers interleaved by the machine in lowest-local-time-first
+// order at charge boundaries, mirroring how hw::World interleaves machines.
+// Multi-CPU machines cannot join a World: cross-machine event ordering
+// assumes one shared clock per machine.
 #ifndef XOK_SRC_HW_MACHINE_H_
 #define XOK_SRC_HW_MACHINE_H_
 
@@ -22,6 +32,7 @@
 #include "src/hw/clock.h"
 #include "src/hw/cost.h"
 #include "src/hw/event.h"
+#include "src/hw/fiber.h"
 #include "src/hw/phys_mem.h"
 #include "src/hw/tlb.h"
 #include "src/hw/trap.h"
@@ -32,7 +43,8 @@ class Machine;
 class World;
 
 // Handed to the installed kernel and to nothing else: all operations a real
-// CPU would reserve for supervisor mode.
+// CPU would reserve for supervisor mode. Operations act on the CPU that is
+// currently executing.
 class PrivPort {
  public:
   explicit PrivPort(Machine& machine) : machine_(machine) {}
@@ -40,21 +52,32 @@ class PrivPort {
   PrivPort(const PrivPort&) = delete;
   PrivPort& operator=(const PrivPort&) = delete;
 
-  // TLB management. Each call charges its hardware cost.
+  // TLB management (current CPU's TLB). Each call charges its hardware cost.
   void TlbWriteRandom(const TlbEntry& entry);
   void TlbInvalidate(Vpn vpn, Asid asid);
   void TlbFlushAsid(Asid asid);
   void TlbFlushAll();
   const TlbEntry* TlbProbe(Vpn vpn, Asid asid);
 
+  // Remote TLB invalidation, the hardware half of a shootdown: drops the
+  // matching entries in another CPU's TLB and returns how many were live.
+  // Charges nothing — the kernel models the IPI + handler cost itself
+  // (core/costs.h) because the protocol, not the wire, dominates.
+  uint32_t TlbRemoteFlushPfn(uint32_t cpu, PageId pfn);
+  uint32_t TlbRemoteFlushAsid(uint32_t cpu, Asid asid);
+
   // Addressing context.
   void SetAsid(Asid asid);
   Asid asid() const;
 
-  // Slice timer: raises InterruptSource::kTimer once the clock passes the
-  // deadline. Zero disables the timer.
+  // Slice timer: raises InterruptSource::kTimer at the next charge boundary
+  // once the clock has reached the deadline. A deadline at or before the
+  // current cycle (including cycle 0) fires on the very next Charge.
   void SetSliceDeadline(uint64_t absolute_cycle);
+  // Disarms the slice timer.
+  void ClearSliceDeadline();
   uint64_t slice_deadline() const;
+  bool slice_armed() const;
 
   // Coprocessor (FPU) enable bit; when clear, CoprocOp() raises
   // kCoprocUnusable.
@@ -71,8 +94,17 @@ class PrivPort {
   // Bulk copy between physical ranges; charges kMemWordCopy per word.
   void PhysCopy(Paddr dst, Paddr src, uint32_t bytes);
 
-  // Schedules a device event `delay` cycles from now.
+  // Schedules a device event `delay` cycles from now on the current CPU.
   void ScheduleEvent(uint64_t delay, InterruptSource source, uint64_t payload);
+
+  // Posts InterruptSource::kIpi to `cpu` with a kernel-defined payload,
+  // charging the mailbox write. The target observes it kIpiLatency after
+  // the sender's current cycle, at its next charge boundary.
+  void SendIpi(uint32_t cpu, uint64_t payload);
+
+  // CPU topology, as a real kernel would read from PRId/config registers.
+  uint32_t cpu_count() const;
+  uint32_t current_cpu() const;
 
   // Swaps the trap-nesting depth, returning the old value. Kernels that
   // switch execution contexts from inside a trap handler (e.g. ending a
@@ -85,11 +117,77 @@ class PrivPort {
   Machine& machine_;
 };
 
+// One simulated processor: the state a context switch or an interrupt can
+// touch that is private to a CPU. CPUs share the machine's physical memory
+// and devices; each owns its TLB, ASID, slice timer, interrupt-enable and
+// trap state, pending-event queue, and a local cycle clock (CPU 0 aliases
+// the machine clock so single-CPU configurations are unchanged).
+class Cpu {
+ public:
+  Cpu(Machine& machine, uint32_t index, std::shared_ptr<CycleClock> clock);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  uint32_t index() const { return index_; }
+  CycleClock& clock() { return *clock_; }
+  const CycleClock& clock() const { return *clock_; }
+  Tlb& tlb() { return tlb_; }
+
+ private:
+  friend class Machine;
+  friend class PrivPort;
+
+  // Where this CPU stands in the machine's SMP interleaver. kIdle outside
+  // RunCpus (and always, on a single-CPU machine).
+  enum class RunState : uint8_t { kIdle, kReady, kRunning, kParked, kDone };
+
+  void Charge(uint64_t cycles);
+  void WaitForInterrupt();
+  bool DeliverDue();
+  void DeliverOne(const PendingEvent& event);
+  void PushEvent(uint64_t due_cycle, InterruptSource source, uint64_t payload);
+
+  // Earliest cycle at which this CPU has something to do; ~0 if none.
+  uint64_t NextDueCycle() const {
+    uint64_t next = ~0ULL;
+    if (!events_.empty()) {
+      next = events_.top().due_cycle;
+    }
+    if (slice_armed_ && slice_deadline_ < next) {
+      next = slice_deadline_;
+    }
+    return next;
+  }
+
+  Machine& machine_;
+  uint32_t index_;
+  std::shared_ptr<CycleClock> clock_;
+  Tlb tlb_;
+  Asid asid_ = 0;
+  uint64_t slice_deadline_ = 0;
+  bool slice_armed_ = false;
+  bool coproc_enabled_ = false;
+  bool interrupts_enabled_ = true;
+  int trap_depth_ = 0;
+
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>, std::greater<>> events_;
+  uint64_t event_seq_ = 0;
+
+  // SMP interleaving (meaningful only while Machine::RunCpus is active).
+  // `fiber_` doubles as the entry fiber and the continuation slot: a switch
+  // away saves whatever this CPU was executing — kernel loop or environment
+  // fiber — and a switch back resumes it exactly there.
+  std::unique_ptr<Fiber> fiber_;
+  RunState run_state_ = RunState::kIdle;
+};
+
 class Machine {
  public:
   struct Config {
     uint32_t phys_pages = 4096;  // 16 MB, a well-equipped DECstation.
     const char* name = "m0";
+    uint32_t cpus = 1;  // Processor count; >1 is incompatible with World.
   };
 
   explicit Machine(const Config& config, World* world = nullptr);
@@ -99,17 +197,31 @@ class Machine {
   Machine& operator=(const Machine&) = delete;
 
   // Installs the kernel and returns the privileged port. Exactly one kernel
-  // per machine.
+  // per machine; interrupts on every CPU vector to it.
   PrivPort& InstallKernel(TrapSink* kernel);
 
-  CycleClock& clock() { return *clock_; }
-  const CycleClock& clock() const { return *clock_; }
+  // The executing CPU's clock and TLB. Host-side (outside RunCpus) these are
+  // CPU 0's, which on a single-CPU machine is exactly the old machine state.
+  CycleClock& clock() { return active_->clock(); }
+  const CycleClock& clock() const { return active_->clock(); }
   PhysMem& mem() { return mem_; }
-  Tlb& tlb() { return tlb_; }
+  Tlb& tlb() { return active_->tlb(); }
   World* world() { return world_; }
   const char* name() const { return config_.name; }
 
-  // --- Unprivileged CPU operations ---
+  uint32_t cpu_count() const { return static_cast<uint32_t>(cpus_.size()); }
+  uint32_t current_cpu() const { return active_->index(); }
+  Cpu& cpu(uint32_t index) { return *cpus_[index]; }
+
+  // Highest local cycle count across CPUs: the wall-clock of an SMP run.
+  uint64_t MaxCpuCycle() const;
+
+  // True if `cpu` is parked in WaitForInterrupt under the SMP interleaver.
+  // Kernels use this to decide whether a cross-CPU wake needs an IPI kick
+  // (a busy CPU will rescan on its own; a parked one sleeps until an event).
+  bool CpuParked(uint32_t index) const;
+
+  // --- Unprivileged CPU operations (act on the executing CPU) ---
 
   // Advances simulated time and delivers any due interrupts.
   void Charge(uint64_t cycles);
@@ -132,32 +244,39 @@ class Machine {
   Result<int32_t> AddOverflow(int32_t a, int32_t b);  // Signed add, traps on overflow.
   Status CoprocOp();                                  // FP op; traps if coproc disabled.
 
-  // Parks the machine until an interrupt is delivered. In a World, control
-  // passes to other machines; standalone, the clock jumps to the next local
-  // event (aborts if there is none — that would be a hang).
+  // Parks the executing CPU until an interrupt is delivered. In a World,
+  // control passes to other machines; under the SMP interleaver, to other
+  // CPUs (a CPU resumed without a due event returns so its kernel loop can
+  // re-check its run condition); standalone, the clock jumps to the next
+  // local event (aborts if there is none — that would be a hang).
   void WaitForInterrupt();
 
+  // Runs one body per CPU on its own fiber, interleaved at charge
+  // boundaries so that the CPU with the lowest local cycle count executes
+  // first — the SMP analogue of World's event loop. Returns when every body
+  // has returned. Requires exactly cpu_count() bodies.
+  void RunCpus(std::vector<std::function<void()>> bodies);
+
   // True while executing the kernel's OnException/OnInterrupt.
-  bool in_trap() const { return trap_depth_ > 0; }
+  bool in_trap() const { return active_->trap_depth_ > 0; }
 
   // Deterministic per-machine id assigned by the world (0 standalone).
   uint32_t world_index() const { return world_index_; }
   void set_world_index(uint32_t index) { world_index_ = index; }
 
   // Earliest cycle at which this machine has something to do (queued event
-  // or armed slice timer); ~0 if none. Used by the world scheduler.
+  // or armed slice timer on any CPU); ~0 if none. Used by the world
+  // scheduler.
   uint64_t NextDueCycle() const {
     uint64_t next = ~0ULL;
-    if (!events_.empty()) {
-      next = events_.top().due_cycle;
-    }
-    if (slice_deadline_ != 0 && slice_deadline_ < next) {
-      next = slice_deadline_;
+    for (const std::unique_ptr<Cpu>& cpu : cpus_) {
+      next = std::min(next, cpu->NextDueCycle());
     }
     return next;
   }
 
  private:
+  friend class Cpu;
   friend class PrivPort;
   friend class World;
   friend class Nic;   // Devices post their own completion events.
@@ -169,28 +288,33 @@ class Machine {
 
   TrapOutcome RaiseException(ExceptionType type, Vaddr bad_vaddr, bool store);
 
+  // Device events are wired to CPU 0, as on most real boards.
   void PushEvent(uint64_t due_cycle, InterruptSource source, uint64_t payload);
-  // Delivers all due events; returns true if any was delivered.
-  bool DeliverDue();
-  void DeliverOne(const PendingEvent& event);
+
+  // --- SMP interleaver (no-ops on a single-CPU machine) ---
+
+  // True if another CPU should execute before `cpu` burns more cycles:
+  // a ready sibling whose local clock is behind, or a parked sibling whose
+  // next event is already due by `cpu`'s local time.
+  bool SiblingBehind(const Cpu& cpu) const;
+  // Saves the executing CPU's continuation and re-enters the scheduler.
+  void YieldCpu(Cpu& cpu);    // Stays ready: resumed by clock order.
+  void ParkCpu(Cpu& cpu);     // Sleeps: resumed by a due event (or spuriously).
+  void ResumeCpu(Cpu& cpu);   // Scheduler side: runs `cpu` until it yields.
+  void ScheduleCpus();        // The interleaving loop itself.
 
   Config config_;
-  std::shared_ptr<CycleClock> clock_;
   PhysMem mem_;
-  Tlb tlb_;
   PrivPort priv_;
   World* world_;
   uint32_t world_index_ = 0;
 
   TrapSink* kernel_ = nullptr;
-  Asid asid_ = 0;
-  uint64_t slice_deadline_ = 0;  // 0 = disabled.
-  bool coproc_enabled_ = false;
-  bool interrupts_enabled_ = true;
-  int trap_depth_ = 0;
 
-  std::priority_queue<PendingEvent, std::vector<PendingEvent>, std::greater<>> events_;
-  uint64_t event_seq_ = 0;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  Cpu* active_ = nullptr;      // The CPU whose code is executing now.
+  bool smp_running_ = false;   // Inside RunCpus.
+  Fiber scheduler_fiber_;      // Continuation slot for the RunCpus caller.
 };
 
 }  // namespace xok::hw

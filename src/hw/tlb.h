@@ -59,21 +59,32 @@ class Tlb {
 
   // Privileged: drop every entry translating to physical frame `pfn`
   // (used when a frame is repossessed: the binding is broken everywhere).
-  void FlushPfn(PageId pfn) {
+  // Returns how many entries were invalidated so shootdown cost can scale
+  // with the work actually done.
+  uint32_t FlushPfn(PageId pfn) {
+    uint32_t flushed = 0;
     for (TlbEntry& entry : entries_) {
       if (entry.valid && entry.pfn == pfn) {
         entry.valid = false;
+        ++flushed;
       }
     }
+    return flushed;
   }
 
   // Privileged: drop every entry with the given ASID (context teardown).
-  void FlushAsid(Asid asid) {
+  // Returns the number of live entries invalidated.
+  uint32_t FlushAsid(Asid asid) {
+    uint32_t flushed = 0;
     for (TlbEntry& entry : entries_) {
       if (entry.asid == asid) {
+        if (entry.valid) {
+          ++flushed;
+        }
         entry.valid = false;
       }
     }
+    return flushed;
   }
 
   // Privileged: drop everything.

@@ -42,6 +42,7 @@ enum class InterruptSource : uint8_t {
   kAlarm,     // Programmable one-shot alarm (payload: kernel cookie).
   kFault,     // Injected fault event (payload: fault-plan cookie).
   kPowerFail,  // Power loss: the world halts at this charge boundary.
+  kIpi,        // Inter-processor interrupt (payload: kernel-defined).
 };
 
 // What the kernel tells the machine to do after handling an exception.

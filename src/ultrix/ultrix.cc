@@ -72,7 +72,7 @@ void Ultrix::Run() {
       }
     }
     if (next == kNoPid) {
-      priv_.SetSliceDeadline(0);
+      priv_.ClearSliceDeadline();
       machine_.WaitForInterrupt();
       // Interrupt handlers may have woken someone; loop around.
       continue;
@@ -86,7 +86,7 @@ void Ultrix::Run() {
     priv_.SwapTrapDepth(0);
     current_ = kNoPid;
   }
-  priv_.SetSliceDeadline(0);
+  priv_.ClearSliceDeadline();
 }
 
 // --- Basic syscalls ---
@@ -144,7 +144,7 @@ void Ultrix::SysSleep(uint64_t cycles) {
 void Ultrix::Sleep() {
   machine_.Charge(kSleepPath + kContextSwitch);
   Current().state = ProcState::kSleeping;
-  priv_.SetSliceDeadline(0);
+  priv_.ClearSliceDeadline();
   SwitchToKernel();
 }
 
@@ -302,6 +302,7 @@ void Ultrix::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
     case hw::InterruptSource::kDiskDone:
     case hw::InterruptSource::kFault:
     case hw::InterruptSource::kPowerFail:
+    case hw::InterruptSource::kIpi:
       break;
   }
 }

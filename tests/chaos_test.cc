@@ -322,5 +322,159 @@ TEST_P(ChaosSoak, KilledEnvironmentsNeverCorruptTheSurvivors) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak, ::testing::Values(1, 2, 3));
 
+// --- SMP chaos: the same discipline on a four-CPU machine. Scheduled
+// kills land on environments pinned to *other* CPUs than the one the
+// fault interrupt arrives on, so every forced death crosses an IPI; a
+// stale-TLB prober repeatedly maps, loses, and re-touches a frame to
+// prove shootdown holds under load (a stale read succeeding would mean
+// reading memory that may already have been reallocated). ---
+
+class SmpChaosSoak : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SmpChaosSoak, RemoteKillsAndShootdownsLeaveTheLedgerClean) {
+  const uint64_t seed = GetParam();
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 256, .name = "smp-chaos", .cpus = 4});
+  aegis::Aegis kernel(machine);
+
+  // Per-CPU page churners: allocate, scribble, free, sleep — finite, so
+  // the run can drain once the victims are dead.
+  std::vector<std::unique_ptr<exos::Process>> churners;
+  uint32_t churn_rounds = 0;
+  for (uint32_t k = 0; k < 4; ++k) {
+    exos::Process::Options options;
+    options.cpu_mask = 1ULL << k;
+    churners.push_back(std::make_unique<exos::Process>(
+        kernel,
+        [&, k](exos::Process& p) {
+          for (uint32_t round = 0; round < 40; ++round) {
+            Result<aegis::PageGrant> page = p.kernel().SysAllocPage();
+            if (page.ok()) {
+              std::span<uint8_t> bytes = machine.mem().PageSpan(page->page);
+              bytes[(round + k) % bytes.size()] = static_cast<uint8_t>(round);
+              (void)p.kernel().SysDeallocPage(page->page, page->cap);
+            }
+            p.kernel().SysSleep(3'000 + 500 * k);
+            ++churn_rounds;
+          }
+        },
+        options));
+    ASSERT_TRUE(churners.back()->ok());
+  }
+
+  // Kill victims pinned to CPUs 2 and 3: the kFault interrupt arrives on
+  // CPU 0, so both reaps must travel by IPI.
+  exos::Process::Options victim2_opts;
+  victim2_opts.cpu_mask = 1ULL << 2;
+  exos::Process victim2(kernel, [&](exos::Process& p) {
+    for (;;) {
+      p.kernel().SysNull();
+      p.machine().Charge(200);
+    }
+  }, victim2_opts);
+  exos::Process::Options victim3_opts;
+  victim3_opts.cpu_mask = 1ULL << 3;
+  exos::Process victim3(kernel, [&](exos::Process& p) {
+    for (;;) {
+      Result<aegis::PageGrant> page = p.kernel().SysAllocPage();
+      if (page.ok()) {
+        // Die holding pages sometimes: teardown must reclaim them.
+        if ((p.machine().clock().now() & 1) == 0) {
+          (void)p.kernel().SysDeallocPage(page->page, page->cap);
+        }
+      }
+      p.machine().Charge(500);
+    }
+  }, victim3_opts);
+  ASSERT_TRUE(victim2.ok());
+  ASSERT_TRUE(victim3.ok());
+
+  // Stale-TLB prober: maps and touches a frame on CPU 1; a partner on
+  // CPU 0 revokes it with the shared capability; the prober's re-touch
+  // must fault every round — never observe the frame's next life.
+  constexpr hw::Vaddr kVa = 0x40000;
+  constexpr int kProbeRounds = 6;
+  hw::PageId probe_page = 0;
+  cap::Capability probe_cap;
+  int probe_round = 0;     // Handshake: prober publishes, partner consumes.
+  int revoked_round = 0;
+  uint32_t stale_reads_ok = 0;
+  uint32_t probe_faults = 0;
+  bool probe_done = false;
+
+  aegis::EnvSpec prober;
+  prober.cpu_mask = 1ULL << 1;
+  prober.handlers.exception = [&](const hw::TrapFrame&) {
+    ++probe_faults;
+    return aegis::ExcAction::kSkip;
+  };
+  prober.entry = [&] {
+    for (int round = 1; round <= kProbeRounds; ++round) {
+      Result<aegis::PageGrant> grant = kernel.SysAllocPage();
+      ASSERT_TRUE(grant.ok());
+      probe_page = grant->page;
+      probe_cap = grant->cap;
+      ASSERT_EQ(kernel.SysTlbWrite(kVa, probe_page, true, probe_cap), Status::kOk);
+      ASSERT_EQ(machine.StoreWord(kVa, 0xbee70000u + round), Status::kOk);
+      probe_round = round;
+      while (revoked_round < round) {
+        kernel.SysYield();
+      }
+      if (machine.LoadWord(kVa).ok()) {
+        ++stale_reads_ok;  // Shootdown failed: we just read a freed frame.
+      }
+    }
+    probe_done = true;
+  };
+  ASSERT_TRUE(kernel.CreateEnv(std::move(prober)).ok());
+
+  aegis::EnvSpec partner;
+  partner.cpu_mask = 1ULL << 0;
+  partner.entry = [&] {
+    for (int round = 1; round <= kProbeRounds; ++round) {
+      while (probe_round < round) {
+        kernel.SysYield();
+      }
+      ASSERT_EQ(kernel.SysDeallocPage(probe_page, probe_cap), Status::kOk);
+      // Grab the freed frame and give it a new life immediately: if the
+      // prober's stale translation survived, it would read this.
+      Result<aegis::PageGrant> next = kernel.SysAllocPage();
+      if (next.ok()) {
+        std::span<uint8_t> bytes = machine.mem().PageSpan(next->page);
+        bytes[0] = 0xd0;
+        (void)kernel.SysDeallocPage(next->page, next->cap);
+      }
+      revoked_round = round;
+    }
+  };
+  ASSERT_TRUE(kernel.CreateEnv(std::move(partner)).ok());
+
+  hw::FaultPlan plan;
+  plan.seed = seed;
+  plan.KillEnvAt(900'000 + 40'000 * seed, victim2.id());
+  plan.KillEnvAt(1'600'000 + 25'000 * seed, victim3.id());
+  plan.SpuriousIrqAt(700'000, hw::InterruptSource::kFault, 99);  // No such env.
+  kernel.InstallFaultPlan(plan);
+  kernel.set_audit_on_fault(true);
+
+  kernel.Run();
+
+  // Both kills crossed CPUs, the prober never read through a revoked
+  // mapping, and every post-fault audit (plus the final one) was clean.
+  EXPECT_TRUE(probe_done);
+  EXPECT_EQ(stale_reads_ok, 0u);
+  EXPECT_EQ(probe_faults, static_cast<uint32_t>(kProbeRounds));
+  EXPECT_EQ(churn_rounds, 160u);
+  EXPECT_EQ(kernel.envs_killed(), 2u);
+  EXPECT_GE(kernel.remote_kills_sent(), 2u);
+  EXPECT_FALSE(kernel.EnvAlive(victim2.id()));
+  EXPECT_FALSE(kernel.EnvAlive(victim3.id()));
+  EXPECT_GE(kernel.tlb_shootdowns(), static_cast<uint64_t>(kProbeRounds));
+  EXPECT_EQ(kernel.audit_failures(), 0u) << kernel.first_audit_failure();
+  aegis::Aegis::AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmpChaosSoak, ::testing::Values(1, 2, 3));
+
 }  // namespace
 }  // namespace xok

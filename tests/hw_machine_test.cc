@@ -212,6 +212,35 @@ TEST_F(MachineTest, TlbMissCostsMoreThanHit) {
   EXPECT_GT(miss, hit);
 }
 
+TEST_F(MachineTest, SliceDeadlineAtCurrentCycleFiresOnNextCharge) {
+  // Regression: a deadline equal to the current cycle (including cycle 0)
+  // must still raise kTimer at the next charge boundary, not be treated as
+  // "unarmed". The original code used deadline == 0 as the disarmed state.
+  kernel_.priv_.SetSliceDeadline(machine_.clock().now());
+  EXPECT_TRUE(kernel_.priv_.slice_armed());
+  EXPECT_TRUE(kernel_.interrupts.empty());
+  machine_.Charge(1);
+  ASSERT_EQ(kernel_.interrupts.size(), 1u);
+  EXPECT_EQ(kernel_.interrupts[0].first, InterruptSource::kTimer);
+  EXPECT_FALSE(kernel_.priv_.slice_armed());
+}
+
+TEST_F(MachineTest, SliceDeadlineInThePastFiresOnNextCharge) {
+  machine_.Charge(500);
+  kernel_.priv_.SetSliceDeadline(100);  // Already behind the clock.
+  machine_.Charge(1);
+  ASSERT_EQ(kernel_.interrupts.size(), 1u);
+  EXPECT_EQ(kernel_.interrupts[0].first, InterruptSource::kTimer);
+}
+
+TEST_F(MachineTest, ClearSliceDeadlineDisarms) {
+  kernel_.priv_.SetSliceDeadline(machine_.clock().now() + 10);
+  kernel_.priv_.ClearSliceDeadline();
+  EXPECT_FALSE(kernel_.priv_.slice_armed());
+  machine_.Charge(1000);
+  EXPECT_TRUE(kernel_.interrupts.empty());
+}
+
 TEST(MachineAsid, SeparateAsidsDoNotShareMappings) {
   Machine machine(Machine::Config{.phys_pages = 64, .name = "t1"});
   FakeKernel kernel(machine);
@@ -222,6 +251,144 @@ TEST(MachineAsid, SeparateAsidsDoNotShareMappings) {
   // The new address space had to take its own miss.
   ASSERT_FALSE(kernel.exceptions.empty());
   EXPECT_EQ(kernel.exceptions[0], ExceptionType::kTlbMissLoad);
+}
+
+// --- SMP: per-CPU state, the interleaver, IPIs, remote TLB flushes ---
+
+class SmpMachineTest : public ::testing::Test {
+ protected:
+  SmpMachineTest()
+      : machine_(Machine::Config{.phys_pages = 64, .name = "smp", .cpus = 4}),
+        kernel_(machine_) {}
+
+  Machine machine_;
+  FakeKernel kernel_;
+};
+
+TEST_F(SmpMachineTest, TopologyIsVisible) {
+  EXPECT_EQ(machine_.cpu_count(), 4u);
+  EXPECT_EQ(machine_.current_cpu(), 0u);  // Host-side code runs as CPU 0.
+  EXPECT_EQ(kernel_.priv_.cpu_count(), 4u);
+}
+
+TEST_F(SmpMachineTest, RunCpusInterleavesByLocalClock) {
+  // Each body charges in different step sizes; the interleaver must keep
+  // the local clocks within one charge of each other, so the order of
+  // completion follows total work, not body index.
+  std::vector<uint32_t> finish_order;
+  std::vector<std::function<void()>> bodies;
+  const uint64_t work[4] = {400, 100, 300, 200};
+  for (uint32_t k = 0; k < 4; ++k) {
+    bodies.push_back([this, k, &work, &finish_order]() {
+      for (uint64_t done = 0; done < work[k]; done += 50) {
+        machine_.Charge(50);
+      }
+      finish_order.push_back(k);
+    });
+  }
+  machine_.RunCpus(std::move(bodies));
+  ASSERT_EQ(finish_order.size(), 4u);
+  EXPECT_EQ(finish_order[0], 1u);  // Least work finishes first...
+  EXPECT_EQ(finish_order[3], 0u);  // ...most work last.
+  EXPECT_EQ(machine_.MaxCpuCycle(), 400u);
+  EXPECT_EQ(machine_.cpu(1).clock().now(), 100u);
+}
+
+TEST_F(SmpMachineTest, EachCpuHasItsOwnTlb) {
+  std::vector<std::function<void()>> bodies;
+  bodies.push_back([this]() { (void)machine_.LoadWord(0x2000); });
+  bodies.push_back([this]() { (void)machine_.LoadWord(0x2000); });
+  bodies.push_back([] {});
+  bodies.push_back([] {});
+  machine_.RunCpus(std::move(bodies));
+  // Each CPU took its own miss for the same address: TLBs are private.
+  // (A shared TLB would leave the second access a hit.)
+  size_t misses = 0;
+  for (ExceptionType type : kernel_.exceptions) {
+    if (type == ExceptionType::kTlbMissLoad) {
+      ++misses;
+    }
+  }
+  EXPECT_EQ(misses, 2u);
+  // And the entries really landed in different TLBs.
+  EXPECT_NE(machine_.cpu(0).tlb().Lookup(2, 0), nullptr);
+  EXPECT_NE(machine_.cpu(1).tlb().Lookup(2, 0), nullptr);
+  EXPECT_EQ(machine_.cpu(2).tlb().Lookup(2, 0), nullptr);
+}
+
+TEST_F(SmpMachineTest, SendIpiDeliversToTargetCpu) {
+  std::vector<std::function<void()>> bodies;
+  bodies.push_back([this]() { kernel_.priv_.SendIpi(2, 42); });
+  bodies.push_back([] {});
+  bodies.push_back([this]() {
+    // Park until the IPI arrives.
+    machine_.WaitForInterrupt();
+  });
+  bodies.push_back([] {});
+  machine_.RunCpus(std::move(bodies));
+  ASSERT_EQ(kernel_.interrupts.size(), 1u);
+  EXPECT_EQ(kernel_.interrupts[0].first, InterruptSource::kIpi);
+  EXPECT_EQ(kernel_.interrupts[0].second, 42u);
+}
+
+TEST_F(SmpMachineTest, CpuParkedReflectsWaitForInterrupt) {
+  bool observed_parked = false;
+  std::vector<std::function<void()>> bodies;
+  bodies.push_back([this, &observed_parked]() {
+    machine_.Charge(100);  // Give CPU 1 time to park.
+    observed_parked = machine_.CpuParked(1);
+    kernel_.priv_.SendIpi(1, 0);  // Wake it so RunCpus can finish.
+  });
+  bodies.push_back([this]() { machine_.WaitForInterrupt(); });
+  bodies.push_back([] {});
+  bodies.push_back([] {});
+  machine_.RunCpus(std::move(bodies));
+  EXPECT_TRUE(observed_parked);
+  EXPECT_FALSE(machine_.CpuParked(1));
+}
+
+TEST_F(SmpMachineTest, RemoteFlushDropsOnlyTheTargetsEntries) {
+  std::vector<std::function<void()>> bodies;
+  uint32_t dropped_live = 0;
+  uint32_t dropped_again = 0;
+  bodies.push_back([this]() {
+    (void)machine_.StoreWord(0x2000, 7);  // vpn 2 -> pfn 2 on CPU 0.
+    machine_.Charge(200);                 // Let CPU 1 map it too, then flush.
+  });
+  bodies.push_back([this, &dropped_live, &dropped_again]() {
+    (void)machine_.LoadWord(0x2000);
+    machine_.Charge(50);
+    dropped_live = kernel_.priv_.TlbRemoteFlushPfn(0, 2);
+    dropped_again = kernel_.priv_.TlbRemoteFlushPfn(0, 2);
+    // CPU 1's own entry survives its flush of CPU 0.
+    EXPECT_TRUE(machine_.LoadWord(0x2000).ok());
+  });
+  bodies.push_back([] {});
+  bodies.push_back([] {});
+  const size_t misses_before = kernel_.exceptions.size();
+  machine_.RunCpus(std::move(bodies));
+  EXPECT_EQ(dropped_live, 1u);
+  EXPECT_EQ(dropped_again, 0u);  // Idempotent once dropped.
+  // CPU 0's store missed, CPU 1's load missed; the post-flush re-read on
+  // CPU 1 hit its still-private entry.
+  EXPECT_EQ(kernel_.exceptions.size() - misses_before, 2u);
+}
+
+TEST_F(SmpMachineTest, ScheduledEventsStayOnTheCallingCpu) {
+  std::vector<std::function<void()>> bodies;
+  uint32_t interrupted_cpu = ~0u;
+  bodies.push_back([this]() { machine_.Charge(100); });
+  bodies.push_back([this, &interrupted_cpu]() {
+    kernel_.priv_.ScheduleEvent(10, InterruptSource::kDiskDone, 1);
+    machine_.Charge(100);
+    if (!kernel_.interrupts.empty()) {
+      interrupted_cpu = machine_.current_cpu();
+    }
+  });
+  bodies.push_back([] {});
+  bodies.push_back([] {});
+  machine_.RunCpus(std::move(bodies));
+  EXPECT_EQ(interrupted_cpu, 1u);
 }
 
 }  // namespace
