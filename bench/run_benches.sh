@@ -5,6 +5,7 @@
 #   fs    — file-cache policy and journaling ablations  -> BENCH_fs.json
 #   trace — xtrace observability cost ablation          -> BENCH_trace.json
 #   smp   — multi-CPU scaling and shootdown cost        -> BENCH_smp.json
+#   pressure — throughput under revocation storms       -> BENCH_pressure.json
 #
 # The trace suite additionally arms the kernel event ring in every bench
 # boot (--xok_trace) and writes one TRACE_<bench>.json event summary next
@@ -38,8 +39,13 @@ case "$suite" in
     default_out="BENCH_smp.json"
     with_trace=0
     ;;
+  pressure)
+    benches="bench_abl_pressure"
+    default_out="BENCH_pressure.json"
+    with_trace=0
+    ;;
   *)
-    echo "run_benches: unknown suite '$suite' (expected: net, fs, trace, smp)" >&2
+    echo "run_benches: unknown suite '$suite' (expected: net, fs, trace, smp, pressure)" >&2
     exit 2
     ;;
 esac

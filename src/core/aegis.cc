@@ -148,6 +148,12 @@ Result<EnvGrant> Aegis::CreateEnv(EnvSpec spec) {
   envs_.push_back(std::move(env));
   ++live_envs_;
   Trace(xtrace::Event::kEnvBirth, id);
+  if (running_) {
+    // Mid-run birth (e.g. a supervisor respawning a child): the home CPU
+    // may be parked with an empty event queue, and a parked CPU only
+    // rescans its slice vector when something wakes it.
+    NudgeCpusFor(*envs_.back());
+  }
   return grant;
 }
 
@@ -920,6 +926,27 @@ void Aegis::FlushPageBindings(hw::PageId page) {
     machine_.Charge(Instr(10));
     SeverTraceRing();
   }
+  // In-flight disk DMA targeting the frame is a cached binding too: the
+  // transfer would land in the frame after reallocation to a new owner.
+  // Cancel it and fail the blocked transfer with an I/O error — the owner
+  // retries (or repairs) like any other media fault.
+  if (disk_ != nullptr) {
+    const std::vector<uint64_t> cancelled =
+        disk_->CancelIf([page](hw::PageId frame) { return frame == page; });
+    for (uint64_t request : cancelled) {
+      auto it = disk_waiters_.find(request);
+      if (it == disk_waiters_.end()) {
+        continue;
+      }
+      Env* waiter = FindEnv(it->second);
+      disk_waiters_.erase(it);
+      if (waiter != nullptr && waiter->state != EnvState::kExited) {
+        waiter->disk_pending = false;
+        waiter->disk_result = Status::kErrIo;
+        WakeEnvInternal(*waiter);
+      }
+    }
+  }
 }
 
 // --- Protected control transfer (paper §5.2) ---
@@ -1120,6 +1147,9 @@ void Aegis::OnInterrupt(hw::InterruptSource source, uint64_t payload) {
       (void)KillEnv(static_cast<EnvId>(payload));
       break;
     }
+    case hw::InterruptSource::kPressure:
+      HandlePressure(payload);
+      break;
     case hw::InterruptSource::kPowerFail: {
       // Power loss at an arbitrary cycle-charge boundary: the disk's
       // volatile buffer dies (torn writes land now), the device freezes,
@@ -1177,6 +1207,21 @@ bool Aegis::SysEnvAlive(EnvId id) {
   SyscallScope scope(*this, xtrace::Sys::kEnvAlive);
   machine_.Charge(kSyscallEntry + Instr(4) + kSyscallExit);
   return EnvAlive(id);
+}
+
+Status Aegis::SysKillEnv(EnvId victim, const cap::Capability& env_cap) {
+  SyscallScope scope(*this, xtrace::Sys::kKillEnv);
+  machine_.Charge(kSyscallEntry + kCapCheck + kSyscallExit);
+  Env* target = FindEnv(victim);
+  if (target == nullptr || target->state == EnvState::kExited) {
+    return Status::kErrNotFound;
+  }
+  // Forced termination demands the revocation right on the environment —
+  // exactly the env_cap handed to whoever created it (a supervisor).
+  if (!authority_.Check(env_cap, EnvResource(victim), cap::kRevoke, 0)) {
+    return Status::kErrAccessDenied;
+  }
+  return KillEnv(victim);
 }
 
 // --- xtrace syscalls (observability as library policy) ---
@@ -1269,6 +1314,7 @@ EnvStats Aegis::env_stats(EnvId env) const {
   stats.pages_held = e.pages_owned;
   stats.slices_run = e.slices_run;
   stats.cpu = e.on_cpu != kNoCpu ? e.on_cpu : e.last_cpu;
+  stats.slice_slots = e.slice_slots;
   stats.counters = e.counters;
   return stats;
 }
@@ -2042,7 +2088,14 @@ uint32_t Aegis::Repossess(Env& victim, uint32_t pages) {
     pages_[p].owner = kNoEnv;
     ++pages_[p].epoch;
     FlushPageBindings(p);
-    victim.repossessed.push_back(p);
+    if (victim.repossessed.size() < Env::kMaxRepossessed) {
+      victim.repossessed.push_back(p);
+    } else {
+      // The vector is bounded: the frame is reclaimed regardless, but a
+      // libOS that never drains its vector loses the notification and the
+      // overflow is counted where SysEnvStats can see it.
+      ++victim.counters.repossess_overflow;
+    }
     if (victim.pages_owned > 0) {
       --victim.pages_owned;
     }
@@ -2061,6 +2114,8 @@ Status Aegis::RevokePages(EnvId victim_id, uint32_t pages) {
   const uint32_t free_before = free_pages();
   if (victim->handlers.revoke) {
     // Visible revocation: the library OS chooses which pages to give up.
+    // The handler runs with the victim's identity but must not block —
+    // revocation can arrive at interrupt level on an arbitrary fiber.
     const EnvId saved = cur().current;
     cur().current = victim_id;
     victim->handlers.revoke(pages);
@@ -2073,6 +2128,234 @@ Status Aegis::RevokePages(EnvId victim_id, uint32_t pages) {
     Repossess(*victim, pages - freed);
   }
   return Status::kOk;
+}
+
+uint32_t Aegis::RevokeSlices(EnvId victim_id, uint32_t slots, uint32_t min_keep) {
+  Env* victim = FindEnv(victim_id);
+  if (victim == nullptr || victim->state == EnvState::kExited) {
+    return 0;
+  }
+  uint32_t removed = 0;
+  // Highest-index CPUs first: birth slices land on the least-loaded (often
+  // lowest) CPU, so pressure peels an env back toward its home processor
+  // before touching its last slots there.
+  for (uint32_t k = machine_.cpu_count(); k-- > 0 && removed < slots;) {
+    CpuSched& cpu = cpu_[k];
+    bool still_holds = false;
+    machine_.Charge(Instr(2) * cpu.slice_vector.size());
+    for (EnvId& owner : cpu.slice_vector) {
+      if (owner != victim_id) {
+        continue;
+      }
+      if (removed < slots && victim->slice_slots > min_keep) {
+        owner = kNoEnv;
+        --victim->slice_slots;
+        ++removed;
+      } else {
+        still_holds = true;
+      }
+    }
+    if (!still_holds) {
+      victim->slot_mask &= ~(1ULL << k);
+    }
+  }
+  if (removed > 0) {
+    victim->counters.slices_revoked += removed;
+    Trace(xtrace::Event::kSliceRevoke, victim_id, removed, victim->slice_slots);
+  }
+  return removed;
+}
+
+uint32_t Aegis::ReclaimFilters(EnvId victim_id, uint32_t filters) {
+  Env* victim = FindEnv(victim_id);
+  if (victim == nullptr || victim->state == EnvState::kExited) {
+    return 0;
+  }
+  uint32_t reclaimed = 0;
+  for (dpf::FilterId id = 0; id < bindings_.size() && reclaimed < filters; ++id) {
+    FilterBinding& binding = bindings_[id];
+    if (!binding.live || binding.owner != victim_id) {
+      continue;
+    }
+    // Same severing as teardown: classifier stops steering, the queue
+    // drops, the ring stops naming pages. Stats survive for post-mortems.
+    machine_.Charge(Instr(10));
+    binding.live = false;
+    binding.queue.clear();
+    binding.handler.reset();
+    binding.ring = RingState{};
+    (void)classifier_.Remove(id);
+    Trace(xtrace::Event::kFilterReclaim, victim_id, id);
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+uint32_t Aegis::ReclaimExtents(EnvId victim_id, uint32_t extents, uint32_t min_keep) {
+  Env* victim = FindEnv(victim_id);
+  if (victim == nullptr || victim->state == EnvState::kExited) {
+    return 0;
+  }
+  uint32_t live = 0;
+  for (const DiskExtent& extent : extents_) {
+    if (extent.live && extent.owner == victim_id) {
+      ++live;
+    }
+  }
+  uint32_t reclaimed = 0;
+  for (uint32_t id = 0; id < extents_.size() && reclaimed < extents; ++id) {
+    DiskExtent& extent = extents_[id];
+    if (!extent.live || extent.owner != victim_id || live - reclaimed <= min_keep) {
+      continue;
+    }
+    // Epoch bump voids every outstanding capability for the extent; the
+    // blocks themselves return to the allocator like SysFreeDiskExtent.
+    machine_.Charge(Instr(4));
+    extent.live = false;
+    ++extent.epoch;
+    Trace(xtrace::Event::kExtentReclaim, victim_id, id);
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+// --- Resource pressure (deterministic revocation campaigns) ---
+
+void Aegis::InstallPressurePlan(const PressurePlan& plan) {
+  pressure_ = std::make_unique<PressureEngine>(plan);
+  const uint64_t now = machine_.clock().now();
+  // One-shot events carry a 1-based cookie naming the plan entry.
+  for (size_t i = 0; i < plan.events.size(); ++i) {
+    const uint64_t at = plan.events[i].at_cycle;
+    priv_.ScheduleEvent(at > now ? at - now : 0, hw::InterruptSource::kPressure,
+                        static_cast<uint64_t>(i) + 1);
+  }
+  // The storm is self-rescheduling: cookie 0 means "burst, then re-arm".
+  if (plan.storm_end > plan.storm_start) {
+    priv_.ScheduleEvent(plan.storm_start > now ? plan.storm_start - now : 0,
+                        hw::InterruptSource::kPressure, 0);
+  }
+}
+
+uint32_t Aegis::PressureHeadroom(const Env& env, PressureKind kind) const {
+  if (env.state == EnvState::kExited || pressure_ == nullptr) {
+    return 0;
+  }
+  const ReserveFloor& floor = pressure_->plan().floor;
+  switch (kind) {
+    case PressureKind::kRevokePages:
+      return env.pages_owned > floor.pages ? env.pages_owned - floor.pages : 0;
+    case PressureKind::kRevokeSlices:
+      return env.slice_slots > floor.slices ? env.slice_slots - floor.slices : 0;
+    case PressureKind::kReclaimFilters: {
+      uint32_t owned = 0;
+      for (const FilterBinding& binding : bindings_) {
+        if (binding.live && binding.owner == env.id) {
+          ++owned;
+        }
+      }
+      return owned;  // No floor: packets are never a survival resource.
+    }
+    case PressureKind::kReclaimExtents: {
+      uint32_t owned = 0;
+      for (const DiskExtent& extent : extents_) {
+        if (extent.live && extent.owner == env.id) {
+          ++owned;
+        }
+      }
+      return owned > floor.extents ? owned - floor.extents : 0;
+    }
+  }
+  return 0;
+}
+
+Env* Aegis::PickPressureVictim(PressureKind kind) {
+  // Richest eligible env (most headroom above its floor); seeded draw
+  // breaks ties so campaigns are deterministic per plan seed.
+  uint32_t best = 0;
+  for (const auto& env : envs_) {
+    best = std::max(best, PressureHeadroom(*env, kind));
+  }
+  if (best == 0) {
+    return nullptr;
+  }
+  std::vector<Env*> candidates;
+  for (const auto& env : envs_) {
+    if (PressureHeadroom(*env, kind) == best) {
+      candidates.push_back(env.get());
+    }
+  }
+  return candidates[pressure_->NextDraw(candidates.size())];
+}
+
+void Aegis::ApplyPressure(PressureKind kind, EnvId victim_id, uint32_t amount) {
+  PressureStats& stats = pressure_->stats();
+  ++stats.revocations;
+  Env* victim = victim_id == kAnyEnv ? PickPressureVictim(kind) : FindEnv(victim_id);
+  if (victim == nullptr || victim->state == EnvState::kExited) {
+    ++stats.floor_clamps;  // Nobody above the floor (or victim gone).
+    return;
+  }
+  const uint32_t headroom = PressureHeadroom(*victim, kind);
+  const uint32_t applied = std::min(amount, headroom);
+  if (applied < amount) {
+    ++stats.floor_clamps;
+  }
+  Trace(xtrace::Event::kPressureTick, static_cast<uint32_t>(kind), victim->id,
+        amount, applied);
+  if (applied == 0) {
+    return;
+  }
+  const ReserveFloor& floor = pressure_->plan().floor;
+  switch (kind) {
+    case PressureKind::kRevokePages:
+      stats.pages_requested += applied;
+      (void)RevokePages(victim->id, applied);
+      break;
+    case PressureKind::kRevokeSlices:
+      stats.slices_revoked += RevokeSlices(victim->id, applied, floor.slices);
+      break;
+    case PressureKind::kReclaimFilters:
+      stats.filters_reclaimed += ReclaimFilters(victim->id, applied);
+      break;
+    case PressureKind::kReclaimExtents:
+      stats.extents_reclaimed += ReclaimExtents(victim->id, applied, floor.extents);
+      break;
+  }
+  MaybeAuditAfterFault();
+}
+
+void Aegis::HandlePressure(uint64_t cookie) {
+  if (pressure_ == nullptr || powered_off_) {
+    return;  // Spurious (injected) or post-mortem pressure tick.
+  }
+  const PressurePlan& plan = pressure_->plan();
+  if (cookie != 0) {
+    if (cookie > plan.events.size()) {
+      return;  // Spurious cookie.
+    }
+    const PressureEvent& event = plan.events[cookie - 1];
+    ApplyPressure(event.kind, event.victim, event.amount);
+    return;
+  }
+  // Storm burst: each armed channel fires once against a seeded victim.
+  ++pressure_->stats().bursts;
+  if (plan.storm_pages > 0) {
+    ApplyPressure(PressureKind::kRevokePages, kAnyEnv, plan.storm_pages);
+  }
+  if (plan.storm_slices > 0) {
+    ApplyPressure(PressureKind::kRevokeSlices, kAnyEnv, plan.storm_slices);
+  }
+  if (plan.storm_filters > 0) {
+    ApplyPressure(PressureKind::kReclaimFilters, kAnyEnv, plan.storm_filters);
+  }
+  if (plan.storm_extents > 0) {
+    ApplyPressure(PressureKind::kReclaimExtents, kAnyEnv, plan.storm_extents);
+  }
+  const uint64_t now = machine_.clock().now();
+  if (now + plan.storm_period <= plan.storm_end) {
+    priv_.ScheduleEvent(plan.storm_period, hw::InterruptSource::kPressure, 0);
+  }
 }
 
 }  // namespace xok::aegis

@@ -40,6 +40,7 @@
 #include "src/cap/capability.h"
 #include "src/core/costs.h"
 #include "src/core/env.h"
+#include "src/core/pressure.h"
 #include "src/core/stlb.h"
 #include "src/core/xtrace.h"
 #include "src/dpf/dpf.h"
@@ -142,6 +143,7 @@ struct EnvStats {
   uint32_t pages_held = 0;
   uint64_t slices_run = 0;
   uint32_t cpu = 0;  // CPU currently running the env, else its last CPU.
+  uint32_t slice_slots = 0;  // Slice-vector slots held across all CPUs.
   xtrace::EnvCounters counters;
 };
 
@@ -294,11 +296,39 @@ class Aegis final : public hw::TrapSink {
   // partner, PCT server, ...) without holding that peer's capability.
   bool SysEnvAlive(EnvId env);
 
+  // Forced termination as a syscall: requires a kRevoke-bearing capability
+  // for the victim environment (e.g. the env_cap handed out at creation).
+  // This is how a supervisor env reaps a wedged child. Killing the calling
+  // environment does not return.
+  Status SysKillEnv(EnvId victim, const cap::Capability& env_cap);
+
   // --- Kernel/host-side operations (not syscalls) ---
 
   // Visible revocation (test/bench driver): ask `victim` to give back
   // `pages` pages; on non-compliance within the handler call, repossess.
   Status RevokePages(EnvId victim, uint32_t pages);
+
+  // Slice revocation: removes up to `slots` slice-vector slots from the
+  // victim (highest-index CPUs first), never dropping it below `min_keep`
+  // slots overall. Returns the number actually removed.
+  uint32_t RevokeSlices(EnvId victim, uint32_t slots, uint32_t min_keep = 1);
+  // Filter reclaim: force-unbinds up to `filters` of the victim's packet
+  // filters (rings sever, queues drop). Returns the number unbound.
+  uint32_t ReclaimFilters(EnvId victim, uint32_t filters);
+  // Extent reclaim: kills up to `extents` of the victim's live disk
+  // extents (epoch bump voids outstanding caps; in-flight DMA into the
+  // extent is unaffected — frames, not extents, gate DMA cancellation),
+  // keeping at least `min_keep` live. Returns the number reclaimed.
+  uint32_t ReclaimExtents(EnvId victim, uint32_t extents, uint32_t min_keep = 0);
+
+  // Arms the deterministic pressure engine: one-shot revocation events and
+  // the storm window are posted to the machine's event queue and applied
+  // from the kPressure interrupt handler, clamped by the plan's reserve
+  // floor. Sibling of InstallFaultPlan.
+  void InstallPressurePlan(const PressurePlan& plan);
+  const PressureStats* pressure_stats() const {
+    return pressure_ ? &pressure_->stats() : nullptr;
+  }
 
   // Forced termination (crash-safe teardown): reclaims every resource the
   // victim holds — pages (abort-protocol machinery), TLB/STLB bindings,
@@ -509,6 +539,18 @@ class Aegis final : public hw::TrapSink {
   // Forcibly repossesses up to `pages` pages from `victim`.
   uint32_t Repossess(Env& victim, uint32_t pages);
 
+  // Pressure-engine internals (kPressure interrupt level). HandlePressure
+  // decodes the event-queue cookie (0 = storm tick, n >= 1 = plan event
+  // n-1); ApplyPressure clamps by the reserve floor, resolves kAnyEnv to
+  // the richest eligible victim (seeded tie-break), and dispatches to the
+  // revocation primitives above.
+  void HandlePressure(uint64_t cookie);
+  void ApplyPressure(PressureKind kind, EnvId victim, uint32_t amount);
+  Env* PickPressureVictim(PressureKind kind);
+  // Resource an env can still yield under `kind` without breaching the
+  // floor (0 = ineligible).
+  uint32_t PressureHeadroom(const Env& env, PressureKind kind) const;
+
   // Reclaims every resource class `env` holds and marks it exited. Shared
   // by SysExit (clean exit) and KillEnv (forced); see KillEnv for the
   // reclamation order.
@@ -599,6 +641,8 @@ class Aegis final : public hw::TrapSink {
 
   // Fault injection and crash-safe teardown.
   std::unique_ptr<hw::FaultInjector> injector_;
+  // Resource pressure (revocation campaigns); nullptr when disarmed.
+  std::unique_ptr<PressureEngine> pressure_;
   std::vector<EnvId> deferred_kills_;  // Kills postponed by PCT atomicity.
   uint64_t envs_killed_ = 0;
   uint64_t remote_kills_sent_ = 0;  // Reaps handed to another CPU via IPI.

@@ -120,7 +120,11 @@ struct Env {
   // Asynchronous PCT mailbox, drained before the env resumes.
   std::deque<PctArgs> mailbox;
 
-  // Pages taken by the abort protocol, awaiting SysReadRepossessed.
+  // Pages taken by the abort protocol, awaiting SysReadRepossessed. Bounded:
+  // past kMaxRepossessed entries the kernel still reclaims the frame but
+  // drops the notification, counting it in counters.repossess_overflow —
+  // a libOS that never drains its vector must not grow kernel state.
+  static constexpr size_t kMaxRepossessed = 64;
   std::vector<hw::PageId> repossessed;
 
   // Live page count (for revocation targeting and accounting).

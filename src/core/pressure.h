@@ -1,0 +1,136 @@
+// Deterministic, seeded resource pressure for Aegis — the revocation-side
+// sibling of hw::FaultPlan.
+//
+// The paper's resource-management contract (§3.4–3.5) has two halves: the
+// kernel asks nicely (visible revocation), and if the application does not
+// comply it takes by force (the abort protocol + repossession vector). A
+// PressurePlan turns that contract into a repeatable campaign: one-shot
+// revocation events against chosen victims at chosen cycles, plus an
+// optional sustained "storm" window that fires a burst every period against
+// seeded-random victims. Four resource channels exist — page revocation
+// (escalating to repossession on non-compliance), slice revocation,
+// DPF-filter reclaim, and disk-extent reclaim.
+//
+// The plan also carries the *guaranteed reserve*: per-environment floors
+// below which the pressure engine will never push a victim. Pressure may
+// degrade an environment (fewer pages, one slice, no filters) but must not
+// starve it to death — an env at its floor is simply skipped. The floor
+// binds only the pressure engine; explicit RevokePages calls from tests and
+// the teardown path are not clamped.
+#ifndef XOK_SRC_CORE_PRESSURE_H_
+#define XOK_SRC_CORE_PRESSURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rand.h"
+#include "src/core/env.h"
+
+namespace xok::aegis {
+
+// Per-environment guaranteed reserve: the pressure engine never takes a
+// resource that would leave a victim below these.
+struct ReserveFloor {
+  uint32_t pages = 4;    // Physical pages an env always keeps.
+  uint32_t slices = 1;   // Slice slots an env always keeps (if it has any).
+  uint32_t extents = 1;  // Live disk extents an env always keeps.
+};
+
+enum class PressureKind : uint8_t {
+  kRevokePages,     // Visible revocation; escalates to repossession.
+  kRevokeSlices,    // Slice slots removed from the victim's CPUs.
+  kReclaimFilters,  // DPF filters force-unbound (packets stop arriving).
+  kReclaimExtents,  // Disk extents killed (epoch bump voids caps).
+};
+
+struct PressureEvent {
+  uint64_t at_cycle = 0;
+  PressureKind kind = PressureKind::kRevokePages;
+  EnvId victim = kAnyEnv;  // kAnyEnv: engine picks the richest eligible env.
+  uint32_t amount = 1;
+};
+
+struct PressurePlan {
+  uint64_t seed = 1;
+  ReserveFloor floor;
+
+  // Sustained storm: every `storm_period` cycles in [storm_start,
+  // storm_end], apply each nonzero per-channel amount against a
+  // seeded-random eligible victim. storm_end == 0 disables the storm.
+  uint64_t storm_start = 0;
+  uint64_t storm_end = 0;
+  uint64_t storm_period = 50'000;
+  uint32_t storm_pages = 0;
+  uint32_t storm_slices = 0;
+  uint32_t storm_filters = 0;
+  uint32_t storm_extents = 0;
+
+  // One-shot scheduled events (absolute cycles).
+  std::vector<PressureEvent> events;
+
+  PressurePlan& RevokePagesAt(uint64_t cycle, EnvId victim, uint32_t pages) {
+    events.push_back({cycle, PressureKind::kRevokePages, victim, pages});
+    return *this;
+  }
+  PressurePlan& RevokeSlicesAt(uint64_t cycle, EnvId victim, uint32_t slots) {
+    events.push_back({cycle, PressureKind::kRevokeSlices, victim, slots});
+    return *this;
+  }
+  PressurePlan& ReclaimFiltersAt(uint64_t cycle, EnvId victim, uint32_t filters) {
+    events.push_back({cycle, PressureKind::kReclaimFilters, victim, filters});
+    return *this;
+  }
+  PressurePlan& ReclaimExtentsAt(uint64_t cycle, EnvId victim, uint32_t extents) {
+    events.push_back({cycle, PressureKind::kReclaimExtents, victim, extents});
+    return *this;
+  }
+  PressurePlan& Storm(uint64_t start, uint64_t end, uint64_t period,
+                      uint32_t pages, uint32_t slices = 0, uint32_t filters = 0,
+                      uint32_t extents = 0) {
+    storm_start = start;
+    storm_end = end;
+    storm_period = period;
+    storm_pages = pages;
+    storm_slices = slices;
+    storm_filters = filters;
+    storm_extents = extents;
+    return *this;
+  }
+};
+
+// Campaign accounting (tests assert the pressure really landed).
+struct PressureStats {
+  uint64_t bursts = 0;             // Storm ticks fired.
+  uint64_t revocations = 0;        // Pressure applications attempted.
+  uint64_t pages_requested = 0;    // Pages asked for via visible revocation.
+  uint64_t slices_revoked = 0;     // Slice slots actually removed.
+  uint64_t filters_reclaimed = 0;
+  uint64_t extents_reclaimed = 0;
+  uint64_t floor_clamps = 0;  // Applications reduced/skipped by the reserve.
+};
+
+// The plan plus the seeded victim-selection stream. Owned by Aegis
+// (installed via InstallPressurePlan); the kernel drives it from the
+// InterruptSource::kPressure handler so campaigns are deterministic per
+// seed regardless of what the applications do.
+class PressureEngine {
+ public:
+  explicit PressureEngine(const PressurePlan& plan)
+      : plan_(plan), victim_rng_(plan.seed * 0x9e3779b97f4a7c15ULL + 1) {}
+
+  const PressurePlan& plan() const { return plan_; }
+  PressureStats& stats() { return stats_; }
+  const PressureStats& stats() const { return stats_; }
+
+  // Seeded draw for kAnyEnv victim selection (uniform in [0, n)).
+  uint64_t NextDraw(uint64_t n) { return n == 0 ? 0 : victim_rng_.Next() % n; }
+
+ private:
+  PressurePlan plan_;
+  SplitMix64 victim_rng_;
+  PressureStats stats_;
+};
+
+}  // namespace xok::aegis
+
+#endif  // XOK_SRC_CORE_PRESSURE_H_

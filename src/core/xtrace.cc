@@ -27,6 +27,10 @@ const char* EventName(Event e) {
     case Event::kMigration: return "migration";
     case Event::kIpi: return "ipi";
     case Event::kTlbShootdown: return "tlb_shootdown";
+    case Event::kPressureTick: return "pressure_tick";
+    case Event::kSliceRevoke: return "slice_revoke";
+    case Event::kFilterReclaim: return "filter_reclaim";
+    case Event::kExtentReclaim: return "extent_reclaim";
   }
   return "unknown";
 }
@@ -73,6 +77,7 @@ const char* SysName(Sys n) {
     case Sys::kCpuCount: return "cpu_count";
     case Sys::kCurrentCpu: return "current_cpu";
     case Sys::kAllocSlice: return "alloc_slice";
+    case Sys::kKillEnv: return "kill_env";
     case Sys::kCount: break;
   }
   return "unknown";

@@ -67,8 +67,14 @@ enum class Event : uint8_t {
   kIpi = 19,           // arg0 = target cpu, arg1 = payload (low 32).
   kTlbShootdown = 20,  // arg0 = pfn or asid, arg1 = remote cpu,
                        // arg2 = entries invalidated, arg3 = asid flag.
+  kPressureTick = 21,  // arg0 = PressureKind, arg1 = victim env,
+                       // arg2 = amount requested, arg3 = amount applied.
+  kSliceRevoke = 22,   // arg0 = victim env, arg1 = slots revoked,
+                       // arg2 = slots remaining.
+  kFilterReclaim = 23,  // arg0 = victim env, arg1 = filter id.
+  kExtentReclaim = 24,  // arg0 = victim env, arg1 = extent id.
 };
-inline constexpr uint32_t kEventCount = 21;
+inline constexpr uint32_t kEventCount = 25;
 
 constexpr uint32_t Bit(Event e) { return 1u << static_cast<uint32_t>(e); }
 inline constexpr uint32_t kMaskAll = 0xffffffffu;
@@ -137,6 +143,7 @@ enum class Sys : uint8_t {
   kCpuCount,
   kCurrentCpu,
   kAllocSlice,
+  kKillEnv,
   kCount,
 };
 inline constexpr uint32_t kSysCount = static_cast<uint32_t>(Sys::kCount);
@@ -162,6 +169,9 @@ struct EnvCounters {
   uint64_t migrations = 0;       // Resumes on a different CPU than the last.
   uint64_t ipis_sent = 0;        // IPIs this env's syscalls caused.
   uint64_t tlb_shootdowns = 0;   // Remote TLBs invalidated on its behalf.
+  uint64_t repossess_overflow = 0;  // Repossessed pages dropped from the
+                                    // (bounded) repossession vector.
+  uint64_t slices_revoked = 0;   // Slice slots taken back under pressure.
 
   uint64_t syscalls_total() const {
     uint64_t total = 0;

@@ -175,6 +175,50 @@ size_t BlockCache::dirty_remaining() const {
   return dirty;
 }
 
+uint32_t BlockCache::ReleaseCleanFrames(uint32_t n) {
+  uint32_t released = 0;
+  // Walk backwards so erasing does not shift unvisited slots. Only invalid
+  // or clean slots go — a dirty frame holds the sole copy of its block, and
+  // this path must not block on a write-back.
+  for (size_t i = slots_.size(); i-- > 0 && released < n;) {
+    if (slots_.size() <= 1) {
+      break;
+    }
+    if (slots_[i].valid && slots_[i].dirty) {
+      continue;
+    }
+    (void)proc_.kernel().SysDeallocPage(frames_[i], frame_caps_[i]);
+    slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(i));
+    frames_.erase(frames_.begin() + static_cast<ptrdiff_t>(i));
+    frame_caps_.erase(frame_caps_.begin() + static_cast<ptrdiff_t>(i));
+    ++released;
+  }
+  return released;
+}
+
+uint32_t BlockCache::RepairAfterRepossession(std::span<const hw::PageId> taken) {
+  uint32_t repaired = 0;
+  for (size_t i = slots_.size(); i-- > 0;) {
+    if (std::find(taken.begin(), taken.end(), frames_[i]) == taken.end()) {
+      continue;
+    }
+    ++repaired;
+    Result<aegis::PageGrant> fresh = proc_.kernel().SysAllocPage();
+    if (fresh.ok()) {
+      frames_[i] = fresh->page;
+      frame_caps_[i] = fresh->cap;
+      slots_[i] = Slot{};  // Contents went with the old frame; re-read on use.
+    } else if (slots_.size() > 1) {
+      slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(i));
+      frames_.erase(frames_.begin() + static_cast<ptrdiff_t>(i));
+      frame_caps_.erase(frame_caps_.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      slots_[i] = Slot{};  // Last slot, no frame to be had: stays degraded.
+    }
+  }
+  return repaired;
+}
+
 BlockCache::VictimPicker MakeScanAwarePicker(uint32_t metadata_blocks) {
   return [metadata_blocks](std::span<const BlockCache::Slot> slots) -> size_t {
     // MRU among data blocks; metadata stays resident.
@@ -326,7 +370,23 @@ Status LibFs::AllocRawFrame() {
   return Status::kOk;
 }
 
+uint32_t LibFs::RepairAfterRepossession(std::span<const hw::PageId> taken) {
+  uint32_t repaired = 0;
+  if (raw_frame_ok_ &&
+      std::find(taken.begin(), taken.end(), raw_frame_) != taken.end()) {
+    // The journal's DMA frame went to the abort protocol; the next raw
+    // transfer re-allocates one (the frame carries no durable state).
+    raw_frame_ok_ = false;
+    ++repaired;
+  }
+  return repaired + cache_->RepairAfterRepossession(taken);
+}
+
 Status LibFs::RawWrite(uint32_t block, std::span<const uint8_t> bytes) {
+  const Status frame = AllocRawFrame();  // Lazy re-allocation after repossession.
+  if (frame != Status::kOk) {
+    return frame;
+  }
   auto frame_span = proc_.machine().mem().PageSpan(raw_frame_);
   proc_.machine().Charge(hw::kMemWordCopy * (hw::kPageBytes / 4));
   std::copy(bytes.begin(), bytes.end(), frame_span.begin());
@@ -347,6 +407,10 @@ Status LibFs::RawWrite(uint32_t block, std::span<const uint8_t> bytes) {
 }
 
 Status LibFs::RawRead(uint32_t block, std::span<uint8_t> out) {
+  const Status frame = AllocRawFrame();  // Lazy re-allocation after repossession.
+  if (frame != Status::kOk) {
+    return frame;
+  }
   uint64_t backoff = hw::kClockHz / 10000;
   for (int attempt = 0; attempt < 8; ++attempt) {
     const Status status =

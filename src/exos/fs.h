@@ -93,6 +93,19 @@ class BlockCache {
   // Dirty blocks not yet written back (data at risk if the cache dies).
   size_t dirty_remaining() const;
 
+  // Revocation support. ReleaseCleanFrames is the non-blocking half of the
+  // repair contract (safe from a revoke handler, which can arrive at
+  // interrupt level on an arbitrary fiber): it deallocates up to `n`
+  // invalid or clean slots' frames, shrinking the cache but keeping at
+  // least one slot. Returns the number released.
+  uint32_t ReleaseCleanFrames(uint32_t n);
+  // The blocking half, run on the owner's own fiber: slots whose frames
+  // were taken by the abort protocol get replacement frames (contents
+  // lost — the next GetBlock re-reads) or are dropped when no frame is
+  // available. Returns the number of slots affected.
+  uint32_t RepairAfterRepossession(std::span<const hw::PageId> taken);
+  size_t slot_count() const { return slots_.size(); }
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t io_retries() const { return io_retries_; }
@@ -188,6 +201,11 @@ class LibFs {
   // fsck_error()) on the first violation.
   Status Fsck();
   const std::string& fsck_error() const { return fsck_error_; }
+
+  // Repairs after an abort-protocol repossession: marks the journal's raw
+  // DMA frame for lazy re-allocation if it was taken, and forwards to the
+  // cache. Returns the number of frames/slots affected.
+  uint32_t RepairAfterRepossession(std::span<const hw::PageId> taken);
 
   BlockCache& cache() { return *cache_; }
 

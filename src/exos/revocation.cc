@@ -1,0 +1,88 @@
+#include "src/exos/revocation.h"
+
+#include <vector>
+
+namespace xok::exos {
+
+RevocationClient::RevocationClient(Process& proc, Options options)
+    : proc_(proc), options_(options) {
+  proc_.set_revoke_handler([this](uint32_t pages) { OnRevoke(pages); });
+}
+
+void RevocationClient::OnRevoke(uint32_t pages) {
+  ++stats_.revocations_seen;
+  uint32_t remaining = pages;
+  // Cheapest victims first: invalid/clean block-cache frames need no
+  // write-back, and nothing here may block — this can run at interrupt
+  // level on an arbitrary fiber.
+  if (options_.fs != nullptr && remaining > 0) {
+    const uint32_t released = options_.fs->cache().ReleaseCleanFrames(remaining);
+    stats_.cache_frames_released += released;
+    remaining -= released;
+    if (options_.fs->cache().dirty_remaining() > 0) {
+      flush_wanted_ = true;  // Victim-save: Poll flushes on our own fiber.
+    }
+  }
+  // Then clean VM pages (Vm::ReleasePages prefers them).
+  if (remaining > 0) {
+    stats_.pages_released += proc_.vm().ReleasePages(remaining);
+  }
+}
+
+Status RevocationClient::Poll() {
+  ++stats_.polls;
+  Status first_error = Status::kOk;
+  const auto note = [&first_error](Status status) {
+    if (status != Status::kOk && first_error == Status::kOk) {
+      first_error = status;
+    }
+  };
+
+  // Drain the repossession vector and let every subsystem inspect what
+  // the abort protocol took.
+  const std::vector<hw::PageId> taken = proc_.kernel().SysReadRepossessed();
+  if (!taken.empty()) {
+    stats_.pages_repossessed += taken.size();
+    proc_.vm().RepairAfterRepossession(taken);
+    if (options_.fs != nullptr) {
+      stats_.fs_repairs += options_.fs->RepairAfterRepossession(taken);
+    }
+    if (options_.trace != nullptr) {
+      const uint64_t before = options_.trace->repairs();
+      note(options_.trace->RepairAfterRepossession(taken));
+      stats_.trace_repairs += options_.trace->repairs() - before;
+    }
+  }
+  // The socket can also break with no repossession at all (filter reclaim
+  // severs the binding without touching a page), so probe it every poll.
+  if (options_.socket != nullptr) {
+    const uint64_t before = options_.socket->repairs();
+    note(options_.socket->RepairAfterRepossession(taken));
+    stats_.socket_repairs += options_.socket->repairs() - before;
+  }
+
+  // Victim-save flush: make the dirty set clean so the next revocation
+  // finds frames it can take without losing data.
+  if (flush_wanted_ && options_.fs != nullptr) {
+    flush_wanted_ = false;
+    ++stats_.fs_flushes;
+    note(options_.fs->cache().Flush());
+  }
+
+  // Slice re-admission: after slice revocation, grow back toward the
+  // desired footprint (stride-scheduler tickets, thread-group CPUs).
+  if (options_.desired_slices > 0) {
+    Result<aegis::EnvStats> stats = proc_.kernel().SysEnvStats(proc_.id());
+    if (stats.ok()) {
+      uint32_t held = stats->slice_slots;
+      while (held < options_.desired_slices &&
+             proc_.kernel().SysAllocSlice() == Status::kOk) {
+        ++held;
+        ++stats_.slices_readmitted;
+      }
+    }
+  }
+  return first_error;
+}
+
+}  // namespace xok::exos

@@ -1,0 +1,83 @@
+// ExOS revocation client: the library-OS side of the kernel's resource
+// pressure protocol (paper §3.4–3.5), as one object that owns the repair
+// policy for every abstraction a process built on revocable resources.
+//
+// The contract has two halves, split by what may block:
+//
+//   * The revoke handler (installed on the Process) is the non-blocking
+//     half. Visible revocation can arrive at interrupt level on an
+//     arbitrary fiber, so the handler may only do work that never sleeps:
+//     release invalid/clean block-cache frames, release clean VM pages,
+//     and note that dirty state kept frames alive (flush_wanted).
+//   * Poll() is the blocking half, run from the environment's own main
+//     loop on its own fiber. It drains the repossession vector and
+//     dispatches per-subsystem repairs — Vm page-table repair, LibFS
+//     cache/journal-frame repair, pktring and trace-ring rebind-or-
+//     fallback — then performs the victim-save flush (so the *next*
+//     revocation finds clean frames to yield voluntarily) and re-admits
+//     the environment to CPUs it lost slices on.
+//
+// Everything here is untrusted library policy; a different libOS could
+// refuse to comply entirely and live with the abort protocol.
+#ifndef XOK_SRC_EXOS_REVOCATION_H_
+#define XOK_SRC_EXOS_REVOCATION_H_
+
+#include <cstdint>
+
+#include "src/exos/fs.h"
+#include "src/exos/process.h"
+#include "src/exos/tracelib.h"
+#include "src/exos/udp.h"
+
+namespace xok::exos {
+
+class RevocationClient {
+ public:
+  struct Options {
+    LibFs* fs = nullptr;
+    UdpSocket* socket = nullptr;
+    TraceSession* trace = nullptr;
+    // Slice-slot target for re-admission after slice revocation; 0
+    // disables re-admission (the env keeps whatever it has left).
+    uint32_t desired_slices = 0;
+  };
+
+  struct Stats {
+    uint64_t revocations_seen = 0;    // Revoke-handler invocations.
+    uint64_t pages_released = 0;      // Pages yielded voluntarily (VM).
+    uint64_t cache_frames_released = 0;  // Clean cache frames yielded.
+    uint64_t pages_repossessed = 0;   // Seen via SysReadRepossessed.
+    uint64_t fs_repairs = 0;          // Cache slots / raw frames repaired.
+    uint64_t fs_flushes = 0;          // Victim-save flushes run by Poll.
+    uint64_t socket_repairs = 0;      // Pktring rebinds (or fallbacks).
+    uint64_t trace_repairs = 0;       // Trace-ring rebinds.
+    uint64_t slices_readmitted = 0;   // Slots re-acquired after revocation.
+    uint64_t polls = 0;
+  };
+
+  // Installs the revoke handler on `proc` immediately. Construct inside
+  // the environment (its entry function) so repairs run on its fiber.
+  RevocationClient(Process& proc, Options options);
+
+  // Blocking repair pass; call regularly from the environment's main
+  // loop. Returns the first repair error (repairs keep going past it).
+  Status Poll();
+
+  const Stats& stats() const { return stats_; }
+  bool flush_wanted() const { return flush_wanted_; }
+
+ private:
+  void OnRevoke(uint32_t pages);
+
+  Process& proc_;
+  Options options_;
+  Stats stats_;
+  // Set by the handler when dirty blocks kept cache frames alive through
+  // a revocation; Poll flushes them so future revocations find clean
+  // victims (the LibFS victim-save policy).
+  bool flush_wanted_ = false;
+};
+
+}  // namespace xok::exos
+
+#endif  // XOK_SRC_EXOS_REVOCATION_H_

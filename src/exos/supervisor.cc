@@ -1,0 +1,149 @@
+#include "src/exos/supervisor.h"
+
+#include <algorithm>
+
+namespace xok::exos {
+
+Supervisor::Supervisor(aegis::Aegis& kernel, std::vector<ChildSpec> specs,
+                       const Options& options)
+    : kernel_(kernel), options_(options) {
+  children_.reserve(specs.size());
+  for (ChildSpec& spec : specs) {
+    Child child;
+    child.spec = std::move(spec);
+    children_.push_back(std::move(child));
+  }
+  proc_ = std::make_unique<Process>(
+      kernel_, [this](Process&) { Main(); }, options_.process);
+  PublishStatus();
+}
+
+uint32_t Supervisor::total_restarts() const {
+  uint32_t total = 0;
+  for (const ChildStatus& status : status_) {
+    total += status.restarts;
+  }
+  return total;
+}
+
+void Supervisor::Spawn(Child& child) {
+  // Replacing the unique_ptr drops the dead incarnation's Process;
+  // environment ids are never reused, so the old id stays queryable
+  // through SysEnvStats regardless.
+  child.proc = std::make_unique<Process>(kernel_, child.spec.body, child.spec.options);
+  if (!child.proc->ok()) {
+    // Env creation failed (asid space exhausted) — nothing to wait for.
+    child.state = ChildState::kFailed;
+    return;
+  }
+  child.state = ChildState::kRunning;
+  child.last_progress = 0;
+  child.stalled = 0;
+}
+
+void Supervisor::HandleDeath(Child& child, bool crashed, uint64_t now) {
+  const bool restart = child.spec.policy == RestartPolicy::kAlways ||
+                       (crashed && child.spec.policy == RestartPolicy::kOnFailure);
+  if (!restart) {
+    child.state = crashed ? ChildState::kFailed : ChildState::kDone;
+    return;
+  }
+  ++child.restarts;
+  if (child.restarts > child.spec.max_restarts) {
+    // Crash loop: restarting clearly isn't fixing it.
+    child.state = ChildState::kFailed;
+    return;
+  }
+  if (child.backoff == 0) {
+    child.backoff = child.spec.backoff_initial;
+  }
+  child.state = ChildState::kBackoff;
+  child.restart_at = now + child.backoff;
+  child.backoff = std::min(child.backoff * 2, child.spec.backoff_cap);
+}
+
+void Supervisor::Main() {
+  for (Child& child : children_) {
+    Spawn(child);
+  }
+  PublishStatus();
+  while (true) {
+    bool live = false;
+    uint64_t sleep = options_.sample_interval;
+    const uint64_t now = kernel_.SysGetCycles();
+    for (Child& child : children_) {
+      if (child.state == ChildState::kBackoff) {
+        live = true;
+        if (now >= child.restart_at) {
+          Spawn(child);
+        } else {
+          sleep = std::min(sleep, child.restart_at - now);
+          continue;
+        }
+      }
+      if (child.state != ChildState::kRunning) {
+        continue;
+      }
+      const aegis::EnvId env = child.proc->id();
+      if (!kernel_.SysEnvAlive(env)) {
+        // killed=true means a crash/forced reap; a clean SysExit leaves
+        // it false — that distinction drives kOnFailure.
+        Result<aegis::EnvStats> stats = kernel_.SysEnvStats(env);
+        const bool crashed = stats.ok() && stats->killed;
+        HandleDeath(child, crashed, now);
+        live = live || child.state == ChildState::kBackoff;
+        continue;
+      }
+      live = true;
+      if (child.spec.stall_samples == 0) {
+        continue;
+      }
+      Result<aegis::EnvStats> stats = kernel_.SysEnvStats(env);
+      if (!stats.ok()) {
+        continue;
+      }
+      const uint64_t progress =
+          stats->counters.cycles_on_cpu + stats->counters.syscalls_total();
+      if (progress != child.last_progress) {
+        child.last_progress = progress;
+        child.stalled = 0;
+        continue;
+      }
+      if (++child.stalled < child.spec.stall_samples) {
+        continue;
+      }
+      // Heartbeat stall: alive but frozen. Reap it ourselves (we hold
+      // its env_cap) and route through the normal restart path.
+      (void)kernel_.SysKillEnv(env, child.proc->env_cap());
+      ++child.stall_kills;
+      HandleDeath(child, /*crashed=*/true, now);
+      live = live || child.state == ChildState::kBackoff;
+    }
+    PublishStatus();
+    if (!live) {
+      break;
+    }
+    ++samples_;
+    // Death notifications wake us early; the sleep only bounds how late
+    // we notice a stall or a due respawn.
+    kernel_.SysSleep(sleep);
+  }
+  finished_ = true;
+  PublishStatus();
+}
+
+void Supervisor::PublishStatus() {
+  status_.clear();
+  status_.reserve(children_.size());
+  for (const Child& child : children_) {
+    ChildStatus status;
+    status.name = child.spec.name;
+    status.state = child.state;
+    status.env = child.proc != nullptr ? child.proc->id() : aegis::kNoEnv;
+    status.restarts = child.restarts;
+    status.stall_kills = child.stall_kills;
+    status_.push_back(std::move(status));
+  }
+}
+
+}  // namespace xok::exos

@@ -1,5 +1,7 @@
 #include "src/exos/tracelib.h"
 
+#include <algorithm>
+
 namespace xok::exos {
 
 Status TraceSession::Bind(const TraceConfig& config) {
@@ -50,9 +52,38 @@ Status TraceSession::Bind(const TraceConfig& config) {
   }
   std::span<uint8_t> region = proc_.machine().mem().RangeSpan(spec.first_page, spec.pages);
   view_ = *xtrace::TraceRingView::AttachExisting(region);
+  config_ = config;
   tail_ = 0;
   lapped_ = 0;
   return Status::kOk;
+}
+
+Status TraceSession::RepairAfterRepossession(std::span<const hw::PageId> taken) {
+  if (!view_.has_value()) {
+    return Status::kOk;
+  }
+  bool severed = false;
+  for (const aegis::PageGrant& grant : pages_) {
+    if (std::find(taken.begin(), taken.end(), grant.page) != taken.end()) {
+      severed = true;
+      break;
+    }
+  }
+  if (!severed) {
+    return Status::kOk;
+  }
+  ++repairs_;
+  view_.reset();
+  // Surviving pages still belong to us; the repossessed ones' capabilities
+  // are void (epoch bump), so skip them rather than collect denials.
+  for (const aegis::PageGrant& grant : pages_) {
+    if (std::find(taken.begin(), taken.end(), grant.page) == taken.end()) {
+      (void)proc_.kernel().SysDeallocPage(grant.page, grant.cap);
+    }
+  }
+  pages_.clear();
+  const TraceConfig config = config_;
+  return Bind(config);
 }
 
 Status TraceSession::Close() {

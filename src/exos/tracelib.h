@@ -60,12 +60,22 @@ class TraceSession {
   // Records this reader lost to lapping (subset of dropped()).
   uint64_t lapped() const { return lapped_; }
 
+  // Post-revocation repair: if any of the ring's pages was repossessed,
+  // the kernel severed the whole binding; release the surviving pages and
+  // rebind a fresh ring with the original geometry and mask (unread
+  // records in the old ring are lost — drop-oldest semantics anyway).
+  // `taken` is the vector from SysReadRepossessed.
+  Status RepairAfterRepossession(std::span<const hw::PageId> taken);
+  uint64_t repairs() const { return repairs_; }
+
  private:
   Process& proc_;
   std::optional<xtrace::TraceRingView> view_;
   std::vector<aegis::PageGrant> pages_;
+  TraceConfig config_;   // Geometry/mask to rebuild with after a repair.
   uint32_t tail_ = 0;    // Free-running reader cursor (mirrors the header).
   uint64_t lapped_ = 0;
+  uint64_t repairs_ = 0;
 };
 
 // --- Aggregation (pure functions over records) ---

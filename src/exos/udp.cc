@@ -1,5 +1,7 @@
 #include "src/exos/udp.h"
 
+#include <algorithm>
+
 #include "src/ash/ash.h"
 
 namespace xok::exos {
@@ -89,7 +91,52 @@ Status UdpSocket::BindRing(uint16_t port, const RingConfig& config) {
   }
   std::span<uint8_t> region = proc_.machine().mem().RangeSpan(spec.first_page, pages);
   ring_ = *net::PacketRingView::Attach(region, config.rx_slots, config.tx_slots);
+  ring_config_ = config;
+  want_ring_ = true;
   return Status::kOk;
+}
+
+Status UdpSocket::RepairAfterRepossession(std::span<const hw::PageId> taken) {
+  if (!binding_.has_value()) {
+    return Status::kOk;  // Nothing bound, nothing to repair.
+  }
+  const uint16_t port = port_;
+  // Is the filter binding itself gone (reclaimed under pressure)?
+  Result<aegis::PacketStats> stats = proc_.kernel().SysPacketStats(*binding_);
+  const bool filter_dead = !stats.ok();
+  // Was the ring severed (a region page repossessed out from under it)?
+  const bool ring_severed = !filter_dead && ring_.has_value() && !stats->ring_bound;
+  if (!filter_dead && !ring_severed) {
+    return Status::kOk;
+  }
+  ++repairs_;
+  ring_.reset();
+  // Surviving region pages still belong to us; a repossessed page's
+  // capability fails dealloc harmlessly on the epoch bump, so skip it.
+  for (const aegis::PageGrant& grant : ring_pages_) {
+    if (std::find(taken.begin(), taken.end(), grant.page) == taken.end()) {
+      (void)proc_.kernel().SysDeallocPage(grant.page, grant.cap);
+    }
+  }
+  ring_pages_.clear();
+  if (!filter_dead) {
+    // Ring severed but the filter survived: unbind it so the rebind below
+    // rebuilds both halves (delivery already reverted to the queue).
+    (void)proc_.kernel().SysUnbindFilter(*binding_);
+  }
+  binding_.reset();
+  port_ = 0;
+  if (want_ring_) {
+    const Status ring = BindRing(port, ring_config_);
+    if (ring == Status::kOk) {
+      legacy_fallback_ = false;
+      return Status::kOk;
+    }
+  }
+  // Rebind-or-fallback: the legacy queue path needs no pages.
+  const Status bound = Bind(port);
+  legacy_fallback_ = bound == Status::kOk && want_ring_;
+  return bound;
 }
 
 Status UdpSocket::Close() {
@@ -106,6 +153,8 @@ Status UdpSocket::Close() {
     (void)proc_.kernel().SysDeallocPage(grant.page, grant.cap);
   }
   ring_pages_.clear();
+  want_ring_ = false;
+  legacy_fallback_ = false;
   return status;
 }
 

@@ -80,6 +80,19 @@ class UdpSocket {
   bool ring_bound() const { return ring_.has_value(); }
   std::optional<dpf::FilterId> filter_id() const { return binding_; }
 
+  // Post-revocation repair: rebinds whatever the kernel reclaimed. A
+  // reclaimed filter (SysPacketStats reports the binding gone) or a
+  // severed ring (a region page repossessed) triggers a full rebind with
+  // the original geometry; when no contiguous page run is available the
+  // socket falls back to the legacy kernel-queue path, which needs no
+  // pages at all. Frames queued at the moment of repair are dropped —
+  // UDP. `taken` is the vector from SysReadRepossessed.
+  Status RepairAfterRepossession(std::span<const hw::PageId> taken);
+  uint64_t repairs() const { return repairs_; }
+  // True while the socket runs on the legacy queue because a ring rebind
+  // failed; the next successful repair clears it.
+  bool legacy_fallback() const { return legacy_fallback_; }
+
  private:
   // Parses the ring's front frame into a datagram (drops malformed ones).
   Result<Datagram> PopRingFrame();
@@ -90,6 +103,10 @@ class UdpSocket {
   std::optional<dpf::FilterId> binding_;
   std::optional<net::PacketRingView> ring_;
   std::vector<aegis::PageGrant> ring_pages_;  // Contiguous run backing the rings.
+  RingConfig ring_config_;   // Geometry to rebuild with after a repair.
+  bool want_ring_ = false;   // Socket was bound in ring mode.
+  uint64_t repairs_ = 0;
+  bool legacy_fallback_ = false;
 };
 
 // Binds an echo-reply ASH for UDP `port`: requests arriving at `port` are

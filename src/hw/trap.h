@@ -43,6 +43,7 @@ enum class InterruptSource : uint8_t {
   kFault,     // Injected fault event (payload: fault-plan cookie).
   kPowerFail,  // Power loss: the world halts at this charge boundary.
   kIpi,        // Inter-processor interrupt (payload: kernel-defined).
+  kPressure,   // Deterministic resource-pressure event (payload: plan cookie).
 };
 
 // What the kernel tells the machine to do after handling an exception.

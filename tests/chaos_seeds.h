@@ -1,0 +1,63 @@
+// Seed selection for the chaos soaks. Every run is deterministic per
+// seed, so reproducing a failure is just re-running with the seed the
+// failure printed. XOK_CHAOS_SEEDS overrides the checked-in seed list:
+//
+//   XOK_CHAOS_SEEDS=17,42,9001 ctest -R Chaos
+//
+// Use SCOPED_TRACE(ChaosTrace(seed, machine)) at the top of a soak so
+// every assertion failure reports the seed (and the cycle it fired at,
+// when a machine is attached).
+#ifndef XOK_TESTS_CHAOS_SEEDS_H_
+#define XOK_TESTS_CHAOS_SEEDS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/hw/machine.h"
+
+namespace xok {
+
+// Returns the seeds to instantiate a chaos suite with: the parsed value
+// of XOK_CHAOS_SEEDS (comma-separated integers) if set and non-empty,
+// else `defaults`. Malformed entries are skipped.
+inline std::vector<uint64_t> ChaosSeeds(std::initializer_list<uint64_t> defaults) {
+  const char* env = std::getenv("XOK_CHAOS_SEEDS");
+  if (env != nullptr && env[0] != '\0') {
+    std::vector<uint64_t> seeds;
+    std::stringstream stream(env);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(token.c_str(), &end, 0);
+      if (end != token.c_str()) {
+        seeds.push_back(static_cast<uint64_t>(value));
+      }
+    }
+    if (!seeds.empty()) {
+      return seeds;
+    }
+  }
+  return std::vector<uint64_t>(defaults);
+}
+
+// One-line failure context: which seed, and (if the machine is running)
+// which cycle the failing assertion executed at. Pass to SCOPED_TRACE;
+// the cycle is evaluated lazily-enough for our purposes — tests that
+// assert after Run() report the final cycle, assertions inside env
+// fibers report the live clock via a second ChaosTrace there if needed.
+inline std::string ChaosTrace(uint64_t seed, const hw::Machine* machine = nullptr) {
+  std::ostringstream out;
+  out << "chaos seed " << seed << " (rerun: XOK_CHAOS_SEEDS=" << seed << ")";
+  if (machine != nullptr) {
+    out << " at cycle " << machine->clock().now();
+  }
+  return out.str();
+}
+
+}  // namespace xok
+
+#endif  // XOK_TESTS_CHAOS_SEEDS_H_

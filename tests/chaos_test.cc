@@ -12,14 +12,18 @@
 
 #include "src/core/aegis.h"
 #include "src/exos/fs.h"
+#include "src/exos/revocation.h"
+#include "src/exos/supervisor.h"
 #include "src/exos/tracelib.h"
 #include "src/exos/ipc.h"
 #include "src/exos/rdp.h"
+#include "src/exos/udp.h"
 #include "src/hw/disk.h"
 #include "src/hw/fault.h"
 #include "src/hw/framebuffer.h"
 #include "src/hw/nic.h"
 #include "src/hw/world.h"
+#include "tests/chaos_seeds.h"
 
 namespace xok {
 namespace {
@@ -34,6 +38,7 @@ class ChaosSoak : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ChaosSoak, KilledEnvironmentsNeverCorruptTheSurvivors) {
   const uint64_t seed = GetParam();
+  SCOPED_TRACE(ChaosTrace(seed));
   hw::World world;
   hw::Machine ma(hw::Machine::Config{.phys_pages = 256, .name = "chaos"}, &world);
   hw::Machine mb(hw::Machine::Config{.phys_pages = 256, .name = "peer"}, &world);
@@ -320,7 +325,7 @@ TEST_P(ChaosSoak, KilledEnvironmentsNeverCorruptTheSurvivors) {
   EXPECT_GT(injector->frames_dropped() + injector->frames_corrupted(), 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak, ::testing::Values(1, 2, 3));
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak, ::testing::ValuesIn(ChaosSeeds({1, 2, 3})));
 
 // --- SMP chaos: the same discipline on a four-CPU machine. Scheduled
 // kills land on environments pinned to *other* CPUs than the one the
@@ -334,6 +339,7 @@ class SmpChaosSoak : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(SmpChaosSoak, RemoteKillsAndShootdownsLeaveTheLedgerClean) {
   const uint64_t seed = GetParam();
   hw::Machine machine(hw::Machine::Config{.phys_pages = 256, .name = "smp-chaos", .cpus = 4});
+  SCOPED_TRACE(ChaosTrace(seed, &machine));
   aegis::Aegis kernel(machine);
 
   // Per-CPU page churners: allocate, scribble, free, sleep — finite, so
@@ -474,7 +480,215 @@ TEST_P(SmpChaosSoak, RemoteKillsAndShootdownsLeaveTheLedgerClean) {
   EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations.front());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SmpChaosSoak, ::testing::Values(1, 2, 3));
+INSTANTIATE_TEST_SUITE_P(Seeds, SmpChaosSoak, ::testing::ValuesIn(ChaosSeeds({1, 2, 3})));
+
+// --- Revocation storm: a sustained seeded pressure campaign (pages +
+// slices + filters, every period, for millions of cycles) against a
+// supervision tree of RevocationClient workers on a two-CPU machine. The
+// contract under test: every victim either repairs its abstractions
+// (cache refetch, pktring rebind, VM refault, slice re-admission) or is
+// restarted by the supervisor; the kernel audits its ledger after every
+// pressure application; and once the storm passes, everything is fully
+// functional again. ---
+
+class RevocationStorm : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RevocationStorm, EveryVictimRepairsOrRestartsAndTheLedgerStaysClean) {
+  const uint64_t seed = GetParam();
+  // A single disk access costs kDiskAccessCycles (~250k): LibFS setup alone
+  // is ~5M cycles, so the campaign horizon must dwarf it.
+  constexpr uint64_t kStormEnd = 12'000'000;
+  constexpr uint64_t kQuietAt = kStormEnd + 250'000;  // Post-storm horizon.
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 256, .name = "storm", .cpus = 2});
+  SCOPED_TRACE(ChaosTrace(seed, &machine));
+  // Restart churn burns environment ids (never reused): raise the cap.
+  aegis::Aegis kernel(machine, aegis::Aegis::Config{.max_envs = 200});
+  hw::Disk disk(machine, 128);
+  hw::Nic nic(machine, 0xa);
+  kernel.AttachDisk(&disk);
+  kernel.AttachNic(&nic);
+  kernel.set_audit_on_fault(true);  // Audit at every pressure checkpoint.
+
+  // --- fs worker: journaling LibFS under page + slice pressure. Writes
+  // and syncs through the storm (tolerating revocation-induced errors),
+  // then must come back to full function once the storm passes. ---
+  bool fs_done = false;
+  uint32_t fs_rounds = 0;
+  auto fs_body = [&](exos::Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = p.kernel().SysAllocDiskExtent(16);
+    ASSERT_TRUE(extent.ok());
+    Result<std::unique_ptr<exos::LibFs>> fs = exos::LibFs::Format(p, *extent, 4);
+    ASSERT_TRUE(fs.ok());
+    Result<exos::FileHandle> file = (*fs)->Create("soak");
+    ASSERT_TRUE(file.ok());
+    exos::RevocationClient rc(p, {.fs = fs->get(), .desired_slices = 3});
+    std::vector<uint8_t> chunk(512);
+    while (p.kernel().SysGetCycles() < kQuietAt) {
+      (void)rc.Poll();
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        chunk[i] = static_cast<uint8_t>(fs_rounds * 11 + i);
+      }
+      // Mid-storm writes may lose their frames to repossession before the
+      // sync lands; that is the abort protocol working as designed. Sync
+      // only every 8th round: a disk barrier costs real (simulated) time,
+      // and the in-between rounds are exactly the dirty-cache state the
+      // revoke handler's victim-save flush exists for.
+      (void)(*fs)->Write(*file, (fs_rounds % 4) * 512, chunk);
+      if (fs_rounds % 8 == 7) {
+        (void)(*fs)->Sync();
+      }
+      ++fs_rounds;
+      p.kernel().SysSleep(3'000);
+    }
+    // Post-storm: one repair pass, then everything must work, flawlessly.
+    ASSERT_EQ(rc.Poll(), Status::kOk);
+    for (uint32_t b = 0; b < 4; ++b) {
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        chunk[i] = static_cast<uint8_t>(b * 29 + i);
+      }
+      ASSERT_EQ((*fs)->Write(*file, b * 512, chunk), Status::kOk) << "block " << b;
+    }
+    ASSERT_EQ((*fs)->Sync(), Status::kOk);
+    std::vector<uint8_t> back(512);
+    for (uint32_t b = 0; b < 4; ++b) {
+      Result<uint32_t> read = (*fs)->Read(*file, b * 512, back);
+      ASSERT_TRUE(read.ok()) << "block " << b;
+      for (size_t i = 0; i < back.size(); ++i) {
+        ASSERT_EQ(back[i], static_cast<uint8_t>(b * 29 + i)) << "block " << b << " byte " << i;
+      }
+    }
+    // The guaranteed reserve held: still admitted to at least one CPU.
+    Result<aegis::EnvStats> stats = p.kernel().SysEnvStats(p.id());
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GE(stats->slice_slots, 1u);
+    fs_done = true;
+  };
+
+  // --- net worker: its one packet filter is reclaimed over and over;
+  // every Poll must rebind it. ---
+  bool net_done = false;
+  auto net_body = [&](exos::Process& p) {
+    exos::UdpSocket socket(p, exos::NetIface{0xa, 1, Resolve});
+    ASSERT_EQ(socket.Bind(900), Status::kOk);
+    exos::RevocationClient rc(p, {.socket = &socket});
+    while (p.kernel().SysGetCycles() < kQuietAt) {
+      (void)rc.Poll();
+      p.kernel().SysSleep(6'000);
+    }
+    ASSERT_EQ(rc.Poll(), Status::kOk);
+    ASSERT_TRUE(socket.filter_id().has_value());
+    EXPECT_TRUE(p.kernel().SysPacketStats(*socket.filter_id()).ok());
+    EXPECT_GT(socket.repairs(), 0u);  // The storm genuinely severed it.
+    net_done = true;
+  };
+
+  // --- vm worker: a 12-page working set repeatedly shot out from under
+  // it; refaults and repairs its way through. ---
+  bool vm_done = false;
+  constexpr hw::Vaddr kVmBase = 0x2000000;
+  auto vm_body = [&](exos::Process& p) {
+    exos::RevocationClient rc(p, {});
+    for (int i = 0; i < 12; ++i) {
+      (void)machine.StoreWord(kVmBase + i * hw::kPageBytes, 1000 + i);
+    }
+    while (p.kernel().SysGetCycles() < kQuietAt) {
+      (void)rc.Poll();
+      for (int i = 0; i < 12; ++i) {
+        // Between a repossession and the next Poll the mapping may be
+        // broken — tolerated mid-storm, repaired right after.
+        (void)machine.StoreWord(kVmBase + i * hw::kPageBytes, 2000 + i);
+      }
+      p.kernel().SysSleep(5'000);
+    }
+    ASSERT_EQ(rc.Poll(), Status::kOk);
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_EQ(machine.StoreWord(kVmBase + i * hw::kPageBytes, 3000 + i), Status::kOk);
+      Result<uint32_t> word = machine.LoadWord(kVmBase + i * hw::kPageBytes);
+      ASSERT_TRUE(word.ok()) << "page " << i;
+      EXPECT_EQ(*word, static_cast<uint32_t>(3000 + i));
+    }
+    vm_done = true;
+  };
+
+  // --- crasher: dies twice mid-storm; the supervisor restarts it through
+  // the backoff path while the pressure campaign rages. ---
+  int crasher_attempts = 0;
+  bool crasher_done = false;
+  auto crasher_body = [&](exos::Process& p) {
+    const int attempt = ++crasher_attempts;
+    if (attempt <= 2) {
+      p.kernel().SysSleep(150'000 * static_cast<uint64_t>(attempt));
+      (void)p.kernel().SysKillEnv(p.id(), p.env_cap());  // Crash.
+    }
+    while (p.kernel().SysGetCycles() < kQuietAt) {
+      p.kernel().SysSleep(20'000);
+    }
+    crasher_done = true;
+  };
+
+  std::vector<exos::ChildSpec> specs;
+  specs.push_back({.name = "fs",
+                   .body = fs_body,
+                   .options = {.slices = 3},
+                   .policy = exos::RestartPolicy::kOnFailure,
+                   .max_restarts = 4});
+  specs.push_back({.name = "net",
+                   .body = net_body,
+                   .policy = exos::RestartPolicy::kOnFailure,
+                   .max_restarts = 4});
+  specs.push_back({.name = "vm",
+                   .body = vm_body,
+                   .policy = exos::RestartPolicy::kOnFailure,
+                   .max_restarts = 4});
+  specs.push_back({.name = "crasher",
+                   .body = crasher_body,
+                   .policy = exos::RestartPolicy::kOnFailure,
+                   .max_restarts = 6,
+                   .backoff_initial = 60'000});
+  exos::Supervisor::Options sup_options;
+  sup_options.sample_interval = 80'000;
+  exos::Supervisor sup(kernel, std::move(specs), sup_options);
+  ASSERT_TRUE(sup.ok());
+
+  aegis::PressurePlan plan;
+  plan.seed = seed;
+  plan.Storm(/*start=*/200'000, /*end=*/kStormEnd, /*period=*/40'000,
+             /*pages=*/3, /*slices=*/1, /*filters=*/1);
+  kernel.InstallPressurePlan(plan);
+
+  kernel.Run();
+  SCOPED_TRACE(ChaosTrace(seed, &machine));  // Final-cycle context below.
+
+  // Every worker repaired its way through (or was restarted) and proved
+  // itself fully functional after the storm.
+  EXPECT_TRUE(fs_done);
+  EXPECT_TRUE(net_done);
+  EXPECT_TRUE(vm_done);
+  EXPECT_TRUE(crasher_done);
+  EXPECT_GT(fs_rounds, 30u);
+  EXPECT_EQ(crasher_attempts, 3);
+  EXPECT_TRUE(sup.finished());
+  for (const exos::ChildStatus& child : sup.status()) {
+    EXPECT_EQ(child.state, exos::ChildState::kDone) << child.name;
+  }
+  EXPECT_EQ(sup.status()[3].restarts, 2u);  // Both crashes were caught.
+
+  // The campaign genuinely exercised every armed channel.
+  const aegis::PressureStats* pressure = kernel.pressure_stats();
+  ASSERT_NE(pressure, nullptr);
+  EXPECT_GE(pressure->bursts, 50u);
+  EXPECT_GT(pressure->pages_requested, 0u);
+  EXPECT_GT(pressure->slices_revoked, 0u);
+  EXPECT_GT(pressure->filters_reclaimed, 0u);
+
+  // Audits at every checkpoint (each pressure application and kill) plus
+  // the final sweep: all clean.
+  EXPECT_EQ(kernel.audit_failures(), 0u) << kernel.first_audit_failure();
+  aegis::Aegis::AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RevocationStorm, ::testing::ValuesIn(ChaosSeeds({1, 2, 3})));
 
 }  // namespace
 }  // namespace xok
