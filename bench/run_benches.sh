@@ -6,6 +6,7 @@
 #   trace — xtrace observability cost ablation          -> BENCH_trace.json
 #   smp   — multi-CPU scaling and shootdown cost        -> BENCH_smp.json
 #   pressure — throughput under revocation storms       -> BENCH_pressure.json
+#   server — end-to-end HTTP/KV serving vs Ultrix       -> BENCH_server.json
 #
 # The trace suite additionally arms the kernel event ring in every bench
 # boot (--xok_trace) and writes one TRACE_<bench>.json event summary next
@@ -44,8 +45,13 @@ case "$suite" in
     default_out="BENCH_pressure.json"
     with_trace=0
     ;;
+  server)
+    benches="bench_e2e_server"
+    default_out="BENCH_server.json"
+    with_trace=0
+    ;;
   *)
-    echo "run_benches: unknown suite '$suite' (expected: net, fs, trace, smp, pressure)" >&2
+    echo "run_benches: unknown suite '$suite' (expected: net, fs, trace, smp, pressure, server)" >&2
     exit 2
     ;;
 esac

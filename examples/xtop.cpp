@@ -3,29 +3,46 @@
 // per-env counters), SysSyscallHist (log2 latency histograms), and a bound
 // trace ring (src/exos/tracelib). The kernel contributes no "top"
 // abstraction whatsoever: sampling period, which columns to show, and how
-// to aggregate are all library policy here.
+// to aggregate are all library policy here. The "rps" column is the same
+// idea one level up: the server libOS marks request enter/exit with
+// SysTraceMark (kAppMark records), and the monitor turns the exits it
+// drains each interval into a per-environment request rate — live RPS for
+// a server the kernel doesn't even know is a server.
 //
 //   cmake -B build && cmake --build build
 //   ./build/examples/xtop
 #include <cstdio>
+#include <unordered_map>
 
 #include "src/core/aegis.h"
 #include "src/exos/process.h"
+#include "src/exos/server/loadgen.h"
+#include "src/exos/server/server.h"
 #include "src/exos/tracelib.h"
 #include "src/exos/udp.h"
+#include "src/hw/cost.h"
+#include "src/hw/disk.h"
 #include "src/hw/nic.h"
 
 using namespace xok;
 
 namespace {
 
-// One sampled row per environment, straight from SysEnvStats.
-void PrintSample(exos::Process& p, uint64_t sample_no) {
+constexpr uint64_t kNicMac = 0x02aabbccddee;
+
+// Completed requests per env this interval, from drained kAppMark exits.
+using RpsMap = std::unordered_map<uint16_t, uint64_t>;
+
+// One sampled row per environment, straight from SysEnvStats; the rps
+// column comes from the trace ring, not the kernel.
+void PrintSample(exos::Process& p, uint64_t sample_no, const RpsMap& reqs,
+                 uint64_t interval_cycles) {
   std::printf("--- xtop sample %llu (cycle %llu) ---\n",
               static_cast<unsigned long long>(sample_no),
               static_cast<unsigned long long>(p.kernel().SysGetCycles()));
-  std::printf("%4s %6s %4s %10s %9s %9s %8s %8s %8s %5s\n", "env", "alive", "cpu",
-              "cycles", "syscalls", "tlb-miss", "pages", "pkt-rxtx", "blk-rw", "migr");
+  std::printf("%4s %6s %4s %10s %9s %9s %8s %8s %8s %5s %7s\n", "env", "alive", "cpu",
+              "cycles", "syscalls", "tlb-miss", "pages", "pkt-rxtx", "blk-rw", "migr",
+              "rps");
   for (aegis::EnvId id = 1;; ++id) {
     Result<aegis::EnvStats> stats = p.kernel().SysEnvStats(id);
     if (!stats.ok()) {
@@ -37,9 +54,19 @@ void PrintSample(exos::Process& p, uint64_t sample_no) {
     } else {
       std::snprintf(cpu, sizeof(cpu), "-");
     }
-    std::printf("%4u %6s %4s %10llu %9llu %9llu %8u %8llu %8llu %5llu\n", stats->env,
-                stats->alive ? "yes" : (stats->killed ? "kill" : "exit"), cpu,
-                static_cast<unsigned long long>(stats->counters.cycles_on_cpu),
+    char rps[16];
+    const auto it = reqs.find(static_cast<uint16_t>(stats->env));
+    if (it == reqs.end() || interval_cycles == 0) {
+      std::snprintf(rps, sizeof(rps), "-");
+    } else {
+      std::snprintf(rps, sizeof(rps), "%.0f",
+                    static_cast<double>(it->second) *
+                        static_cast<double>(hw::kClockHz) /
+                        static_cast<double>(interval_cycles));
+    }
+    std::printf("%4u %6s %4s %10llu %9llu %9llu %8u %8llu %8llu %5llu %7s\n",
+                stats->env, stats->alive ? "yes" : (stats->killed ? "kill" : "exit"),
+                cpu, static_cast<unsigned long long>(stats->counters.cycles_on_cpu),
                 static_cast<unsigned long long>(stats->counters.syscalls_total()),
                 static_cast<unsigned long long>(stats->counters.tlb_misses),
                 stats->pages_held,
@@ -47,7 +74,7 @@ void PrintSample(exos::Process& p, uint64_t sample_no) {
                                                 stats->counters.packets_tx),
                 static_cast<unsigned long long>(stats->counters.disk_blocks_read +
                                                 stats->counters.disk_blocks_written),
-                static_cast<unsigned long long>(stats->counters.migrations));
+                static_cast<unsigned long long>(stats->counters.migrations), rps);
   }
 }
 
@@ -56,12 +83,14 @@ void PrintSample(exos::Process& p, uint64_t sample_no) {
 int main() {
   // Two CPUs so the cpu/migr columns have something to show: the kernel
   // places the processes across both and they migrate as slices free up.
-  hw::Machine machine(hw::Machine::Config{.phys_pages = 256, .name = "xtop", .cpus = 2});
-  aegis::Aegis kernel(machine);
+  hw::Machine machine(hw::Machine::Config{.phys_pages = 2048, .name = "xtop", .cpus = 2});
+  aegis::Aegis kernel(machine, aegis::Aegis::Config{.max_envs = 64});
   hw::Wire wire;  // Nobody on the far end; TX still counts.
-  hw::Nic nic(machine, 0x02aabbccddee);
+  hw::Nic nic(machine, kNicMac);
+  hw::Disk disk(machine, 512);
   wire.Attach(&nic);
   kernel.AttachNic(&nic);
+  kernel.AttachDisk(&disk);
 
   // --- Workload: two processes generating observable activity ---
 
@@ -74,9 +103,45 @@ int main() {
     }
   });
 
+  // An HTTP/KV server worker plus a seeded load client (src/exos/server):
+  // the worker marks every request enter/exit with SysTraceMark, which is
+  // what the monitor's rps column reads back out of the trace ring.
+  using namespace exos::server;
+  auto loop_resolve = [](uint32_t) -> uint64_t { return kNicMac; };
+  KvServerConfig server_config;
+  server_config.iface = exos::NetIface{kNicMac, /*ip=*/3, loop_resolve};
+  server_config.workers = 1;
+  server_config.use_rings = true;
+  // Write-back store: the journaled format + preload takes tens of
+  // millions of cycles, and this demo wants the worker *serving* inside
+  // the monitor's sampling window, not booting.
+  server_config.journal_blocks = 0;
+  server_config.preload = MakePreload(/*keys=*/6, /*value_bytes=*/48);
+  KvServer server(kernel, server_config);
+
+  WorkloadConfig workload;
+  workload.seed = 9;
+  workload.requests = 400;
+  workload.keys = 6;
+  workload.value_bytes = 48;
+  workload.put_per_mille = 0;  // GET-only: a steady rate for the rps column.
+  // Pace the stream with idle gaps so serving spans several samples —
+  // a live monitor is dull when the whole run fits in one interval.
+  workload.burst = 8;
+  workload.burst_gap_cycles = 150'000;
+  LoadGenTarget target;
+  target.iface = exos::NetIface{kNicMac, /*ip=*/4, loop_resolve};
+  target.server_ip = 3;
+  target.server_port = server_config.port;
+  target.workers = server_config.workers;
+  LoadStats load_stats;
+  exos::Process load_client(kernel, [&](exos::Process& p) {
+    load_stats = RunLoadGen(p, target, workload);
+  });
+
   // A talker: sends UDP frames into the ether (packet TX counters).
   exos::Process talker(kernel, [](exos::Process& p) {
-    exos::NetIface iface{/*mac=*/0x02aabbccddee, /*ip=*/1,
+    exos::NetIface iface{/*mac=*/kNicMac, /*ip=*/1,
                          /*resolve=*/[](uint32_t) -> uint64_t { return 0x02ffeeddccbb; }};
     exos::UdpSocket socket(p, iface);
     if (socket.Bind(7000) != Status::kOk) {
@@ -93,15 +158,36 @@ int main() {
   // --- The monitor itself: samples stats between sleeps, tails the ring ---
   exos::Process monitor(kernel, [](exos::Process& p) {
     exos::TraceSession trace(p);
-    if (trace.Bind({.pages = 4, .mask = xtrace::kMaskAll}) != Status::kOk) {
+    // kAppMark carries the server's request marks; the rest of the mask
+    // keeps the closing summary interesting without flooding the ring.
+    const uint32_t mask = xtrace::Bit(xtrace::Event::kAppMark) |
+                          xtrace::Bit(xtrace::Event::kDpfMatch) |
+                          xtrace::Bit(xtrace::Event::kEnvBirth) |
+                          xtrace::Bit(xtrace::Event::kEnvDeath);
+    if (trace.Bind({.pages = 4, .mask = mask}) != Status::kOk) {
       std::fprintf(stderr, "xtop: trace ring bind failed\n");
       return;
     }
     std::vector<xtrace::Record> records;
-    for (uint64_t sample = 1; sample <= 3; ++sample) {
-      p.kernel().SysSleep(50'000);  // 2 ms between samples at 25 MHz.
-      PrintSample(p, sample);
+    size_t seen = 0;  // Records already attributed to an earlier sample.
+    uint64_t last_cycle = p.kernel().SysGetCycles();
+    for (uint64_t sample = 1; sample <= 5; ++sample) {
+      // Long enough for the server worker to boot (journal format +
+      // preload) and then show steady-state serving in later samples.
+      p.kernel().SysSleep(2'500'000);
       trace.Drain(records);
+      RpsMap reqs;
+      for (size_t i = seen; i < records.size(); ++i) {
+        const xtrace::Record& r = records[i];
+        // SysTraceMark(req_id, 1, ...) is the server's request-exit mark.
+        if (r.type == static_cast<uint16_t>(xtrace::Event::kAppMark) && r.arg1 == 1) {
+          ++reqs[r.env];
+        }
+      }
+      seen = records.size();
+      const uint64_t now = p.kernel().SysGetCycles();
+      PrintSample(p, sample, reqs, now - last_cycle);
+      last_cycle = now;
     }
     exos::TraceSummary summary = exos::Summarize(records);
     summary.dropped = trace.dropped();
@@ -134,10 +220,14 @@ int main() {
     (void)trace.Close();
   });
 
-  if (!churner.ok() || !talker.ok() || !monitor.ok()) {
+  if (!server.ok() || !load_client.ok() || !churner.ok() || !talker.ok() ||
+      !monitor.ok()) {
     std::fprintf(stderr, "xtop: failed to create processes\n");
     return 1;
   }
   kernel.Run();
+  std::printf("\nserver: %llu/%u requests acked at %.0f rps overall\n",
+              static_cast<unsigned long long>(load_stats.acked),
+              workload.requests + server_config.workers, load_stats.Rps());
   return 0;
 }

@@ -83,6 +83,37 @@ Result<AshProgram> BuildEchoAsh(const EchoAshSpec& spec) {
   return AshProgram::Make(e.Finish());
 }
 
+Result<AshProgram> BuildKvReplyAsh(const KvReplyAshSpec& spec) {
+  vcode::Emitter e;
+  // r0 = request id from the message (big-endian word).
+  e.Emit(Op::kLoadImm, 1, 0, 0);
+  e.Emit(Op::kLoadMsgWord, 0, 1, spec.req_id_off);
+  // Patch it into the prebuilt response frame (network byte order) so the
+  // client can correlate the response without any worker involvement.
+  e.Emit(Op::kLoadImm, 2, 0, spec.reply_off + spec.reply_req_id_off);
+  e.Emit(Op::kStoreRegionWordBe, 2, 0, 0);
+  if (spec.cksum_len > 0) {
+    // Integrated layer processing: checksum the request bytes during this
+    // single interrupt-level pass and publish the sum for the owner.
+    e.Emit(Op::kLoadImm, 7, 0, spec.cksum_off);
+    e.Emit(Op::kCksum, 0, 7, spec.cksum_len);
+    e.Emit(Op::kLoadImm, 7, 0, spec.cksum_sum_off);
+    e.Emit(Op::kStoreRegionWord, 7, 15, 0);
+  }
+  // Bump the fast-path hit counter.
+  e.Emit(Op::kLoadImm, 3, 0, 0);
+  e.Emit(Op::kLoadRegionWord, 6, 3, spec.count_off);
+  e.Emit(Op::kAddImm, 6, 0, 1);
+  e.Emit(Op::kLoadImm, 3, 0, spec.count_off);
+  e.Emit(Op::kStoreRegionWord, 3, 6, 0);
+  // Message initiation: the response leaves from interrupt level.
+  e.Emit(Op::kLoadImm, 4, 0, spec.reply_off);
+  e.Emit(Op::kLoadImm, 5, 0, spec.reply_len);
+  e.Emit(Op::kHook, kHookSendReply, 0, 0);
+  e.Emit(Op::kAccept, 0, 0, 1);
+  return AshProgram::Make(e.Finish());
+}
+
 Result<AshProgram> BuildLockAsh(const LockAshSpec& spec) {
   vcode::Emitter e;
   e.Emit(Op::kLoadImm, 1, 0, 0);                       // r1 = 0 (base register).

@@ -122,6 +122,26 @@ inline constexpr uint32_t kLockGranted = 1;
 inline constexpr uint32_t kLockDenied = 0;
 Result<AshProgram> BuildLockAsh(const LockAshSpec& spec);
 
+// KV cache-hit handler (the server libOS's Cheetah-style fast path): for a
+// request the filter already proved is a GET of one specific hot key, echo
+// the request id from msg[req_id_off] into the prebuilt response frame at
+// region[reply_off + reply_req_id_off] (network byte order), ILP-checksum
+// `cksum_len` request bytes starting at msg[cksum_off] into
+// region[cksum_sum_off] (the data is touched exactly once, at interrupt
+// level), bump the hit counter at region[count_off], and transmit the
+// response immediately — the worker environment is never scheduled.
+struct KvReplyAshSpec {
+  uint32_t req_id_off = 0;        // Message offset of the BE32 request id.
+  uint32_t reply_off = 0;         // Region offset of the prebuilt response.
+  uint32_t reply_len = 0;
+  uint32_t reply_req_id_off = 0;  // Request-id offset within the response.
+  uint32_t cksum_off = 0;         // Message offset checksummed (ILP).
+  uint32_t cksum_len = 0;         // Bytes to checksum (0 disables).
+  uint32_t cksum_sum_off = 0;     // Region word receiving the sum.
+  uint32_t count_off = 0;         // Region word counting fast-path hits.
+};
+Result<AshProgram> BuildKvReplyAsh(const KvReplyAshSpec& spec);
+
 }  // namespace xok::ash
 
 #endif  // XOK_SRC_ASH_ASH_H_

@@ -1284,6 +1284,13 @@ Status Aegis::SysUnbindTraceRing() {
   return Status::kOk;
 }
 
+Status Aegis::SysTraceMark(uint32_t a0, uint32_t a1, uint32_t a2, uint32_t a3) {
+  SyscallScope scope(*this, xtrace::Sys::kTraceMark);
+  machine_.Charge(kSyscallEntry + Instr(2) + kSyscallExit);
+  Trace(xtrace::Event::kAppMark, a0, a1, a2, a3);
+  return Status::kOk;
+}
+
 Result<EnvStats> Aegis::SysEnvStats(EnvId env) {
   SyscallScope scope(*this, xtrace::Sys::kEnvStats);
   machine_.Charge(kSyscallEntry + Instr(20) + kSyscallExit);
@@ -2102,6 +2109,12 @@ uint32_t Aegis::Repossess(Env& victim, uint32_t pages) {
     ++taken;
   }
   Trace(xtrace::Event::kRepossess, victim.id, taken);
+  if (taken > 0) {
+    // Forced reclamation wakes the victim: a repossessed ring page can
+    // sever the very binding a blocked receiver is waiting on, and only
+    // an awake libOS can drain its repossession vector and repair.
+    WakeEnvInternal(victim);
+  }
   return taken;
 }
 
@@ -2187,6 +2200,13 @@ uint32_t Aegis::ReclaimFilters(EnvId victim_id, uint32_t filters) {
     (void)classifier_.Remove(id);
     Trace(xtrace::Event::kFilterReclaim, victim_id, id);
     ++reclaimed;
+  }
+  if (reclaimed > 0) {
+    // Visible revocation must be visible: a victim blocked waiting on a
+    // now-severed ring would otherwise sleep forever — no packet will
+    // ever arrive to wake it. The wake lets its receive path observe the
+    // dead binding and run its repair protocol.
+    WakeEnvInternal(*victim);
   }
   return reclaimed;
 }

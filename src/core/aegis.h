@@ -256,6 +256,14 @@ class Aegis final : public hw::TrapSink {
   // the kernel never stalls on a slow reader, it overwrites and counts.
   Status SysBindTraceRing(const TraceRingSpec& spec, const cap::Capability& region_cap);
   Status SysUnbindTraceRing();
+  // Appends an application-defined record (Event::kAppMark) to the trace
+  // ring. The kernel contributes only mechanism — timestamp, sequencing,
+  // attribution to the calling environment; the args carry whatever
+  // protocol the emitting library defines (the server libOS uses them for
+  // request enter/exit records; see src/exos/server). Succeeds as a no-op
+  // when no ring is bound or the mask excludes kAppMark, so instrumented
+  // libraries run unmodified without a profiler attached.
+  Status SysTraceMark(uint32_t a0, uint32_t a1 = 0, uint32_t a2 = 0, uint32_t a3 = 0);
   // Raw per-environment accounting. Deliberately readable by *any*
   // environment: revocation and scheduling policy live in libraries, and
   // good policy needs global visibility of who holds what (paper §3.4).

@@ -31,6 +31,7 @@ const char* EventName(Event e) {
     case Event::kSliceRevoke: return "slice_revoke";
     case Event::kFilterReclaim: return "filter_reclaim";
     case Event::kExtentReclaim: return "extent_reclaim";
+    case Event::kAppMark: return "app_mark";
   }
   return "unknown";
 }
@@ -78,6 +79,7 @@ const char* SysName(Sys n) {
     case Sys::kCurrentCpu: return "current_cpu";
     case Sys::kAllocSlice: return "alloc_slice";
     case Sys::kKillEnv: return "kill_env";
+    case Sys::kTraceMark: return "trace_mark";
     case Sys::kCount: break;
   }
   return "unknown";

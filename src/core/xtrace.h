@@ -73,8 +73,14 @@ enum class Event : uint8_t {
                        // arg2 = slots remaining.
   kFilterReclaim = 23,  // arg0 = victim env, arg1 = filter id.
   kExtentReclaim = 24,  // arg0 = victim env, arg1 = extent id.
+  kAppMark = 25,       // Application-defined record (SysTraceMark): the
+                       // kernel stamps cycle/seq/env, the args mean
+                       // whatever the emitting library says they mean.
+                       // The server libOS convention (src/exos/server):
+                       // arg0 = request id, arg1 = phase (0 enter,
+                       // 1 exit), arg2 = status/stage, arg3 = bytes.
 };
-inline constexpr uint32_t kEventCount = 25;
+inline constexpr uint32_t kEventCount = 26;
 
 constexpr uint32_t Bit(Event e) { return 1u << static_cast<uint32_t>(e); }
 inline constexpr uint32_t kMaskAll = 0xffffffffu;
@@ -144,6 +150,7 @@ enum class Sys : uint8_t {
   kCurrentCpu,
   kAllocSlice,
   kKillEnv,
+  kTraceMark,
   kCount,
 };
 inline constexpr uint32_t kSysCount = static_cast<uint32_t>(Sys::kCount);

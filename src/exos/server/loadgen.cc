@@ -1,0 +1,530 @@
+#include "src/exos/server/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/exos/revocation.h"
+#include "src/exos/tracelib.h"
+#include "src/net/wire.h"
+
+namespace xok::exos::server {
+
+namespace {
+
+// SplitMix64: the stream is a pure function of the seed, so a failing
+// chaos seed replays exactly (print the seed, rerun with XOK_CHAOS_SEEDS).
+struct SplitMix {
+  uint64_t state;
+  explicit SplitMix(uint64_t seed) : state(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  uint32_t Below(uint32_t n) { return n == 0 ? 0 : static_cast<uint32_t>(Next() % n); }
+  double Unit() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+};
+
+enum class Kind : uint8_t { kGet, kPut, kMalformed, kOversized, kQuit };
+
+struct Pending {
+  Kind kind = Kind::kGet;
+  int key_index = -1;
+  int expect_status = 200;
+  bool is_hot = false;
+  uint32_t retries = 0;
+  uint64_t first_send = 0;
+  uint64_t last_send = 0;
+  std::vector<uint8_t> payload;  // Kept verbatim for retransmission.
+};
+
+// Garbage HTTP text variants for the malformed arm: every one has a valid
+// envelope (so it reaches a worker) and must be answered 400 — none may
+// ever equal a canonical request, and none may crash the parser.
+std::string MalformedText(SplitMix& rng, std::string_view key) {
+  switch (rng.Below(8)) {
+    case 0: return "get /" + std::string(key) + " HTTP/1.0\r\n\r\n";   // Lowercase method.
+    case 1: return "GET " + std::string(key) + " HTTP/1.0\r\n\r\n";    // No leading '/'.
+    case 2: return "GET /" + std::string(key) + " HTTP/1.1\r\n\r\n";   // Wrong version.
+    case 3: return "GET /" + std::string(key) + " HTTP/1.0\r\njunk\r\n\r\n";  // No ':' header.
+    case 4: return "PUT /" + std::string(key) + " HTTP/1.0\r\n\r\nbody";      // No length.
+    case 5: return "PUT /" + std::string(key) +
+                   " HTTP/1.0\r\nContent-Length: 9999\r\n\r\nshort";   // Oversized length.
+    case 6: return "GET /" + std::string(key) + " HTTP/1.0\r\nX: 1\r\n";  // No blank line.
+    default: {
+      std::string junk(24, '\0');
+      for (char& c : junk) {
+        c = static_cast<char>(1 + rng.Below(255));  // Binary noise.
+      }
+      return junk;
+    }
+  }
+}
+
+}  // namespace
+
+std::string LoadKeyName(uint32_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%03u", i);
+  return buf;
+}
+
+std::string MakeValue(std::string_view key, uint32_t version, uint32_t value_bytes) {
+  std::string value(key);
+  value += '#';
+  value += std::to_string(version);
+  value += '#';
+  const uint32_t h = KeyHash(key);
+  while (value.size() < value_bytes) {
+    value += static_cast<char>('a' + (h + version + value.size()) % 26);
+  }
+  return value;
+}
+
+int ParseValueVersion(std::string_view key, std::string_view body, uint32_t value_bytes) {
+  const size_t prefix = key.size() + 1;
+  if (body.size() < prefix + 2 || body.substr(0, key.size()) != key || body[key.size()] != '#') {
+    return -1;
+  }
+  const size_t end = body.find('#', prefix);
+  if (end == std::string_view::npos || end == prefix || end - prefix > 9) {
+    return -1;
+  }
+  uint32_t version = 0;
+  for (size_t i = prefix; i < end; ++i) {
+    if (body[i] < '0' || body[i] > '9') {
+      return -1;
+    }
+    version = version * 10 + static_cast<uint32_t>(body[i] - '0');
+  }
+  // Every byte must match the canonical image, padding included.
+  return body == MakeValue(key, version, value_bytes) ? static_cast<int>(version) : -1;
+}
+
+std::vector<std::pair<std::string, std::string>> MakePreload(uint32_t keys,
+                                                             uint32_t value_bytes) {
+  std::vector<std::pair<std::string, std::string>> preload;
+  for (uint32_t i = 0; i < keys; ++i) {
+    const std::string key = LoadKeyName(i);
+    preload.emplace_back(key, MakeValue(key, 0, value_bytes));
+  }
+  return preload;
+}
+
+LatencySummary SummarizeLatencies(std::vector<uint64_t> samples) {
+  LatencySummary summary;
+  if (samples.empty()) {
+    return summary;
+  }
+  std::sort(samples.begin(), samples.end());
+  summary.count = samples.size();
+  auto pick = [&](uint64_t per_mille) {
+    const size_t index =
+        std::min(samples.size() - 1, static_cast<size_t>(samples.size() * per_mille / 1000));
+    return samples[index];
+  };
+  summary.p50 = pick(500);
+  summary.p99 = pick(990);
+  summary.p999 = pick(999);
+  summary.max = samples.back();
+  double total = 0;
+  for (uint64_t s : samples) {
+    total += static_cast<double>(s);
+  }
+  summary.mean = total / static_cast<double>(samples.size());
+  return summary;
+}
+
+double LoadStats::Rps() const {
+  if (elapsed_cycles == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(acked) * static_cast<double>(hw::kClockHz) /
+         static_cast<double>(elapsed_cycles);
+}
+
+LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
+                     const WorkloadConfig& config) {
+  LoadStats stats;
+  SplitMix rng(config.seed);
+
+  // Zipf CDF over the key universe: weight(i) = 1/(i+1)^s.
+  std::vector<double> cdf(config.keys, 0.0);
+  double total_weight = 0.0;
+  for (uint32_t i = 0; i < config.keys; ++i) {
+    total_weight += 1.0 / std::pow(static_cast<double>(i + 1), config.zipf_s);
+    cdf[i] = total_weight;
+  }
+  for (double& c : cdf) {
+    c /= total_weight;
+  }
+  auto draw_key = [&] {
+    const double u = rng.Unit();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<uint32_t>(std::min<ptrdiff_t>(it - cdf.begin(), config.keys - 1));
+  };
+
+  const std::string hot_key = target.hot_key.empty() ? LoadKeyName(0) : target.hot_key;
+
+  UdpSocket sock(proc, target.iface);
+  Status bound = Status::kErrInternal;
+  if (config.use_ring) {
+    bound = sock.BindRing(config.client_port, config.ring);
+  }
+  if (bound != Status::kOk) {
+    bound = sock.Bind(config.client_port);
+  }
+  if (bound != Status::kOk) {
+    stats.unexpected = ~0ull;  // Could not even bind; poison the stats.
+    return stats;
+  }
+
+  std::optional<RevocationClient> rc;
+  if (config.repair) {
+    RevocationClient::Options rc_options;
+    rc_options.socket = &sock;
+    rc.emplace(proc, rc_options);
+  }
+  auto repair = [&] {
+    if (rc) {
+      (void)rc->Poll();
+    }
+  };
+
+  std::optional<TraceSession> trace;
+  if (config.trace) {
+    trace.emplace(proc);
+    TraceConfig trace_config;
+    trace_config.pages = 8;
+    trace_config.mask = xtrace::Bit(xtrace::Event::kDpfMatch) |
+                        xtrace::Bit(xtrace::Event::kAppMark);
+    if (trace->Bind(trace_config) != Status::kOk) {
+      trace.reset();
+    }
+  }
+  std::vector<uint64_t> service_samples;
+  std::unordered_map<uint32_t, uint64_t> service_enter;
+  auto drain_trace = [&] {
+    if (!trace) {
+      return;
+    }
+    for (;;) {
+      Result<xtrace::Record> record = trace->Next();
+      if (!record.ok()) {
+        break;
+      }
+      const auto type = static_cast<xtrace::Event>(record->type);
+      if (type == xtrace::Event::kDpfMatch) {
+        // The client's own filter also logs matches (the replies coming
+        // back); only count the server-side demux decisions.
+        if (sock.filter_id().has_value() && record->arg0 == *sock.filter_id()) {
+          continue;
+        }
+        if (record->arg2 == 0) {
+          ++stats.stages.path_queue;
+        } else if (record->arg2 == 1) {
+          ++stats.stages.path_ring;
+        } else {
+          ++stats.stages.path_ash;
+        }
+      } else if (type == xtrace::Event::kAppMark) {
+        if (record->arg1 == 0) {
+          service_enter[record->arg0] = record->cycle;
+        } else {
+          auto it = service_enter.find(record->arg0);
+          if (it != service_enter.end()) {
+            service_samples.push_back(record->cycle - it->second);
+            service_enter.erase(it);
+          }
+        }
+      }
+    }
+  };
+
+  // Per-key highest version this client ever wrote (0 = the preload).
+  std::vector<uint32_t> latest_version(config.keys, 0);
+
+  std::unordered_map<uint32_t, Pending> outstanding;
+  std::unordered_set<uint32_t> done_ids;
+  std::vector<uint64_t> latencies;
+  std::vector<uint64_t> hot_latencies;
+
+  uint32_t next_id = 1;
+  uint32_t data_sent = 0;
+  uint32_t in_burst = 0;
+  bool quits_queued = false;
+  const uint64_t run_start = proc.kernel().SysGetCycles();
+  uint64_t data_phase_end = 0;
+
+  auto transmit = [&](const std::vector<uint8_t>& payload) {
+    if (sock.ring_bound()) {
+      if (sock.QueueTo(target.server_ip, target.server_port, payload) != Status::kOk) {
+        (void)sock.SendTo(target.server_ip, target.server_port, payload);
+      }
+    } else {
+      (void)sock.SendTo(target.server_ip, target.server_port, payload);
+    }
+  };
+  auto flush = [&] {
+    if (sock.ring_bound()) {
+      (void)sock.FlushTx();
+    }
+  };
+
+  auto send_new = [&](Pending pending) {
+    const uint32_t id = next_id++;
+    pending.first_send = pending.last_send = proc.kernel().SysGetCycles();
+    transmit(pending.payload);
+    outstanding.emplace(id, std::move(pending));
+    ++stats.sent;
+  };
+
+  auto make_data_request = [&](uint32_t id) {
+    Pending pending;
+    const uint32_t draw = rng.Below(1000);
+    const uint32_t key_index = draw_key();
+    const std::string key = LoadKeyName(key_index);
+    if (draw < config.malformed_per_mille) {
+      pending.kind = Kind::kMalformed;
+      pending.expect_status = 400;
+      pending.payload = BuildRequestPayload(id, MalformedText(rng, key), key);
+    } else if (draw < config.malformed_per_mille + config.oversized_per_mille) {
+      pending.kind = Kind::kOversized;
+      pending.expect_status = 400;
+      const std::string big_key(kMaxKeyBytes + 13, 'x');
+      pending.payload = BuildRequestPayload(id, BuildGetRequest(big_key), big_key);
+    } else if (draw <
+               config.malformed_per_mille + config.oversized_per_mille + config.put_per_mille) {
+      pending.kind = Kind::kPut;
+      pending.key_index = static_cast<int>(key_index);
+      pending.expect_status = 201;
+      const uint32_t version = ++latest_version[key_index];
+      pending.payload = BuildRequestPayload(
+          id, BuildPutRequest(key, MakeValue(key, version, config.value_bytes)), key);
+    } else {
+      pending.kind = Kind::kGet;
+      pending.key_index = static_cast<int>(key_index);
+      pending.expect_status = 200;
+      pending.is_hot = key == hot_key;
+      pending.payload = BuildRequestPayload(id, BuildGetRequest(key), key);
+    }
+    return pending;
+  };
+
+  // Readiness warm-up: a booting worker (journaled format + preload) is
+  // tens of millions of cycles away from serving; probe each shard with a
+  // GET for a key that cannot exist (any parseable reply — 404 — counts as
+  // ready) so the measured data phase and its retry budget start against a
+  // live service. Probe ids join done_ids so late duplicate replies to
+  // retransmitted probes are classified as dup_acks, not "unexpected".
+  if (config.warmup) {
+    for (uint32_t shard = 0; shard < target.workers; ++shard) {
+      const uint32_t id = next_id++;
+      const auto probe = BuildRequestPayload(
+          id, BuildGetRequest("__warmup__"), "__warmup__", static_cast<int>(shard));
+      uint64_t last_probe = 0;
+      bool ready = false;
+      while (!ready) {
+        const uint64_t now = proc.kernel().SysGetCycles();
+        if (now - run_start > config.deadline_cycles) {
+          stats.deadline_hit = 1;
+          stats.warmup_cycles = now - run_start;
+          (void)sock.Close();
+          return stats;
+        }
+        if (last_probe == 0 || now - last_probe >= config.warmup_probe_cycles) {
+          transmit(probe);
+          flush();
+          last_probe = now;
+        }
+        for (;;) {
+          Result<Datagram> reply = sock.Recv(/*blocking=*/false);
+          if (!reply.ok()) {
+            break;
+          }
+          HttpResponseView view;
+          if (ParseResponsePayload(reply->payload, &view) && view.req_id == id) {
+            ready = true;
+          }
+        }
+        if (!ready) {
+          repair();
+          proc.kernel().SysSleep(2'000);
+        }
+      }
+      done_ids.insert(id);
+    }
+  }
+
+  const uint64_t start = proc.kernel().SysGetCycles();
+  stats.warmup_cycles = start - run_start;
+
+  for (;;) {
+    const uint64_t now = proc.kernel().SysGetCycles();
+    if (now - run_start > config.deadline_cycles) {
+      stats.deadline_hit = 1;
+      break;
+    }
+
+    // Fill the closed-loop window.
+    bool queued = false;
+    while (outstanding.size() < config.window && data_sent < config.requests) {
+      // next_id is consumed inside send_new; build against its value.
+      Pending pending = make_data_request(next_id);
+      send_new(std::move(pending));
+      ++data_sent;
+      queued = true;
+      if (config.burst > 0 && ++in_burst >= config.burst) {
+        in_burst = 0;
+        flush();
+        queued = false;
+        if (config.burst_gap_cycles > 0) {
+          proc.kernel().SysSleep(config.burst_gap_cycles);
+        }
+        if (config.slow_per_mille > 0 && rng.Below(1000) < config.slow_per_mille) {
+          // Slow client: stop collecting replies for a while; the server
+          // keeps queueing into our ring (or the kernel queue) meanwhile.
+          proc.kernel().SysSleep(config.slow_stall_cycles);
+        }
+      }
+    }
+    if (queued) {
+      flush();
+    }
+
+    // Data phase complete: timestamp it once, then queue the QUITs.
+    if (data_sent == config.requests && outstanding.empty() && !quits_queued) {
+      if (data_phase_end == 0) {
+        data_phase_end = proc.kernel().SysGetCycles();
+      }
+      quits_queued = true;
+      if (config.quit_when_done) {
+        for (uint32_t shard = 0; shard < target.workers; ++shard) {
+          Pending pending;
+          pending.kind = Kind::kQuit;
+          pending.expect_status = 200;
+          pending.payload = BuildRequestPayload(next_id, BuildQuitRequest(), "",
+                                                static_cast<int>(shard));
+          send_new(std::move(pending));
+        }
+        flush();
+      }
+    }
+    if (quits_queued && outstanding.empty()) {
+      break;
+    }
+
+    // Collect replies.
+    bool progressed = false;
+    for (;;) {
+      Result<Datagram> reply = sock.Recv(/*blocking=*/false);
+      if (!reply.ok()) {
+        break;
+      }
+      progressed = true;
+      HttpResponseView view;
+      if (!ParseResponsePayload(reply->payload, &view)) {
+        ++stats.unexpected;
+        continue;
+      }
+      auto it = outstanding.find(view.req_id);
+      if (it == outstanding.end()) {
+        if (done_ids.count(view.req_id) > 0) {
+          ++stats.dup_acks;  // Second answer to a retried request.
+        } else {
+          ++stats.unexpected;
+        }
+        continue;
+      }
+      Pending& pending = it->second;
+      if (view.status == 503) {
+        // Transient server-side resource loss (a revoked store page under
+        // this request): not an ack. Leave it outstanding — the retry
+        // path re-asks once the worker's repair or crash-restart lands.
+        ++stats.busy_503;
+        continue;
+      }
+      ++stats.acked;
+      const uint64_t rtt = proc.kernel().SysGetCycles() - pending.first_send;
+      if (pending.kind != Kind::kQuit) {
+        latencies.push_back(rtt);
+        if (pending.is_hot) {
+          hot_latencies.push_back(rtt);
+        }
+      }
+      switch (view.status) {
+        case 200: ++stats.ok_200; break;
+        case 201: ++stats.created_201; break;
+        case 400: ++stats.bad_400; break;
+        case 404: ++stats.not_found_404; break;
+        default: break;
+      }
+      if (view.status != pending.expect_status) {
+        ++stats.unexpected;
+      }
+      if (pending.kind == Kind::kGet && view.status == 200) {
+        // End-to-end verification: checksum, then the body must be an
+        // exact value image at a version we actually wrote (older acked
+        // versions are legal after a worker restart; anything else is
+        // corruption).
+        const int version = view.sum_ok
+                                ? ParseValueVersion(LoadKeyName(pending.key_index), view.body,
+                                                    config.value_bytes)
+                                : -1;
+        if (version < 0 ||
+            static_cast<uint32_t>(version) > latest_version[pending.key_index]) {
+          ++stats.corrupt;
+        }
+      }
+      done_ids.insert(view.req_id);
+      outstanding.erase(it);
+    }
+    drain_trace();
+
+    if (!progressed) {
+      // Nothing arrived: retransmit what timed out, then let the server run.
+      std::vector<uint32_t> abandoned;
+      const uint64_t check = proc.kernel().SysGetCycles();
+      for (auto& [id, pending] : outstanding) {
+        if (check - pending.last_send < config.retry_timeout_cycles) {
+          continue;
+        }
+        if (pending.retries >= config.max_retries) {
+          abandoned.push_back(id);
+          continue;
+        }
+        ++pending.retries;
+        ++stats.retries;
+        pending.last_send = check;
+        transmit(pending.payload);
+      }
+      flush();
+      for (uint32_t id : abandoned) {
+        outstanding.erase(id);
+        ++stats.gave_up;
+      }
+      repair();
+      proc.kernel().SysSleep(500);
+    }
+  }
+
+  if (data_phase_end == 0) {
+    data_phase_end = proc.kernel().SysGetCycles();
+  }
+  stats.elapsed_cycles = data_phase_end - start;
+  stats.latency = SummarizeLatencies(std::move(latencies));
+  stats.hot_latency = SummarizeLatencies(std::move(hot_latencies));
+  drain_trace();
+  stats.stages.service = SummarizeLatencies(std::move(service_samples));
+  if (trace) {
+    (void)trace->Close();
+  }
+  (void)sock.Close();
+  return stats;
+}
+
+}  // namespace xok::exos::server

@@ -1,0 +1,402 @@
+#include "src/exos/server/server.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/ash/ash.h"
+#include "src/exos/revocation.h"
+#include "src/net/wire.h"
+
+namespace xok::exos::server {
+
+using hw::Instr;
+
+dpf::Atom KvServer::ShardAtom(uint32_t shard, uint32_t workers) {
+  return dpf::Atom{.offset = net::kUdpPayloadOff,
+                   .width = 1,
+                   .mask = workers - 1,
+                   .value = shard & (workers - 1)};
+}
+
+KvServer::KvServer(aegis::Aegis& kernel, KvServerConfig config)
+    : kernel_(kernel), config_(std::move(config)) {
+  const uint32_t n = config_.workers;
+  if (n == 0 || (n & (n - 1)) != 0 || n > 256) {
+    return;  // Shard mask needs a power of two; ok() stays false.
+  }
+  const uint32_t cpus = kernel_.machine().cpu_count();
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<WorkerState>());
+  }
+  if (config_.stride_slices_per_cpu > 0) {
+    // Placeholder slots now; each worker incarnation Retargets its slot
+    // to its fresh environment id from inside WorkerMain.
+    stride_ = std::make_unique<SmpStrideScheduler>(kernel_);
+    for (uint32_t i = 0; i < n; ++i) {
+      workers_[i]->stride_slot =
+          stride_->AddClient(aegis::kNoEnv, config_.stride_tickets, i % cpus);
+    }
+    if (!stride_->Start(config_.stride_slices_per_cpu)) {
+      stride_.reset();
+      return;
+    }
+  }
+  std::vector<ChildSpec> specs;
+  for (uint32_t i = 0; i < n; ++i) {
+    ChildSpec spec;
+    spec.name = "kv" + std::to_string(i);
+    spec.body = [this, i](Process& p) { WorkerMain(p, i); };
+    spec.options.slices = config_.worker_slices;
+    spec.options.cpu_mask = 1ULL << (i % cpus);
+    spec.policy = RestartPolicy::kOnFailure;
+    spec.max_restarts = config_.max_restarts;
+    spec.backoff_initial = config_.restart_backoff;
+    spec.backoff_cap = config_.restart_backoff_cap;
+    specs.push_back(std::move(spec));
+  }
+  supervisor_ = std::make_unique<Supervisor>(kernel_, std::move(specs));
+}
+
+uint64_t KvServer::ReadAshCounter(hw::PageId page) const {
+  auto bytes = kernel_.machine().mem().PageSpan(page);
+  uint32_t v = 0;
+  std::memcpy(&v, bytes.data(), sizeof(v));
+  return v;
+}
+
+uint64_t KvServer::AshHits(uint32_t shard) const {
+  const WorkerState& ws = *workers_[shard];
+  uint64_t hits = ws.stats.ash_hits;
+  if (ws.ash_bound) {
+    hits += ReadAshCounter(ws.ash_page);
+  }
+  return hits;
+}
+
+uint64_t KvServer::TotalAshHits() const {
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < config_.workers; ++i) {
+    total += AshHits(i);
+  }
+  return total;
+}
+
+bool KvServer::AllWorkersDone() const {
+  for (const auto& ws : workers_) {
+    if (!ws->stats.done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status KvServer::BindHotKeyAsh(Process& proc, WorkerState& ws, uint32_t shard,
+                               const std::string& key, const std::string& value) {
+  Result<aegis::PageGrant> region = proc.kernel().SysAllocPage();
+  if (!region.ok()) {
+    return region.status();
+  }
+  const std::string req_text = BuildGetRequest(key);
+
+  // Prebuilt reply frame in the region: envelope (req id patched per
+  // request) + the canonical 200 response for the preloaded value.
+  const std::string resp_text = BuildHttpResponse(200, value);
+  std::vector<uint8_t> resp_payload(kRespHeaderBytes + resp_text.size());
+  std::copy(resp_text.begin(), resp_text.end(), resp_payload.begin() + kRespHeaderBytes);
+  const uint64_t peer_mac = config_.iface.resolve
+                                ? config_.iface.resolve(config_.ash_peer_ip)
+                                : hw::kBroadcastMac;
+  std::vector<uint8_t> frame = net::BuildUdpFrame(
+      peer_mac, config_.iface.mac, config_.iface.ip, config_.ash_peer_ip,
+      config_.port, config_.ash_peer_port, resp_payload);
+  // The ASH patches the request id into the template without fixing up the
+  // UDP checksum; zero it (RFC 768 "no checksum") so the patched frame
+  // stays well-formed. X-Sum carries the end-to-end integrity instead.
+  frame[net::kUdpCksumOff] = 0;
+  frame[net::kUdpCksumOff + 1] = 0;
+
+  constexpr uint32_t kReplyOff = 64;  // Counter word + checksum sink below.
+  auto region_bytes = proc.machine().mem().PageSpan(region->page);
+  if (kReplyOff + frame.size() > region_bytes.size()) {
+    return Status::kErrOutOfRange;
+  }
+  std::fill(region_bytes.begin(), region_bytes.begin() + kReplyOff, 0);
+  std::copy(frame.begin(), frame.end(), region_bytes.begin() + kReplyOff);
+
+  Result<ash::AshProgram> handler = ash::BuildKvReplyAsh(ash::KvReplyAshSpec{
+      .req_id_off = net::kUdpPayloadOff + 1,
+      .reply_off = kReplyOff,
+      .reply_len = static_cast<uint32_t>(frame.size()),
+      .reply_req_id_off = net::kUdpPayloadOff,
+      .cksum_off = net::kUdpPayloadOff,
+      .cksum_len = static_cast<uint32_t>(kReqHeaderBytes + req_text.size()),
+      .cksum_sum_off = 4,
+      .count_off = 0,
+  });
+  if (!handler.ok()) {
+    return handler.status();
+  }
+
+  // The filter is the port + shard atoms plus the *entire* canonical GET
+  // text, byte for byte. It must be this exact: a matched ASH consumes
+  // its frame, so anything that merely resembles the hot GET (bad
+  // version, trailing garbage in the request line) has to miss here and
+  // fall through to the shallower ring filter, where the worker's strict
+  // parser answers 400. Depth is also what layers the paths: more atoms
+  // than the ring filter means DPF's most-specific-match sends hot GETs
+  // here and everything else below.
+  aegis::FilterBindSpec spec;
+  spec.filter = dpf::UdpPortFilter(config_.port);
+  spec.filter.atoms.push_back(ShardAtom(shard, config_.workers));
+  for (size_t i = 0; i < req_text.size(); ++i) {
+    spec.filter.atoms.push_back(dpf::Atom{
+        .offset = net::kUdpPayloadOff + static_cast<uint32_t>(kReqHeaderBytes + i),
+        .width = 1,
+        .mask = 0xff,
+        .value = static_cast<uint8_t>(req_text[i]),
+    });
+  }
+  spec.handler = std::move(*handler);
+  spec.region_first_page = region->page;
+  spec.region_pages = 1;
+  Result<dpf::FilterId> id = proc.kernel().SysBindFilter(std::move(spec), region->cap);
+  if (!id.ok()) {
+    return id.status();
+  }
+  ws.ash_page = region->page;
+  ws.ash_bound = true;
+  return Status::kOk;
+}
+
+void KvServer::WorkerMain(Process& proc, uint32_t shard) {
+  WorkerState& ws = *workers_[shard];
+  ++ws.stats.incarnations;
+  ws.ash_bound = false;
+  if (stride_) {
+    stride_->Retarget(ws.stride_slot, proc.id());
+  }
+  // Setup failures crash the incarnation so the Supervisor retries with
+  // backoff — by the next attempt a resource storm may have passed.
+  auto fail = [&] {
+    ++ws.stats.setup_failures;
+    (void)proc.kernel().SysKillEnv(proc.id(), proc.env_cap());
+  };
+
+  // The receive path comes up FIRST: ring if configured (falling back to
+  // the legacy queue when no contiguous page run exists), refined to this
+  // worker's shard of the key space by the masked payload atom. Binding
+  // before the (slow, journaled) storage setup means requests arriving
+  // during format/preload queue in the ring instead of timing out against
+  // an unbound port — exactly why Cheetah owned its own receive buffers.
+  UdpSocket sock(proc, config_.iface);
+  std::vector<dpf::Atom> shard_atoms{ShardAtom(shard, config_.workers)};
+  Status bound = Status::kErrInternal;
+  if (config_.use_rings) {
+    bound = sock.BindRing(config_.port, config_.ring, shard_atoms);
+  }
+  if (bound != Status::kOk) {
+    bound = sock.Bind(config_.port, shard_atoms);
+  }
+  if (bound != Status::kOk) {
+    return fail();
+  }
+
+  // Shared-nothing storage: a private extent, freshly formatted. A
+  // restarted incarnation starts from the preload image (version-0
+  // values); the client's end-to-end check treats any acked version as
+  // valid, so data loss across a crash is visible but never corrupt.
+  Result<aegis::Aegis::DiskExtentGrant> extent =
+      proc.kernel().SysAllocDiskExtent(config_.disk_blocks);
+  if (!extent.ok()) {
+    return fail();
+  }
+  LibFs::Options fs_options;
+  fs_options.cache_slots = config_.fs_cache_slots;
+  fs_options.journal_blocks = config_.journal_blocks;
+  Result<std::unique_ptr<LibFs>> fs = LibFs::Format(proc, *extent, fs_options);
+  if (!fs.ok()) {
+    return fail();
+  }
+  KvStore store(proc, fs->get(), config_.kv_cache_entries);
+  for (const auto& [key, value] : config_.preload) {
+    if (ShardOf(key) != shard) {
+      continue;
+    }
+    if (store.Put(key, value) != Status::kOk) {
+      return fail();
+    }
+  }
+  if ((*fs)->Sync() != Status::kOk) {
+    return fail();
+  }
+
+  if (config_.use_ash) {
+    for (const std::string& key : config_.hot_keys) {
+      if (ShardOf(key) != shard) {
+        continue;
+      }
+      Result<const KvStore::Entry*> entry = store.Get(key);
+      if (entry.ok()) {
+        (void)BindHotKeyAsh(proc, ws, shard, key, (*entry)->value);
+      }
+    }
+  }
+
+  RevocationClient::Options rc_options;
+  rc_options.fs = fs->get();
+  rc_options.socket = &sock;
+  rc_options.desired_slices = config_.worker_slices;
+  RevocationClient rc(proc, rc_options);
+
+  bool quit = false;
+  uint32_t puts_since_sync = 0;
+  // Consecutive store failures with a repair Poll between every batch: a
+  // streak means the storm took pages the repair protocol could not
+  // restore (dirty cache, journal), so the store can no longer be
+  // trusted. Individual failures answer 503 — the client's retry path
+  // re-asks once repair (or the crash-restart below) completes.
+  uint32_t store_err_streak = 0;
+
+  auto handle = [&](const Datagram& dgram) {
+    if (dgram.payload.size() < kReqHeaderBytes) {
+      ++ws.stats.drops;  // No envelope: nothing to even echo an id into.
+      return;
+    }
+    const uint32_t req_id = net::GetBe32(dgram.payload, 1);
+    ++ws.stats.requests;
+    if (config_.trace_requests) {
+      (void)proc.kernel().SysTraceMark(req_id, 0, shard,
+                                       static_cast<uint32_t>(dgram.payload.size()));
+    }
+    const std::span<const uint8_t> text(dgram.payload.data() + kReqHeaderBytes,
+                                        dgram.payload.size() - kReqHeaderBytes);
+    proc.machine().Charge(ParseCost(text.size()));
+    HttpRequest req;
+    const ParseError err = ParseHttpRequest(text, &req);
+    int status = 400;
+    std::string body;
+    uint16_t sum = 0;
+    bool have_sum = false;
+    if (err != ParseError::kOk) {
+      body = ParseErrorName(err);
+      ++ws.stats.bad_requests;
+    } else {
+      switch (req.method) {
+        case Method::kQuit:
+          status = 200;
+          body = "bye";
+          ++ws.stats.quits;
+          quit = true;
+          break;
+        case Method::kGet: {
+          ++ws.stats.gets;
+          Result<const KvStore::Entry*> entry = store.Get(req.key);
+          if (entry.ok()) {
+            status = 200;
+            body = (*entry)->value;
+            sum = (*entry)->sum;  // Precomputed at PUT — never per GET.
+            have_sum = true;
+            store_err_streak = 0;
+          } else if (entry.status() == Status::kErrNotFound) {
+            status = 404;
+            ++ws.stats.not_found;
+            store_err_streak = 0;
+          } else {
+            status = 503;
+            body = "store-error";
+            ++ws.stats.store_errors;
+            ++store_err_streak;
+          }
+          break;
+        }
+        case Method::kPut:
+          ++ws.stats.puts;
+          if (store.Put(req.key, req.body) == Status::kOk) {
+            status = 201;
+            ++puts_since_sync;
+            store_err_streak = 0;
+          } else {
+            status = 503;
+            body = "put-failed";
+            ++ws.stats.store_errors;
+            ++store_err_streak;
+          }
+          break;
+      }
+    }
+    const std::string resp_text =
+        have_sum ? BuildHttpResponse(status, body, sum) : BuildHttpResponse(status, body);
+    proc.machine().Charge(BuildCost(resp_text.size()));
+    std::vector<uint8_t> resp(kRespHeaderBytes + resp_text.size());
+    net::PutBe32(resp, 0, req_id);
+    std::copy(resp_text.begin(), resp_text.end(), resp.begin() + kRespHeaderBytes);
+    const Status sent = sock.ring_bound()
+                            ? sock.QueueTo(dgram.src_ip, dgram.src_port, resp)
+                            : sock.SendTo(dgram.src_ip, dgram.src_port, resp);
+    if (sent != Status::kOk) {
+      ++ws.stats.send_errors;
+    }
+    if (config_.trace_requests) {
+      (void)proc.kernel().SysTraceMark(req_id, 1, static_cast<uint32_t>(status),
+                                       static_cast<uint32_t>(resp.size()));
+    }
+  };
+
+  uint32_t recv_errors = 0;
+  while (!quit) {
+    Result<Datagram> first = sock.Recv(/*blocking=*/true);
+    if (!first.ok()) {
+      // A revoked binding surfaces here; Poll repairs it. A worker that
+      // cannot be repaired crashes into the Supervisor's restart path
+      // rather than spinning forever.
+      (void)rc.Poll();
+      if (++recv_errors > 64) {
+        return fail();
+      }
+      proc.kernel().SysSleep(1'000);
+      continue;
+    }
+    recv_errors = 0;
+    ++ws.stats.batches;
+    // Drain-batch: process everything already delivered, then ring the
+    // TX doorbell once for the whole batch.
+    Datagram dgram = std::move(*first);
+    for (;;) {
+      handle(dgram);
+      Result<Datagram> next = sock.Recv(/*blocking=*/false);
+      if (!next.ok()) {
+        break;
+      }
+      dgram = std::move(*next);
+    }
+    if (sock.ring_bound()) {
+      (void)sock.FlushTx();
+    }
+    (void)rc.Poll();
+    if (store_err_streak > 16) {
+      ++ws.stats.store_crashes;
+      (void)proc.kernel().SysKillEnv(proc.id(), proc.env_cap());
+      return;
+    }
+    if (puts_since_sync >= config_.sync_every_puts) {
+      if ((*fs)->Sync() == Status::kOk) {
+        ++ws.stats.syncs;
+      }
+      puts_since_sync = 0;
+    }
+  }
+
+  // Clean exit: snapshot what the host reads after the run. A clean exit
+  // retains the environment's pages, but the snapshot keeps AshHits()
+  // correct across restarts (each incarnation's counter starts at zero).
+  if (ws.ash_bound) {
+    ws.stats.ash_hits += ReadAshCounter(ws.ash_page);
+    ws.ash_bound = false;
+  }
+  (void)(*fs)->Sync();
+  ws.stats.store = store.stats();
+  ws.stats.done = true;
+  (void)sock.Close();
+}
+
+}  // namespace xok::exos::server

@@ -63,6 +63,12 @@ size_t SmpStrideScheduler::AddClient(aegis::EnvId env, uint32_t tickets,
   return clients_.size() - 1;
 }
 
+void SmpStrideScheduler::Retarget(size_t index, aegis::EnvId env) {
+  if (index < clients_.size()) {
+    clients_[index].env = env;
+  }
+}
+
 bool SmpStrideScheduler::Start(uint32_t slices_per_cpu) {
   const uint32_t cpus = kernel_.machine().cpu_count();
   for (uint32_t k = 0; k < cpus; ++k) {

@@ -68,7 +68,16 @@ class SmpStrideScheduler {
 
   // Registers a client with `tickets` homed on `home_cpu` (which must be
   // < the machine's CPU count). Call before Start(). Returns its index.
+  // The env may be kNoEnv as a placeholder: the slot accrues pass state
+  // but its donated slices fall through (undirected yield) until
+  // Retarget() points it at a real environment.
   size_t AddClient(aegis::EnvId env, uint32_t tickets, uint32_t home_cpu);
+
+  // Re-points client slot `index` at `env`, keeping its pass/stride state.
+  // Safe to call mid-run from any fiber (the fibers are cooperative):
+  // this is how a supervised service re-registers a worker after the
+  // Supervisor respawned it under a fresh environment id.
+  void Retarget(size_t index, aegis::EnvId env);
 
   // Spawns one scheduler process pinned to each CPU; each runs
   // `slices_per_cpu` scheduling decisions once the kernel runs. Returns

@@ -87,6 +87,12 @@ class Supervisor {
   // Snapshot of every child's supervision state (valid once Run ends,
   // or mid-run from another fiber).
   const std::vector<ChildStatus>& status() const { return status_; }
+  // Current (or last) incarnation of child `i`, nullptr if none spawned
+  // yet. Mid-run access from another fiber is safe (cooperative fibers);
+  // chaos tests use this to obtain a live child's env_cap for SysKillEnv.
+  const Process* child(size_t i) const {
+    return i < children_.size() ? children_[i].proc.get() : nullptr;
+  }
   uint64_t samples() const { return samples_; }
   uint32_t total_restarts() const;
   // True when the loop finished (all children done/failed) rather than

@@ -16,12 +16,17 @@ constexpr uint64_t kHeaderParse = Instr(35);   // Validation + field extraction.
 uint64_t CksumCost(size_t bytes) { return Instr((bytes + 1) / 2); }
 }  // namespace
 
-Status UdpSocket::Bind(uint16_t port) {
+Status UdpSocket::Bind(uint16_t port, std::vector<dpf::Atom> extra) {
   if (binding_.has_value()) {
     return Status::kErrBadState;
   }
+  if (!extra.empty()) {
+    extra_atoms_ = std::move(extra);  // Remembered for repair rebinds.
+  }
   aegis::FilterBindSpec spec;
   spec.filter = dpf::UdpPortFilter(port);
+  spec.filter.atoms.insert(spec.filter.atoms.end(), extra_atoms_.begin(),
+                           extra_atoms_.end());
   Result<dpf::FilterId> id = proc_.kernel().SysBindFilter(std::move(spec), cap::Capability{});
   if (!id.ok()) {
     return id.status();
@@ -31,9 +36,13 @@ Status UdpSocket::Bind(uint16_t port) {
   return Status::kOk;
 }
 
-Status UdpSocket::BindRing(uint16_t port, const RingConfig& config) {
+Status UdpSocket::BindRing(uint16_t port, const RingConfig& config,
+                           std::vector<dpf::Atom> extra) {
   if (binding_.has_value()) {
     return Status::kErrBadState;
+  }
+  if (!extra.empty()) {
+    extra_atoms_ = std::move(extra);
   }
   aegis::Aegis& kernel = proc_.kernel();
   const size_t bytes = net::PacketRingView::BytesNeeded(config.rx_slots, config.tx_slots);
@@ -97,44 +106,49 @@ Status UdpSocket::BindRing(uint16_t port, const RingConfig& config) {
 }
 
 Status UdpSocket::RepairAfterRepossession(std::span<const hw::PageId> taken) {
-  if (!binding_.has_value()) {
-    return Status::kOk;  // Nothing bound, nothing to repair.
+  if (!binding_.has_value() && port_ == 0) {
+    return Status::kOk;  // Never bound (or Close()d): nothing to repair.
   }
   const uint16_t port = port_;
-  // Is the filter binding itself gone (reclaimed under pressure)?
-  Result<aegis::PacketStats> stats = proc_.kernel().SysPacketStats(*binding_);
-  const bool filter_dead = !stats.ok();
-  // Was the ring severed (a region page repossessed out from under it)?
-  const bool ring_severed = !filter_dead && ring_.has_value() && !stats->ring_bound;
-  if (!filter_dead && !ring_severed) {
-    return Status::kOk;
-  }
-  ++repairs_;
-  ring_.reset();
-  // Surviving region pages still belong to us; a repossessed page's
-  // capability fails dealloc harmlessly on the epoch bump, so skip it.
-  for (const aegis::PageGrant& grant : ring_pages_) {
-    if (std::find(taken.begin(), taken.end(), grant.page) == taken.end()) {
-      (void)proc_.kernel().SysDeallocPage(grant.page, grant.cap);
+  if (binding_.has_value()) {
+    // Is the filter binding itself gone (reclaimed under pressure)?
+    Result<aegis::PacketStats> stats = proc_.kernel().SysPacketStats(*binding_);
+    const bool filter_dead = !stats.ok();
+    // Was the ring severed (a region page repossessed out from under it)?
+    const bool ring_severed = !filter_dead && ring_.has_value() && !stats->ring_bound;
+    if (!filter_dead && !ring_severed) {
+      return Status::kOk;
     }
+    ++repairs_;
+    ring_.reset();
+    // Surviving region pages still belong to us; a repossessed page's
+    // capability fails dealloc harmlessly on the epoch bump, so skip it.
+    for (const aegis::PageGrant& grant : ring_pages_) {
+      if (std::find(taken.begin(), taken.end(), grant.page) == taken.end()) {
+        (void)proc_.kernel().SysDeallocPage(grant.page, grant.cap);
+      }
+    }
+    ring_pages_.clear();
+    if (!filter_dead) {
+      // Ring severed but the filter survived: unbind it so the rebind below
+      // rebuilds both halves (delivery already reverted to the queue).
+      (void)proc_.kernel().SysUnbindFilter(*binding_);
+    }
+    binding_.reset();
   }
-  ring_pages_.clear();
-  if (!filter_dead) {
-    // Ring severed but the filter survived: unbind it so the rebind below
-    // rebuilds both halves (delivery already reverted to the queue).
-    (void)proc_.kernel().SysUnbindFilter(*binding_);
-  }
-  binding_.reset();
-  port_ = 0;
+  // Rebind. On failure, port_ keeps the old port so the NEXT poll retries:
+  // a rebind can fail transiently under the very pressure storm that
+  // forced the repair, and one failed attempt must not deafen the socket
+  // forever.
   if (want_ring_) {
-    const Status ring = BindRing(port, ring_config_);
+    const Status ring = BindRing(port, ring_config_, extra_atoms_);
     if (ring == Status::kOk) {
       legacy_fallback_ = false;
       return Status::kOk;
     }
   }
   // Rebind-or-fallback: the legacy queue path needs no pages.
-  const Status bound = Bind(port);
+  const Status bound = Bind(port, extra_atoms_);
   legacy_fallback_ = bound == Status::kOk && want_ring_;
   return bound;
 }
@@ -153,6 +167,7 @@ Status UdpSocket::Close() {
     (void)proc_.kernel().SysDeallocPage(grant.page, grant.cap);
   }
   ring_pages_.clear();
+  port_ = 0;  // A closed socket must never be "repaired" back to life.
   want_ring_ = false;
   legacy_fallback_ = false;
   return status;
@@ -237,12 +252,26 @@ Result<Datagram> UdpSocket::Recv(bool blocking) {
   if (ring_.has_value()) {
     for (;;) {
       if (!ring_->RxEmpty()) {
+        // The ring header lives in shared (and revocable) memory: if the
+        // kernel repossessed a ring page and its next owner scribbled the
+        // head word, RxEmpty() stays false forever and every "frame" is a
+        // stale slot replayed from a page that is no longer ours. Bound
+        // that trust: after a full ring's worth of pops without ever
+        // observing emptiness, audit the binding and surface revocation.
+        if (++ring_pops_since_check_ > ring_config_.rx_slots) {
+          ring_pops_since_check_ = 0;
+          Result<aegis::PacketStats> audit = proc_.kernel().SysPacketStats(*binding_);
+          if (!audit.ok() || !audit->ring_bound) {
+            return Status::kErrRevoked;
+          }
+        }
         Result<Datagram> dgram = PopRingFrame();
         if (dgram.ok()) {
           return dgram;
         }
         continue;  // Malformed frame dropped; try the next slot.
       }
+      ring_pops_since_check_ = 0;  // Emptiness observed: header in sync.
       if (!blocking) {
         return Status::kErrWouldBlock;
       }
@@ -254,6 +283,17 @@ Result<Datagram> UdpSocket::Recv(bool blocking) {
       if (!ring_->RxEmpty()) {
         ring_->set_rx_armed(false);
         continue;
+      }
+      // Verify the binding is alive before committing to sleep: a filter
+      // reclaimed while this env was busy elsewhere (or while blocked —
+      // the kernel wakes reclaim victims, which lands us back here) would
+      // otherwise leave it blocked on a ring no frame can ever reach
+      // again. Surface kErrRevoked so the caller's revocation handler can
+      // rebind instead.
+      Result<aegis::PacketStats> stats = proc_.kernel().SysPacketStats(*binding_);
+      if (!stats.ok() || !stats->ring_bound) {
+        ring_->set_rx_armed(false);
+        return Status::kErrRevoked;
       }
       proc_.kernel().SysBlock();
     }

@@ -55,11 +55,17 @@ class UdpSocket {
   UdpSocket(Process& proc, NetIface iface) : proc_(proc), iface_(std::move(iface)) {}
 
   // Claims UDP packets to `port` via a filter binding (kernel-queue path).
-  Status Bind(uint16_t port);
+  // `extra` atoms refine the claim beyond the port — e.g. the server libOS
+  // appends a masked payload-byte atom so each worker's socket claims only
+  // its shard of the key space (software RSS, expressed in the filter
+  // language so DPF's most-specific-wins policy routes around a shallower
+  // catch-all). The refined filter is re-applied by repair rebinds.
+  Status Bind(uint16_t port, std::vector<dpf::Atom> extra = {});
   // Bind + zero-copy rings: allocates a contiguous run of pages, formats
   // the ring pair in them, and registers it with the kernel. Matched
   // frames then bypass the kernel queue entirely.
-  Status BindRing(uint16_t port, const RingConfig& config = {});
+  Status BindRing(uint16_t port, const RingConfig& config = {},
+                  std::vector<dpf::Atom> extra = {});
   Status Close();
 
   // Builds the frame (headers + checksums are application code, charged as
@@ -104,7 +110,9 @@ class UdpSocket {
   std::optional<net::PacketRingView> ring_;
   std::vector<aegis::PageGrant> ring_pages_;  // Contiguous run backing the rings.
   RingConfig ring_config_;   // Geometry to rebuild with after a repair.
+  std::vector<dpf::Atom> extra_atoms_;  // Filter refinement beyond the port.
   bool want_ring_ = false;   // Socket was bound in ring mode.
+  uint32_t ring_pops_since_check_ = 0;  // Liveness-audit cadence (see Recv).
   uint64_t repairs_ = 0;
   bool legacy_fallback_ = false;
 };

@@ -8,6 +8,20 @@ bool Nic::Transmit(std::span<const uint8_t> frame) {
   if (frame.size() < kMinFrameBytes || frame.size() > kMaxFrameBytes) {
     return false;
   }
+  if (ReadMac(frame, 0) == mac_) {
+    // Internal loopback: a frame addressed to the controller's own station
+    // address never reaches the wire — the controller DMA-loops it into its
+    // own receive ring (LANCE loopback mode). The sender still pays the
+    // buffer copy and controller setup, but not wire serialisation, so
+    // same-machine client/server traffic measures software path length.
+    machine_.Charge(kMemWordCopy * ((frame.size() + 3) / 4));
+    machine_.Charge(kNicControllerLatency);
+    ++frames_transmitted_;
+    ++loopback_frames_;
+    DeliverAt(machine_.clock().now() + kNicControllerLatency,
+              std::vector<uint8_t>(frame.begin(), frame.end()));
+    return true;
+  }
   if (wire_ == nullptr) {
     return false;  // Cable unplugged.
   }

@@ -53,6 +53,12 @@ class Nic {
   // serialising the previous frame onto the 10 Mb/s wire, for the stall
   // until it frees up (TX backpressure: back-to-back sends are wire-bound,
   // not free beyond the copy). Returns false for malformed frames.
+  //
+  // A frame addressed to the controller's own station address is
+  // internally looped back into the receive ring (LANCE loopback mode)
+  // without touching the wire — no serialisation stall, and it works with
+  // the cable unplugged. This is how a single simulated machine hosts
+  // client and server environments talking through the full demux path.
   bool Transmit(std::span<const uint8_t> frame);
 
   // Pops the next received frame, if any. Called by the kernel from the
@@ -68,6 +74,7 @@ class Nic {
   uint64_t frames_dropped() const { return frames_dropped_; }
   uint64_t frames_received() const { return frames_received_; }
   uint64_t frames_transmitted() const { return frames_transmitted_; }
+  uint64_t loopback_frames() const { return loopback_frames_; }
   uint64_t tx_stalls() const { return tx_stalls_; }
   uint64_t tx_stall_cycles() const { return tx_stall_cycles_; }
 
@@ -84,6 +91,7 @@ class Nic {
   uint64_t frames_dropped_ = 0;
   uint64_t frames_received_ = 0;
   uint64_t frames_transmitted_ = 0;
+  uint64_t loopback_frames_ = 0;
   uint64_t tx_free_at_ = 0;  // Cycle the transmitter finishes serialising.
   uint64_t tx_stalls_ = 0;
   uint64_t tx_stall_cycles_ = 0;

@@ -13,6 +13,8 @@
 #include "src/core/aegis.h"
 #include "src/exos/fs.h"
 #include "src/exos/revocation.h"
+#include "src/exos/server/loadgen.h"
+#include "src/exos/server/server.h"
 #include "src/exos/supervisor.h"
 #include "src/exos/tracelib.h"
 #include "src/exos/ipc.h"
@@ -689,6 +691,149 @@ TEST_P(RevocationStorm, EveryVictimRepairsOrRestartsAndTheLedgerStaysClean) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RevocationStorm, ::testing::ValuesIn(ChaosSeeds({1, 2, 3})));
+
+// --- ServerSoak: the whole HTTP/KV server libOS (sharded workers, rings,
+// journaled stores, Supervisor) serving a measured closed-loop workload
+// while (a) a seeded pressure storm reclaims pages, slices, and packet
+// filters out from under everyone, and (b) an assassin environment kills
+// a worker mid-burst with the env_cap the Supervisor holds. The contract:
+// the Supervisor restarts the victim, the client's retries carry every
+// in-flight request across the outage (a restarted shard re-formats and
+// re-preloads — tens of millions of cycles the retry budget must dwarf),
+// not one response is ever corrupt (data LOSS across the crash is legal
+// and visible; data CORRUPTION is counted and must be zero), and the
+// kernel's ledger audits clean after every pressure burst and kill. ---
+
+uint64_t SoakResolve(uint32_t) { return 0xa; }  // Loopback: everything is us.
+
+class ServerSoak : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServerSoak, MidBurstWorkerKillRestartsCleanlyAndNothingCorrupts) {
+  namespace srv = exos::server;
+  const uint64_t seed = GetParam();
+  hw::Machine machine(
+      hw::Machine::Config{.phys_pages = 2048, .name = "soak", .cpus = 2});
+  SCOPED_TRACE(ChaosTrace(seed, &machine));
+  // Restart churn burns env ids (never reused): generous cap.
+  aegis::Aegis kernel(machine, aegis::Aegis::Config{.max_envs = 200});
+  hw::Nic nic(machine, 0xa);
+  // Extents are never reused (monotonic cursor) and every incarnation
+  // formats a fresh one: restart churn needs disk headroom.
+  hw::Disk disk(machine, 4096);
+  kernel.AttachNic(&nic);
+  kernel.AttachDisk(&disk);
+  kernel.set_audit_on_fault(true);  // Audit after every burst and kill.
+
+  srv::KvServerConfig config;
+  config.iface = exos::NetIface{0xa, 1, SoakResolve};
+  config.workers = 2;
+  config.use_rings = true;
+  config.preload = srv::MakePreload(12, 64);
+  // The storm makes restarts crash-loop (a multi-million-cycle journaled
+  // format cannot finish between repossession bursts): the exponential
+  // backoff ladder 2M -> 4M -> 8M -> 16M spreads respawns until one lands
+  // past the storm's end, and max_restarts must absorb the failed rungs.
+  config.max_restarts = 10;
+  config.restart_backoff = 2'000'000;
+  config.restart_backoff_cap = 16'000'000;
+  config.trace_requests = false;
+  srv::KvServer server(kernel, config);
+  ASSERT_TRUE(server.ok());
+
+  srv::WorkloadConfig workload;
+  workload.seed = seed;
+  workload.requests = 120;
+  workload.keys = 12;
+  workload.put_per_mille = 200;
+  // The retry budget must cover a full worker resurrection through the
+  // whole backoff ladder: kill + failed respawns under the storm + the
+  // post-storm format/preload ≈ 60M+ cycles of outage.
+  workload.retry_timeout_cycles = 200'000;
+  workload.max_retries = 1000;
+  workload.repair = true;  // The storm shoots at the client, too.
+  srv::LoadGenTarget target;
+  target.iface = exos::NetIface{0xa, 2, SoakResolve};
+  target.server_ip = 1;
+  target.server_port = config.port;
+  target.workers = config.workers;
+
+  srv::LoadStats stats;
+  exos::Process client(kernel,
+                       [&](exos::Process& p) { stats = srv::RunLoadGen(p, target, workload); });
+  ASSERT_TRUE(client.ok());
+
+  // Assassin: waits until the victim shard is demonstrably mid-burst
+  // (cross-fiber stats reads are safe under cooperative fibers), then
+  // kills its environment with the capability the Supervisor published.
+  constexpr uint32_t kVictim = 1;
+  bool killed = false;
+  exos::Process assassin(kernel, [&](exos::Process& p) {
+    while (!server.worker_stats(kVictim).done &&
+           server.worker_stats(kVictim).requests < 8 &&
+           p.kernel().SysGetCycles() < 1'500'000'000) {
+      p.kernel().SysSleep(50'000);
+    }
+    if (server.worker_stats(kVictim).done ||
+        server.worker_stats(kVictim).requests < 8) {
+      return;  // Never mid-burst (or bailed out): the killed==true
+               // assertion below reports it; don't hang the run.
+    }
+    const exos::Process* child = server.supervisor().child(kVictim);
+    ASSERT_NE(child, nullptr);
+    killed = p.kernel().SysKillEnv(child->id(), child->env_cap()) == Status::kOk;
+  });
+  ASSERT_TRUE(assassin.ok());
+
+  // The storm opens AFTER boot and warmup (~26M cycles): the scenario
+  // under test is a serving system losing resources mid-flight, not a
+  // booting one that never gets off the ground. It still brackets the
+  // kill's recovery, so the victim's respawns crash-loop through it.
+  aegis::PressurePlan plan;
+  plan.seed = seed;
+  plan.Storm(/*start=*/32'000'000, /*end=*/60'000'000, /*period=*/80'000,
+             /*pages=*/2, /*slices=*/1, /*filters=*/1);
+  kernel.InstallPressurePlan(plan);
+
+  kernel.Run();
+  SCOPED_TRACE(ChaosTrace(seed, &machine));  // Final-cycle context below.
+
+  // The kill landed, the Supervisor resurrected the shard, and both
+  // workers finished their QUITs cleanly.
+  EXPECT_TRUE(killed);
+  EXPECT_GE(server.supervisor().total_restarts(), 1u);
+  EXPECT_GE(server.worker_stats(kVictim).incarnations, 2u);
+  EXPECT_TRUE(server.AllWorkersDone());
+  EXPECT_TRUE(server.supervisor().finished());
+  for (const exos::ChildStatus& child : server.supervisor().status()) {
+    EXPECT_EQ(child.state, exos::ChildState::kDone) << child.name;
+  }
+
+  // Failover did its job: every data request and QUIT eventually acked
+  // (through retries — the outage makes them inevitable), and not one
+  // reply failed end-to-end verification.
+  EXPECT_EQ(stats.acked, workload.requests + config.workers);
+  EXPECT_EQ(stats.gave_up, 0u);
+  EXPECT_EQ(stats.corrupt, 0u);
+  EXPECT_EQ(stats.unexpected, 0u);
+  EXPECT_EQ(stats.deadline_hit, 0u);
+  EXPECT_GT(stats.retries, 0u);
+
+  // The storm genuinely fired on every armed channel.
+  const aegis::PressureStats* pressure = kernel.pressure_stats();
+  ASSERT_NE(pressure, nullptr);
+  EXPECT_GT(pressure->bursts, 50u);
+  EXPECT_GT(pressure->pages_requested, 0u);
+  // (Slices are armed too, but every env here runs at the ReserveFloor's
+  // one-slice minimum, so the engine legitimately revokes none.)
+  EXPECT_GT(pressure->filters_reclaimed, 0u);
+
+  // Audited after every pressure application and the kill: all clean.
+  EXPECT_EQ(kernel.audit_failures(), 0u) << kernel.first_audit_failure();
+  aegis::Aegis::AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServerSoak, ::testing::ValuesIn(ChaosSeeds({1, 2, 3})));
 
 }  // namespace
 }  // namespace xok

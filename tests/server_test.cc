@@ -1,0 +1,627 @@
+// Tests for the Cheetah-style server libOS (src/exos/server): the strict
+// HTTP parser's fuzz table, protocol round trips, the KvStore over a
+// journaled LibFS, the DPF shard-split fairness rules (deepest match
+// wins, ties to the lowest id, duplicates rejected at bind), and the
+// whole system end to end — loadgen client, sharded workers, ASH fast
+// path — on one simulated machine.
+#include "src/exos/server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dpf/dpf.h"
+#include "src/dpf/tcpip_filters.h"
+#include "src/exos/rdp.h"
+#include "src/exos/server/loadgen.h"
+#include "src/exos/tracelib.h"
+#include "src/hw/disk.h"
+#include "src/net/wire.h"
+
+namespace xok::exos::server {
+namespace {
+
+std::span<const uint8_t> AsBytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+// --- Parser fuzz table (satellite: >= 10 malformed shapes) ---
+
+struct FuzzCase {
+  const char* name;
+  std::string text;
+  ParseError want;
+};
+
+std::vector<FuzzCase> FuzzTable() {
+  std::vector<FuzzCase> cases;
+  cases.push_back({"empty", "", ParseError::kTruncated});
+  cases.push_back({"no_crlf", "GET /k HTTP/1.0", ParseError::kTruncated});
+  cases.push_back({"binary_noise", std::string("\x01\x7f\x02\xfe\x03garbage\x04\x05\x06"),
+                   ParseError::kTruncated});
+  cases.push_back({"line_too_long",
+                   "GET /" + std::string(200, 'a') + " HTTP/1.0\r\n\r\n",
+                   ParseError::kLineTooLong});
+  cases.push_back({"lowercase_method", "get /k HTTP/1.0\r\n\r\n", ParseError::kBadMethod});
+  cases.push_back({"unknown_method", "POST /k HTTP/1.0\r\n\r\n", ParseError::kBadMethod});
+  cases.push_back({"no_spaces", "GET/kHTTP/1.0\r\n\r\n", ParseError::kBadMethod});
+  cases.push_back({"no_second_space", "GET /k\r\n\r\n", ParseError::kBadUri});
+  cases.push_back({"no_leading_slash", "GET k HTTP/1.0\r\n\r\n", ParseError::kBadUri});
+  cases.push_back({"empty_key", "GET / HTTP/1.0\r\n\r\n", ParseError::kEmptyKey});
+  cases.push_back({"key_too_long",
+                   "GET /" + std::string(kMaxKeyBytes + 13, 'k') + " HTTP/1.0\r\n\r\n",
+                   ParseError::kKeyTooLong});
+  cases.push_back({"bad_key_char", "GET /k%20x HTTP/1.0\r\n\r\n", ParseError::kBadKeyChar});
+  cases.push_back({"wrong_version", "GET /k HTTP/1.1\r\n\r\n", ParseError::kBadVersion});
+  cases.push_back({"version_trailing_space", "GET /k HTTP/1.0 \r\n\r\n",
+                   ParseError::kBadVersion});
+  {
+    std::string text = "GET /k HTTP/1.0\r\n";
+    for (int i = 0; i < 30; ++i) {
+      text += "A: bbbbbbbb\r\n";  // 390 header bytes, limit is 256.
+    }
+    text += "\r\n";
+    cases.push_back({"headers_too_big", text, ParseError::kHeadersTooBig});
+  }
+  cases.push_back({"header_no_colon", "GET /k HTTP/1.0\r\njunk\r\n\r\n",
+                   ParseError::kBadHeader});
+  cases.push_back({"put_no_content_length", "PUT /k HTTP/1.0\r\n\r\nbody",
+                   ParseError::kNoContentLength});
+  cases.push_back({"bad_content_length", "PUT /k HTTP/1.0\r\nContent-Length: 12x\r\n\r\n",
+                   ParseError::kBadContentLength});
+  cases.push_back({"value_too_long",
+                   "PUT /k HTTP/1.0\r\nContent-Length: 600\r\n\r\n" + std::string(600, 'v'),
+                   ParseError::kValueTooLong});
+  cases.push_back({"body_truncated", "PUT /k HTTP/1.0\r\nContent-Length: 10\r\n\r\nabc",
+                   ParseError::kBodyTruncated});
+  cases.push_back({"no_blank_line", "GET /k HTTP/1.0\r\nX: 1\r\n", ParseError::kNoBlankLine});
+  return cases;
+}
+
+TEST(HttpParserTest, FuzzTableRejectsEveryMalformedShape) {
+  const std::vector<FuzzCase> cases = FuzzTable();
+  ASSERT_GE(cases.size(), 10u);
+  for (const FuzzCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    HttpRequest req;
+    EXPECT_EQ(ParseHttpRequest(AsBytes(c.text), &req), c.want);
+    EXPECT_STRNE(ParseErrorName(c.want), "unknown");
+  }
+}
+
+TEST(HttpParserTest, CanonicalRequestsParse) {
+  HttpRequest req;
+  const std::string get = BuildGetRequest("alpha_key.1");
+  ASSERT_EQ(ParseHttpRequest(AsBytes(get), &req), ParseError::kOk);
+  EXPECT_EQ(req.method, Method::kGet);
+  EXPECT_EQ(req.key, "alpha_key.1");
+  EXPECT_TRUE(req.body.empty());
+
+  const std::string put = BuildPutRequest("beta-2", "the value bytes");
+  ASSERT_EQ(ParseHttpRequest(AsBytes(put), &req), ParseError::kOk);
+  EXPECT_EQ(req.method, Method::kPut);
+  EXPECT_EQ(req.key, "beta-2");
+  EXPECT_EQ(req.body, "the value bytes");
+
+  const std::string quit = BuildQuitRequest();
+  ASSERT_EQ(ParseHttpRequest(AsBytes(quit), &req), ParseError::kOk);
+  EXPECT_EQ(req.method, Method::kQuit);
+}
+
+TEST(HttpParserTest, ResponseRoundTripDetectsCorruption) {
+  const std::string body = "hello exokernel";
+  const std::string text = BuildHttpResponse(200, body);
+  std::vector<uint8_t> payload(kRespHeaderBytes + text.size());
+  net::PutBe32(payload, 0, 0xdeadbeefu);
+  std::copy(text.begin(), text.end(), payload.begin() + kRespHeaderBytes);
+
+  HttpResponseView view;
+  ASSERT_TRUE(ParseResponsePayload(payload, &view));
+  EXPECT_EQ(view.req_id, 0xdeadbeefu);
+  EXPECT_EQ(view.status, 200);
+  EXPECT_EQ(view.body, body);
+  EXPECT_TRUE(view.sum_ok);
+
+  // Flip one body byte: X-Sum verification must catch it.
+  payload.back() ^= 0x40;
+  ASSERT_TRUE(ParseResponsePayload(payload, &view));
+  EXPECT_FALSE(view.sum_ok);
+
+  // Empty-body statuses round-trip too.
+  const std::string nf = BuildHttpResponse(404, "");
+  std::vector<uint8_t> nf_payload(kRespHeaderBytes + nf.size());
+  net::PutBe32(nf_payload, 0, 7);
+  std::copy(nf.begin(), nf.end(), nf_payload.begin() + kRespHeaderBytes);
+  ASSERT_TRUE(ParseResponsePayload(nf_payload, &view));
+  EXPECT_EQ(view.status, 404);
+  EXPECT_TRUE(view.body.empty());
+  EXPECT_TRUE(view.sum_ok);
+}
+
+TEST(LoadGenValueTest, ValueImageRoundTrip) {
+  const std::string key = LoadKeyName(3);
+  EXPECT_EQ(key, "k003");
+  const std::string v0 = MakeValue(key, 0, 64);
+  const std::string v37 = MakeValue(key, 37, 64);
+  EXPECT_EQ(v0.size(), 64u);
+  EXPECT_EQ(ParseValueVersion(key, v0, 64), 0);
+  EXPECT_EQ(ParseValueVersion(key, v37, 64), 37);
+  // Wrong key, tampered padding, and truncation are all invalid images.
+  EXPECT_EQ(ParseValueVersion("k004", v0, 64), -1);
+  std::string tampered = v37;
+  tampered.back() ^= 1;
+  EXPECT_EQ(ParseValueVersion(key, tampered, 64), -1);
+  EXPECT_EQ(ParseValueVersion(key, v37.substr(0, 30), 64), -1);
+
+  const auto preload = MakePreload(5, 48);
+  ASSERT_EQ(preload.size(), 5u);
+  for (const auto& [k, v] : preload) {
+    EXPECT_EQ(ParseValueVersion(k, v, 48), 0);
+  }
+}
+
+TEST(ShardingTest, ShardByteAndAtomAgree) {
+  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+    for (uint32_t i = 0; i < 16; ++i) {
+      const std::string key = LoadKeyName(i);
+      const uint32_t shard = KeyHash(key) & (workers - 1);
+      const dpf::Atom atom = KvServer::ShardAtom(shard, workers);
+      EXPECT_EQ(atom.offset, net::kUdpPayloadOff);
+      EXPECT_EQ(atom.width, 1);
+      EXPECT_EQ(atom.mask, workers - 1);
+      // The envelope's shard byte, masked, must satisfy the atom.
+      const auto payload = BuildRequestPayload(1, BuildGetRequest(key), key);
+      EXPECT_EQ(payload[0], ShardByte(key));
+      EXPECT_EQ(payload[0] & atom.mask, atom.value) << key << " workers=" << workers;
+    }
+  }
+}
+
+// --- DPF fairness: deepest match wins, ties to lowest id, duplicates
+// rejected (satellite 2, engine level) ---
+
+std::vector<uint8_t> RequestFrame(uint16_t dst_port, const std::string& key) {
+  const auto payload = BuildRequestPayload(9, BuildGetRequest(key), key);
+  return net::BuildUdpFrame(0xa, 0xa, /*src_ip=*/2, /*dst_ip=*/1, /*src_port=*/7999,
+                            dst_port, payload);
+}
+
+TEST(DpfFairnessTest, ShardFiltersBeatCatchAllAndTiesBreakToLowestId) {
+  dpf::DpfEngine engine;
+
+  // A shallow catch-all (port only, 3 atoms) plus the two shard filters
+  // (port + masked shard byte, 4 atoms) the two-worker server binds.
+  Result<dpf::FilterId> catch_all = engine.Insert(dpf::UdpPortFilter(7080));
+  ASSERT_TRUE(catch_all.ok());
+  dpf::FilterSpec shard0 = dpf::UdpPortFilter(7080);
+  shard0.atoms.push_back(KvServer::ShardAtom(0, 2));
+  dpf::FilterSpec shard1 = dpf::UdpPortFilter(7080);
+  shard1.atoms.push_back(KvServer::ShardAtom(1, 2));
+  Result<dpf::FilterId> id0 = engine.Insert(shard0);
+  Result<dpf::FilterId> id1 = engine.Insert(shard1);
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+
+  // Every request is steered by its key's shard byte; the shallower
+  // catch-all never sees a frame (deepest match wins).
+  for (uint32_t i = 0; i < 12; ++i) {
+    const std::string key = LoadKeyName(i);
+    const uint32_t shard = KeyHash(key) & 1;
+    EXPECT_EQ(engine.Classify(RequestFrame(7080, key)), shard == 0 ? *id0 : *id1) << key;
+  }
+
+  // Rebinding either shard filter atom-for-atom is rejected: a second
+  // consumer cannot steal a bound worker's traffic.
+  EXPECT_EQ(engine.Insert(shard0).status(), Status::kErrAlreadyExists);
+  EXPECT_EQ(engine.Insert(shard1).status(), Status::kErrAlreadyExists);
+
+  // Equal depth, both matching: the earliest-bound (lowest id) filter
+  // wins. mask=0 atoms are wildcards at the shard byte, so both of these
+  // 4-atom filters match every request; they tie with the shard filters
+  // and lose to them on id.
+  dpf::FilterSpec wild_a = dpf::UdpPortFilter(7080);
+  wild_a.atoms.push_back(dpf::Atom{.offset = net::kUdpPayloadOff, .width = 1, .mask = 0, .value = 0});
+  dpf::FilterSpec wild_b = dpf::UdpPortFilter(7080);
+  wild_b.atoms.push_back(
+      dpf::Atom{.offset = net::kUdpPayloadOff + 1, .width = 1, .mask = 0, .value = 0});
+  Result<dpf::FilterId> wa = engine.Insert(wild_a);
+  Result<dpf::FilterId> wb = engine.Insert(wild_b);
+  ASSERT_TRUE(wa.ok());
+  ASSERT_TRUE(wb.ok());
+  const std::string key0 = LoadKeyName(0);
+  const uint32_t shard_of_key0 = KeyHash(key0) & 1;
+  EXPECT_EQ(engine.Classify(RequestFrame(7080, key0)),
+            shard_of_key0 == 0 ? *id0 : *id1);
+
+  // Remove the owning shard filter: the tie between the two wildcards
+  // resolves to the lower id (earliest bound), not the later one.
+  ASSERT_EQ(engine.Remove(shard_of_key0 == 0 ? *id0 : *id1), Status::kOk);
+  EXPECT_EQ(engine.Classify(RequestFrame(7080, key0)), *wa);
+  ASSERT_EQ(engine.Remove(*wa), Status::kOk);
+  EXPECT_EQ(engine.Classify(RequestFrame(7080, key0)), *wb);
+  // And with both wildcards gone the shallow catch-all finally matches.
+  ASSERT_EQ(engine.Remove(*wb), Status::kOk);
+  EXPECT_EQ(engine.Classify(RequestFrame(7080, key0)), *catch_all);
+}
+
+// --- Simulated-machine rig: one machine, loopback NIC, disk ---
+
+uint64_t LoopResolve(uint32_t) { return 0xa; }  // Everything is us.
+NetIface ServerIface() { return NetIface{0xa, 1, LoopResolve}; }
+NetIface ClientIface() { return NetIface{0xa, 2, LoopResolve}; }
+
+struct Rig {
+  hw::Machine machine;
+  aegis::Aegis kernel;
+  hw::Nic nic;
+  hw::Disk disk;
+
+  explicit Rig(uint32_t cpus, uint32_t phys_pages = 2048, uint32_t disk_blocks = 1024)
+      : machine(hw::Machine::Config{.phys_pages = phys_pages, .name = "srv", .cpus = cpus}),
+        kernel(machine, aegis::Aegis::Config{.max_envs = 200}),
+        nic(machine, 0xa),
+        disk(machine, disk_blocks) {
+    kernel.AttachNic(&nic);
+    kernel.AttachDisk(&disk);
+    kernel.set_audit_on_fault(true);
+  }
+};
+
+TEST(KvStoreTest, PutGetOverwriteEvictAndFsck) {
+  Rig rig(/*cpus=*/1, /*phys_pages=*/512, /*disk_blocks=*/512);
+  bool done = false;
+  Process proc(rig.kernel, [&](Process& p) {
+    Result<aegis::Aegis::DiskExtentGrant> extent = p.kernel().SysAllocDiskExtent(48);
+    ASSERT_TRUE(extent.ok());
+    LibFs::Options options;
+    options.cache_slots = 8;
+    Result<std::unique_ptr<LibFs>> fs = LibFs::Format(p, *extent, options);
+    ASSERT_TRUE(fs.ok());
+    KvStore store(p, fs->get(), /*cache_entries=*/4);
+
+    // Missing key.
+    Result<const KvStore::Entry*> miss = store.Get("absent");
+    EXPECT_EQ(miss.status(), Status::kErrNotFound);
+
+    // Put + Get with the precomputed checksum.
+    const std::string v1(64, 'x');
+    ASSERT_EQ(store.Put("alpha", v1), Status::kOk);
+    Result<const KvStore::Entry*> got = store.Get("alpha");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ((*got)->value, v1);
+    EXPECT_EQ((*got)->sum, BodySum(v1));
+
+    // A shorter overwrite must not leak the stale tail — including via a
+    // fresh store (read-through from disk, not the writer's cache).
+    ASSERT_EQ(store.Put("alpha", "tiny"), Status::kOk);
+    ASSERT_EQ(fs->get()->Sync(), Status::kOk);
+    KvStore cold(p, fs->get(), 4);
+    got = cold.Get("alpha");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ((*got)->value, "tiny");
+    EXPECT_EQ((*got)->sum, BodySum("tiny"));
+
+    // Bounds: oversized values and bad keys are rejected before the fs.
+    EXPECT_EQ(store.Put("alpha", std::string(kMaxValueBytes + 1, 'v')),
+              Status::kErrOutOfRange);
+    EXPECT_EQ(store.Put("", "v"), Status::kErrOutOfRange);
+    EXPECT_EQ(store.Put(std::string(kMaxKeyBytes + 1, 'k'), "v"), Status::kErrOutOfRange);
+
+    // More keys than cache entries: eviction, then read-through refills.
+    for (int i = 0; i < 6; ++i) {
+      const std::string key = "evict" + std::to_string(i);
+      ASSERT_EQ(store.Put(key, MakeValue(key, 0, 32)), Status::kOk);
+    }
+    for (int i = 0; i < 6; ++i) {
+      const std::string key = "evict" + std::to_string(i);
+      got = store.Get(key);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ((*got)->value, MakeValue(key, 0, 32)) << key;
+    }
+    EXPECT_GE(store.stats().misses, 2u);  // The evicted ones read through.
+
+    ASSERT_EQ(fs->get()->Sync(), Status::kOk);
+    EXPECT_EQ(fs->get()->Fsck(), Status::kOk) << fs->get()->fsck_error();
+    done = true;
+  });
+  ASSERT_TRUE(proc.ok());
+  rig.kernel.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.kernel.audit_failures(), 0u) << rig.kernel.first_audit_failure();
+}
+
+TEST(TraceMarkTest, AppMarksLandInTheRing) {
+  Rig rig(/*cpus=*/1, /*phys_pages=*/256, /*disk_blocks=*/64);
+  bool done = false;
+  Process proc(rig.kernel, [&](Process& p) {
+    TraceSession trace(p);
+    TraceConfig config;
+    config.mask = xtrace::Bit(xtrace::Event::kAppMark);
+    ASSERT_EQ(trace.Bind(config), Status::kOk);
+    ASSERT_EQ(p.kernel().SysTraceMark(42, 0, 7, 99), Status::kOk);
+    ASSERT_EQ(p.kernel().SysTraceMark(42, 1, 200, 128), Status::kOk);
+    std::vector<xtrace::Record> records;
+    trace.Drain(records);
+    ASSERT_EQ(records.size(), 2u);
+    for (const xtrace::Record& r : records) {
+      EXPECT_EQ(static_cast<xtrace::Event>(r.type), xtrace::Event::kAppMark);
+      EXPECT_EQ(r.env, p.id());
+      EXPECT_EQ(r.arg0, 42u);
+    }
+    EXPECT_EQ(records[0].arg1, 0u);
+    EXPECT_EQ(records[0].arg2, 7u);
+    EXPECT_EQ(records[0].arg3, 99u);
+    EXPECT_EQ(records[1].arg1, 1u);
+    EXPECT_EQ(records[1].arg2, 200u);
+    EXPECT_EQ(records[1].arg3, 128u);
+    EXPECT_GE(records[1].cycle, records[0].cycle);
+    ASSERT_EQ(trace.Close(), Status::kOk);
+    done = true;
+  });
+  ASSERT_TRUE(proc.ok());
+  rig.kernel.Run();
+  EXPECT_TRUE(done);
+}
+
+// --- The whole system: loadgen against the sharded server, ASH on ---
+
+TEST(KvServerTest, EndToEndServesLoadWithAshFastPath) {
+  Rig rig(/*cpus=*/2);
+  KvServerConfig config;
+  config.iface = ServerIface();
+  config.workers = 2;
+  config.use_rings = true;
+  config.use_ash = true;
+  config.hot_keys = {LoadKeyName(0)};
+  config.ash_peer_ip = 2;
+  config.ash_peer_port = 7999;
+  config.preload = MakePreload(12, 64);
+  config.stride_slices_per_cpu = 400;
+  KvServer server(rig.kernel, config);
+  ASSERT_TRUE(server.ok());
+
+  WorkloadConfig workload;
+  workload.seed = 7;
+  workload.requests = 160;
+  workload.keys = 12;
+  workload.put_per_mille = 150;
+  workload.trace = true;
+  LoadGenTarget target;
+  target.iface = ClientIface();
+  target.server_ip = 1;
+  target.server_port = config.port;
+  target.workers = config.workers;
+  target.hot_key = LoadKeyName(0);
+
+  LoadStats stats;
+  Process client(rig.kernel, [&](Process& p) { stats = RunLoadGen(p, target, workload); });
+  ASSERT_TRUE(client.ok());
+  rig.kernel.Run();
+
+  // Every data request and both QUITs acknowledged; nothing corrupt.
+  EXPECT_EQ(stats.acked, workload.requests + config.workers);
+  EXPECT_EQ(stats.gave_up, 0u);
+  EXPECT_EQ(stats.corrupt, 0u);
+  EXPECT_EQ(stats.unexpected, 0u);
+  EXPECT_EQ(stats.deadline_hit, 0u);
+  EXPECT_GT(stats.ok_200, 0u);
+  EXPECT_GT(stats.created_201, 0u);
+  EXPECT_GT(stats.latency.count, 0u);
+  EXPECT_GT(stats.hot_latency.count, 0u);
+  EXPECT_GE(stats.latency.p999, stats.latency.p50);
+  EXPECT_GT(stats.Rps(), 0.0);
+
+  // The hot key is answered at interrupt level, and the trace ring saw
+  // both the ring path and the ASH path.
+  EXPECT_GT(server.TotalAshHits(), 0u);
+  EXPECT_GT(stats.stages.path_ash, 0u);
+  EXPECT_GT(stats.stages.path_ring, 0u);
+  EXPECT_GT(stats.stages.service.count, 0u);
+
+  // Both shards served traffic (each at least its QUIT) and exited
+  // cleanly under the supervisor; fast-path hits plus worker requests
+  // cover every acknowledged request.
+  EXPECT_TRUE(server.AllWorkersDone());
+  EXPECT_TRUE(server.supervisor().finished());
+  EXPECT_EQ(server.supervisor().total_restarts(), 0u);
+  uint64_t worker_requests = 0;
+  for (uint32_t i = 0; i < config.workers; ++i) {
+    const WorkerStats& ws = server.worker_stats(i);
+    EXPECT_GE(ws.requests, 1u) << "worker " << i;
+    EXPECT_EQ(ws.quits, 1u) << "worker " << i;
+    EXPECT_EQ(ws.setup_failures, 0u) << "worker " << i;
+    EXPECT_EQ(ws.incarnations, 1u) << "worker " << i;
+    worker_requests += ws.requests;
+  }
+  EXPECT_GE(worker_requests + server.TotalAshHits(), stats.acked);
+
+  EXPECT_EQ(rig.kernel.audit_failures(), 0u) << rig.kernel.first_audit_failure();
+}
+
+// Satellite 3 at system level: a stream heavy with malformed and
+// oversized requests is all answered 400 — the worker never crashes.
+TEST(KvServerTest, MalformedStormLeavesWorkersStanding) {
+  Rig rig(/*cpus=*/1);
+  KvServerConfig config;
+  config.iface = ServerIface();
+  config.workers = 1;
+  config.use_rings = true;
+  config.preload = MakePreload(8, 48);
+  KvServer server(rig.kernel, config);
+  ASSERT_TRUE(server.ok());
+
+  WorkloadConfig workload;
+  workload.seed = 11;
+  workload.requests = 120;
+  workload.keys = 8;
+  workload.value_bytes = 48;
+  workload.put_per_mille = 100;
+  workload.malformed_per_mille = 500;
+  workload.oversized_per_mille = 200;
+  LoadGenTarget target;
+  target.iface = ClientIface();
+  target.server_ip = 1;
+  target.server_port = config.port;
+  target.workers = 1;
+
+  LoadStats stats;
+  Process client(rig.kernel, [&](Process& p) { stats = RunLoadGen(p, target, workload); });
+  ASSERT_TRUE(client.ok());
+  rig.kernel.Run();
+
+  EXPECT_EQ(stats.acked, workload.requests + 1);
+  EXPECT_EQ(stats.gave_up, 0u);
+  EXPECT_EQ(stats.corrupt, 0u);
+  EXPECT_EQ(stats.unexpected, 0u);
+  EXPECT_GT(stats.bad_400, 0u);
+
+  const WorkerStats& ws = server.worker_stats(0);
+  EXPECT_EQ(ws.incarnations, 1u);  // Never crashed, never restarted.
+  EXPECT_EQ(ws.setup_failures, 0u);
+  EXPECT_TRUE(ws.done);
+  EXPECT_GT(ws.bad_requests, 0u);
+  EXPECT_EQ(server.supervisor().total_restarts(), 0u);
+  EXPECT_EQ(rig.kernel.audit_failures(), 0u) << rig.kernel.first_audit_failure();
+}
+
+// Satellite 2 at system level: two workers split the key space via the
+// shard atoms; a shallower catch-all bound to the same port is starved
+// (deepest match wins), and rebinding a worker's exact filter is refused.
+TEST(KvServerTest, TwoWorkerShardSplitStarvesCatchAll) {
+  Rig rig(/*cpus=*/2);
+  KvServerConfig config;
+  config.iface = ServerIface();
+  config.workers = 2;
+  config.use_rings = true;
+  config.preload = MakePreload(12, 64);
+  KvServer server(rig.kernel, config);
+  ASSERT_TRUE(server.ok());
+
+  WorkloadConfig workload;
+  workload.seed = 13;
+  workload.requests = 300;
+  workload.keys = 12;
+  workload.put_per_mille = 0;  // GET-only: pure demux behaviour.
+  LoadGenTarget target;
+  target.iface = ClientIface();
+  target.server_ip = 1;
+  target.server_port = config.port;
+  target.workers = 2;
+
+  LoadStats stats;
+  Process client(rig.kernel, [&](Process& p) { stats = RunLoadGen(p, target, workload); });
+  ASSERT_TRUE(client.ok());
+
+  bool catch_all_checked = false;
+  Process catch_all(rig.kernel, [&](Process& p) {
+    // Wait until both workers are serving, so our shallow filter cannot
+    // transiently be the only match for early frames.
+    while (server.worker_stats(0).requests == 0 || server.worker_stats(1).requests == 0) {
+      p.kernel().SysSleep(20'000);
+    }
+    // A second consumer may not rebind a worker's exact filter...
+    UdpSocket dup(p, ServerIface());
+    EXPECT_NE(dup.Bind(config.port, {KvServer::ShardAtom(0, 2)}), Status::kOk);
+    // ...but a distinct, shallower claim on the same port is legal.
+    UdpSocket sock(p, ServerIface());
+    ASSERT_EQ(sock.Bind(config.port), Status::kOk);
+    while (!server.AllWorkersDone()) {
+      p.kernel().SysSleep(20'000);
+    }
+    // Every frame matched a deeper shard filter first: nothing for us.
+    Result<Datagram> got = sock.Recv(/*blocking=*/false);
+    EXPECT_FALSE(got.ok());
+    EXPECT_EQ(got.status(), Status::kErrWouldBlock);
+    (void)sock.Close();
+    catch_all_checked = true;
+  });
+  ASSERT_TRUE(catch_all.ok());
+  rig.kernel.Run();
+
+  EXPECT_TRUE(catch_all_checked);
+  EXPECT_EQ(stats.acked, workload.requests + 2);
+  EXPECT_EQ(stats.gave_up, 0u);
+  EXPECT_EQ(stats.corrupt, 0u);
+  EXPECT_EQ(stats.unexpected, 0u);
+
+  // Both shards served their split of the key space.
+  uint32_t shard_keys[2] = {0, 0};
+  for (uint32_t i = 0; i < workload.keys; ++i) {
+    ++shard_keys[server.ShardOf(LoadKeyName(i))];
+  }
+  uint64_t total_gets = 0;
+  for (uint32_t i = 0; i < 2; ++i) {
+    const WorkerStats& ws = server.worker_stats(i);
+    EXPECT_GE(ws.requests, 1u) << "worker " << i;  // At least its QUIT.
+    EXPECT_EQ(ws.quits, 1u);
+    if (shard_keys[i] > 0) {
+      EXPECT_GT(ws.gets, 0u) << "worker " << i << " owns " << shard_keys[i] << " keys";
+    }
+    total_gets += ws.gets;
+  }
+  // Acked 200s = data GETs + the two QUITs; the workers saw every one.
+  EXPECT_GE(total_gets + 2, stats.ok_200);
+  EXPECT_EQ(rig.kernel.audit_failures(), 0u) << rig.kernel.first_audit_failure();
+}
+
+// The same HTTP text over the application-level reliable transport: the
+// parser sees delivered bytes, not a transport (tentpole: "HTTP over RDP").
+TEST(RdpHttpTest, HttpRequestOverRdpRoundTrip) {
+  Rig rig(/*cpus=*/1, /*phys_pages=*/512, /*disk_blocks=*/64);
+  bool served = false;
+  Process http_server(rig.kernel, [&](Process& p) {
+    UdpSocket sock(p, ServerIface());
+    ASSERT_EQ(sock.Bind(7300), Status::kOk);
+    RdpEndpoint rdp(p, sock, RdpEndpoint::Config{.peer_ip = 2, .peer_port = 7301});
+    Result<std::vector<uint8_t>> msg = rdp.Recv();
+    ASSERT_TRUE(msg.ok());
+    ASSERT_GE(msg->size(), kReqHeaderBytes);
+    const uint32_t req_id = net::GetBe32(*msg, 1);
+    HttpRequest req;
+    ASSERT_EQ(ParseHttpRequest({msg->data() + kReqHeaderBytes,
+                                msg->size() - kReqHeaderBytes}, &req),
+              ParseError::kOk);
+    EXPECT_EQ(req.method, Method::kGet);
+    EXPECT_EQ(req.key, "alpha");
+    const std::string text = BuildHttpResponse(200, "hello over rdp");
+    std::vector<uint8_t> resp(kRespHeaderBytes + text.size());
+    net::PutBe32(resp, 0, req_id);
+    std::copy(text.begin(), text.end(), resp.begin() + kRespHeaderBytes);
+    ASSERT_EQ(rdp.Send(resp), Status::kOk);
+    // Two-generals tail: re-ACK retransmissions for a grace period.
+    for (int i = 0; i < 4; ++i) {
+      rdp.PumpAcks();
+      p.kernel().SysSleep(5'000);
+    }
+    served = true;
+  });
+  bool answered = false;
+  Process http_client(rig.kernel, [&](Process& p) {
+    UdpSocket sock(p, ClientIface());
+    ASSERT_EQ(sock.Bind(7301), Status::kOk);
+    p.kernel().SysSleep(10'000);  // Let the server bind first.
+    RdpEndpoint rdp(p, sock, RdpEndpoint::Config{.peer_ip = 1, .peer_port = 7300});
+    const auto payload = BuildRequestPayload(77, BuildGetRequest("alpha"), "alpha");
+    ASSERT_EQ(rdp.Send(payload), Status::kOk);
+    Result<std::vector<uint8_t>> reply = rdp.Recv();
+    ASSERT_TRUE(reply.ok());
+    HttpResponseView view;
+    ASSERT_TRUE(ParseResponsePayload(*reply, &view));
+    EXPECT_EQ(view.req_id, 77u);
+    EXPECT_EQ(view.status, 200);
+    EXPECT_EQ(view.body, "hello over rdp");
+    EXPECT_TRUE(view.sum_ok);
+    answered = true;
+  });
+  ASSERT_TRUE(http_server.ok());
+  ASSERT_TRUE(http_client.ok());
+  rig.kernel.Run();
+  EXPECT_TRUE(served);
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(rig.kernel.audit_failures(), 0u) << rig.kernel.first_audit_failure();
+}
+
+}  // namespace
+}  // namespace xok::exos::server
