@@ -7,6 +7,7 @@
 #   smp   — multi-CPU scaling and shootdown cost        -> BENCH_smp.json
 #   pressure — throughput under revocation storms       -> BENCH_pressure.json
 #   server — end-to-end HTTP/KV serving vs Ultrix       -> BENCH_server.json
+#   overload — goodput vs offered load, shed on/off    -> BENCH_overload.json
 #
 # The trace suite additionally arms the kernel event ring in every bench
 # boot (--xok_trace) and writes one TRACE_<bench>.json event summary next
@@ -50,8 +51,13 @@ case "$suite" in
     default_out="BENCH_server.json"
     with_trace=0
     ;;
+  overload)
+    benches="bench_abl_overload"
+    default_out="BENCH_overload.json"
+    with_trace=0
+    ;;
   *)
-    echo "run_benches: unknown suite '$suite' (expected: net, fs, trace, smp, pressure, server)" >&2
+    echo "run_benches: unknown suite '$suite' (expected: net, fs, trace, smp, pressure, server, overload)" >&2
     exit 2
     ;;
 esac

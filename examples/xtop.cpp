@@ -40,9 +40,9 @@ void PrintSample(exos::Process& p, uint64_t sample_no, const RpsMap& reqs,
   std::printf("--- xtop sample %llu (cycle %llu) ---\n",
               static_cast<unsigned long long>(sample_no),
               static_cast<unsigned long long>(p.kernel().SysGetCycles()));
-  std::printf("%4s %6s %4s %10s %9s %9s %8s %8s %8s %5s %7s\n", "env", "alive", "cpu",
-              "cycles", "syscalls", "tlb-miss", "pages", "pkt-rxtx", "blk-rw", "migr",
-              "rps");
+  std::printf("%4s %6s %4s %10s %9s %9s %8s %8s %8s %6s %5s %7s\n", "env", "alive",
+              "cpu", "cycles", "syscalls", "tlb-miss", "pages", "pkt-rxtx", "blk-rw",
+              "shed", "migr", "rps");
   for (aegis::EnvId id = 1;; ++id) {
     Result<aegis::EnvStats> stats = p.kernel().SysEnvStats(id);
     if (!stats.ok()) {
@@ -64,7 +64,7 @@ void PrintSample(exos::Process& p, uint64_t sample_no, const RpsMap& reqs,
                         static_cast<double>(hw::kClockHz) /
                         static_cast<double>(interval_cycles));
     }
-    std::printf("%4u %6s %4s %10llu %9llu %9llu %8u %8llu %8llu %5llu %7s\n",
+    std::printf("%4u %6s %4s %10llu %9llu %9llu %8u %8llu %8llu %6llu %5llu %7s\n",
                 stats->env, stats->alive ? "yes" : (stats->killed ? "kill" : "exit"),
                 cpu, static_cast<unsigned long long>(stats->counters.cycles_on_cpu),
                 static_cast<unsigned long long>(stats->counters.syscalls_total()),
@@ -74,6 +74,7 @@ void PrintSample(exos::Process& p, uint64_t sample_no, const RpsMap& reqs,
                                                 stats->counters.packets_tx),
                 static_cast<unsigned long long>(stats->counters.disk_blocks_read +
                                                 stats->counters.disk_blocks_written),
+                static_cast<unsigned long long>(stats->counters.packets_shed),
                 static_cast<unsigned long long>(stats->counters.migrations), rps);
   }
 }
@@ -116,6 +117,11 @@ int main() {
   // millions of cycles, and this demo wants the worker *serving* inside
   // the monitor's sampling window, not booting.
   server_config.journal_blocks = 0;
+  // A low shed watermark so the overload column has something to show:
+  // burst arrivals past 2 pending frames are dropped at the demux (the
+  // client's retransmits recover them), and the monitor reads the count
+  // back per env through SysEnvStats.
+  server_config.ring.shed_watermark = 2;
   server_config.preload = MakePreload(/*keys=*/6, /*value_bytes=*/48);
   KvServer server(kernel, server_config);
 

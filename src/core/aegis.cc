@@ -203,6 +203,14 @@ void Aegis::TearDownEnv(Env& env) {
   // still lands in RAM (readable post-mortem) before the binding is
   // severed below.
   Trace(xtrace::Event::kEnvDeath, env.id, /*killed=*/1);
+  // The reaper runs with interrupts masked: between marking the env dead
+  // and finishing the resource sweep the ledger is transiently
+  // inconsistent, and an interrupt handler landing on one of the sweep's
+  // charges (a disk-fault completion or pressure burst, both of which
+  // audit) would observe — and flag — the half-torn state. Events queue
+  // while masked and deliver at the first charge after restore.
+  const bool irq_state = priv_.interrupts_enabled();
+  priv_.SetInterruptsEnabled(false);
   env.state = EnvState::kExited;
   env.killed = true;
   --live_envs_;
@@ -301,6 +309,8 @@ void Aegis::TearDownEnv(Env& env) {
   if (framebuffer_ != nullptr) {
     framebuffer_->ClearOwner(env.id);
   }
+
+  priv_.SetInterruptsEnabled(irq_state);
 }
 
 void Aegis::NotifyEnvDeath(const Env& dead) {
@@ -537,6 +547,7 @@ void Aegis::Run() {
   running_ = false;
 }
 
+
 void Aegis::RunCpu(uint32_t cpu_index) {
   CpuSched& cpu = cpu_[cpu_index];
   while (AnyLive() && !powered_off_) {
@@ -572,7 +583,21 @@ void Aegis::RunCpu(uint32_t cpu_index) {
     }
     if (next == kNoEnv) {
       priv_.ClearSliceDeadline();
-      machine_.WaitForInterrupt();
+      // That clear charged cycles, and any charge may deliver a due
+      // interrupt (in a World it may even yield to another machine
+      // first, advancing the clock by thousands of cycles). If the
+      // delivery woke an env, parking now would strand a runnable env
+      // behind an empty event queue — a lost wakeup. Re-scan before
+      // committing to idle.
+      bool woke = false;
+      for (const auto& env : envs_) {
+        if (env->state == EnvState::kRunnable && env->on_cpu == kNoCpu &&
+            !env->kill_pending) {
+          woke = true;
+          break;
+        }
+      }
+      if (!woke) machine_.WaitForInterrupt();
       continue;
     }
     Env& env = *FindEnv(next);
@@ -1868,6 +1893,7 @@ Status Aegis::SysBindPacketRing(dpf::FilterId id, const PacketRingSpec& spec,
   binding.ring.pages = spec.pages;
   binding.ring.rx_slots = spec.rx_slots;
   binding.ring.tx_slots = spec.tx_slots;
+  binding.ring.shed_watermark = spec.shed_watermark;
   binding.ring.rx_head = 0;
   binding.ring.tx_tail = 0;
   // Frames already queued on the legacy path stay there; SysRecvPacket
@@ -2008,8 +2034,23 @@ void Aegis::HandleRxPacket() {
       // index arithmetic makes any value safe (a corrupted tail at worst
       // drops the owner's own frames as "ring full").
       net::PacketRingView view = RingViewOf(binding);
-      if (binding.ring.rx_head - view.rx_tail() >= binding.ring.rx_slots) {
+      const uint32_t occupancy = binding.ring.rx_head - view.rx_tail();
+      if (binding.ring.shed_watermark != 0 &&
+          occupancy >= binding.ring.shed_watermark) {
+        // Library-installed shed policy: the owner told us at bind time
+        // where its queue stops being useful. Dropping here costs the
+        // demux a handful of cycles, so an overloaded consumer cannot
+        // make the interrupt path slow for its neighbors. Disarmed
+        // (watermark 0) this branch is one compare and charges nothing.
+        machine_.Charge(kRingShed);
+        ++binding.stats.shed;
+        ++owner->counters.packets_shed;
+        Trace(xtrace::Event::kDpfDrop, /*reason=*/4, *match);
+        continue;
+      }
+      if (occupancy >= binding.ring.rx_slots) {
         ++binding.stats.ring_drops;  // Consumer too slow: drop and count.
+        ++owner->counters.packets_shed;
         Trace(xtrace::Event::kDpfDrop, /*reason=*/1, *match);
         continue;
       }
@@ -2022,6 +2063,9 @@ void Aegis::HandleRxPacket() {
       ++binding.ring.rx_head;
       view.set_rx_head(binding.ring.rx_head);
       ++binding.stats.delivered;
+      if (occupancy + 1 > binding.stats.rx_occupancy_hwm) {
+        binding.stats.rx_occupancy_hwm = occupancy + 1;  // Free bookkeeping.
+      }
       if (!binding.ring.batch_doorbells || view.rx_armed()) {
         // Batched mode posts a doorbell only when the consumer armed the
         // ring before blocking, and disarming here coalesces the rest of

@@ -108,6 +108,13 @@ struct PacketRingSpec {
   // only when it armed the ring (interrupt mitigation). When false, every
   // deposited frame posts a doorbell — the per-frame-interrupt baseline.
   bool batch_doorbells = true;
+  // Library-installed shed policy (overload control): when non-zero and RX
+  // occupancy has reached this many slots, the demux drops the frame at
+  // kRingShed cost instead of depositing it. 0 disarms shedding — the
+  // binding behaves exactly as before (frames flow until the ring is full).
+  // Policy (the watermark) is the library's; the kernel supplies only the
+  // cheap protected drop.
+  uint32_t shed_watermark = 0;
 };
 
 // Counters for one filter binding (ring and legacy-queue paths).
@@ -116,10 +123,12 @@ struct PacketStats {
   uint64_t queued = 0;       // Frames queued on the legacy path.
   uint64_t ring_drops = 0;   // Frames dropped because the RX ring was full.
   uint64_t queue_drops = 0;  // Frames dropped at the legacy queue cap.
+  uint64_t shed = 0;         // Frames shed at the library-installed watermark.
   uint64_t doorbells = 0;    // Owner wakes posted by the demux.
   uint64_t tx_frames = 0;    // Frames transmitted via SysTxRing.
   uint64_t tx_errors = 0;    // Malformed TX-ring frames skipped.
   uint32_t rx_pending = 0;   // RX frames deposited but not yet consumed.
+  uint32_t rx_occupancy_hwm = 0;  // Highest RX occupancy seen at deposit.
   uint32_t queue_pending = 0;  // Frames sitting in the legacy bounded queue.
   bool ring_bound = false;
 };
@@ -431,6 +440,7 @@ class Aegis final : public hw::TrapSink {
     uint32_t pages = 0;
     uint32_t rx_slots = 0;
     uint32_t tx_slots = 0;
+    uint32_t shed_watermark = 0;  // Bind-time shed policy (0 = disarmed).
     uint32_t rx_head = 0;  // Kernel RX producer cursor (trusted).
     uint32_t tx_tail = 0;  // Kernel TX consumer cursor (trusted).
   };

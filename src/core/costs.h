@@ -50,6 +50,13 @@ inline constexpr uint64_t kRingPublish = Instr(6);
 // Examining one TX-ring descriptor from SysTxRing.
 inline constexpr uint64_t kRingTxDescriptor = Instr(6);
 
+// Dropping one matched frame at the demux because the owning ring is over
+// its library-installed shed watermark: occupancy compare + drop counter.
+// Deliberately tiny — the whole point of interrupt-level shedding is that
+// an overloaded consumer costs its neighbors a few cycles per frame, not
+// a copy + doorbell.
+inline constexpr uint64_t kRingShed = Instr(4);
+
 // Armed trace hook on a traced syscall (xtrace): the two 32-byte record
 // stores land in the write buffer without stalling the syscall path; what
 // the path actually pays is the head publish + histogram bucket update.

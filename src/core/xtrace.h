@@ -55,7 +55,8 @@ enum class Event : uint8_t {
   kDpfMatch = 9,       // arg0 = filter id, arg1 = frame bytes, arg2 = path
                        // (0 queue, 1 ring, 2 ASH).
   kDpfDrop = 10,       // arg0 = reason (0 no match, 1 ring full, 2 queue
-                       // full, 3 dead owner), arg1 = filter id.
+                       // full, 3 dead owner, 4 shed watermark), arg1 =
+                       // filter id.
   kDiskSubmit = 11,    // arg0 = block, arg1 = write flag, arg2 = request id.
   kDiskComplete = 12,  // arg0 = request id, arg1 = failed flag.
   kDiskBarrier = 13,   // arg0 = request id, arg1 = blocks drained.
@@ -170,6 +171,8 @@ struct EnvCounters {
   uint64_t stlb_misses = 0;  // ...dispatched to the application handler.
   uint64_t packets_rx = 0;   // Frames delivered to this env's bindings.
   uint64_t packets_tx = 0;   // Frames sent (SysNetSend + ring TX + ASH replies).
+  uint64_t packets_shed = 0;  // Frames dropped for this env's bindings at the
+                              // library-installed watermark or a full ring.
   uint64_t disk_blocks_read = 0;
   uint64_t disk_blocks_written = 0;
   uint64_t faults_injected = 0;  // Injected faults that landed on this env.

@@ -60,12 +60,14 @@ Status RdpEndpoint::Send(std::span<const uint8_t> payload) {
       // fixed beat instead; nothing in the kernel knows about timers here.
       ++retransmissions_;
       ++backoffs_;
+      retransmit_log_.push_back(proc_.machine().clock().now());
       rto = std::min(rto * 2, std::max<uint64_t>(config_.retransmit_cap_cycles, 1));
     }
     // Await the ACK, polling with a short sleep so a lost ACK cannot
     // block us forever.
+    const uint64_t wait_budget = JitteredWait(rto);
     uint64_t waited = 0;
-    while (waited < rto) {
+    while (waited < wait_budget) {
       if (have_peer_ack_ && pending_ack_ == send_seq_) {
         have_peer_ack_ = false;
         send_seq_ ^= 1;
@@ -156,6 +158,20 @@ void RdpEndpoint::PumpAcks() {
   if (staged > 0) {
     (void)socket_.FlushTx();
   }
+}
+
+uint64_t RdpEndpoint::JitteredWait(uint64_t rto) {
+  if (config_.jitter_seed == 0 || rto < 2) {
+    return rto;  // Disarmed: the exact deterministic schedule.
+  }
+  // SplitMix64 draw; "equal jitter" keeps at least half the backoff so the
+  // ARQ still converges, while the top half decorrelates the fleet.
+  uint64_t z = (jitter_state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const uint64_t half = rto / 2;
+  return half + z % (rto - half + 1);
 }
 
 void RdpEndpoint::SendAck(uint8_t seq, bool queue_only) {

@@ -39,10 +39,17 @@ class RdpEndpoint {
     // hammering the wire instead of retransmitting at a fixed 2 ms beat.
     uint64_t retransmit_cap_cycles = hw::kClockHz / 50;
     int max_retries = 64;
+    // Seeded retransmit jitter. A purely deterministic backoff means N
+    // clients that lost frames to the same burst retry in lockstep and
+    // re-collide forever; with a non-zero seed each wait is drawn from
+    // [rto/2, rto] ("equal jitter"), so the schedules decorrelate. 0
+    // disarms — the exact pre-jitter timing, for tests that depend on it.
+    uint64_t jitter_seed = 0;
   };
 
   RdpEndpoint(Process& proc, UdpSocket& socket, const Config& config)
-      : proc_(proc), socket_(socket), config_(config) {}
+      : proc_(proc), socket_(socket), config_(config),
+        jitter_state_(config.jitter_seed) {}
 
   // Reliably delivers `payload` (blocks until acknowledged).
   Status Send(std::span<const uint8_t> payload);
@@ -63,6 +70,9 @@ class RdpEndpoint {
   uint64_t checksum_drops() const { return checksum_drops_; }
   // Timeouts that doubled the RTO (an RTO already at the cap still counts).
   uint64_t backoffs() const { return backoffs_; }
+  // Cycle timestamps of every retransmission, in order. Lets tests check
+  // that two endpoints' schedules decorrelate under seeded jitter.
+  const std::vector<uint64_t>& retransmit_log() const { return retransmit_log_; }
 
  private:
   static constexpr uint8_t kTypeData = 1;
@@ -75,6 +85,9 @@ class RdpEndpoint {
   // `queue_only` (ring sockets): stage the ACK in the TX ring without a
   // doorbell, so a burst of retransmissions is answered with one syscall.
   void SendAck(uint8_t seq, bool queue_only = false);
+  // The wait this attempt actually sleeps: `rto` exactly when jitter is
+  // disarmed, else a seeded draw from [rto/2, rto].
+  uint64_t JitteredWait(uint64_t rto);
 
   Process& proc_;
   UdpSocket& socket_;
@@ -87,6 +100,8 @@ class RdpEndpoint {
   uint64_t duplicates_dropped_ = 0;
   uint64_t checksum_drops_ = 0;
   uint64_t backoffs_ = 0;
+  uint64_t jitter_state_ = 0;  // SplitMix64 state (0 while disarmed).
+  std::vector<uint64_t> retransmit_log_;
   std::deque<Datagram> stashed_;  // DATA that arrived during a Send wait.
 };
 

@@ -196,7 +196,8 @@ uint16_t BodySum(std::string_view body) {
       std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(body.data()), body.size()));
 }
 
-std::string BuildHttpResponse(int status, std::string_view body, uint16_t body_sum) {
+std::string BuildHttpResponse(int status, std::string_view body, uint16_t body_sum,
+                              const ResponseOptions& opts) {
   const char* reason = "OK";
   switch (status) {
     case 200: reason = "OK"; break;
@@ -208,9 +209,18 @@ std::string BuildHttpResponse(int status, std::string_view body, uint16_t body_s
   }
   char head[96];
   std::snprintf(head, sizeof(head),
-                "HTTP/1.0 %d %s\r\nContent-Length: %zu\r\nX-Sum: %04x\r\n\r\n", status,
+                "HTTP/1.0 %d %s\r\nContent-Length: %zu\r\nX-Sum: %04x\r\n", status,
                 reason, body.size(), body_sum);
   std::string out(head);
+  if (opts.retry_after_us > 0) {
+    char retry[40];
+    std::snprintf(retry, sizeof(retry), "Retry-After: %u\r\n", opts.retry_after_us);
+    out.append(retry);
+  }
+  if (opts.stale) {
+    out.append("X-Stale: 1\r\n");
+  }
+  out.append("\r\n");
   out.append(body);
   return out;
 }
@@ -235,12 +245,20 @@ std::string BuildPutRequest(std::string_view key, std::string_view body) {
 std::string BuildQuitRequest() { return "QUIT / HTTP/1.0\r\n\r\n"; }
 
 std::vector<uint8_t> BuildRequestPayload(uint32_t req_id, std::string_view text,
-                                         std::string_view key, int shard_override) {
+                                         std::string_view key, int shard_override,
+                                         uint64_t deadline_cycle) {
   std::vector<uint8_t> payload(kReqHeaderBytes + text.size());
   payload[0] = shard_override >= 0 ? static_cast<uint8_t>(shard_override) : ShardByte(key);
   net::PutBe32(payload, 1, req_id);
+  net::PutBe32(payload, 5, static_cast<uint32_t>(deadline_cycle >> 32));
+  net::PutBe32(payload, 9, static_cast<uint32_t>(deadline_cycle & 0xffffffffu));
   std::copy(text.begin(), text.end(), payload.begin() + kReqHeaderBytes);
   return payload;
+}
+
+uint64_t RequestDeadline(std::span<const uint8_t> payload) {
+  return (static_cast<uint64_t>(net::GetBe32(payload, 5)) << 32) |
+         static_cast<uint64_t>(net::GetBe32(payload, 9));
 }
 
 bool ParseResponsePayload(std::span<const uint8_t> payload, HttpResponseView* out) {
@@ -269,6 +287,8 @@ bool ParseResponsePayload(std::span<const uint8_t> payload, HttpResponseView* ou
   size_t content_length = 0;
   bool have_sum = false;
   uint16_t sum = 0;
+  bool stale = false;
+  uint32_t retry_after_us = 0;
   for (;;) {
     if (pos + 1 < s.size() && s[pos] == '\r' && s[pos + 1] == '\n') {
       pos += 2;
@@ -310,6 +330,17 @@ bool ParseResponsePayload(std::span<const uint8_t> payload, HttpResponseView* ou
       }
       sum = static_cast<uint16_t>(v);
       have_sum = true;
+    } else if (name == "Retry-After") {
+      uint32_t v = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          return false;
+        }
+        v = v * 10 + static_cast<uint32_t>(c - '0');
+      }
+      retry_after_us = v;
+    } else if (name == "X-Stale") {
+      stale = value == "1";
     }
     pos = static_cast<size_t>(eol) + 2;
   }
@@ -319,6 +350,8 @@ bool ParseResponsePayload(std::span<const uint8_t> payload, HttpResponseView* ou
   out->status = status;
   out->body = s.substr(pos, content_length);
   out->sum_ok = have_sum && BodySum(out->body) == sum;
+  out->stale = stale;
+  out->retry_after_us = retry_after_us;
   return true;
 }
 
@@ -376,6 +409,18 @@ Result<const KvStore::Entry*> KvStore::Get(std::string_view key) {
   }
   CacheInsert(k, std::move(entry));
   return &cache_.find(k)->second;
+}
+
+Result<const KvStore::Entry*> KvStore::GetCached(std::string_view key) {
+  ++stats_.gets;
+  proc_.machine().Charge(Instr(40));  // Hash + cache probe.
+  auto it = cache_.find(std::string(key));
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    return &it->second;
+  }
+  ++stats_.misses;
+  return Status::kErrNotFound;
 }
 
 Status KvStore::ReadThrough(std::string_view key, Entry* out) {

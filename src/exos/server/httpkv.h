@@ -5,17 +5,26 @@
 // RDP — the parser sees delivered bytes, not a transport), prefixed by a
 // tiny fixed envelope the demultiplexer can route on:
 //
-//   request payload   [0]    shard byte (FNV-1a of the key, masked by the
-//                            worker count — software RSS, expressed as a
-//                            DPF atom so the *filter* does the steering)
-//                     [1..4] request id, big-endian
-//                     [5..]  "GET /key HTTP/1.0\r\n\r\n"
-//                            "PUT /key HTTP/1.0\r\nContent-Length: n\r\n\r\nbody"
-//                            "QUIT / HTTP/1.0\r\n\r\n"   (drain + exit)
+//   request payload   [0]     shard byte (FNV-1a of the key, masked by the
+//                             worker count — software RSS, expressed as a
+//                             DPF atom so the *filter* does the steering)
+//                     [1..4]  request id, big-endian
+//                     [5..12] absolute deadline cycle, big-endian (0 = no
+//                             deadline). Admission control reads it from
+//                             the fixed envelope so expired work is shed
+//                             *before* any parse or journal cost is paid.
+//                     [13..]  "GET /key HTTP/1.0\r\n\r\n"
+//                             "PUT /key HTTP/1.0\r\nContent-Length: n\r\n\r\nbody"
+//                             "QUIT / HTTP/1.0\r\n\r\n"   (drain + exit)
 //
 //   response payload  [0..3] request id, big-endian (echoed)
 //                     [4..]  "HTTP/1.0 200 OK\r\nContent-Length: n\r\n
 //                             X-Sum: xxxx\r\n\r\nbody"
+//                            Overloaded/degraded workers add
+//                            "Retry-After: us" (back off this many
+//                            simulated microseconds) and "X-Stale: 1"
+//                            (read-only degraded mode served this from
+//                            cache; journaling is down).
 //
 // X-Sum is the Internet checksum of the body, precomputed at PUT time and
 // stored alongside the value (Cheetah precomputed per-file checksums the
@@ -41,7 +50,7 @@
 
 namespace xok::exos::server {
 
-inline constexpr size_t kReqHeaderBytes = 5;   // Shard byte + request id.
+inline constexpr size_t kReqHeaderBytes = 13;  // Shard + request id + deadline.
 inline constexpr size_t kRespHeaderBytes = 4;  // Echoed request id.
 inline constexpr size_t kMaxKeyBytes = LibFs::kMaxNameBytes;
 inline constexpr size_t kMaxValueBytes = 512;
@@ -93,8 +102,19 @@ uint64_t BuildCost(size_t bytes);
 // Internet checksum of the body bytes (the X-Sum header value).
 uint16_t BodySum(std::string_view body);
 
+// Optional response decorations for the overload/degraded paths.
+struct ResponseOptions {
+  uint32_t retry_after_us = 0;  // > 0 adds "Retry-After: <us>" (simulated us).
+  bool stale = false;           // Adds "X-Stale: 1" (degraded cache read).
+};
+
 // "HTTP/1.0 <code> <reason>\r\nContent-Length: n\r\nX-Sum: xxxx\r\n\r\n<body>"
-std::string BuildHttpResponse(int status, std::string_view body, uint16_t body_sum);
+std::string BuildHttpResponse(int status, std::string_view body, uint16_t body_sum,
+                              const ResponseOptions& opts);
+inline std::string BuildHttpResponse(int status, std::string_view body,
+                                     uint16_t body_sum) {
+  return BuildHttpResponse(status, body, body_sum, ResponseOptions{});
+}
 inline std::string BuildHttpResponse(int status, std::string_view body) {
   return BuildHttpResponse(status, body, BodySum(body));
 }
@@ -107,15 +127,22 @@ std::string BuildQuitRequest();
 
 // Full request payload: envelope + text. `shard_override` < 0 derives the
 // shard byte from the key; otherwise the byte is used as given (QUIT
-// frames target a specific worker's shard this way).
+// frames target a specific worker's shard this way). `deadline_cycle` is
+// the absolute cycle after which the sender no longer wants an answer
+// (0 = serve regardless).
 std::vector<uint8_t> BuildRequestPayload(uint32_t req_id, std::string_view text,
-                                         std::string_view key, int shard_override = -1);
+                                         std::string_view key, int shard_override = -1,
+                                         uint64_t deadline_cycle = 0);
+// The envelope's deadline field (payload must be >= kReqHeaderBytes).
+uint64_t RequestDeadline(std::span<const uint8_t> payload);
 
 struct HttpResponseView {
   uint32_t req_id = 0;
   int status = 0;
   std::string_view body;  // Into the caller's buffer.
   bool sum_ok = false;    // X-Sum matched the body.
+  bool stale = false;     // X-Stale: degraded-mode cache read.
+  uint32_t retry_after_us = 0;  // Retry-After hint (0 = none).
 };
 // Parses a full response payload (envelope + text); false on malformed.
 bool ParseResponsePayload(std::span<const uint8_t> payload, HttpResponseView* out);
@@ -151,6 +178,10 @@ class KvStore {
   Status Put(std::string_view key, std::string_view value);
   // Cache hit or file-system fill; kErrNotFound for absent keys.
   Result<const Entry*> Get(std::string_view key);
+  // Cache-only probe: never touches the block layer. kErrNotFound on a
+  // miss. This is the read path of degraded (journal-disk-down) mode —
+  // stale answers beat paying failing-disk retry latency per request.
+  Result<const Entry*> GetCached(std::string_view key);
 
   const Stats& stats() const { return stats_; }
 

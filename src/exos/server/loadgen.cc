@@ -10,6 +10,7 @@
 #include "src/exos/tracelib.h"
 #include "src/net/wire.h"
 
+
 namespace xok::exos::server {
 
 namespace {
@@ -36,9 +37,14 @@ struct Pending {
   int key_index = -1;
   int expect_status = 200;
   bool is_hot = false;
+  bool hedged = false;       // One hedge per GET, ever.
   uint32_t retries = 0;
   uint64_t first_send = 0;
   uint64_t last_send = 0;
+  uint64_t deadline = 0;       // Absolute TTL (0 = none); also in payload.
+  uint64_t backoff = 0;        // Next retransmit wait before jitter.
+  uint64_t next_retry_at = 0;  // Earliest retransmit cycle.
+  uint64_t not_before = 0;     // Retry-After pacing floor from a 503.
   std::vector<uint8_t> payload;  // Kept verbatim for retransmission.
 };
 
@@ -259,6 +265,7 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
   bool quits_queued = false;
   const uint64_t run_start = proc.kernel().SysGetCycles();
   uint64_t data_phase_end = 0;
+  uint64_t next_send_at = 0;  // Open-loop pacing cursor (set post-warmup).
 
   auto transmit = [&](const std::vector<uint8_t>& payload) {
     if (sock.ring_bound()) {
@@ -275,9 +282,27 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
     }
   };
 
+  // Jitter draws come off their own stream so turning them on (or a
+  // different retry history) never perturbs which requests the workload
+  // sends — the data stream stays a pure function of the seed.
+  SplitMix retry_rng(config.seed ^ 0x7265747279ull);  // "retry"
+  auto retry_wait = [&](Pending& pending) {
+    uint64_t wait = pending.backoff;
+    if (config.retry_backoff_cap_cycles > 0) {
+      pending.backoff = std::min(pending.backoff * 2, config.retry_backoff_cap_cycles);
+    }
+    if (config.retry_jitter && wait >= 2) {
+      const uint64_t half = wait / 2;
+      wait = half + retry_rng.Next() % (wait - half + 1);
+    }
+    return wait;
+  };
+
   auto send_new = [&](Pending pending) {
     const uint32_t id = next_id++;
     pending.first_send = pending.last_send = proc.kernel().SysGetCycles();
+    pending.backoff = config.retry_timeout_cycles;
+    pending.next_retry_at = pending.first_send + retry_wait(pending);
     transmit(pending.payload);
     outstanding.emplace(id, std::move(pending));
     ++stats.sent;
@@ -285,18 +310,22 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
 
   auto make_data_request = [&](uint32_t id) {
     Pending pending;
+    if (config.request_ttl_cycles > 0) {
+      pending.deadline = proc.kernel().SysGetCycles() + config.request_ttl_cycles;
+    }
+    const uint64_t ttl = pending.deadline;  // Into the envelope (0 = none).
     const uint32_t draw = rng.Below(1000);
     const uint32_t key_index = draw_key();
     const std::string key = LoadKeyName(key_index);
     if (draw < config.malformed_per_mille) {
       pending.kind = Kind::kMalformed;
       pending.expect_status = 400;
-      pending.payload = BuildRequestPayload(id, MalformedText(rng, key), key);
+      pending.payload = BuildRequestPayload(id, MalformedText(rng, key), key, -1, ttl);
     } else if (draw < config.malformed_per_mille + config.oversized_per_mille) {
       pending.kind = Kind::kOversized;
       pending.expect_status = 400;
       const std::string big_key(kMaxKeyBytes + 13, 'x');
-      pending.payload = BuildRequestPayload(id, BuildGetRequest(big_key), big_key);
+      pending.payload = BuildRequestPayload(id, BuildGetRequest(big_key), big_key, -1, ttl);
     } else if (draw <
                config.malformed_per_mille + config.oversized_per_mille + config.put_per_mille) {
       pending.kind = Kind::kPut;
@@ -304,13 +333,13 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
       pending.expect_status = 201;
       const uint32_t version = ++latest_version[key_index];
       pending.payload = BuildRequestPayload(
-          id, BuildPutRequest(key, MakeValue(key, version, config.value_bytes)), key);
+          id, BuildPutRequest(key, MakeValue(key, version, config.value_bytes)), key, -1, ttl);
     } else {
       pending.kind = Kind::kGet;
       pending.key_index = static_cast<int>(key_index);
       pending.expect_status = 200;
       pending.is_hot = key == hot_key;
-      pending.payload = BuildRequestPayload(id, BuildGetRequest(key), key);
+      pending.payload = BuildRequestPayload(id, BuildGetRequest(key), key, -1, ttl);
     }
     return pending;
   };
@@ -362,6 +391,7 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
 
   const uint64_t start = proc.kernel().SysGetCycles();
   stats.warmup_cycles = start - run_start;
+  next_send_at = start;
 
   for (;;) {
     const uint64_t now = proc.kernel().SysGetCycles();
@@ -370,25 +400,37 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
       break;
     }
 
-    // Fill the closed-loop window.
+    // Fill: open-loop pacing (arrivals indifferent to server state) or
+    // the closed-loop window.
     bool queued = false;
-    while (outstanding.size() < config.window && data_sent < config.requests) {
-      // next_id is consumed inside send_new; build against its value.
-      Pending pending = make_data_request(next_id);
-      send_new(std::move(pending));
-      ++data_sent;
-      queued = true;
-      if (config.burst > 0 && ++in_burst >= config.burst) {
-        in_burst = 0;
-        flush();
-        queued = false;
-        if (config.burst_gap_cycles > 0) {
-          proc.kernel().SysSleep(config.burst_gap_cycles);
-        }
-        if (config.slow_per_mille > 0 && rng.Below(1000) < config.slow_per_mille) {
-          // Slow client: stop collecting replies for a while; the server
-          // keeps queueing into our ring (or the kernel queue) meanwhile.
-          proc.kernel().SysSleep(config.slow_stall_cycles);
+    if (config.open_loop_interval_cycles > 0) {
+      while (data_sent < config.requests &&
+             proc.kernel().SysGetCycles() >= next_send_at) {
+        Pending pending = make_data_request(next_id);
+        send_new(std::move(pending));
+        ++data_sent;
+        next_send_at += config.open_loop_interval_cycles;
+        queued = true;
+      }
+    } else {
+      while (outstanding.size() < config.window && data_sent < config.requests) {
+        // next_id is consumed inside send_new; build against its value.
+        Pending pending = make_data_request(next_id);
+        send_new(std::move(pending));
+        ++data_sent;
+        queued = true;
+        if (config.burst > 0 && ++in_burst >= config.burst) {
+          in_burst = 0;
+          flush();
+          queued = false;
+          if (config.burst_gap_cycles > 0) {
+            proc.kernel().SysSleep(config.burst_gap_cycles);
+          }
+          if (config.slow_per_mille > 0 && rng.Below(1000) < config.slow_per_mille) {
+            // Slow client: stop collecting replies for a while; the server
+            // keeps queueing into our ring (or the kernel queue) meanwhile.
+            proc.kernel().SysSleep(config.slow_stall_cycles);
+          }
         }
       }
     }
@@ -442,13 +484,22 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
       }
       Pending& pending = it->second;
       if (view.status == 503) {
-        // Transient server-side resource loss (a revoked store page under
-        // this request): not an ack. Leave it outstanding — the retry
-        // path re-asks once the worker's repair or crash-restart lands.
+        // Transient server-side refusal (overload shed, degraded write,
+        // revoked store page): not an ack. Leave it outstanding — the
+        // retry path re-asks, paced by the server's Retry-After hint
+        // when it sent one.
         ++stats.busy_503;
+        if (view.retry_after_us > 0) {
+          ++stats.retry_after;
+          pending.not_before = proc.kernel().SysGetCycles() +
+                               view.retry_after_us * (hw::kClockHz / 1'000'000);
+        }
         continue;
       }
       ++stats.acked;
+      if (view.stale) {
+        ++stats.stale_200;  // Degraded-mode cache read; body still verified.
+      }
       const uint64_t rtt = proc.kernel().SysGetCycles() - pending.first_send;
       if (pending.kind != Kind::kQuit) {
         latencies.push_back(rtt);
@@ -485,12 +536,31 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
     }
     drain_trace();
 
-    if (!progressed) {
-      // Nothing arrived: retransmit what timed out, then let the server run.
+    // Retransmit / hedge / abandon sweep. Runs every iteration (not just
+    // idle ones) so hedges and TTL abandons fire on time even while other
+    // shards keep the reply stream busy.
+    {
       std::vector<uint32_t> abandoned;
+      std::vector<uint32_t> expired;
       const uint64_t check = proc.kernel().SysGetCycles();
+      bool resent = false;
       for (auto& [id, pending] : outstanding) {
-        if (check - pending.last_send < config.retry_timeout_cycles) {
+        if (pending.deadline != 0 && check > pending.deadline) {
+          // The server sheds this id on sight now; retrying buys nothing.
+          expired.push_back(id);
+          continue;
+        }
+        if (config.hedge_after_cycles > 0 && pending.kind == Kind::kGet &&
+            !pending.hedged && check - pending.first_send >= config.hedge_after_cycles) {
+          // Hedged read: one early duplicate toward the same shard. A
+          // straggler answers the duplicate; a second reply to the
+          // original lands as a dup_ack.
+          pending.hedged = true;
+          ++stats.hedges;
+          transmit(pending.payload);
+          resent = true;
+        }
+        if (check < pending.next_retry_at || check < pending.not_before) {
           continue;
         }
         if (pending.retries >= config.max_retries) {
@@ -500,13 +570,25 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
         ++pending.retries;
         ++stats.retries;
         pending.last_send = check;
+        pending.next_retry_at = check + retry_wait(pending);
         transmit(pending.payload);
+        resent = true;
       }
-      flush();
+      if (resent) {
+        flush();
+      }
       for (uint32_t id : abandoned) {
         outstanding.erase(id);
         ++stats.gave_up;
       }
+      for (uint32_t id : expired) {
+        outstanding.erase(id);
+        ++stats.ttl_abandoned;
+        done_ids.insert(id);  // A late answer is a dup, not "unexpected".
+      }
+    }
+
+    if (!progressed) {
       repair();
       proc.kernel().SysSleep(500);
     }

@@ -62,6 +62,33 @@ struct WorkloadConfig {
   uint64_t slow_stall_cycles = 50'000;
   uint64_t retry_timeout_cycles = 100'000;
   uint32_t max_retries = 60;
+  // --- Client robustness under overload ---
+  // Exponential backoff: the per-request retransmit wait starts at
+  // retry_timeout_cycles and doubles per retry up to this cap. 0 keeps
+  // the legacy fixed-interval retransmit.
+  uint64_t retry_backoff_cap_cycles = 0;
+  // Seeded jitter: each wait is drawn from [wait/2, wait] off a separate
+  // SplitMix stream, so two clients that lost the same burst decorrelate
+  // instead of re-colliding every timeout (the workload stream itself is
+  // untouched — same seed still sends the same requests).
+  bool retry_jitter = false;
+  // Per-request TTL: requests carry an absolute deadline (send + ttl) in
+  // the envelope; the server sheds expired work before parse cost, and
+  // the client stops retrying past the deadline (counted ttl_abandoned,
+  // not gave_up — under deliberate overload that is the contract working,
+  // not a failure). 0 = no deadlines.
+  uint64_t request_ttl_cycles = 0;
+  // Hedged reads: an idempotent GET still unanswered this long after its
+  // first send is duplicated once without waiting for the full backoff —
+  // a straggler (or dead) shard costs one extra frame instead of a tail
+  // latency excursion. 0 = off. Never hedges PUTs (not idempotent here:
+  // the client's version counter has moved on).
+  uint64_t hedge_after_cycles = 0;
+  // Open-loop overdrive: send a new request every this many cycles
+  // regardless of how many are outstanding — the closed-loop window no
+  // longer bounds offered load, which is how the overload bench pushes a
+  // multiple of the server's peak throughput. 0 = closed loop (window).
+  uint64_t open_loop_interval_cycles = 0;
   // Probe every shard (a GET for an impossible key; any reply counts)
   // before starting the measured data phase: a freshly supervised worker
   // spends tens of millions of cycles formatting its journaled file
@@ -111,6 +138,10 @@ struct LoadStats {
   uint64_t gave_up = 0;  // Abandoned after max_retries.
   uint64_t dup_acks = 0; // Second reply to a retried request (UDP).
   uint64_t busy_503 = 0; // Transient server-side failures; stayed in flight.
+  uint64_t retry_after = 0;    // 503s carrying a Retry-After pacing hint.
+  uint64_t stale_200 = 0;      // X-Stale GETs (degraded-mode cache reads).
+  uint64_t hedges = 0;         // Early duplicate GETs (hedged reads).
+  uint64_t ttl_abandoned = 0;  // Stopped retrying: request deadline passed.
   uint64_t ok_200 = 0;
   uint64_t created_201 = 0;
   uint64_t bad_400 = 0;

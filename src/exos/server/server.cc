@@ -25,6 +25,7 @@ KvServer::KvServer(aegis::Aegis& kernel, KvServerConfig config)
     return;  // Shard mask needs a power of two; ok() stays false.
   }
   const uint32_t cpus = kernel_.machine().cpu_count();
+  steer_.orphaned.assign(n, false);
   for (uint32_t i = 0; i < n; ++i) {
     workers_.push_back(std::make_unique<WorkerState>());
   }
@@ -49,12 +50,34 @@ KvServer::KvServer(aegis::Aegis& kernel, KvServerConfig config)
     spec.options.slices = config_.worker_slices;
     spec.options.cpu_mask = 1ULL << (i % cpus);
     spec.policy = RestartPolicy::kOnFailure;
+    spec.on_state_change = [this, i](ChildState s) { OnChildState(i, s); };
     spec.max_restarts = config_.max_restarts;
     spec.backoff_initial = config_.restart_backoff;
     spec.backoff_cap = config_.restart_backoff_cap;
     specs.push_back(std::move(spec));
   }
   supervisor_ = std::make_unique<Supervisor>(kernel_, std::move(specs));
+}
+
+void KvServer::OnChildState(uint32_t shard, ChildState state) {
+  // kDone is a deliberate QUIT — clients stopped sending to that shard,
+  // so there is nothing to rescue. kBackoff/kFailed leave live traffic
+  // with no filter to land on: that is the orphan case.
+  const bool orphan = state == ChildState::kBackoff || state == ChildState::kFailed;
+  if (orphan == static_cast<bool>(steer_.orphaned[shard])) {
+    return;
+  }
+  steer_.orphaned[shard] = orphan;
+  if (orphan) {
+    ++steer_.orphans;
+    if (steer_.rescuer == static_cast<int>(shard)) {
+      // The rescuer itself died; release the claim so a sibling takes over.
+      steer_.rescue_claimed = false;
+      steer_.rescuer = -1;
+    }
+  } else {
+    --steer_.orphans;
+  }
 }
 
 uint64_t KvServer::ReadAshCounter(hw::PageId page) const {
@@ -257,75 +280,242 @@ void KvServer::WorkerMain(Process& proc, uint32_t shard) {
   // re-asks once repair (or the crash-restart below) completes.
   uint32_t store_err_streak = 0;
 
-  auto handle = [&](const Datagram& dgram) {
+  // Read-only degraded mode: a persistent journal-disk error (kErrIo that
+  // survived BlockCache's bounded retries) means every further disk touch
+  // costs eight timed-out transfers. The worker stops journaling, serves
+  // GETs from the value cache (marked X-Stale), refuses PUTs with 503 +
+  // Retry-After, and re-probes the disk with a Sync on a timer — when one
+  // lands, journaling resumes. Deliberately NOT the crash path: restarting
+  // cannot fix a broken disk, but stale reads keep the shard useful.
+  bool degraded = false;
+  uint64_t next_probe = 0;
+  auto enter_degraded = [&] {
+    if (degraded) {
+      return;
+    }
+    degraded = true;
+    ++ws.stats.degraded_entries;
+    next_probe = proc.machine().clock().now() + config_.degraded_probe_cycles;
+  };
+  auto probe_degraded = [&] {
+    if (!degraded) {
+      return;
+    }
+    const uint64_t now = proc.machine().clock().now();
+    if (now < next_probe) {
+      return;
+    }
+    if ((*fs)->Sync() == Status::kOk) {
+      degraded = false;
+      ++ws.stats.degraded_exits;
+      ++ws.stats.syncs;
+      puts_since_sync = 0;
+      store_err_streak = 0;
+    } else {
+      next_probe = proc.machine().clock().now() + config_.degraded_probe_cycles;
+    }
+  };
+
+  // Fail-fast rescue of a down sibling's shard, and the 503 builder both
+  // it and the admission paths use.
+  UdpSocket rescue_sock(proc, config_.iface);
+  bool rescuing = false;
+  auto answer_503 = [&](UdpSocket& via, const Datagram& d, std::string_view why) {
+    const uint32_t rid = net::GetBe32(d.payload, 1);
+    ResponseOptions opts;
+    opts.retry_after_us = config_.retry_after_us;
+    const std::string text = BuildHttpResponse(503, why, BodySum(why), opts);
+    proc.machine().Charge(BuildCost(text.size()));
+    std::vector<uint8_t> resp(kRespHeaderBytes + text.size());
+    net::PutBe32(resp, 0, rid);
+    std::copy(text.begin(), text.end(), resp.begin() + kRespHeaderBytes);
+    if (via.SendTo(d.src_ip, d.src_port, resp) != Status::kOk) {
+      ++ws.stats.send_errors;
+    }
+  };
+  auto rescue_poll = [&] {
+    if (!config_.fail_fast_resteer) {
+      return;
+    }
+    if (!rescuing && !quit && steer_.orphans > 0 && !steer_.rescue_claimed) {
+      // Cooperative fibers: no window between the check and the claim.
+      // The catch-all is one atom *shallower* than every worker's shard
+      // filter, so DPF's most-specific-match policy hands it exactly the
+      // orphaned shards' frames — and a respawned worker's deeper filter
+      // reclaims its shard the instant it rebinds, with no unbind race.
+      if (rescue_sock.Bind(config_.port, {}) == Status::kOk) {
+        steer_.rescue_claimed = true;
+        steer_.rescuer = static_cast<int>(shard);
+        rescuing = true;
+      }
+    } else if (rescuing && (steer_.orphans == 0 || quit)) {
+      (void)rescue_sock.Close();
+      steer_.rescue_claimed = false;
+      steer_.rescuer = -1;
+      rescuing = false;
+    }
+    if (!rescuing) {
+      return;
+    }
+    // Fail fast: an immediate 503 + Retry-After beats letting the client
+    // burn its full RTO discovering the shard is down.
+    for (;;) {
+      Result<Datagram> d = rescue_sock.Recv(/*blocking=*/false);
+      if (!d.ok()) {
+        break;
+      }
+      if (d->payload.size() < kReqHeaderBytes) {
+        ++ws.stats.drops;
+        continue;
+      }
+      answer_503(rescue_sock, *d, "shard-down");
+      ++ws.stats.rescued_503;
+    }
+  };
+
+  auto handle = [&](const Datagram& dgram, uint32_t depth) {
     if (dgram.payload.size() < kReqHeaderBytes) {
       ++ws.stats.drops;  // No envelope: nothing to even echo an id into.
       return;
     }
     const uint32_t req_id = net::GetBe32(dgram.payload, 1);
     ++ws.stats.requests;
+    // Deadline shed comes before the trace mark, the parse, everything:
+    // the sender has already given up, so any cycle spent past this line
+    // is pure waste under overload.
+    proc.machine().Charge(Instr(8));  // Envelope decode + admission checks.
+    const uint64_t deadline = RequestDeadline(dgram.payload);
+    if (config_.honor_ttl && deadline != 0 &&
+        proc.machine().clock().now() > deadline) {
+      ++ws.stats.expired;
+      return;
+    }
     if (config_.trace_requests) {
       (void)proc.kernel().SysTraceMark(req_id, 0, shard,
                                        static_cast<uint32_t>(dgram.payload.size()));
     }
-    const std::span<const uint8_t> text(dgram.payload.data() + kReqHeaderBytes,
-                                        dgram.payload.size() - kReqHeaderBytes);
-    proc.machine().Charge(ParseCost(text.size()));
-    HttpRequest req;
-    const ParseError err = ParseHttpRequest(text, &req);
     int status = 400;
     std::string body;
     uint16_t sum = 0;
     bool have_sum = false;
-    if (err != ParseError::kOk) {
-      body = ParseErrorName(err);
-      ++ws.stats.bad_requests;
+    ResponseOptions opts;
+    const bool admitted =
+        config_.admission_max_batch == 0 || depth < config_.admission_max_batch;
+    if (!admitted) {
+      // Queue-depth admission: the backlog is already past the point
+      // where serving it helps anyone. 503 before paying the parse.
+      status = 503;
+      body = "busy";
+      opts.retry_after_us = config_.retry_after_us;
+      ++ws.stats.shed_busy;
     } else {
-      switch (req.method) {
-        case Method::kQuit:
-          status = 200;
-          body = "bye";
-          ++ws.stats.quits;
-          quit = true;
-          break;
-        case Method::kGet: {
-          ++ws.stats.gets;
-          Result<const KvStore::Entry*> entry = store.Get(req.key);
-          if (entry.ok()) {
+      const std::span<const uint8_t> text(dgram.payload.data() + kReqHeaderBytes,
+                                          dgram.payload.size() - kReqHeaderBytes);
+      proc.machine().Charge(ParseCost(text.size()));
+      HttpRequest req;
+      const ParseError err = ParseHttpRequest(text, &req);
+      if (err != ParseError::kOk) {
+        body = ParseErrorName(err);
+        ++ws.stats.bad_requests;
+      } else {
+        switch (req.method) {
+          case Method::kQuit:
             status = 200;
-            body = (*entry)->value;
-            sum = (*entry)->sum;  // Precomputed at PUT — never per GET.
-            have_sum = true;
-            store_err_streak = 0;
-          } else if (entry.status() == Status::kErrNotFound) {
-            status = 404;
-            ++ws.stats.not_found;
-            store_err_streak = 0;
-          } else {
-            status = 503;
-            body = "store-error";
-            ++ws.stats.store_errors;
-            ++store_err_streak;
+            body = "bye";
+            ++ws.stats.quits;
+            quit = true;
+            break;
+          case Method::kGet: {
+            ++ws.stats.gets;
+            if (degraded) {
+              // Read-only mode: cache or bust — never pay the failing
+              // disk's retry latency on the request path.
+              Result<const KvStore::Entry*> entry = store.GetCached(req.key);
+              if (entry.ok()) {
+                status = 200;
+                body = (*entry)->value;
+                sum = (*entry)->sum;
+                have_sum = true;
+                opts.stale = true;
+                ++ws.stats.stale_serves;
+              } else {
+                // The key may well exist on the platter we cannot read:
+                // 503 (come back later), not 404 (doesn't exist).
+                status = 503;
+                body = "degraded";
+                opts.retry_after_us = config_.retry_after_us;
+              }
+              break;
+            }
+            Result<const KvStore::Entry*> entry = store.Get(req.key);
+            if (entry.ok()) {
+              status = 200;
+              body = (*entry)->value;
+              sum = (*entry)->sum;  // Precomputed at PUT — never per GET.
+              have_sum = true;
+              store_err_streak = 0;
+            } else if (entry.status() == Status::kErrNotFound) {
+              status = 404;
+              ++ws.stats.not_found;
+              store_err_streak = 0;
+            } else if (entry.status() == Status::kErrIo) {
+              enter_degraded();
+              status = 503;
+              body = "degraded";
+              opts.retry_after_us = config_.retry_after_us;
+              ++ws.stats.store_errors;
+            } else {
+              status = 503;
+              body = "store-error";
+              ++ws.stats.store_errors;
+              ++store_err_streak;
+            }
+            break;
           }
-          break;
+          case Method::kPut: {
+            ++ws.stats.puts;
+            if (degraded) {
+              status = 503;
+              body = "read-only";
+              opts.retry_after_us = config_.retry_after_us;
+              ++ws.stats.shed_writes;
+              break;
+            }
+            if (config_.admission_write_shed != 0 &&
+                depth >= config_.admission_write_shed) {
+              // Writes shed before reads: a PUT costs a journal append
+              // plus its share of the next Sync; under pressure the
+              // cheap GETs are the goodput worth protecting.
+              status = 503;
+              body = "write-shed";
+              opts.retry_after_us = config_.retry_after_us;
+              ++ws.stats.shed_writes;
+              break;
+            }
+            const Status put = store.Put(req.key, req.body);
+            if (put == Status::kOk) {
+              status = 201;
+              ++puts_since_sync;
+              store_err_streak = 0;
+            } else if (put == Status::kErrIo) {
+              enter_degraded();
+              status = 503;
+              body = "read-only";
+              opts.retry_after_us = config_.retry_after_us;
+              ++ws.stats.shed_writes;
+            } else {
+              status = 503;
+              body = "put-failed";
+              ++ws.stats.store_errors;
+              ++store_err_streak;
+            }
+            break;
+          }
         }
-        case Method::kPut:
-          ++ws.stats.puts;
-          if (store.Put(req.key, req.body) == Status::kOk) {
-            status = 201;
-            ++puts_since_sync;
-            store_err_streak = 0;
-          } else {
-            status = 503;
-            body = "put-failed";
-            ++ws.stats.store_errors;
-            ++store_err_streak;
-          }
-          break;
       }
     }
     const std::string resp_text =
-        have_sum ? BuildHttpResponse(status, body, sum) : BuildHttpResponse(status, body);
+        BuildHttpResponse(status, body, have_sum ? sum : BodySum(body), opts);
     proc.machine().Charge(BuildCost(resp_text.size()));
     std::vector<uint8_t> resp(kRespHeaderBytes + resp_text.size());
     net::PutBe32(resp, 0, req_id);
@@ -344,25 +534,37 @@ void KvServer::WorkerMain(Process& proc, uint32_t shard) {
 
   uint32_t recv_errors = 0;
   while (!quit) {
-    Result<Datagram> first = sock.Recv(/*blocking=*/true);
+    rescue_poll();
+    probe_degraded();
+    // Rescue duty and degraded probing both need the loop to keep turning
+    // without traffic on the main socket, so they switch Recv to polling.
+    const bool block = !rescuing && !degraded;
+    Result<Datagram> first = sock.Recv(block);
     if (!first.ok()) {
       // A revoked binding surfaces here; Poll repairs it. A worker that
       // cannot be repaired crashes into the Supervisor's restart path
       // rather than spinning forever.
       (void)rc.Poll();
-      if (++recv_errors > 64) {
-        return fail();
+      if (block) {
+        if (++recv_errors > 64) {
+          return fail();
+        }
+        proc.kernel().SysSleep(1'000);
+      } else {
+        proc.kernel().SysSleep(2'000);  // Idle poll tick.
       }
-      proc.kernel().SysSleep(1'000);
       continue;
     }
     recv_errors = 0;
     ++ws.stats.batches;
     // Drain-batch: process everything already delivered, then ring the
-    // TX doorbell once for the whole batch.
+    // TX doorbell once for the whole batch. `depth` is the admission
+    // controller's queue-length signal — how deep into the backlog this
+    // request sat when the worker got to it.
+    uint32_t depth = 0;
     Datagram dgram = std::move(*first);
     for (;;) {
-      handle(dgram);
+      handle(dgram, depth++);
       Result<Datagram> next = sock.Recv(/*blocking=*/false);
       if (!next.ok()) {
         break;
@@ -378,12 +580,20 @@ void KvServer::WorkerMain(Process& proc, uint32_t shard) {
       (void)proc.kernel().SysKillEnv(proc.id(), proc.env_cap());
       return;
     }
-    if (puts_since_sync >= config_.sync_every_puts) {
-      if ((*fs)->Sync() == Status::kOk) {
+    if (!degraded && puts_since_sync >= config_.sync_every_puts) {
+      const Status synced = (*fs)->Sync();
+      if (synced == Status::kOk) {
         ++ws.stats.syncs;
+      } else if (synced == Status::kErrIo) {
+        enter_degraded();
       }
       puts_since_sync = 0;
     }
+  }
+  if (rescuing) {
+    (void)rescue_sock.Close();
+    steer_.rescue_claimed = false;
+    steer_.rescuer = -1;
   }
 
   // Clean exit: snapshot what the host reads after the run. A clean exit

@@ -76,6 +76,33 @@ struct KvServerConfig {
   // RPS column and the bench per-stage breakdown read these.
   bool trace_requests = true;
 
+  // --- Overload control (all library policy; zeros disarm each knob) ---
+  // Queue-depth admission: past this many requests in one drain batch the
+  // rest of the batch is answered 503 + Retry-After before any parse cost
+  // is paid — a bounded backlog keeps latency for admitted work sane.
+  uint32_t admission_max_batch = 0;
+  // Writes shed first: past this depth PUTs are refused (503) while GETs
+  // keep flowing — journal appends are the expensive half of the mix.
+  uint32_t admission_write_shed = 0;
+  // Retry-After hint (simulated microseconds) on every 503 the overload
+  // and degraded paths emit; clients use it to pace their retries.
+  uint32_t retry_after_us = 200;
+  // Shed deadline-expired requests before parse cost (the sender has
+  // already abandoned them). Off, the server does full parse/store/reply
+  // work for corpses — the overload-bench baseline showing why goodput
+  // collapses without it.
+  bool honor_ttl = true;
+  // Read-only degraded mode: once a persistent journal-disk error (kErrIo
+  // after BlockCache's bounded retries) flips a worker to read-only, it
+  // re-probes the disk with a Sync at this cadence and resumes journaling
+  // when one succeeds.
+  uint64_t degraded_probe_cycles = 150'000;
+  // Fail-fast re-steer: while a shard's worker is down (crash-looping in
+  // backoff, or failed for good) a live sibling binds a shallower
+  // catch-all filter and answers that shard's traffic 503 + Retry-After
+  // instead of letting it time out in the demultiplexer.
+  bool fail_fast_resteer = true;
+
   // Supervision / scheduling.
   uint32_t max_restarts = 4;
   uint64_t restart_backoff = 50'000;
@@ -99,6 +126,13 @@ struct WorkerStats {
   uint64_t ash_hits = 0;      // Fast-path replies (snapshotted at exit).
   uint64_t syncs = 0;         // Durability points taken.
   uint64_t send_errors = 0;
+  uint64_t expired = 0;         // Deadline passed: shed before parse cost.
+  uint64_t shed_busy = 0;       // 503: batch depth over admission_max_batch.
+  uint64_t shed_writes = 0;     // 503: PUT refused (write shed / read-only).
+  uint64_t stale_serves = 0;    // Degraded-mode cache GETs (X-Stale: 1).
+  uint64_t degraded_entries = 0;  // Transitions into read-only mode.
+  uint64_t degraded_exits = 0;    // Recoveries (probe Sync succeeded).
+  uint64_t rescued_503 = 0;     // Down-sibling frames answered 503 here.
   uint64_t store_errors = 0;    // Requests answered 503 (store op failed).
   uint64_t store_crashes = 0;   // Incarnations that crashed on a dead store.
   uint64_t setup_failures = 0;  // Incarnations that died before serving.
@@ -142,7 +176,19 @@ class KvServer {
     bool ash_bound = false;
   };
 
+  // Cross-worker steering state for fail-fast re-steer. Written by the
+  // Supervisor's fiber (via ChildSpec::on_state_change) and read by worker
+  // fibers; cooperative scheduling makes the accesses race-free.
+  struct SteerState {
+    std::vector<bool> orphaned;  // Per shard: worker is not running.
+    uint32_t orphans = 0;        // Count of true bits above.
+    bool rescue_claimed = false; // A live worker holds the catch-all.
+    int rescuer = -1;            // Which shard holds it (-1 none).
+  };
+
   void WorkerMain(Process& proc, uint32_t shard);
+  // Supervision-state observer: maintains steer_ as shards die/respawn.
+  void OnChildState(uint32_t shard, ChildState state);
   // Binds the hot-key ASH for `key`/`value`: pins a region page, builds
   // the reply template + counter in it, and installs the exact-match
   // filter. On success records the region in `ws` for AshHits().
@@ -152,6 +198,7 @@ class KvServer {
 
   aegis::Aegis& kernel_;
   KvServerConfig config_;
+  SteerState steer_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::unique_ptr<SmpStrideScheduler> stride_;
   std::unique_ptr<Supervisor> supervisor_;  // Last: spawns at Run start.

@@ -26,6 +26,13 @@ uint32_t Supervisor::total_restarts() const {
   return total;
 }
 
+void Supervisor::SetState(Child& child, ChildState state) {
+  child.state = state;
+  if (child.spec.on_state_change) {
+    child.spec.on_state_change(state);
+  }
+}
+
 void Supervisor::Spawn(Child& child) {
   // Replacing the unique_ptr drops the dead incarnation's Process;
   // environment ids are never reused, so the old id stays queryable
@@ -33,33 +40,33 @@ void Supervisor::Spawn(Child& child) {
   child.proc = std::make_unique<Process>(kernel_, child.spec.body, child.spec.options);
   if (!child.proc->ok()) {
     // Env creation failed (asid space exhausted) — nothing to wait for.
-    child.state = ChildState::kFailed;
+    SetState(child, ChildState::kFailed);
     return;
   }
-  child.state = ChildState::kRunning;
   child.last_progress = 0;
   child.stalled = 0;
+  SetState(child, ChildState::kRunning);
 }
 
 void Supervisor::HandleDeath(Child& child, bool crashed, uint64_t now) {
   const bool restart = child.spec.policy == RestartPolicy::kAlways ||
                        (crashed && child.spec.policy == RestartPolicy::kOnFailure);
   if (!restart) {
-    child.state = crashed ? ChildState::kFailed : ChildState::kDone;
+    SetState(child, crashed ? ChildState::kFailed : ChildState::kDone);
     return;
   }
   ++child.restarts;
   if (child.restarts > child.spec.max_restarts) {
     // Crash loop: restarting clearly isn't fixing it.
-    child.state = ChildState::kFailed;
+    SetState(child, ChildState::kFailed);
     return;
   }
   if (child.backoff == 0) {
     child.backoff = child.spec.backoff_initial;
   }
-  child.state = ChildState::kBackoff;
   child.restart_at = now + child.backoff;
   child.backoff = std::min(child.backoff * 2, child.spec.backoff_cap);
+  SetState(child, ChildState::kBackoff);
 }
 
 void Supervisor::Main() {

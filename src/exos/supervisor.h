@@ -30,11 +30,23 @@ enum class RestartPolicy : uint8_t {
   kAlways,     // Restart on any exit (a service that should run forever).
 };
 
+enum class ChildState : uint8_t {
+  kRunning,
+  kBackoff,   // Dead; respawn scheduled at restart_at.
+  kDone,      // Exited and policy says leave it.
+  kFailed,    // Crash-looped past max_restarts.
+};
+
 struct ChildSpec {
   std::string name;
   std::function<void(Process&)> body;
   Process::Options options;
   RestartPolicy policy = RestartPolicy::kOnFailure;
+  // Observation hook, fired from the supervisor's fiber on every
+  // supervision-state transition (respawned, backing off, done, failed).
+  // Pure library policy: the server libOS uses it to re-steer a dead
+  // shard's traffic to a sibling while the child is down.
+  std::function<void(ChildState)> on_state_change;
   // Restarts allowed before the child is declared permanently failed
   // (crash-loop breaker).
   uint32_t max_restarts = 4;
@@ -45,13 +57,6 @@ struct ChildSpec {
   // syscalls) are unchanged for this many consecutive samples is deemed
   // wedged and killed. 0 disables stall detection.
   uint32_t stall_samples = 0;
-};
-
-enum class ChildState : uint8_t {
-  kRunning,
-  kBackoff,   // Dead; respawn scheduled at restart_at.
-  kDone,      // Exited and policy says leave it.
-  kFailed,    // Crash-looped past max_restarts.
 };
 
 struct ChildStatus {
@@ -114,6 +119,8 @@ class Supervisor {
 
   void Main();
   void Spawn(Child& child);
+  // State transition + the spec's observation hook.
+  void SetState(Child& child, ChildState state);
   // Moves a dead child to kBackoff/kDone/kFailed per policy; `crashed`
   // distinguishes kill/crash from clean exit.
   void HandleDeath(Child& child, bool crashed, uint64_t now);

@@ -91,6 +91,7 @@ Status UdpSocket::BindRing(uint16_t port, const RingConfig& config,
   spec.rx_slots = config.rx_slots;
   spec.tx_slots = config.tx_slots;
   spec.batch_doorbells = config.batch_doorbells;
+  spec.shed_watermark = config.shed_watermark;
   const Status ring = kernel.SysBindPacketRing(*binding_, spec, ring_pages_.front().cap);
   if (ring != Status::kOk) {
     (void)kernel.SysUnbindFilter(*binding_);

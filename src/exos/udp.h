@@ -48,6 +48,11 @@ struct RingConfig {
   uint32_t rx_slots = 32;
   uint32_t tx_slots = 16;
   bool batch_doorbells = true;
+  // Library shed policy handed to the kernel at bind time: RX occupancy at
+  // or above this sheds frames at the demux for a few cycles each (see
+  // aegis::PacketRingSpec). 0 disarms. Survives repair rebinds — the
+  // policy is part of the socket's geometry.
+  uint32_t shed_watermark = 0;
 };
 
 class UdpSocket {

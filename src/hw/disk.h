@@ -65,6 +65,21 @@ class Disk {
   // torn-write prefixes. Pass nullptr to disarm.
   void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
 
+  // Deterministic persistent media fault: every non-barrier transfer whose
+  // completion lands in [from_cycle, until_cycle) fails. Unlike the
+  // injector's per-transfer draws this defeats bounded retry loops
+  // (BlockCache::kMaxIoAttempts) for the whole window, which is how tests
+  // force a library file system into its degraded path — and then watch it
+  // recover when the window closes. until_cycle = 0 disarms.
+  void SetErrorWindow(uint64_t from_cycle, uint64_t until_cycle) {
+    error_from_ = from_cycle;
+    error_until_ = until_cycle;
+  }
+  bool InErrorWindow() const {
+    const uint64_t now = machine_.clock().now();
+    return error_until_ != 0 && now >= error_from_ && now < error_until_;
+  }
+
   // Retires a completed request (called from the kDiskDone handler).
   Result<Completion> Complete(uint64_t request_id) {
     auto it = inflight_.find(request_id);
@@ -81,6 +96,9 @@ class Disk {
       buffer_.clear();
       ++barriers_completed_;
       return Completion{0, true, /*failed=*/false, /*barrier=*/true};
+    }
+    if (InErrorWindow()) {
+      return Completion{req.block, req.kind == Kind::kWrite, /*failed=*/true};
     }
     if (fault_injector_ != nullptr && fault_injector_->NextDiskError()) {
       return Completion{req.block, req.kind == Kind::kWrite, /*failed=*/true};
@@ -203,6 +221,8 @@ class Disk {
   std::map<uint32_t, std::vector<uint8_t>> buffer_;
   std::unordered_map<uint64_t, Request> inflight_;
   uint64_t next_id_ = 1;
+  uint64_t error_from_ = 0;   // Persistent-fault window (0,0 = disarmed).
+  uint64_t error_until_ = 0;
   bool powered_off_ = false;
   uint64_t barriers_completed_ = 0;
   uint64_t blocks_made_durable_ = 0;

@@ -81,6 +81,10 @@ void PrivPort::SetInterruptsEnabled(bool enabled) {
   machine_.active_->interrupts_enabled_ = enabled;
 }
 
+bool PrivPort::interrupts_enabled() const {
+  return machine_.active_->interrupts_enabled_;
+}
+
 uint32_t PrivPort::PhysReadWord(Paddr pa) {
   machine_.Charge(kMemWordAccess);
   return machine_.mem_.ReadWord(pa);
@@ -209,9 +213,15 @@ void Cpu::DeliverOne(const PendingEvent& event) {
   // The handler may have suspended this fiber mid-trap and had it resumed
   // on a different CPU (SMP migration); the unwind must release the trap
   // depth of whichever CPU is executing it now — the kernel moved the
-  // suspended context's depth there when it resumed the fiber.
-  --machine_.active_->trap_depth_;
+  // suspended context's depth there when it resumed the fiber. The
+  // epilogue charge happens while the depth is still held: if it could
+  // deliver, each queued event would deliver the next from its own
+  // epilogue and a long backlog (e.g. accumulated across a masked
+  // teardown) would nest one stack frame per event. Holding the depth
+  // leaves the rest of the backlog to DeliverDue's loop — same cycles,
+  // same order, flat stack.
   machine_.active_->Charge(kExceptionReturn);
+  --machine_.active_->trap_depth_;
 }
 
 // --- Machine ---

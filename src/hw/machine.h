@@ -86,6 +86,7 @@ class PrivPort {
   // Interrupt enable. Interrupts queue while disabled. The machine disables
   // interrupts automatically for the duration of OnException/OnInterrupt.
   void SetInterruptsEnabled(bool enabled);
+  bool interrupts_enabled() const;
 
   // Physical (untranslated) memory access, as kernel-mode KSEG0 access on
   // MIPS. Charges per word.

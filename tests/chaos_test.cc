@@ -27,6 +27,7 @@
 #include "src/hw/world.h"
 #include "tests/chaos_seeds.h"
 
+
 namespace xok {
 namespace {
 
@@ -834,6 +835,213 @@ TEST_P(ServerSoak, MidBurstWorkerKillRestartsCleanlyAndNothingCorrupts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ServerSoak, ::testing::ValuesIn(ChaosSeeds({1, 2, 3})));
+
+// --- BlackFridaySoak: every overload-robustness mechanism at once. A
+// client machine drives the server machine over a LOSSY wire (loopback
+// NICs bypass fault injection, so this soak uses two machines joined by
+// hw::World) at an open-loop rate the server cannot sustain, with
+// per-request TTLs, seeded-jitter retry backoff, and hedged reads; the
+// server runs the full overload config — ring shed watermark, batch
+// admission, write shedding, fail-fast re-steer, degraded read-only mode
+// — while (a) a revocation storm reclaims its resources, (b) an assassin
+// kills a worker mid-burst, and (c) a disk gremlin opens a media-error
+// window after recovery. The contract under all of it: every data
+// request resolves exactly once (acked or TTL-abandoned — abandonment
+// under deliberate overload is the contract working, not a failure),
+// nothing is ever corrupt, the victim resurrects, and both kernels'
+// ledgers audit clean after every fault. ---
+
+uint64_t BfResolve(uint32_t ip) { return ip == 1 ? 0xa : 0xb; }
+
+class BlackFridaySoak : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlackFridaySoak, OverdriveStormKillsAndDiskFaultsShedButNeverCorrupt) {
+  namespace srv = exos::server;
+  const uint64_t seed = GetParam();
+  hw::World world;
+  // Single-CPU machines only: per-CPU clocks cannot join a World.
+  hw::Machine ms(hw::Machine::Config{.phys_pages = 2048, .name = "bfsrv"}, &world);
+  hw::Machine mc(hw::Machine::Config{.phys_pages = 1024, .name = "bfcli"}, &world);
+  SCOPED_TRACE(ChaosTrace(seed, &ms));
+  aegis::Aegis ks(ms, aegis::Aegis::Config{.max_envs = 200});
+  aegis::Aegis kc(mc);
+  hw::Disk disk(ms, 4096);
+  hw::Wire wire;
+  hw::Nic na(ms, 0xa);
+  hw::Nic nb(mc, 0xb);
+  wire.Attach(&na);
+  wire.Attach(&nb);
+  ks.AttachNic(&na);
+  ks.AttachDisk(&disk);
+  kc.AttachNic(&nb);
+  ks.set_audit_on_fault(true);
+  kc.set_audit_on_fault(true);
+
+  srv::KvServerConfig config;
+  config.iface = exos::NetIface{0xa, 1, BfResolve};
+  config.workers = 2;
+  config.use_rings = true;
+  config.ring.rx_slots = 32;
+  config.ring.shed_watermark = 24;   // Shed at the demux past 24 pending.
+  config.admission_max_batch = 12;   // 503 + Retry-After past this depth.
+  config.admission_write_shed = 8;   // PUTs shed first under pressure.
+  config.preload = srv::MakePreload(12, 64);
+  config.max_restarts = 10;
+  config.restart_backoff = 2'000'000;
+  config.restart_backoff_cap = 16'000'000;
+  config.trace_requests = false;
+  srv::KvServer server(ks, config);
+  ASSERT_TRUE(server.ok());
+
+  srv::WorkloadConfig workload;
+  workload.seed = seed;
+  workload.requests = 240;
+  workload.keys = 12;
+  workload.put_per_mille = 200;
+  // Overdrive: one request every 15k cycles regardless of the backlog —
+  // well past what two workers journaling PUTs can sustain.
+  workload.open_loop_interval_cycles = 15'000;
+  // Robust-client kit: deadlines, decorrelated exponential backoff,
+  // hedged reads. The TTL dwarfs a single 503 round-trip but not a full
+  // worker resurrection — requests in flight across the outage abandon,
+  // and that is the correct outcome under this much chaos.
+  workload.request_ttl_cycles = 60'000'000;
+  workload.retry_timeout_cycles = 200'000;
+  workload.retry_backoff_cap_cycles = 3'200'000;
+  workload.retry_jitter = true;
+  workload.hedge_after_cycles = 2'000'000;
+  workload.max_retries = 1000;
+  srv::LoadGenTarget target;
+  target.iface = exos::NetIface{0xb, 2, BfResolve};
+  target.server_ip = 1;
+  target.server_port = config.port;
+  target.workers = config.workers;
+
+  srv::LoadStats stats;
+  exos::Process client(kc,
+                       [&](exos::Process& p) { stats = srv::RunLoadGen(p, target, workload); });
+  ASSERT_TRUE(client.ok());
+
+  // Assassin: kill shard 1 once it is demonstrably mid-burst.
+  constexpr uint32_t kVictim = 1;
+  bool killed = false;
+  exos::Process assassin(ks, [&](exos::Process& p) {
+    while (!server.worker_stats(kVictim).done &&
+           server.worker_stats(kVictim).requests < 8 &&
+           p.kernel().SysGetCycles() < 1'500'000'000) {
+      p.kernel().SysSleep(50'000);
+    }
+    if (server.worker_stats(kVictim).done ||
+        server.worker_stats(kVictim).requests < 8) {
+      return;
+    }
+    const exos::Process* child = server.supervisor().child(kVictim);
+    ASSERT_NE(child, nullptr);
+    killed = p.kernel().SysKillEnv(child->id(), child->env_cap()) == Status::kOk;
+  });
+  ASSERT_TRUE(assassin.ok());
+
+  // Disk gremlin: once the victim has resurrected and the storm is over,
+  // open a media-error window under the still-serving workers. Workers
+  // that trip it degrade to read-only (stale cache GETs, 503 PUTs) and
+  // their probe Syncs resume journaling when the window closes.
+  bool window_armed = false;
+  exos::Process gremlin(ks, [&](exos::Process& p) {
+    while (!(killed && server.supervisor().total_restarts() >= 1 &&
+             server.worker_stats(kVictim).incarnations >= 2 &&
+             p.kernel().SysGetCycles() >= 75'000'000) &&
+           !server.AllWorkersDone() &&
+           p.kernel().SysGetCycles() < 1'500'000'000) {
+      p.kernel().SysSleep(100'000);
+    }
+    if (server.AllWorkersDone()) {
+      return;  // Run already drained: nothing left to degrade.
+    }
+    p.kernel().SysSleep(5'000'000);  // Let the respawn finish formatting.
+    const uint64_t now = p.kernel().SysGetCycles();
+    disk.SetErrorWindow(now, now + 8'000'000);
+    window_armed = true;
+  });
+  ASSERT_TRUE(gremlin.ok());
+
+
+  // Revocation storm against the server kernel, mid-flight.
+  aegis::PressurePlan pressure_plan;
+  pressure_plan.seed = seed;
+  pressure_plan.Storm(/*start=*/40'000'000, /*end=*/70'000'000, /*period=*/80'000,
+                      /*pages=*/2, /*slices=*/1, /*filters=*/1);
+  ks.InstallPressurePlan(pressure_plan);
+
+  // Wire loss between the machines (drops only: loadgen's end-to-end
+  // X-Sum check counts corruption as a server-side failure, so the
+  // corruption channel belongs to the RDP soaks, not this one).
+  hw::FaultPlan fault_plan;
+  fault_plan.seed = seed;
+  fault_plan.wire_drop_per_mille = 25;
+  ks.InstallFaultPlan(fault_plan);
+  wire.set_fault_injector(ks.fault_injector());
+
+  world.Run({[&] { ks.Run(); }, [&] { kc.Run(); }});
+  SCOPED_TRACE(ChaosTrace(seed, &ms));  // Final-cycle context below.
+
+  // The kill landed and the Supervisor resurrected the shard.
+  EXPECT_TRUE(killed);
+  EXPECT_GE(server.supervisor().total_restarts(), 1u);
+  EXPECT_GE(server.worker_stats(kVictim).incarnations, 2u);
+  EXPECT_TRUE(server.AllWorkersDone());
+  EXPECT_TRUE(server.supervisor().finished());
+  for (const exos::ChildStatus& child : server.supervisor().status()) {
+    EXPECT_EQ(child.state, exos::ChildState::kDone) << child.name;
+  }
+
+  // Conservation: every data request (and both QUITs) resolved exactly
+  // once — acked or TTL-abandoned, never lost, never given up on, and
+  // never corrupt. Real goodput got through the carnage.
+  EXPECT_EQ(stats.acked + stats.ttl_abandoned,
+            workload.requests + config.workers);
+  EXPECT_EQ(stats.gave_up, 0u);
+  EXPECT_EQ(stats.corrupt, 0u);
+  EXPECT_EQ(stats.unexpected, 0u);
+  EXPECT_EQ(stats.deadline_hit, 0u);
+  EXPECT_GT(stats.acked, static_cast<uint64_t>(config.workers) + workload.requests / 4);
+
+  // The overload machinery demonstrably carried load: admission, write
+  // shed, TTL shed, rescue, or a degraded episode fired server-side.
+  uint64_t shed_total = 0;
+  uint64_t degraded_entries = 0;
+  for (uint32_t i = 0; i < config.workers; ++i) {
+    const srv::WorkerStats& ws = server.worker_stats(i);
+    shed_total += ws.shed_busy + ws.shed_writes + ws.expired + ws.rescued_503 +
+                  ws.degraded_entries;
+    degraded_entries += ws.degraded_entries;
+  }
+  EXPECT_GT(shed_total, 0u);
+  if (window_armed) {
+    // The gremlin's window only guarantees a degraded episode if a disk
+    // op landed inside it; when one did, the worker must also have
+    // recovered (probe Sync) before its clean QUIT exit above.
+    uint64_t degraded_exits = 0;
+    for (uint32_t i = 0; i < config.workers; ++i) {
+      degraded_exits += server.worker_stats(i).degraded_exits;
+    }
+    EXPECT_EQ(degraded_entries, degraded_exits);
+  }
+
+  // The storm and the wire loss genuinely fired.
+  const aegis::PressureStats* pressure = ks.pressure_stats();
+  ASSERT_NE(pressure, nullptr);
+  EXPECT_GT(pressure->bursts, 50u);
+  EXPECT_GT(ks.fault_injector()->frames_dropped(), 0u);
+
+  // Audited after every pressure burst, kill, and fault: all clean.
+  EXPECT_EQ(ks.audit_failures(), 0u) << ks.first_audit_failure();
+  EXPECT_EQ(kc.audit_failures(), 0u) << kc.first_audit_failure();
+  aegis::Aegis::AuditReport report = ks.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations.front());
+  EXPECT_TRUE(kc.AuditInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlackFridaySoak, ::testing::ValuesIn(ChaosSeeds({1, 2, 3})));
 
 }  // namespace
 }  // namespace xok

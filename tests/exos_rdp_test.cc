@@ -255,6 +255,98 @@ TEST(RdpTest, BackoffDoublesRtoUpToCap) {
   EXPECT_GT(elapsed, (hw::kClockHz / 1000) * 50);
 }
 
+// Like TransferWithFaultPlan, but the sender's RTO waits are jittered from
+// `jitter_seed`, and the sender's retransmit timestamps are returned. Both
+// runs of this with equal seeds replay the identical simulated schedule.
+std::vector<uint64_t> RetransmitSchedule(uint64_t wire_seed, uint64_t jitter_seed,
+                                         int messages = 12) {
+  hw::World world;
+  hw::Machine ma(hw::Machine::Config{.phys_pages = 256, .name = "snd"}, &world);
+  hw::Machine mb(hw::Machine::Config{.phys_pages = 256, .name = "rcv"}, &world);
+  aegis::Aegis ka(ma);
+  aegis::Aegis kb(mb);
+  hw::Wire wire;
+  hw::FaultPlan plan;
+  plan.seed = wire_seed;
+  plan.wire_drop_per_mille = 300;
+  ka.InstallFaultPlan(plan);
+  wire.set_fault_injector(ka.fault_injector());
+  hw::Nic na(ma, 0xa);
+  hw::Nic nb(mb, 0xb);
+  wire.Attach(&na);
+  wire.Attach(&nb);
+  ka.AttachNic(&na);
+  kb.AttachNic(&nb);
+
+  std::vector<uint64_t> schedule;
+  std::vector<std::vector<uint8_t>> received;
+  Process sender(ka, [&](Process& p) {
+    UdpSocket socket(p, NetIface{0xa, 1, Resolve});
+    if (socket.Bind(100) != Status::kOk) {
+      return;
+    }
+    RdpEndpoint::Config config{.peer_ip = 2, .peer_port = 200};
+    config.jitter_seed = jitter_seed;
+    RdpEndpoint rdp(p, socket, config);
+    p.kernel().SysSleep(hw::kClockHz / 100);
+    for (int i = 0; i < messages; ++i) {
+      std::vector<uint8_t> payload(1 + (i % 32));
+      for (size_t j = 0; j < payload.size(); ++j) {
+        payload[j] = static_cast<uint8_t>(i + j);
+      }
+      if (rdp.Send(payload) != Status::kOk) {
+        return;
+      }
+    }
+    schedule = rdp.retransmit_log();
+  });
+  Process receiver(kb, [&](Process& p) {
+    UdpSocket socket(p, NetIface{0xb, 2, Resolve});
+    if (socket.Bind(200) != Status::kOk) {
+      return;
+    }
+    RdpEndpoint rdp(p, socket, RdpEndpoint::Config{.peer_ip = 1, .peer_port = 100});
+    for (int i = 0; i < messages; ++i) {
+      Result<std::vector<uint8_t>> msg = rdp.Recv();
+      if (!msg.ok()) {
+        return;
+      }
+      received.push_back(*msg);
+    }
+    for (int round = 0; round < 16; ++round) {
+      p.kernel().SysSleep(hw::kClockHz / 500);
+      rdp.PumpAcks();
+    }
+  });
+  EXPECT_TRUE(sender.ok());
+  EXPECT_TRUE(receiver.ok());
+  world.Run({[&] { ka.Run(); }, [&] { kb.Run(); }});
+  EXPECT_EQ(received.size(), static_cast<size_t>(messages));  // Loss still recovered.
+  return schedule;
+}
+
+// The retry-storm regression: two clients that lose the same burst and run
+// the same deterministic RTO schedule retransmit at the same instants,
+// forever — a synchronized retry storm. Seeded jitter must decorrelate the
+// schedules while staying replayable (same seed, same schedule) and
+// without costing exactly-once delivery.
+TEST(RdpTest, SeededJitterDecorrelatesRetransmitSchedules) {
+  const std::vector<uint64_t> plain_a = RetransmitSchedule(77, /*jitter_seed=*/0);
+  const std::vector<uint64_t> plain_b = RetransmitSchedule(77, /*jitter_seed=*/0);
+  ASSERT_FALSE(plain_a.empty());  // The loss plan really forced retransmits.
+  EXPECT_EQ(plain_a, plain_b);    // No jitter: schedules collide exactly.
+
+  const std::vector<uint64_t> jit_a = RetransmitSchedule(77, /*jitter_seed=*/1001);
+  const std::vector<uint64_t> jit_b = RetransmitSchedule(77, /*jitter_seed=*/2002);
+  ASSERT_FALSE(jit_a.empty());
+  ASSERT_FALSE(jit_b.empty());
+  EXPECT_NE(jit_a, jit_b);    // Distinct seeds: the two clients decorrelate.
+  EXPECT_NE(jit_a, plain_a);  // And the jitter really moved the timestamps.
+
+  const std::vector<uint64_t> jit_a2 = RetransmitSchedule(77, /*jitter_seed=*/1001);
+  EXPECT_EQ(jit_a, jit_a2);   // Jitter is replayable, not randomness.
+}
+
 // Sweep: exactly-once delivery holds across the loss spectrum.
 class RdpLossSweep : public ::testing::TestWithParam<uint32_t> {};
 

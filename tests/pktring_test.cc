@@ -180,6 +180,73 @@ TEST_F(PktRingKernelTest, RingFullDropsAreCounted) {
   kernel_.Run();
 }
 
+TEST_F(PktRingKernelTest, ShedWatermarkDropsAboveOccupancy) {
+  EnvSpec spec;
+  spec.entry = [&] {
+    aegis::FilterBindSpec fspec;
+    fspec.filter = dpf::UdpPortFilter(kPort);
+    Result<dpf::FilterId> id = kernel_.SysBindFilter(std::move(fspec), cap::Capability{});
+    ASSERT_TRUE(id.ok());
+    const cap::Capability cap0 = AllocRegion(10, 3);
+    // Library-installed shed policy: stop depositing at 2 pending even
+    // though the ring holds 4 — the library told the kernel where its
+    // queue stops being useful.
+    PacketRingSpec rspec{.first_page = 10, .pages = 3, .rx_slots = 4,
+                         .tx_slots = 2, .shed_watermark = 2};
+    ASSERT_EQ(kernel_.SysBindPacketRing(*id, rspec, cap0), Status::kOk);
+    for (uint8_t tag = 0; tag < 7; ++tag) {
+      nic_.InjectRx(Frame(tag));
+    }
+    kernel_.SysNull();
+    Result<PacketStats> stats = kernel_.SysPacketStats(*id);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->delivered, 2u);   // Watermark, not ring capacity.
+    EXPECT_EQ(stats->shed, 5u);        // Shed, not ring-full drops.
+    EXPECT_EQ(stats->ring_drops, 0u);  // Never reached capacity.
+    EXPECT_EQ(stats->rx_pending, 2u);
+    EXPECT_EQ(stats->rx_occupancy_hwm, 2u);
+
+    // Drain one slot: occupancy 1 < watermark, deposits resume — the
+    // policy is a live occupancy check, not a latch.
+    PacketRingView view =
+        *PacketRingView::Attach(machine_.mem().RangeSpan(10, 3), 4, 2);
+    view.RxPop();
+    nic_.InjectRx(Frame(9));
+    kernel_.SysNull();
+    stats = kernel_.SysPacketStats(*id);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->delivered, 3u);
+    EXPECT_EQ(stats->shed, 5u);
+  };
+  ASSERT_TRUE(kernel_.CreateEnv(std::move(spec)).ok());
+  kernel_.Run();
+}
+
+TEST_F(PktRingKernelTest, ShedDisarmedKeepsRingFullSemantics) {
+  EnvSpec spec;
+  spec.entry = [&] {
+    aegis::FilterBindSpec fspec;
+    fspec.filter = dpf::UdpPortFilter(kPort);
+    Result<dpf::FilterId> id = kernel_.SysBindFilter(std::move(fspec), cap::Capability{});
+    ASSERT_TRUE(id.ok());
+    const cap::Capability cap0 = AllocRegion(10, 3);
+    PacketRingSpec rspec{.first_page = 10, .pages = 3, .rx_slots = 4, .tx_slots = 2};
+    ASSERT_EQ(kernel_.SysBindPacketRing(*id, rspec, cap0), Status::kOk);
+    for (uint8_t tag = 0; tag < 7; ++tag) {
+      nic_.InjectRx(Frame(tag));
+    }
+    kernel_.SysNull();
+    Result<PacketStats> stats = kernel_.SysPacketStats(*id);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->shed, 0u);  // Watermark 0: branch never taken.
+    EXPECT_EQ(stats->delivered, 4u);
+    EXPECT_EQ(stats->ring_drops, 3u);
+    EXPECT_EQ(stats->rx_occupancy_hwm, 4u);  // Bookkeeping still free.
+  };
+  ASSERT_TRUE(kernel_.CreateEnv(std::move(spec)).ok());
+  kernel_.Run();
+}
+
 TEST_F(PktRingKernelTest, LegacyQueueCapDropsAreCounted) {
   EnvSpec spec;
   spec.entry = [&] {

@@ -623,5 +623,247 @@ TEST(RdpHttpTest, HttpRequestOverRdpRoundTrip) {
   EXPECT_EQ(rig.kernel.audit_failures(), 0u) << rig.kernel.first_audit_failure();
 }
 
+// --- Overload control and graceful degradation (PR 8) ---
+
+TEST(HttpParserTest, ResponseDecorationsRoundTrip) {
+  // Default options are byte-identical to the undecorated builder: the
+  // overload machinery disarmed leaves the seed wire format untouched.
+  EXPECT_EQ(BuildHttpResponse(200, "v", BodySum("v"), ResponseOptions{}),
+            BuildHttpResponse(200, "v"));
+
+  const std::string body = "cached-value";
+  const std::string text = BuildHttpResponse(
+      200, body, BodySum(body), ResponseOptions{.retry_after_us = 350, .stale = true});
+  std::vector<uint8_t> payload(kRespHeaderBytes + text.size());
+  net::PutBe32(payload, 0, 42);
+  std::copy(text.begin(), text.end(), payload.begin() + kRespHeaderBytes);
+  HttpResponseView view;
+  ASSERT_TRUE(ParseResponsePayload(payload, &view));
+  EXPECT_EQ(view.req_id, 42u);
+  EXPECT_EQ(view.status, 200);
+  EXPECT_EQ(view.body, body);
+  EXPECT_TRUE(view.sum_ok);
+  EXPECT_TRUE(view.stale);
+  EXPECT_EQ(view.retry_after_us, 350u);
+
+  // The envelope's 64-bit deadline survives the two-word big-endian split.
+  const uint64_t deadline = 0x123456789abcdef0ull;
+  const auto req = BuildRequestPayload(7, BuildGetRequest("k"), "k", -1, deadline);
+  EXPECT_EQ(RequestDeadline(req), deadline);
+  EXPECT_EQ(RequestDeadline(BuildRequestPayload(8, BuildGetRequest("k"), "k")), 0u);
+}
+
+// A reply copied out of the recv buffer (HttpResponseView's views point
+// into the datagram, which dies with the loop iteration).
+struct OwnedReply {
+  int status = 0;
+  bool stale = false;
+  uint32_t retry_after_us = 0;
+  bool sum_ok = false;
+  std::string body;
+};
+
+// Sends `payload` and polls until the reply echoing its request id
+// arrives, retransmitting every ~1M cycles (the worker may be booting, or
+// stuck in a multi-million-cycle failing disk retry). Replies to other
+// ids — dups of earlier retransmitted requests — are ignored.
+bool Rpc(Process& p, UdpSocket& sock, const std::vector<uint8_t>& payload,
+         OwnedReply* out, int max_transmits = 200) {
+  const uint32_t want = net::GetBe32(payload, 1);
+  for (int t = 0; t < max_transmits; ++t) {
+    if (sock.SendTo(/*dst_ip=*/1, /*dst_port=*/7080, payload) != Status::kOk) {
+      return false;
+    }
+    const uint64_t until = p.kernel().SysGetCycles() + 1'000'000;
+    while (p.kernel().SysGetCycles() < until) {
+      Result<Datagram> got = sock.Recv(/*blocking=*/false);
+      if (got.ok()) {
+        HttpResponseView view;
+        if (ParseResponsePayload(got->payload, &view) && view.req_id == want) {
+          out->status = view.status;
+          out->stale = view.stale;
+          out->retry_after_us = view.retry_after_us;
+          out->sum_ok = view.sum_ok;
+          out->body = std::string(view.body);
+          return true;
+        }
+        continue;
+      }
+      p.kernel().SysSleep(20'000);
+    }
+  }
+  return false;
+}
+
+// Tentpole: requests carry an absolute deadline in the envelope; expired
+// work is shed before any parse cost — no reply, one counter tick.
+TEST(KvServerTest, ExpiredRequestsShedBeforeParse) {
+  Rig rig(/*cpus=*/1);
+  KvServerConfig config;
+  config.iface = ServerIface();
+  config.workers = 1;
+  config.use_rings = true;
+  config.preload = MakePreload(4, 48);
+  KvServer server(rig.kernel, config);
+  ASSERT_TRUE(server.ok());
+
+  bool client_done = false;
+  Process client(rig.kernel, [&](Process& p) {
+    UdpSocket sock(p, ClientIface());
+    ASSERT_EQ(sock.Bind(7999), Status::kOk);
+    OwnedReply reply;
+    // Warm up: the worker spends tens of millions of cycles formatting
+    // its journaled fs before it binds the shard filter.
+    ASSERT_TRUE(Rpc(p, sock, BuildRequestPayload(1, BuildGetRequest("k000"), "k000"),
+                    &reply));
+    EXPECT_EQ(reply.status, 200);
+    EXPECT_FALSE(reply.stale);
+
+    // Deadline cycle 1 is long past: the worker must shed it silently.
+    const auto expired =
+        BuildRequestPayload(2, BuildGetRequest("k001"), "k001", -1, /*deadline=*/1);
+    ASSERT_EQ(sock.SendTo(1, config.port, expired), Status::kOk);
+
+    // A live request behind it in the ring is still served (FIFO order
+    // proves the expired one was seen first and dropped).
+    ASSERT_TRUE(Rpc(p, sock, BuildRequestPayload(3, BuildGetRequest("k000"), "k000"),
+                    &reply));
+    EXPECT_EQ(reply.status, 200);
+
+    // A generous future deadline is honored, not shed.
+    const uint64_t future = p.kernel().SysGetCycles() + 500'000'000ull;
+    ASSERT_TRUE(Rpc(p, sock, BuildRequestPayload(4, BuildGetRequest("k000"), "k000",
+                                                 -1, future),
+                    &reply));
+    EXPECT_EQ(reply.status, 200);
+
+    ASSERT_TRUE(Rpc(p, sock, BuildRequestPayload(5, BuildQuitRequest(), "",
+                                                 /*shard_override=*/0),
+                    &reply));
+    EXPECT_EQ(reply.status, 200);
+    (void)sock.Close();
+    client_done = true;
+  });
+  ASSERT_TRUE(client.ok());
+  rig.kernel.Run();
+
+  EXPECT_TRUE(client_done);
+  const WorkerStats& ws = server.worker_stats(0);
+  EXPECT_EQ(ws.expired, 1u);
+  EXPECT_EQ(ws.incarnations, 1u);
+  EXPECT_TRUE(ws.done);
+  EXPECT_EQ(rig.kernel.audit_failures(), 0u) << rig.kernel.first_audit_failure();
+}
+
+// Tentpole: a persistent journal-disk media fault mid-service flips the
+// worker to read-only degraded mode — stale cache GETs, 503 PUTs with
+// Retry-After — and a probe Sync resumes journaling when the fault
+// clears, all inside one incarnation (restarting cannot fix a disk).
+TEST(KvServerTest, JournalDiskErrorDegradesToReadOnlyAndRecovers) {
+  Rig rig(/*cpus=*/1);
+  KvServerConfig config;
+  config.iface = ServerIface();
+  config.workers = 1;
+  config.use_rings = true;
+  config.preload = MakePreload(4, 48);
+  config.sync_every_puts = 1;  // Every PUT forces a durability point.
+  // Big enough that no block is ever evicted: the same-size overwrite in
+  // the fault window must be pure cache (a read miss would hit the dying
+  // disk during Put and muddy which op trips the degraded entry).
+  config.fs_cache_slots = 32;
+  KvServer server(rig.kernel, config);
+  ASSERT_TRUE(server.ok());
+
+  bool client_done = false;
+  Process client(rig.kernel, [&](Process& p) {
+    UdpSocket sock(p, ClientIface());
+    ASSERT_EQ(sock.Bind(7999), Status::kOk);
+    OwnedReply reply;
+    uint32_t id = 0;
+    auto get = [&](const std::string& key) {
+      EXPECT_TRUE(Rpc(p, sock, BuildRequestPayload(++id, BuildGetRequest(key), key),
+                      &reply))
+          << "GET " << key;
+      return reply;
+    };
+    auto put = [&](const std::string& key, const std::string& value) {
+      EXPECT_TRUE(Rpc(p, sock,
+                      BuildRequestPayload(++id, BuildPutRequest(key, value), key),
+                      &reply))
+          << "PUT " << key;
+      return reply;
+    };
+
+    // Healthy: preloaded reads are fresh, a new key journals to disk.
+    EXPECT_EQ(get("k000").status, 200);
+    EXPECT_FALSE(reply.stale);
+    EXPECT_EQ(reply.body, MakeValue("k000", 0, 48));
+    EXPECT_EQ(put("fresh0", MakeValue("fresh0", 0, 48)).status, 201);
+    // Wait for the cadence Sync behind that PUT to land before opening
+    // the fault window: replies flush before the durability point, so a
+    // fixed sleep can arm the fault mid-checkpoint and make the *healthy*
+    // PUT's Sync the degraded trigger instead of the overwrite's.
+    while (server.worker_stats(0).syncs < 1) {
+      p.kernel().SysSleep(500'000);
+    }
+
+    // Media fault: every non-barrier transfer for the next 40M cycles
+    // fails like a dying platter (bounded retries included).
+    const uint64_t window_end = rig.machine.clock().now() + 40'000'000ull;
+    rig.disk.SetErrorWindow(rig.machine.clock().now(), window_end);
+
+    // A same-size overwrite lands in the write-back cache (201) but the
+    // forced Sync behind it hits the fault: the worker enters read-only
+    // degraded mode with the dirty block pinned in cache.
+    EXPECT_EQ(put("k000", MakeValue("k000", 1, 48)).status, 201);
+
+    // Degraded reads: cached keys come back stale (the overwrite's value
+    // — the cache is the freshest copy in the building), uncached keys
+    // are 503 come-back-later, never 404 (the platter may hold them).
+    EXPECT_EQ(get("k000").status, 200);
+    EXPECT_TRUE(reply.stale);
+    EXPECT_TRUE(reply.sum_ok);
+    EXPECT_EQ(reply.body, MakeValue("k000", 1, 48));
+    EXPECT_EQ(get("nevermore").status, 503);
+    EXPECT_GT(reply.retry_after_us, 0u);
+
+    // Degraded writes: refused outright, with a pacing hint.
+    EXPECT_EQ(put("fresh1", MakeValue("fresh1", 0, 48)).status, 503);
+    EXPECT_EQ(reply.body, "read-only");
+    EXPECT_GT(reply.retry_after_us, 0u);
+
+    // Outlast the fault (plus a failing-probe's worth of retry latency);
+    // the worker's timed probe Sync lands and journaling resumes.
+    while (rig.machine.clock().now() < window_end + 8'000'000ull) {
+      p.kernel().SysSleep(1'000'000);
+    }
+    EXPECT_EQ(put("fresh2", MakeValue("fresh2", 0, 48)).status, 201);
+    EXPECT_EQ(get("fresh2").status, 200);
+    EXPECT_FALSE(reply.stale);
+    EXPECT_EQ(get("nevermore").status, 404);  // Normal service: a real miss.
+
+    EXPECT_TRUE(Rpc(p, sock, BuildRequestPayload(++id, BuildQuitRequest(), "",
+                                                 /*shard_override=*/0),
+                    &reply));
+    EXPECT_EQ(reply.status, 200);
+    (void)sock.Close();
+    client_done = true;
+  });
+  ASSERT_TRUE(client.ok());
+  rig.kernel.Run();
+
+  EXPECT_TRUE(client_done);
+  const WorkerStats& ws = server.worker_stats(0);
+  EXPECT_EQ(ws.degraded_entries, 1u);
+  EXPECT_EQ(ws.degraded_exits, 1u);
+  EXPECT_GE(ws.stale_serves, 1u);
+  EXPECT_GE(ws.shed_writes, 1u);
+  EXPECT_EQ(ws.incarnations, 1u);  // Degradation is not the crash path.
+  EXPECT_EQ(ws.store_crashes, 0u);
+  EXPECT_TRUE(ws.done);
+  EXPECT_EQ(server.supervisor().total_restarts(), 0u);
+  EXPECT_EQ(rig.kernel.audit_failures(), 0u) << rig.kernel.first_audit_failure();
+}
+
 }  // namespace
 }  // namespace xok::exos::server
