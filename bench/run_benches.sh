@@ -8,6 +8,7 @@
 #   pressure — throughput under revocation storms       -> BENCH_pressure.json
 #   server — end-to-end HTTP/KV serving vs Ultrix       -> BENCH_server.json
 #   overload — goodput vs offered load, shed on/off    -> BENCH_overload.json
+#   reqtrace — per-request critical-path attribution   -> BENCH_reqtrace.json
 #
 # The trace suite additionally arms the kernel event ring in every bench
 # boot (--xok_trace) and writes one TRACE_<bench>.json event summary next
@@ -56,8 +57,13 @@ case "$suite" in
     default_out="BENCH_overload.json"
     with_trace=0
     ;;
+  reqtrace)
+    benches="bench_abl_reqtrace"
+    default_out="BENCH_reqtrace.json"
+    with_trace=0
+    ;;
   *)
-    echo "run_benches: unknown suite '$suite' (expected: net, fs, trace, smp, pressure, server, overload)" >&2
+    echo "run_benches: unknown suite '$suite' (expected: net, fs, trace, smp, pressure, server, overload, reqtrace)" >&2
     exit 2
     ;;
 esac

@@ -16,6 +16,7 @@
 
 #include "src/core/aegis.h"
 #include "src/exos/process.h"
+#include "src/exos/reqtrace.h"
 #include "src/exos/server/loadgen.h"
 #include "src/exos/server/server.h"
 #include "src/exos/tracelib.h"
@@ -33,16 +34,28 @@ constexpr uint64_t kNicMac = 0x02aabbccddee;
 // Completed requests per env this interval, from drained kAppMark exits.
 using RpsMap = std::unordered_map<uint16_t, uint64_t>;
 
+// Per-env mean stage latencies this interval, from reqtrace timelines:
+// the same joined critical path the bench aggregates, rendered live.
+struct StageAgg {
+  uint64_t n = 0;
+  uint64_t rwait = 0;  // demux -> worker pickup (ring residency).
+  uint64_t parse = 0;
+  uint64_t store = 0;
+  uint64_t tx = 0;
+};
+using StageMap = std::unordered_map<uint16_t, StageAgg>;
+
 // One sampled row per environment, straight from SysEnvStats; the rps
 // column comes from the trace ring, not the kernel.
 void PrintSample(exos::Process& p, uint64_t sample_no, const RpsMap& reqs,
-                 uint64_t interval_cycles) {
+                 const StageMap& stages, uint64_t interval_cycles) {
   std::printf("--- xtop sample %llu (cycle %llu) ---\n",
               static_cast<unsigned long long>(sample_no),
               static_cast<unsigned long long>(p.kernel().SysGetCycles()));
-  std::printf("%4s %6s %4s %10s %9s %9s %8s %8s %8s %6s %5s %7s\n", "env", "alive",
-              "cpu", "cycles", "syscalls", "tlb-miss", "pages", "pkt-rxtx", "blk-rw",
-              "shed", "migr", "rps");
+  std::printf("%4s %6s %4s %10s %9s %9s %8s %8s %8s %6s %5s %7s %7s %7s %7s %7s\n",
+              "env", "alive", "cpu", "cycles", "syscalls", "tlb-miss", "pages",
+              "pkt-rxtx", "blk-rw", "shed", "migr", "rps", "rwait", "parse",
+              "store", "tx");
   for (aegis::EnvId id = 1;; ++id) {
     Result<aegis::EnvStats> stats = p.kernel().SysEnvStats(id);
     if (!stats.ok()) {
@@ -64,7 +77,26 @@ void PrintSample(exos::Process& p, uint64_t sample_no, const RpsMap& reqs,
                         static_cast<double>(hw::kClockHz) /
                         static_cast<double>(interval_cycles));
     }
-    std::printf("%4u %6s %4s %10llu %9llu %9llu %8u %8llu %8llu %6llu %5llu %7s\n",
+    // Mean per-stage cycles for requests this env completed this interval
+    // ("-" when it completed none): where inside the worker the time went.
+    char stage_cols[4][16];
+    const auto st = stages.find(static_cast<uint16_t>(stats->env));
+    const uint64_t vals[4] = {
+        st != stages.end() ? st->second.rwait : 0,
+        st != stages.end() ? st->second.parse : 0,
+        st != stages.end() ? st->second.store : 0,
+        st != stages.end() ? st->second.tx : 0,
+    };
+    for (int i = 0; i < 4; ++i) {
+      if (st == stages.end() || st->second.n == 0) {
+        std::snprintf(stage_cols[i], sizeof(stage_cols[i]), "-");
+      } else {
+        std::snprintf(stage_cols[i], sizeof(stage_cols[i]), "%llu",
+                      static_cast<unsigned long long>(vals[i] / st->second.n));
+      }
+    }
+    std::printf("%4u %6s %4s %10llu %9llu %9llu %8u %8llu %8llu %6llu %5llu %7s"
+                " %7s %7s %7s %7s\n",
                 stats->env, stats->alive ? "yes" : (stats->killed ? "kill" : "exit"),
                 cpu, static_cast<unsigned long long>(stats->counters.cycles_on_cpu),
                 static_cast<unsigned long long>(stats->counters.syscalls_total()),
@@ -75,7 +107,8 @@ void PrintSample(exos::Process& p, uint64_t sample_no, const RpsMap& reqs,
                 static_cast<unsigned long long>(stats->counters.disk_blocks_read +
                                                 stats->counters.disk_blocks_written),
                 static_cast<unsigned long long>(stats->counters.packets_shed),
-                static_cast<unsigned long long>(stats->counters.migrations), rps);
+                static_cast<unsigned long long>(stats->counters.migrations), rps,
+                stage_cols[0], stage_cols[1], stage_cols[2], stage_cols[3]);
   }
 }
 
@@ -176,6 +209,10 @@ int main() {
     }
     std::vector<xtrace::Record> records;
     size_t seen = 0;  // Records already attributed to an earlier sample.
+    // Stage columns: the same records, joined into per-request timelines.
+    exos::reqtrace::Collector collector(
+        exos::reqtrace::Collector::Options{.keep_last = 8, .keep_all = true});
+    size_t timelines_seen = 0;  // Timelines shown in an earlier sample.
     uint64_t last_cycle = p.kernel().SysGetCycles();
     for (uint64_t sample = 1; sample <= 5; ++sample) {
       // Long enough for the server worker to boot (journal format +
@@ -186,13 +223,27 @@ int main() {
       for (size_t i = seen; i < records.size(); ++i) {
         const xtrace::Record& r = records[i];
         // SysTraceMark(req_id, 1, ...) is the server's request-exit mark.
-        if (r.type == static_cast<uint16_t>(xtrace::Event::kAppMark) && r.arg1 == 1) {
+        if (r.type == static_cast<uint16_t>(xtrace::Event::kAppMark) &&
+            r.arg1 == exos::reqtrace::kPhaseExit) {
           ++reqs[r.env];
         }
+        collector.Add(r);
       }
       seen = records.size();
+      StageMap stages;
+      for (size_t i = timelines_seen; i < collector.all().size(); ++i) {
+        using exos::reqtrace::Span;
+        const exos::reqtrace::RequestTimeline& t = collector.all()[i];
+        StageAgg& agg = stages[t.env];
+        ++agg.n;
+        agg.rwait += t.span[static_cast<uint32_t>(Span::kRingWait)];
+        agg.parse += t.span[static_cast<uint32_t>(Span::kParse)];
+        agg.store += t.span[static_cast<uint32_t>(Span::kStore)];
+        agg.tx += t.span[static_cast<uint32_t>(Span::kTx)];
+      }
+      timelines_seen = collector.all().size();
       const uint64_t now = p.kernel().SysGetCycles();
-      PrintSample(p, sample, reqs, now - last_cycle);
+      PrintSample(p, sample, reqs, stages, now - last_cycle);
       last_cycle = now;
     }
     exos::TraceSummary summary = exos::Summarize(records);

@@ -1777,6 +1777,7 @@ Result<dpf::FilterId> Aegis::SysBindFilter(FilterBindSpec spec, const Capability
   binding.handler = std::move(spec.handler);
   binding.region_first_page = spec.region_first_page;
   binding.region_pages = spec.region_pages;
+  binding.trace_tag_off = spec.trace_tag_off;
   binding.queue.clear();
   binding.ring = RingState{};
   binding.stats = PacketStats{};
@@ -2011,11 +2012,24 @@ void Aegis::HandleRxPacket() {
       Trace(xtrace::Event::kDpfDrop, /*reason=*/3, *match);
       continue;
     }
+    // Library-programmed correlation tag (see FilterBindSpec): ride the
+    // frame bytes the owner pointed us at in arg3 of this binding's
+    // kDpfMatch record. Read only when a ring is armed and the binding
+    // asked for it; like the record stores, charges no simulated cycles.
+    uint32_t trace_tag = 0;
+    if (trace_ != nullptr && binding.trace_tag_off != 0 &&
+        frame->size() >= binding.trace_tag_off + 4) {
+      const uint8_t* tag_at = frame->data() + binding.trace_tag_off;
+      trace_tag = (static_cast<uint32_t>(tag_at[0]) << 24) |
+                  (static_cast<uint32_t>(tag_at[1]) << 16) |
+                  (static_cast<uint32_t>(tag_at[2]) << 8) |
+                  static_cast<uint32_t>(tag_at[3]);
+    }
     if (binding.handler.has_value()) {
       // ASH path: the handler runs *now*, at interrupt level, without
       // scheduling the owner. Replies leave from here (paper §6.3).
       Trace(xtrace::Event::kDpfMatch, *match, static_cast<uint32_t>(frame->size()),
-            /*path=*/2);
+            /*path=*/2, trace_tag);
       ++owner->counters.packets_rx;
       ash::AshServices services;
       services.send_reply = [this, owner](std::span<const uint8_t> reply) {
@@ -2055,7 +2069,7 @@ void Aegis::HandleRxPacket() {
         continue;
       }
       Trace(xtrace::Event::kDpfMatch, *match, static_cast<uint32_t>(frame->size()),
-            /*path=*/1);
+            /*path=*/1, trace_tag);
       ++owner->counters.packets_rx;
       machine_.Charge(hw::kMemWordCopy * ((frame->size() + 3) / 4));
       machine_.Charge(kRingPublish);
@@ -2086,7 +2100,7 @@ void Aegis::HandleRxPacket() {
         continue;
       }
       Trace(xtrace::Event::kDpfMatch, *match, static_cast<uint32_t>(frame->size()),
-            /*path=*/0);
+            /*path=*/0, trace_tag);
       ++owner->counters.packets_rx;
       machine_.Charge(hw::kMemWordCopy * ((frame->size() + 3) / 4));
       binding.queue.push_back(std::move(*frame));

@@ -93,6 +93,15 @@ struct FilterBindSpec {
   std::optional<ash::AshProgram> handler;
   hw::PageId region_first_page = 0;  // First page of the pinned region.
   uint32_t region_pages = 0;         // 0: no region (no ASH, kernel queueing only).
+  // Library-programmed correlation tag for kDpfMatch trace records: when
+  // non-zero, the demux copies the 4 frame bytes at this offset (big-endian)
+  // into arg3 of the binding's kDpfMatch records. The kernel does not know
+  // what the bytes mean — the library that owns the wire format points the
+  // kernel at its own request-id field, and the request tracer joins the
+  // demux timestamp to the app-level marks on that key. Frames shorter than
+  // trace_tag_off + 4 tag 0. Costs nothing when tracing is disarmed and,
+  // like the record stores themselves, charges no simulated cycles armed.
+  uint32_t trace_tag_off = 0;  // 0 = no tag (arg3 stays 0).
 };
 
 // Options for binding a zero-copy packet-ring pair to an existing filter
@@ -454,6 +463,7 @@ class Aegis final : public hw::TrapSink {
     std::optional<ash::AshProgram> handler;
     hw::PageId region_first_page = 0;
     uint32_t region_pages = 0;
+    uint32_t trace_tag_off = 0;  // Frame offset of the kDpfMatch arg3 tag.
     std::deque<std::vector<uint8_t>> queue;  // Non-ASH delivery path.
     RingState ring;
     PacketStats stats;

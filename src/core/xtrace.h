@@ -53,7 +53,12 @@ enum class Event : uint8_t {
   kRepossess = 7,      // arg0 = victim env, arg1 = pages taken by force.
   kInterrupt = 8,      // arg0 = hw::InterruptSource, arg1 = payload (low 32).
   kDpfMatch = 9,       // arg0 = filter id, arg1 = frame bytes, arg2 = path
-                       // (0 queue, 1 ring, 2 ASH).
+                       // (0 queue, 1 ring, 2 ASH), arg3 = library-programmed
+                       // correlation tag: 4 big-endian frame bytes at the
+                       // offset the owner named in FilterBindSpec::
+                       // trace_tag_off (0 when untagged/short frame). The
+                       // server libOS points it at the request id, which
+                       // joins the demux timestamp into reqtrace timelines.
   kDpfDrop = 10,       // arg0 = reason (0 no match, 1 ring full, 2 queue
                        // full, 3 dead owner, 4 shed watermark), arg1 =
                        // filter id.
@@ -77,9 +82,14 @@ enum class Event : uint8_t {
   kAppMark = 25,       // Application-defined record (SysTraceMark): the
                        // kernel stamps cycle/seq/env, the args mean
                        // whatever the emitting library says they mean.
-                       // The server libOS convention (src/exos/server):
-                       // arg0 = request id, arg1 = phase (0 enter,
-                       // 1 exit), arg2 = status/stage, arg3 = bytes.
+                       // The server libOS convention (src/exos/server,
+                       // constants in src/exos/reqtrace.h): arg0 = request
+                       // id, arg1 = phase — 0 worker enter (arg2 = shard,
+                       // arg3 = payload bytes), 1 worker exit (arg2 =
+                       // status, arg3 = response bytes | class flags<<16),
+                       // 2 worker stage boundary (arg2 = stage id, arg3 =
+                       // queue depth), 3 client first send, 4 client ack
+                       // (arg2 = status).
 };
 inline constexpr uint32_t kEventCount = 26;
 

@@ -128,14 +128,16 @@ LatencySummary SummarizeLatencies(std::vector<uint64_t> samples) {
   }
   std::sort(samples.begin(), samples.end());
   summary.count = samples.size();
-  auto pick = [&](uint64_t per_mille) {
-    const size_t index =
-        std::min(samples.size() - 1, static_cast<size_t>(samples.size() * per_mille / 1000));
-    return samples[index];
-  };
-  summary.p50 = pick(500);
-  summary.p99 = pick(990);
-  summary.p999 = pick(999);
+  // Nearest-rank percentiles. A p99 needs a tail to stand on: below 100
+  // samples the 99th and 99.9th ranks both degenerate to the max, so they
+  // report 0 with the flag raised instead of a masquerading maximum.
+  summary.p50 = reqtrace::Percentile(samples, 500);
+  if (samples.size() >= 100) {
+    summary.p99 = reqtrace::Percentile(samples, 990);
+    summary.p999 = reqtrace::Percentile(samples, 999);
+  } else {
+    summary.samples_insufficient = true;
+  }
   summary.max = samples.back();
   double total = 0;
   for (uint64_t s : samples) {
@@ -207,7 +209,9 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
     TraceConfig trace_config;
     trace_config.pages = 8;
     trace_config.mask = xtrace::Bit(xtrace::Event::kDpfMatch) |
-                        xtrace::Bit(xtrace::Event::kAppMark);
+                        xtrace::Bit(xtrace::Event::kAppMark) |
+                        xtrace::Bit(xtrace::Event::kDiskSubmit) |
+                        xtrace::Bit(xtrace::Event::kDiskComplete);
     if (trace->Bind(trace_config) != Status::kOk) {
       trace.reset();
     }
@@ -223,6 +227,7 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
       if (!record.ok()) {
         break;
       }
+      stats.trace_records.push_back(*record);  // For reqtrace assembly.
       const auto type = static_cast<xtrace::Event>(record->type);
       if (type == xtrace::Event::kDpfMatch) {
         // The client's own filter also logs matches (the replies coming
@@ -238,9 +243,9 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
           ++stats.stages.path_ash;
         }
       } else if (type == xtrace::Event::kAppMark) {
-        if (record->arg1 == 0) {
+        if (record->arg1 == reqtrace::kPhaseEnter) {
           service_enter[record->arg0] = record->cycle;
-        } else {
+        } else if (record->arg1 == reqtrace::kPhaseExit) {
           auto it = service_enter.find(record->arg0);
           if (it != service_enter.end()) {
             service_samples.push_back(record->cycle - it->second);
@@ -258,6 +263,9 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
   std::unordered_set<uint32_t> done_ids;
   std::vector<uint64_t> latencies;
   std::vector<uint64_t> hot_latencies;
+  // (req id, first-send -> ack) per acked data request: the SLO ledger
+  // and the join key into reqtrace timelines for late-request attribution.
+  std::vector<std::pair<uint32_t, uint64_t>> acked_rtts;
 
   uint32_t next_id = 1;
   uint32_t data_sent = 0;
@@ -303,6 +311,12 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
     pending.first_send = pending.last_send = proc.kernel().SysGetCycles();
     pending.backoff = config.retry_timeout_cycles;
     pending.next_retry_at = pending.first_send + retry_wait(pending);
+    if ((trace || config.mark_requests) && pending.kind != Kind::kQuit) {
+      // First-send boundary of this request's critical-path timeline
+      // (retransmits deliberately unmarked: the timeline measures the
+      // request, not each copy of it).
+      (void)proc.kernel().SysTraceMark(id, reqtrace::kPhaseClientSend, 0, 0);
+    }
     transmit(pending.payload);
     outstanding.emplace(id, std::move(pending));
     ++stats.sent;
@@ -388,6 +402,13 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
       done_ids.insert(id);
     }
   }
+
+  // Warmup is unmeasured; its trace records (probe timelines riding the
+  // server's multi-megacycle boot) would otherwise pollute the data-phase
+  // stage percentiles, so drain and discard them before the clock starts.
+  // The legacy path counters keep their whole-run semantics.
+  drain_trace();
+  stats.trace_records.clear();
 
   const uint64_t start = proc.kernel().SysGetCycles();
   stats.warmup_cycles = start - run_start;
@@ -500,12 +521,20 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
       if (view.stale) {
         ++stats.stale_200;  // Degraded-mode cache read; body still verified.
       }
+      if ((trace || config.mark_requests) && pending.kind != Kind::kQuit) {
+        // Ack boundary, marked BEFORE the rtt clock read below so the
+        // timeline's covered total can never exceed the latency it is
+        // attributed against.
+        (void)proc.kernel().SysTraceMark(view.req_id, reqtrace::kPhaseClientAck,
+                                         static_cast<uint32_t>(view.status), 0);
+      }
       const uint64_t rtt = proc.kernel().SysGetCycles() - pending.first_send;
       if (pending.kind != Kind::kQuit) {
         latencies.push_back(rtt);
         if (pending.is_hot) {
           hot_latencies.push_back(rtt);
         }
+        acked_rtts.emplace_back(view.req_id, rtt);
       }
       switch (view.status) {
         case 200: ++stats.ok_200; break;
@@ -604,6 +633,58 @@ LoadStats RunLoadGen(Process& proc, const LoadGenTarget& target,
   stats.stages.service = SummarizeLatencies(std::move(service_samples));
   if (trace) {
     (void)trace->Close();
+  }
+  // Critical-path assembly: join every drained record into per-request
+  // timelines and aggregate the all-requests class. Library policy over
+  // kernel mechanism end to end — the kernel only ever saw 32-byte records.
+  reqtrace::Collector collector(
+      reqtrace::Collector::Options{.keep_last = 32, .keep_all = true});
+  if (!stats.trace_records.empty()) {
+    collector.AddAll(stats.trace_records);
+    stats.reqs.timelines = collector.completed(reqtrace::Class::kAll);
+    for (uint32_t s = 0; s < reqtrace::kSpanCount; ++s) {
+      stats.reqs.span[s] = SummarizeLatencies(
+          collector.samples(reqtrace::Class::kAll, static_cast<reqtrace::Span>(s)));
+    }
+    // Attribution is judged against the client's send->ack clock, so the
+    // covered summary only admits timelines anchored at both ends (wire
+    // implies the send mark joined; ack implies the client closed it).
+    // Server-only timelines (in-flight at drain, rescued duplicates) still
+    // feed the per-span tables above but would dilute coverage here.
+    std::vector<uint64_t> covered_samples;
+    for (const reqtrace::RequestTimeline& t : collector.all()) {
+      stats.reqs.disk_ios += t.disk_ios;
+      if (t.complete && t.seen[static_cast<uint32_t>(reqtrace::Span::kWire)] &&
+          t.seen[static_cast<uint32_t>(reqtrace::Span::kAck)]) {
+        covered_samples.push_back(t.Total());
+      }
+    }
+    stats.reqs.covered = SummarizeLatencies(std::move(covered_samples));
+  }
+  if (config.slo_cycles > 0) {
+    stats.slo.slo_cycles = config.slo_cycles;
+    // Never-acked requests are the third SLO bucket: the client (TTL) or
+    // its retry budget shed them, so they were neither good nor late.
+    stats.slo.shed = stats.ttl_abandoned + stats.gave_up;
+    std::vector<uint64_t> late_samples[reqtrace::kSpanCount];
+    for (const auto& [req_id, rtt] : acked_rtts) {
+      if (rtt <= config.slo_cycles) {
+        ++stats.slo.good;
+        continue;
+      }
+      ++stats.slo.late;
+      // Attribute the miss: where did THIS request's cycles go?
+      if (const reqtrace::RequestTimeline* t = collector.Find(req_id)) {
+        for (uint32_t s = 0; s < reqtrace::kSpanCount; ++s) {
+          if (t->seen[s]) {
+            late_samples[s].push_back(t->span[s]);
+          }
+        }
+      }
+    }
+    for (uint32_t s = 0; s < reqtrace::kSpanCount; ++s) {
+      stats.slo.late_span[s] = SummarizeLatencies(std::move(late_samples[s]));
+    }
   }
   (void)sock.Close();
   return stats;

@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/xtrace.h"
+#include "src/exos/reqtrace.h"
 #include "src/exos/server/httpkv.h"
 #include "src/exos/udp.h"
 
@@ -108,8 +110,21 @@ struct WorkloadConfig {
   uint16_t client_port = 7999;
   bool quit_when_done = true;  // One QUIT per shard after the data phase.
   // Bind the (global, one-per-kernel) trace ring and harvest kDpfMatch
-  // path counts and kAppMark service times into LoadStats::stages.
+  // path counts, kAppMark service times, and full per-request critical-path
+  // timelines (LoadStats::stages, ::reqs) via src/exos/reqtrace.
   bool trace = false;
+  // Emit the first-send/ack SysTraceMark boundaries WITHOUT binding the
+  // ring (the ring is one-per-kernel): a flight-recorder observer env owns
+  // it instead and assembles timelines post-mortem (DecodeRegion). Marks
+  // into an unarmed or foreign ring cost nothing extra here — the client
+  // is off the simulated critical path. Implied by trace.
+  bool mark_requests = false;
+  // SLO accounting: an acked data request slower than this (first-send ->
+  // ack) counts late instead of good, and the per-stage spans of every
+  // late request are aggregated into SloReport::late_span — "the p99 is
+  // over budget BECAUSE of ring-wait" instead of just "it is over".
+  // 0 disarms. Requires trace for the attribution half.
+  uint64_t slo_cycles = 0;
 };
 
 struct LatencySummary {
@@ -119,8 +134,11 @@ struct LatencySummary {
   uint64_t p999 = 0;
   uint64_t max = 0;
   double mean = 0.0;
+  // Tail percentiles need tails: below 100 samples p99/p999 report 0 with
+  // this flag raised rather than masquerading the max as a percentile.
+  bool samples_insufficient = false;
 };
-// Consumes (sorts) the sample vector.
+// Consumes (sorts) the sample vector; percentiles are nearest-rank.
 LatencySummary SummarizeLatencies(std::vector<uint64_t> samples);
 
 // Per-stage view from the kernel trace ring (exokernel runs only).
@@ -129,6 +147,30 @@ struct StageBreakdown {
   uint64_t path_ring = 0;   // arg2 == 1 (zero-copy ring).
   uint64_t path_ash = 0;    // arg2 == 2 (interrupt-level fast path).
   LatencySummary service;   // kAppMark enter->exit inside the worker.
+};
+
+// Per-request critical-path aggregation over the run's trace records
+// (trace = true runs only), assembled by src/exos/reqtrace: per-span
+// summaries for the all-requests class plus the covered total (each
+// request's sum of observed spans) — the numerator of the >=90%
+// attribution contract in bench_abl_reqtrace.
+struct ReqTraceReport {
+  uint64_t timelines = 0;  // Complete request timelines joined.
+  LatencySummary span[reqtrace::kSpanCount];
+  LatencySummary covered;
+  uint64_t disk_ios = 0;   // Disk waits attributed inside store spans.
+};
+
+// SLO accounting (slo_cycles > 0): every acked data request is good or
+// late against the budget; requests never acked at all (TTL-abandoned or
+// retried out) are shed. late_span aggregates the per-stage spans of late
+// requests only — the attribution of *why* the tail missed.
+struct SloReport {
+  uint64_t slo_cycles = 0;
+  uint64_t good = 0;
+  uint64_t late = 0;
+  uint64_t shed = 0;
+  LatencySummary late_span[reqtrace::kSpanCount];
 };
 
 struct LoadStats {
@@ -154,6 +196,12 @@ struct LoadStats {
   LatencySummary latency;       // First-send -> ack, acked data requests.
   LatencySummary hot_latency;   // Hot-key GETs only (the ASH candidates).
   StageBreakdown stages;
+  ReqTraceReport reqs;          // trace = true runs only.
+  SloReport slo;                // slo_cycles > 0 runs only.
+  // Raw drained trace records (trace = true): callers feed these to their
+  // own reqtrace::Collector for per-class breakdowns, flight-recorder
+  // prints, or anything else the summaries above did not pre-chew.
+  std::vector<xtrace::Record> trace_records;
 
   double Rps() const;  // Acked data requests per simulated second.
 };

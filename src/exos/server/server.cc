@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/ash/ash.h"
+#include "src/exos/reqtrace.h"
 #include "src/exos/revocation.h"
 #include "src/net/wire.h"
 
@@ -182,6 +183,12 @@ Status KvServer::BindHotKeyAsh(Process& proc, WorkerState& ws, uint32_t shard,
   spec.handler = std::move(*handler);
   spec.region_first_page = region->page;
   spec.region_pages = 1;
+  if (config_.trace_requests) {
+    // Hot-path answers never reach a worker, so the tagged kDpfMatch
+    // record is the ONLY server-side event an ASH request leaves behind —
+    // it is what lets the tracer classify those timelines at all.
+    spec.trace_tag_off = net::kUdpPayloadOff + 1;
+  }
   Result<dpf::FilterId> id = proc.kernel().SysBindFilter(std::move(spec), region->cap);
   if (!id.ok()) {
     return id.status();
@@ -212,6 +219,11 @@ void KvServer::WorkerMain(Process& proc, uint32_t shard) {
   // during format/preload queue in the ring instead of timing out against
   // an unbound port — exactly why Cheetah owned its own receive buffers.
   UdpSocket sock(proc, config_.iface);
+  if (config_.trace_requests) {
+    // Program the demux to tag this shard's kDpfMatch records with the
+    // request id from the client envelope — the tracer's wire->demux join.
+    sock.set_trace_tag_off(net::kUdpPayloadOff + 1);
+  }
   std::vector<dpf::Atom> shard_atoms{ShardAtom(shard, config_.workers)};
   Status bound = Status::kErrInternal;
   if (config_.use_rings) {
@@ -319,6 +331,9 @@ void KvServer::WorkerMain(Process& proc, uint32_t shard) {
   // Fail-fast rescue of a down sibling's shard, and the 503 builder both
   // it and the admission paths use.
   UdpSocket rescue_sock(proc, config_.iface);
+  if (config_.trace_requests) {
+    rescue_sock.set_trace_tag_off(net::kUdpPayloadOff + 1);
+  }
   bool rescuing = false;
   auto answer_503 = [&](UdpSocket& via, const Datagram& d, std::string_view why) {
     const uint32_t rid = net::GetBe32(d.payload, 1);
@@ -390,11 +405,19 @@ void KvServer::WorkerMain(Process& proc, uint32_t shard) {
       ++ws.stats.expired;
       return;
     }
+    // Request marks are the tracer's join points; a mark the kernel
+    // refused is an attribution gap, so failures are counted, not
+    // discarded (WorkerStats::trace_mark_failures).
+    auto mark = [&](uint32_t phase, uint32_t a2, uint32_t a3) {
+      if (proc.kernel().SysTraceMark(req_id, phase, a2, a3) != Status::kOk) {
+        ++ws.stats.trace_mark_failures;
+      }
+    };
     if (config_.trace_requests) {
-      (void)proc.kernel().SysTraceMark(req_id, 0, shard,
-                                       static_cast<uint32_t>(dgram.payload.size()));
+      mark(reqtrace::kPhaseEnter, shard, static_cast<uint32_t>(dgram.payload.size()));
     }
     int status = 400;
+    uint32_t cls = 0;  // reqtrace::kFlag* request-class bits for the exit mark.
     std::string body;
     uint16_t sum = 0;
     bool have_sum = false;
@@ -414,6 +437,9 @@ void KvServer::WorkerMain(Process& proc, uint32_t shard) {
       proc.machine().Charge(ParseCost(text.size()));
       HttpRequest req;
       const ParseError err = ParseHttpRequest(text, &req);
+      if (config_.trace_requests) {
+        mark(reqtrace::kPhaseStage, reqtrace::kStageParsed, depth);
+      }
       if (err != ParseError::kOk) {
         body = ParseErrorName(err);
         ++ws.stats.bad_requests;
@@ -427,6 +453,12 @@ void KvServer::WorkerMain(Process& proc, uint32_t shard) {
             break;
           case Method::kGet: {
             ++ws.stats.gets;
+            if (std::find(config_.hot_keys.begin(), config_.hot_keys.end(),
+                          req.key) != config_.hot_keys.end()) {
+              // Hot-list GETs that miss the ASH (or run without one) are
+              // still the hot class — tail comparisons need both sides.
+              cls |= reqtrace::kFlagHot;
+            }
             if (degraded) {
               // Read-only mode: cache or bust — never pay the failing
               // disk's retry latency on the request path.
@@ -474,6 +506,7 @@ void KvServer::WorkerMain(Process& proc, uint32_t shard) {
           }
           case Method::kPut: {
             ++ws.stats.puts;
+            cls |= reqtrace::kFlagPut;
             if (degraded) {
               status = 503;
               body = "read-only";
@@ -513,6 +546,13 @@ void KvServer::WorkerMain(Process& proc, uint32_t shard) {
           }
         }
       }
+      if (config_.trace_requests) {
+        // Stage boundary: storage work (KV/journal, incl. disk waits) is
+        // done; everything from here to the exit mark is response build +
+        // TX. Shed (!admitted) requests skip both stage marks and their
+        // whole service time telescopes into the tx span.
+        mark(reqtrace::kPhaseStage, reqtrace::kStageStored, depth);
+      }
     }
     const std::string resp_text =
         BuildHttpResponse(status, body, have_sum ? sum : BodySum(body), opts);
@@ -527,8 +567,11 @@ void KvServer::WorkerMain(Process& proc, uint32_t shard) {
       ++ws.stats.send_errors;
     }
     if (config_.trace_requests) {
-      (void)proc.kernel().SysTraceMark(req_id, 1, static_cast<uint32_t>(status),
-                                       static_cast<uint32_t>(resp.size()));
+      if (opts.stale) {
+        cls |= reqtrace::kFlagStale;
+      }
+      mark(reqtrace::kPhaseExit, static_cast<uint32_t>(status),
+           (static_cast<uint32_t>(resp.size()) & 0xffffu) | cls);
     }
   };
 

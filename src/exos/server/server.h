@@ -133,6 +133,10 @@ struct WorkerStats {
   uint64_t degraded_entries = 0;  // Transitions into read-only mode.
   uint64_t degraded_exits = 0;    // Recoveries (probe Sync succeeded).
   uint64_t rescued_503 = 0;     // Down-sibling frames answered 503 here.
+  uint64_t trace_mark_failures = 0;  // SysTraceMark returned non-kOk: the
+                                     // request tracer has an attribution
+                                     // gap here, so it is counted, never
+                                     // silently discarded.
   uint64_t store_errors = 0;    // Requests answered 503 (store op failed).
   uint64_t store_crashes = 0;   // Incarnations that crashed on a dead store.
   uint64_t setup_failures = 0;  // Incarnations that died before serving.

@@ -27,6 +27,7 @@ Status UdpSocket::Bind(uint16_t port, std::vector<dpf::Atom> extra) {
   spec.filter = dpf::UdpPortFilter(port);
   spec.filter.atoms.insert(spec.filter.atoms.end(), extra_atoms_.begin(),
                            extra_atoms_.end());
+  spec.trace_tag_off = trace_tag_off_;
   Result<dpf::FilterId> id = proc_.kernel().SysBindFilter(std::move(spec), cap::Capability{});
   if (!id.ok()) {
     return id.status();

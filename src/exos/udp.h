@@ -91,6 +91,13 @@ class UdpSocket {
   bool ring_bound() const { return ring_.has_value(); }
   std::optional<dpf::FilterId> filter_id() const { return binding_; }
 
+  // Programs the kDpfMatch correlation tag (FilterBindSpec::trace_tag_off):
+  // the demux will copy 4 big-endian frame bytes at `frame_off` into arg3
+  // of this socket's match records, which is how the request tracer joins
+  // demux timestamps to app request ids. Call before Bind/BindRing; the
+  // offset is part of the socket's geometry and survives repair rebinds.
+  void set_trace_tag_off(uint32_t frame_off) { trace_tag_off_ = frame_off; }
+
   // Post-revocation repair: rebinds whatever the kernel reclaimed. A
   // reclaimed filter (SysPacketStats reports the binding gone) or a
   // severed ring (a region page repossessed) triggers a full rebind with
@@ -116,6 +123,7 @@ class UdpSocket {
   std::vector<aegis::PageGrant> ring_pages_;  // Contiguous run backing the rings.
   RingConfig ring_config_;   // Geometry to rebuild with after a repair.
   std::vector<dpf::Atom> extra_atoms_;  // Filter refinement beyond the port.
+  uint32_t trace_tag_off_ = 0;  // kDpfMatch arg3 tag offset (0 = untagged).
   bool want_ring_ = false;   // Socket was bound in ring mode.
   uint32_t ring_pops_since_check_ = 0;  // Liveness-audit cadence (see Recv).
   uint64_t repairs_ = 0;

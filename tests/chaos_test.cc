@@ -7,11 +7,13 @@
 // deterministic per seed.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "src/core/aegis.h"
 #include "src/exos/fs.h"
+#include "src/exos/reqtrace.h"
 #include "src/exos/revocation.h"
 #include "src/exos/server/loadgen.h"
 #include "src/exos/server/server.h"
@@ -737,7 +739,10 @@ TEST_P(ServerSoak, MidBurstWorkerKillRestartsCleanlyAndNothingCorrupts) {
   config.max_restarts = 10;
   config.restart_backoff = 2'000'000;
   config.restart_backoff_cap = 16'000'000;
-  config.trace_requests = false;
+  // Workers stamp per-request stage marks and the demux copies the req-id
+  // tag: the flight-recorder observer below joins them into timelines that
+  // survive the kill (the soak's black box).
+  config.trace_requests = true;
   srv::KvServer server(kernel, config);
   ASSERT_TRUE(server.ok());
 
@@ -746,6 +751,9 @@ TEST_P(ServerSoak, MidBurstWorkerKillRestartsCleanlyAndNothingCorrupts) {
   workload.requests = 120;
   workload.keys = 12;
   workload.put_per_mille = 200;
+  // Client emits the send/ack boundary marks but does NOT bind the
+  // (one-per-kernel) ring — the observer owns it as a flight recorder.
+  workload.mark_requests = true;
   // The retry budget must cover a full worker resurrection through the
   // whole backoff ladder: kill + failed respawns under the storm + the
   // post-storm format/preload ≈ 60M+ cycles of outage.
@@ -763,11 +771,47 @@ TEST_P(ServerSoak, MidBurstWorkerKillRestartsCleanlyAndNothingCorrupts) {
                        [&](exos::Process& p) { stats = srv::RunLoadGen(p, target, workload); });
   ASSERT_TRUE(client.ok());
 
+  // Flight recorder: binds the kernel event ring (16 pages ~ the last two
+  // thousand records, drop-oldest) and stays alive only to repair it if
+  // the pressure storm repossesses one of its pages; a clean exit RETAINS
+  // the binding, so the kernel keeps appending until the last worker dies
+  // and the host decodes the frames post-mortem below — the crash-surviving
+  // record of what every request was doing when the assassin struck.
+  hw::PageId recorder_first_page = 0;
+  uint32_t recorder_pages = 0;
+  exos::Process recorder(kernel, [&](exos::Process& p) {
+    exos::TraceSession trace(p);
+    const exos::TraceConfig trace_config{
+        .pages = 16,
+        .mask = xtrace::Bit(xtrace::Event::kDpfMatch) |
+                xtrace::Bit(xtrace::Event::kAppMark) |
+                xtrace::Bit(xtrace::Event::kDiskSubmit) |
+                xtrace::Bit(xtrace::Event::kDiskComplete)};
+    if (trace.Bind(trace_config) != Status::kOk) {
+      return;  // Ring already owned; the EXPECT below reports it.
+    }
+    recorder_first_page = trace.first_page();
+    recorder_pages = trace.page_count();
+    while (!server.AllWorkersDone() &&
+           p.kernel().SysGetCycles() < 1'500'000'000) {
+      p.kernel().SysSleep(200'000);
+      const std::vector<hw::PageId> taken = p.kernel().SysReadRepossessed();
+      if (!taken.empty() &&
+          trace.RepairAfterRepossession(taken) == Status::kOk) {
+        recorder_first_page = trace.first_page();
+        recorder_pages = trace.page_count();
+      }
+    }
+    // No Close(): exit cleanly with the ring still armed.
+  });
+  ASSERT_TRUE(recorder.ok());
+
   // Assassin: waits until the victim shard is demonstrably mid-burst
   // (cross-fiber stats reads are safe under cooperative fibers), then
   // kills its environment with the capability the Supervisor published.
   constexpr uint32_t kVictim = 1;
   bool killed = false;
+  uint64_t kill_cycle = 0;
   exos::Process assassin(kernel, [&](exos::Process& p) {
     while (!server.worker_stats(kVictim).done &&
            server.worker_stats(kVictim).requests < 8 &&
@@ -781,6 +825,7 @@ TEST_P(ServerSoak, MidBurstWorkerKillRestartsCleanlyAndNothingCorrupts) {
     }
     const exos::Process* child = server.supervisor().child(kVictim);
     ASSERT_NE(child, nullptr);
+    kill_cycle = p.kernel().SysGetCycles();
     killed = p.kernel().SysKillEnv(child->id(), child->env_cap()) == Status::kOk;
   });
   ASSERT_TRUE(assassin.ok());
@@ -832,6 +877,37 @@ TEST_P(ServerSoak, MidBurstWorkerKillRestartsCleanlyAndNothingCorrupts) {
   EXPECT_EQ(kernel.audit_failures(), 0u) << kernel.first_audit_failure();
   aegis::Aegis::AuditReport report = kernel.AuditInvariants();
   EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations.front());
+
+  // Flight-recorder post-mortem: decode the retained ring straight out of
+  // simulated RAM (the recorder env is long dead; a clean exit kept the
+  // binding armed), reassemble per-request critical paths, and print the
+  // slowest request that STARTED at or after the kill — its ring-wait span
+  // is the resurrection outage as one request experienced it.
+  ASSERT_GT(recorder_pages, 0u);  // The recorder must have won the ring.
+  Result<std::vector<xtrace::Record>> flight = exos::DecodeRegion(
+      machine.mem().RangeSpan(recorder_first_page, recorder_pages));
+  ASSERT_TRUE(flight.ok());
+  std::vector<exos::reqtrace::RequestTimeline> timelines =
+      exos::reqtrace::AssembleTimelines(*flight);
+  const exos::reqtrace::RequestTimeline* slowest = nullptr;
+  for (const exos::reqtrace::RequestTimeline& t : timelines) {
+    if (killed && t.first_cycle < kill_cycle) {
+      continue;  // Pre-kill traffic: not the recovery story.
+    }
+    if (slowest == nullptr || t.Total() > slowest->Total()) {
+      slowest = &t;
+    }
+  }
+  // The kill landed mid-burst with ~half the workload still to serve and
+  // the ring retains ~2000 records (far more than the tail generates), so
+  // post-kill timelines must have survived in the black box.
+  EXPECT_NE(slowest, nullptr);
+  if (slowest != nullptr) {
+    std::printf("[flight-recorder] seed %llu: kill at cycle %llu, slowest post-kill request:\n%s",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(kill_cycle),
+                exos::reqtrace::FormatTimeline(*slowest).c_str());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ServerSoak, ::testing::ValuesIn(ChaosSeeds({1, 2, 3})));
@@ -889,7 +965,12 @@ TEST_P(BlackFridaySoak, OverdriveStormKillsAndDiskFaultsShedButNeverCorrupt) {
   config.max_restarts = 10;
   config.restart_backoff = 2'000'000;
   config.restart_backoff_cap = 16'000'000;
-  config.trace_requests = false;
+  // Stage marks + demux req-id tag for the flight recorder below. The
+  // client runs on the OTHER kernel, whose ring is unbound, so its
+  // send/ack marks cannot reach this recorder: timelines here are
+  // server-side (demux -> worker exit), which is exactly the half the
+  // post-mortem needs.
+  config.trace_requests = true;
   srv::KvServer server(ks, config);
   ASSERT_TRUE(server.ok());
 
@@ -922,9 +1003,41 @@ TEST_P(BlackFridaySoak, OverdriveStormKillsAndDiskFaultsShedButNeverCorrupt) {
                        [&](exos::Process& p) { stats = srv::RunLoadGen(p, target, workload); });
   ASSERT_TRUE(client.ok());
 
+  // Flight recorder on the server kernel (see ServerSoak): 16 drop-oldest
+  // pages of demux/mark/disk records, repaired through the storm, retained
+  // past the recorder's clean exit for the host-side decode below.
+  hw::PageId recorder_first_page = 0;
+  uint32_t recorder_pages = 0;
+  exos::Process recorder(ks, [&](exos::Process& p) {
+    exos::TraceSession trace(p);
+    const exos::TraceConfig trace_config{
+        .pages = 16,
+        .mask = xtrace::Bit(xtrace::Event::kDpfMatch) |
+                xtrace::Bit(xtrace::Event::kAppMark) |
+                xtrace::Bit(xtrace::Event::kDiskSubmit) |
+                xtrace::Bit(xtrace::Event::kDiskComplete)};
+    if (trace.Bind(trace_config) != Status::kOk) {
+      return;
+    }
+    recorder_first_page = trace.first_page();
+    recorder_pages = trace.page_count();
+    while (!server.AllWorkersDone() &&
+           p.kernel().SysGetCycles() < 1'500'000'000) {
+      p.kernel().SysSleep(200'000);
+      const std::vector<hw::PageId> taken = p.kernel().SysReadRepossessed();
+      if (!taken.empty() &&
+          trace.RepairAfterRepossession(taken) == Status::kOk) {
+        recorder_first_page = trace.first_page();
+        recorder_pages = trace.page_count();
+      }
+    }
+  });
+  ASSERT_TRUE(recorder.ok());
+
   // Assassin: kill shard 1 once it is demonstrably mid-burst.
   constexpr uint32_t kVictim = 1;
   bool killed = false;
+  uint64_t kill_cycle = 0;
   exos::Process assassin(ks, [&](exos::Process& p) {
     while (!server.worker_stats(kVictim).done &&
            server.worker_stats(kVictim).requests < 8 &&
@@ -937,6 +1050,7 @@ TEST_P(BlackFridaySoak, OverdriveStormKillsAndDiskFaultsShedButNeverCorrupt) {
     }
     const exos::Process* child = server.supervisor().child(kVictim);
     ASSERT_NE(child, nullptr);
+    kill_cycle = p.kernel().SysGetCycles();
     killed = p.kernel().SysKillEnv(child->id(), child->env_cap()) == Status::kOk;
   });
   ASSERT_TRUE(assassin.ok());
@@ -1039,6 +1153,31 @@ TEST_P(BlackFridaySoak, OverdriveStormKillsAndDiskFaultsShedButNeverCorrupt) {
   aegis::Aegis::AuditReport report = ks.AuditInvariants();
   EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations.front());
   EXPECT_TRUE(kc.AuditInvariants().ok());
+
+  // Flight-recorder post-mortem (server-side timelines): the slowest
+  // request the server finished after the kill, straight out of RAM.
+  ASSERT_GT(recorder_pages, 0u);
+  Result<std::vector<xtrace::Record>> flight = exos::DecodeRegion(
+      ms.mem().RangeSpan(recorder_first_page, recorder_pages));
+  ASSERT_TRUE(flight.ok());
+  std::vector<exos::reqtrace::RequestTimeline> timelines =
+      exos::reqtrace::AssembleTimelines(*flight);
+  const exos::reqtrace::RequestTimeline* slowest = nullptr;
+  for (const exos::reqtrace::RequestTimeline& t : timelines) {
+    if (killed && t.first_cycle < kill_cycle) {
+      continue;
+    }
+    if (slowest == nullptr || t.Total() > slowest->Total()) {
+      slowest = &t;
+    }
+  }
+  EXPECT_NE(slowest, nullptr);
+  if (slowest != nullptr) {
+    std::printf("[flight-recorder] seed %llu: kill at cycle %llu, slowest post-kill request:\n%s",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(kill_cycle),
+                exos::reqtrace::FormatTimeline(*slowest).c_str());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BlackFridaySoak, ::testing::ValuesIn(ChaosSeeds({1, 2, 3})));

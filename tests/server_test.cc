@@ -162,6 +162,37 @@ TEST(LoadGenValueTest, ValueImageRoundTrip) {
   }
 }
 
+TEST(LatencySummaryTest, TailPercentilesRequireEnoughSamples) {
+  EXPECT_EQ(SummarizeLatencies({}).count, 0u);
+  EXPECT_FALSE(SummarizeLatencies({}).samples_insufficient);
+
+  // 99 samples: the 99th and 99.9th ranks both degenerate to the max, so
+  // the tails report 0 with the flag raised instead of masquerading.
+  std::vector<uint64_t> few(99);
+  for (size_t i = 0; i < few.size(); ++i) {
+    few[i] = i + 1;
+  }
+  const LatencySummary sparse = SummarizeLatencies(std::move(few));
+  EXPECT_EQ(sparse.count, 99u);
+  EXPECT_EQ(sparse.p50, 50u);
+  EXPECT_TRUE(sparse.samples_insufficient);
+  EXPECT_EQ(sparse.p99, 0u);
+  EXPECT_EQ(sparse.p999, 0u);
+  EXPECT_EQ(sparse.max, 99u);
+
+  // One more sample crosses the guard: nearest-rank tails appear.
+  std::vector<uint64_t> enough(100);
+  for (size_t i = 0; i < enough.size(); ++i) {
+    enough[i] = i + 1;
+  }
+  const LatencySummary dense = SummarizeLatencies(std::move(enough));
+  EXPECT_FALSE(dense.samples_insufficient);
+  EXPECT_EQ(dense.p50, 50u);
+  EXPECT_EQ(dense.p99, 99u);
+  EXPECT_EQ(dense.p999, 100u);
+  EXPECT_EQ(dense.max, 100u);
+}
+
 TEST(ShardingTest, ShardByteAndAtomAgree) {
   for (uint32_t workers : {1u, 2u, 4u, 8u}) {
     for (uint32_t i = 0; i < 16; ++i) {
@@ -388,6 +419,7 @@ TEST(KvServerTest, EndToEndServesLoadWithAshFastPath) {
   workload.keys = 12;
   workload.put_per_mille = 150;
   workload.trace = true;
+  workload.slo_cycles = 25'000;  // 1ms first-send->ack budget.
   LoadGenTarget target;
   target.iface = ClientIface();
   target.server_ip = 1;
@@ -420,6 +452,30 @@ TEST(KvServerTest, EndToEndServesLoadWithAshFastPath) {
   EXPECT_GT(stats.stages.path_ring, 0u);
   EXPECT_GT(stats.stages.service.count, 0u);
 
+  // Per-request critical paths assembled end to end. A ring-wait span can
+  // only exist if the kernel demux copied the request-id tag out of the
+  // frame (kDpfMatch arg3) AND the worker's enter mark joined to it —
+  // library marks alone cannot produce this span, so its presence is the
+  // proof the kernel half of the join works live.
+  EXPECT_GT(stats.reqs.timelines, 0u);
+  EXPECT_GT(
+      stats.reqs.span[static_cast<uint32_t>(reqtrace::Span::kRingWait)].count,
+      0u);
+  EXPECT_GT(stats.reqs.covered.count, 0u);
+  // Spans telescope, so each covered total is exactly the distance between
+  // that request's first and last observed boundary: p50 coverage of the
+  // end-to-end anchored pool can approach but never exceed the measured
+  // send->ack p50's order of magnitude. Sanity-bound it loosely here (the
+  // >=90% contract is the bench's job, with controlled load).
+  EXPECT_LE(stats.reqs.covered.p50, stats.latency.max);
+
+  // SLO accounting: every acked data request landed in exactly one bucket.
+  EXPECT_EQ(stats.slo.slo_cycles, workload.slo_cycles);
+  EXPECT_EQ(stats.slo.good + stats.slo.late,
+            static_cast<uint64_t>(workload.requests));
+  EXPECT_EQ(stats.slo.shed, 0u);
+  EXPECT_GT(stats.slo.good, 0u);
+
   // Both shards served traffic (each at least its QUIT) and exited
   // cleanly under the supervisor; fast-path hits plus worker requests
   // cover every acknowledged request.
@@ -433,6 +489,9 @@ TEST(KvServerTest, EndToEndServesLoadWithAshFastPath) {
     EXPECT_EQ(ws.quits, 1u) << "worker " << i;
     EXPECT_EQ(ws.setup_failures, 0u) << "worker " << i;
     EXPECT_EQ(ws.incarnations, 1u) << "worker " << i;
+    // Every stage mark the worker emitted was accepted by the kernel
+    // (satellite 1: failures are counted now, never discarded).
+    EXPECT_EQ(ws.trace_mark_failures, 0u) << "worker " << i;
     worker_requests += ws.requests;
   }
   EXPECT_GE(worker_requests + server.TotalAshHits(), stats.acked);
